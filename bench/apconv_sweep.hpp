@@ -1,0 +1,55 @@
+// Shared driver for Figures 7 (RTX 3090) and 8 (A100): APConv speedup over
+// cutlass-conv-int4 and cutlass-conv-int8 across channel counts; 16x16
+// input, 3x3 kernel, stride 1, batch 1, Cin = Cout.
+#pragma once
+
+#include "bench_util.hpp"
+
+namespace apnn::bench {
+
+inline void run_apconv_sweep(const tcsim::DeviceSpec& dev,
+                             const char* paper_note_a,
+                             const char* paper_note_b) {
+  print_header(strf("APConv speedup over cutlass-conv-int4 on %s  "
+                    "(paper Fig. %s)",
+                    dev.name.c_str(), paper_note_a));
+  std::printf("paper: up to ~3.78x over int4\n\n");
+  print_row({"channels", "w1a2", "w1a3", "w1a4", "w2a2", "int1"});
+  print_rule(6);
+  for (std::int64_t c : paper_size_sweep()) {
+    const auto g = sweep_conv_geometry(c);
+    const double t4 =
+        baseline_conv_latency_us(dev, tcsim::Precision::kInt4, g);
+    const double t1 =
+        baseline_conv_latency_us(dev, tcsim::Precision::kInt1, g);
+    print_row({strf("%ld", c),
+               strf("%.2fx", t4 / apconv_latency_us(dev, g, 1, 2)),
+               strf("%.2fx", t4 / apconv_latency_us(dev, g, 1, 3)),
+               strf("%.2fx", t4 / apconv_latency_us(dev, g, 1, 4)),
+               strf("%.2fx", t4 / apconv_latency_us(dev, g, 2, 2)),
+               strf("%.2fx", t4 / t1)});
+  }
+
+  print_header(strf("APConv speedup over cutlass-conv-int8 on %s  "
+                    "(paper Fig. %s)",
+                    dev.name.c_str(), paper_note_b));
+  std::printf("paper: up to ~3.08x over int8; smaller speedup at large "
+              "channel counts\n\n");
+  print_row({"channels", "w1a5", "w1a8", "w2a6", "w2a8", "int1"});
+  print_rule(6);
+  for (std::int64_t c : paper_size_sweep()) {
+    const auto g = sweep_conv_geometry(c);
+    const double t8 =
+        baseline_conv_latency_us(dev, tcsim::Precision::kInt8, g);
+    const double t1 =
+        baseline_conv_latency_us(dev, tcsim::Precision::kInt1, g);
+    print_row({strf("%ld", c),
+               strf("%.2fx", t8 / apconv_latency_us(dev, g, 1, 5)),
+               strf("%.2fx", t8 / apconv_latency_us(dev, g, 1, 8)),
+               strf("%.2fx", t8 / apconv_latency_us(dev, g, 2, 6)),
+               strf("%.2fx", t8 / apconv_latency_us(dev, g, 2, 8)),
+               strf("%.2fx", t8 / t1)});
+  }
+}
+
+}  // namespace apnn::bench

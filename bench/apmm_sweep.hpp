@@ -1,0 +1,56 @@
+// Shared driver for Figures 5 (RTX 3090) and 6 (A100): APMM speedup over
+// cutlass-gemm-int4 and cublas-gemm-int8 across matrix sizes, M = 64,
+// K = N in {128 ... 1024}.
+#pragma once
+
+#include "bench_util.hpp"
+
+namespace apnn::bench {
+
+inline void run_apmm_sweep(const tcsim::DeviceSpec& dev,
+                           const char* paper_note_a,
+                           const char* paper_note_b) {
+  const std::int64_t m = 64;
+
+  print_header(strf("APMM speedup over cutlass-gemm-int4 on %s  "
+                    "(paper Fig. %s)",
+                    dev.name.c_str(), paper_note_a));
+  std::printf("paper: w1a2 up to ~2.35x; w1a2/w1a3/w1a4/w2a2 nearly "
+              "coincide at small sizes; AP kernels edge out cutlass-int1\n\n");
+  print_row({"size", "w1a2", "w1a3", "w1a4", "w2a2", "int1"});
+  print_rule(6);
+  for (std::int64_t n : paper_size_sweep()) {
+    const double t4 =
+        baseline_gemm_latency_us(dev, tcsim::Precision::kInt4, m, n, n);
+    const double t1 =
+        baseline_gemm_latency_us(dev, tcsim::Precision::kInt1, m, n, n);
+    print_row({strf("%ld", n),
+               strf("%.2fx", t4 / apmm_latency_us(dev, m, n, n, 1, 2)),
+               strf("%.2fx", t4 / apmm_latency_us(dev, m, n, n, 1, 3)),
+               strf("%.2fx", t4 / apmm_latency_us(dev, m, n, n, 1, 4)),
+               strf("%.2fx", t4 / apmm_latency_us(dev, m, n, n, 2, 2)),
+               strf("%.2fx", t4 / t1)});
+  }
+
+  print_header(strf("APMM speedup over cublas-gemm-int8 on %s  "
+                    "(paper Fig. %s)",
+                    dev.name.c_str(), paper_note_b));
+  std::printf("paper: w5a1 up to ~3x; speedup shrinks at large sizes where "
+              "peak int1 throughput saturates\n\n");
+  print_row({"size", "w5a1", "w1a8", "w6a2", "w2a8", "int1"});
+  print_rule(6);
+  for (std::int64_t n : paper_size_sweep()) {
+    const double t8 = baseline_gemm_latency_us(
+        dev, tcsim::Precision::kInt8, m, n, n, /*cublas=*/true);
+    const double t1 =
+        baseline_gemm_latency_us(dev, tcsim::Precision::kInt1, m, n, n);
+    print_row({strf("%ld", n),
+               strf("%.2fx", t8 / apmm_latency_us(dev, m, n, n, 5, 1)),
+               strf("%.2fx", t8 / apmm_latency_us(dev, m, n, n, 1, 8)),
+               strf("%.2fx", t8 / apmm_latency_us(dev, m, n, n, 6, 2)),
+               strf("%.2fx", t8 / apmm_latency_us(dev, m, n, n, 2, 8)),
+               strf("%.2fx", t8 / t1)});
+  }
+}
+
+}  // namespace apnn::bench

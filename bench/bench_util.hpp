@@ -1,0 +1,104 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Every bench prints (a) the paper's reported numbers for the experiment and
+// (b) the numbers this reproduction produces, in the same layout, so the
+// shape comparison (who wins, by what factor, where the crossover sits) is
+// immediate. Absolute values are modeled latencies from the tcsim cost
+// model (DESIGN.md §1).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/baselines/conv.hpp"
+#include "src/baselines/gemm.hpp"
+#include "src/common/strings.hpp"
+#include "src/core/apconv.hpp"
+#include "src/core/apmm.hpp"
+#include "src/tcsim/cost_model.hpp"
+
+namespace apnn::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_row(const std::vector<std::string>& cells, int width = 12) {
+  std::printf("%s\n", table_row(cells, width).c_str());
+}
+
+inline void print_rule(std::size_t ncells, int width = 12) {
+  std::printf("%s\n", table_rule(ncells, width).c_str());
+}
+
+/// Modeled latency (us) of an APMM kernel for weight bits p / activation
+/// bits q on the usual NN encodings (±1 weights when p == 1).
+inline double apmm_latency_us(const tcsim::DeviceSpec& dev, std::int64_t m,
+                              std::int64_t n, std::int64_t k, int p, int q) {
+  const core::EncodingConfig enc{
+      p == 1 ? core::Encoding::kSignedPM1 : core::Encoding::kUnsigned01,
+      core::Encoding::kUnsigned01};
+  const tcsim::CostModel cm(dev);
+  return cm.estimate(core::apmm_profile(m, n, k, p, q, enc, dev)).total_us;
+}
+
+/// Modeled latency (us) of a BNN-style (±1 x ±1) APMM kernel.
+inline double apmm_bnn_latency_us(const tcsim::DeviceSpec& dev,
+                                  std::int64_t m, std::int64_t n,
+                                  std::int64_t k) {
+  const core::EncodingConfig enc{core::Encoding::kSignedPM1,
+                                 core::Encoding::kSignedPM1};
+  const tcsim::CostModel cm(dev);
+  return cm.estimate(core::apmm_profile(m, n, k, 1, 1, enc, dev)).total_us;
+}
+
+/// Modeled latency (us) of an APConv kernel.
+inline double apconv_latency_us(const tcsim::DeviceSpec& dev,
+                                const layout::ConvGeometry& g, int p, int q) {
+  const core::EncodingConfig enc{
+      p == 1 ? core::Encoding::kSignedPM1 : core::Encoding::kUnsigned01,
+      core::Encoding::kUnsigned01};
+  const tcsim::CostModel cm(dev);
+  return cm.estimate(core::apconv_profile(g, p, q, enc, dev)).total_us;
+}
+
+inline double baseline_gemm_latency_us(const tcsim::DeviceSpec& dev,
+                                       tcsim::Precision prec, std::int64_t m,
+                                       std::int64_t n, std::int64_t k,
+                                       bool cublas = false) {
+  const tcsim::CostModel cm(dev);
+  if (cublas) {
+    return cm.estimate(baselines::cublas_gemm_int8_profile(m, n, k)).total_us;
+  }
+  return cm.estimate(baselines::cutlass_gemm_profile(prec, m, n, k)).total_us;
+}
+
+inline double baseline_conv_latency_us(const tcsim::DeviceSpec& dev,
+                                       tcsim::Precision prec,
+                                       const layout::ConvGeometry& g) {
+  const tcsim::CostModel cm(dev);
+  return cm.estimate(baselines::cutlass_conv_profile(prec, g)).total_us;
+}
+
+/// The Fig. 7/8 convolution geometry: 16x16 input, k=3, s=1, batch 1,
+/// Cin = Cout = channels.
+inline layout::ConvGeometry sweep_conv_geometry(std::int64_t channels) {
+  layout::ConvGeometry g;
+  g.batch = 1;
+  g.in_c = channels;
+  g.in_h = g.in_w = 16;
+  g.out_c = channels;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  return g;
+}
+
+inline std::vector<std::int64_t> paper_size_sweep() {
+  return {128, 256, 384, 512, 640, 768, 896, 1024};
+}
+
+}  // namespace apnn::bench

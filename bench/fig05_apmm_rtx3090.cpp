@@ -1,0 +1,8 @@
+// Reproduces paper Figure 5: APMM performance on RTX 3090.
+#include "apmm_sweep.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+int main() {
+  apnn::bench::run_apmm_sweep(apnn::tcsim::rtx3090(), "5a", "5b");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Figure 6: APMM performance on A100.
+#include "apmm_sweep.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+int main() {
+  apnn::bench::run_apmm_sweep(apnn::tcsim::a100(), "6a", "6b");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Figure 7: APConv performance on RTX 3090.
+#include "apconv_sweep.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+int main() {
+  apnn::bench::run_apconv_sweep(apnn::tcsim::rtx3090(), "7a", "7b");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces paper Figure 8: APConv performance on A100.
+#include "apconv_sweep.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+int main() {
+  apnn::bench::run_apconv_sweep(apnn::tcsim::a100(), "8a", "8b");
+  return 0;
+}

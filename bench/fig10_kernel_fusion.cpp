@@ -1,0 +1,60 @@
+// Reproduces paper Figure 10: latency of APConv-w1a2 + 2x2 pooling +
+// 2-bit quantization, with and without semantic-aware kernel fusion,
+// across channel counts. The paper reports an average 1.77x reduction.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using apnn::bench::paper_size_sweep;
+using apnn::bench::print_header;
+using apnn::bench::print_row;
+using apnn::bench::print_rule;
+using apnn::bench::sweep_conv_geometry;
+using apnn::strf;
+
+}  // namespace
+
+int main() {
+  const auto& dev = apnn::tcsim::rtx3090();
+  const apnn::tcsim::CostModel cm(dev);
+  print_header("Figure 10: speedup from APNN kernel fusion "
+               "(conv + pool + quantize)");
+  std::printf("paper: ~1.77x average latency reduction from fusing the "
+              "three kernels into one\n\n");
+  print_row({"channels", "w/o fusion", "w/ fusion", "reduction"});
+  print_rule(4);
+
+  const apnn::core::EncodingConfig enc{apnn::core::Encoding::kSignedPM1,
+                                       apnn::core::Encoding::kUnsigned01};
+  apnn::core::Epilogue epi;
+  epi.has_quant = true;
+  epi.quant.bits = 2;
+  apnn::core::PoolSpec pool;
+  pool.kind = apnn::core::PoolSpec::Kind::kMax;
+  pool.size = 2;
+
+  double total_ratio = 0;
+  int count = 0;
+  for (std::int64_t c : paper_size_sweep()) {
+    const auto g = sweep_conv_geometry(c);
+    apnn::core::ApconvOptions fused, unfused;
+    unfused.fuse_epilogue = false;
+    const double tf =
+        cm.estimate(apnn::core::apconv_profile(g, 1, 2, enc, dev, fused, epi,
+                                               pool))
+            .total_us;
+    const double tu =
+        cm.estimate(apnn::core::apconv_profile(g, 1, 2, enc, dev, unfused,
+                                               epi, pool))
+            .total_us;
+    total_ratio += tu / tf;
+    ++count;
+    print_row({strf("%ld", c), strf("%.2fus", tu), strf("%.2fus", tf),
+               strf("%.2fx", tu / tf)});
+  }
+  std::printf("\naverage latency reduction: %.2fx (paper: 1.77x)\n",
+              total_ratio / count);
+  return 0;
+}

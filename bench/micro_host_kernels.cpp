@@ -1,0 +1,110 @@
+// Host-side wall-clock micro-benchmarks (google-benchmark) of the bit-level
+// kernels that power the simulation. These are *host* numbers — the GPU
+// latencies the paper reports come from the cost model — but they document
+// the emulation's own performance and catch regressions.
+#include <benchmark/benchmark.h>
+
+#include "src/bitops/bit_matrix.hpp"
+#include "src/bitops/pack.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/apmm.hpp"
+#include "src/layout/im2col.hpp"
+#include "src/quant/qem.hpp"
+#include "src/tcsim/mma.hpp"
+#include "test_helpers_for_bench.hpp"
+
+namespace {
+
+using apnn::Rng;
+using apnn::bitops::BitMatrix;
+
+void BM_BmmaTileXor(benchmark::State& state) {
+  Rng rng(1);
+  BitMatrix a(8, 128), b(8, 128);
+  a.randomize(rng);
+  b.randomize(rng);
+  std::int32_t acc[64] = {0};
+  for (auto _ : state) {
+    apnn::tcsim::bmma_8x8x128(apnn::tcsim::BitOp::kXor, a.row(0),
+                              a.row_words(), b.row(0), b.row_words(), acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 8 * 8 * 128);
+}
+BENCHMARK(BM_BmmaTileXor);
+
+void BM_DotXorPopc(benchmark::State& state) {
+  const std::int64_t k = state.range(0);
+  Rng rng(2);
+  BitMatrix a(1, k), b(1, k);
+  a.randomize(rng);
+  b.randomize(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apnn::bitops::dot_xor_popc(a.row(0), b.row(0), a.row_words()));
+  }
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_DotXorPopc)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_ApmmW1A2Host(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(3);
+  const auto w = apnn::bench_helpers::random_operand(
+      rng, 64, n, apnn::core::Encoding::kSignedPM1, 1);
+  const auto x = apnn::bench_helpers::random_operand(
+      rng, n, n, apnn::core::Encoding::kUnsigned01, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apnn::core::apmm(w, x, apnn::tcsim::rtx3090()));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 64 * n * n);
+}
+BENCHMARK(BM_ApmmW1A2Host)->Arg(128)->Arg(256);
+
+void BM_Im2colBits(benchmark::State& state) {
+  const std::int64_t c = state.range(0);
+  Rng rng(4);
+  apnn::layout::ConvGeometry g;
+  g.batch = 1;
+  g.in_c = c;
+  g.in_h = g.in_w = 16;
+  g.out_c = c;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  BitMatrix plane(g.batch * g.in_h * g.in_w, g.in_c);
+  plane.randomize(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apnn::layout::im2col_bits(plane, g, false));
+  }
+  state.SetItemsProcessed(state.iterations() * g.gemm_n() * g.gemm_k());
+}
+BENCHMARK(BM_Im2colBits)->Arg(128)->Arg(512);
+
+void BM_PackBitPlanes(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<std::int32_t> vals(4096);
+  for (auto& v : vals) v = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apnn::bitops::pack_bit_planes(vals.data(), 4096, 2));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_PackBitPlanes);
+
+void BM_QemQuantize(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  Rng rng(6);
+  std::vector<float> xs(4096);
+  for (auto& x : xs) x = static_cast<float>(rng.normal(0, 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apnn::quant::qem_quantize(xs, bits));
+  }
+}
+BENCHMARK(BM_QemQuantize)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

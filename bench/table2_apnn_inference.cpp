@@ -1,0 +1,57 @@
+// Reproduces paper Table 2: APNN inference latency (batch 8) and throughput
+// (batch 128) for AlexNet / VGG-Variant / ResNet-18 under the five schemes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "src/nn/engine.hpp"
+
+namespace {
+
+using apnn::bench::print_header;
+using apnn::bench::print_row;
+using apnn::bench::print_rule;
+using apnn::strf;
+using namespace apnn::nn;
+
+SchemeConfig make_scheme(Scheme s, int wb = 1, int ab = 2) {
+  SchemeConfig cfg;
+  cfg.scheme = s;
+  cfg.wbits = wb;
+  cfg.abits = ab;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const auto& dev = apnn::tcsim::rtx3090();
+  print_header("Table 2: APNN inference on RTX 3090 — latency (batch 8) and "
+               "throughput (batch 128)");
+  std::printf(
+      "paper: AlexNet 4.43ms/3.79ms/13.10ms/0.69ms/0.36ms latency and "
+      "2.89e4/3.38e4/9.77e3/1.37e4/2.85e4 fps for\n"
+      "       Single/Half/INT8/BNN/APNN-w1a2; VGG 25.24/24.19/25.77/2.17/"
+      "1.66 ms; ResNet-18 60.96/57.33/57.09/0.68/0.64 ms\n\n");
+
+  const std::vector<ModelSpec> models = {alexnet(), vgg_variant(), resnet18()};
+  const std::vector<SchemeConfig> schemes = {
+      make_scheme(Scheme::kFloat32), make_scheme(Scheme::kFloat16),
+      make_scheme(Scheme::kInt8), make_scheme(Scheme::kBnn),
+      make_scheme(Scheme::kApnn, 1, 2)};
+
+  for (const ModelSpec& m : models) {
+    std::printf("\n--- %s ---\n", m.name.c_str());
+    print_row({"scheme", "latency(8)", "throughput(128)"}, 18);
+    print_rule(3, 18);
+    for (const SchemeConfig& cfg : schemes) {
+      const ModelProfile lat = profile_model(m, 8, cfg, dev);
+      const ModelProfile thr = profile_model(m, 128, cfg, dev);
+      print_row({cfg.label(), strf("%.2fms", lat.latency_ms()),
+                 strf("%.3gfps", thr.throughput_fps())},
+                18);
+    }
+  }
+  std::printf("\nshape check: APNN-w1a2 fastest or tied-fastest on every "
+              "model; BNN close; int8/half/single far behind.\n");
+  return 0;
+}

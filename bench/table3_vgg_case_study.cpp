@@ -1,0 +1,68 @@
+// Reproduces paper Table 3: the VGG case study across precision schemes,
+// including the w2a8 configuration that loses to INT8 on throughput because
+// it must emulate 16 one-bit planes.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "src/nn/engine.hpp"
+
+namespace {
+
+using apnn::bench::print_header;
+using apnn::bench::print_row;
+using apnn::bench::print_rule;
+using apnn::strf;
+using namespace apnn::nn;
+
+}  // namespace
+
+int main() {
+  const auto& dev = apnn::tcsim::rtx3090();
+  print_header("Table 3: case study — APNN of VGG on ImageNet (RTX 3090)");
+  std::printf(
+      "paper: Float 25.24ms/389fps, Half 24.19ms/466fps, INT8 25.77ms/"
+      "652fps, BNN 2.17ms/3910fps,\n"
+      "       APNN-w1a2 1.66ms/5320fps, APNN-w2a2 3.08ms/2590fps, "
+      "APNN-w2a8 14.14ms/565fps\n\n");
+
+  const ModelSpec m = vgg_variant();
+  struct Row {
+    const char* label;
+    SchemeConfig cfg;
+  };
+  std::vector<Row> rows;
+  {
+    SchemeConfig c;
+    c.scheme = Scheme::kFloat32;
+    rows.push_back({"Float", c});
+    c.scheme = Scheme::kFloat16;
+    rows.push_back({"Half", c});
+    c.scheme = Scheme::kInt8;
+    rows.push_back({"INT8", c});
+    c.scheme = Scheme::kBnn;
+    rows.push_back({"BNN", c});
+    c.scheme = Scheme::kApnn;
+    c.wbits = 1;
+    c.abits = 2;
+    rows.push_back({"APNN-w1a2", c});
+    c.wbits = 2;
+    c.abits = 2;
+    rows.push_back({"APNN-w2a2", c});
+    c.wbits = 2;
+    c.abits = 8;
+    rows.push_back({"APNN-w2a8", c});
+  }
+
+  print_row({"scheme", "latency(8)", "throughput(128)"}, 18);
+  print_rule(3, 18);
+  for (const Row& r : rows) {
+    const ModelProfile lat = profile_model(m, 8, r.cfg, dev);
+    const ModelProfile thr = profile_model(m, 128, r.cfg, dev);
+    print_row({r.label, strf("%.2fms", lat.latency_ms()),
+               strf("%.3gfps", thr.throughput_fps())},
+              18);
+  }
+  std::printf("\nshape check: w1a2 < w2a2 < w2a8 latency; w2a8 falls to "
+              "roughly INT8-level throughput (16 emulation planes).\n");
+  return 0;
+}

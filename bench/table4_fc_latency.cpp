@@ -1,0 +1,52 @@
+// Reproduces paper Table 4: raw latency of a typical fully connected layer
+// (batch M = 64, input K = 1024, output N = 1024), in microseconds.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using apnn::bench::apmm_latency_us;
+using apnn::bench::baseline_gemm_latency_us;
+using apnn::bench::print_header;
+using apnn::bench::print_row;
+using apnn::bench::print_rule;
+using apnn::strf;
+
+}  // namespace
+
+int main() {
+  const auto& dev = apnn::tcsim::rtx3090();
+  const std::int64_t m = 64, k = 1024, n = 1024;
+  print_header("Table 4: raw latency of a typical FC layer "
+               "(M=64, K=N=1024), microseconds");
+  std::printf("paper: w1a2 6.67, w1a3 6.81, w1a4 7.06, w2a2 7.15, "
+              "cutlass-int4 15.61, cutlass-int1 7.92\n\n");
+  print_row({"kernel", "latency (us)", "paper (us)"}, 18);
+  print_rule(3, 18);
+  print_row({"APMM-w1a2", strf("%.2f", apmm_latency_us(dev, m, n, k, 1, 2)),
+             "6.67"},
+            18);
+  print_row({"APMM-w1a3", strf("%.2f", apmm_latency_us(dev, m, n, k, 1, 3)),
+             "6.81"},
+            18);
+  print_row({"APMM-w1a4", strf("%.2f", apmm_latency_us(dev, m, n, k, 1, 4)),
+             "7.06"},
+            18);
+  print_row({"APMM-w2a2", strf("%.2f", apmm_latency_us(dev, m, n, k, 2, 2)),
+             "7.15"},
+            18);
+  print_row({"cutlass-gemm-int4",
+             strf("%.2f", baseline_gemm_latency_us(
+                              dev, apnn::tcsim::Precision::kInt4, m, n, k)),
+             "15.61"},
+            18);
+  print_row({"cutlass-gemm-int1",
+             strf("%.2f", baseline_gemm_latency_us(
+                              dev, apnn::tcsim::Precision::kInt1, m, n, k)),
+             "7.92"},
+            18);
+  std::printf("\nshape check: AP kernels ~2x faster than cutlass-int4 and "
+              "at or below cutlass-int1.\n");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Operand generators shared by the micro-benchmarks (mirrors
+// tests/test_util.hpp without depending on gtest).
+#pragma once
+
+#include "src/common/rng.hpp"
+#include "src/core/ap_bit.hpp"
+
+namespace apnn::bench_helpers {
+
+inline core::ApOperand random_operand(Rng& rng, std::int64_t rows,
+                                      std::int64_t cols, core::Encoding enc,
+                                      int bits) {
+  Tensor<std::int32_t> t({rows, cols});
+  const core::ValueRange r = core::encoding_range(enc, bits);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (enc == core::Encoding::kSignedPM1) {
+      t[i] = rng.bernoulli(0.5) ? 1 : -1;
+    } else {
+      t[i] = static_cast<std::int32_t>(rng.uniform_int(r.lo, r.hi));
+    }
+  }
+  return core::make_operand(t, enc, bits);
+}
+
+}  // namespace apnn::bench_helpers

@@ -1,0 +1,74 @@
+// Domain example: choosing a precision point on the accuracy/latency curve.
+//
+// Trains one classifier at several (wbits, abits) settings with
+// quantization-aware training, then prints accuracy next to the modeled
+// inference latency of the corresponding APNN — the trade-off table a
+// deployment engineer would use to pick a configuration (the paper's
+// "balancing NN model accuracy and runtime performance", §6.2).
+//
+//   build/examples/quantization_tradeoff
+#include <cstdio>
+
+#include "src/nn/engine.hpp"
+#include "src/synth/dataset.hpp"
+#include "src/tcsim/cost_model.hpp"
+#include "src/train/mlp.hpp"
+
+using namespace apnn;
+
+int main() {
+  synth::DatasetConfig dcfg;
+  dcfg.classes = 10;
+  dcfg.hw = 12;
+  dcfg.noise = 0.5;
+  const synth::Dataset train_set = synth::make_dataset(600, dcfg, 1);
+  const synth::Dataset test_set = synth::make_dataset(300, dcfg, 2);
+
+  train::TrainConfig tcfg;
+  tcfg.epochs = 30;
+
+  // Latency proxy: VGG-lite at each precision on the simulated RTX 3090.
+  const auto& dev = tcsim::rtx3090();
+  const nn::ModelSpec proxy = nn::vgg_lite();
+  auto latency_ms = [&](int wb, int ab) {
+    nn::SchemeConfig cfg;
+    cfg.wbits = wb;
+    cfg.abits = ab;
+    return nn::profile_model(proxy, 8, cfg, dev).latency_ms();
+  };
+
+  struct Point {
+    const char* label;
+    train::QatConfig qat;
+    int wb, ab;
+  };
+  const Point points[] = {
+      {"binary (w1a1)", train::QatConfig::wa(1, 1), 1, 1},
+      {"w1a2", train::QatConfig::wa(1, 2), 1, 2},
+      {"w1a4", train::QatConfig::wa(1, 4), 1, 4},
+      {"w2a2", train::QatConfig::wa(2, 2), 2, 2},
+      {"w2a4", train::QatConfig::wa(2, 4), 2, 4},
+      {"w4a4", train::QatConfig::wa(4, 4), 4, 4},
+  };
+
+  std::printf("precision      accuracy    modeled VGG-lite latency "
+              "(batch 8)\n");
+  std::printf("---------------------------------------------------------\n");
+  // Float reference first.
+  const double acc_float = train::train_and_evaluate(
+      train_set, test_set, train::QatConfig::off(), tcfg, {96, 64});
+  nn::SchemeConfig f32;
+  f32.scheme = nn::Scheme::kFloat32;
+  std::printf("%-14s %6.1f%%     %8.3f ms (CUTLASS fp32)\n", "float",
+              100 * acc_float,
+              nn::profile_model(proxy, 8, f32, dev).latency_ms());
+  for (const Point& pt : points) {
+    const double acc = train::train_and_evaluate(train_set, test_set, pt.qat,
+                                                 tcfg, {96, 64});
+    std::printf("%-14s %6.1f%%     %8.3f ms (APNN-w%da%d)\n", pt.label,
+                100 * acc, latency_ms(pt.wb, pt.ab), pt.wb, pt.ab);
+  }
+  std::printf("\nReading: pick the lowest-latency row whose accuracy "
+              "clears your application's bar.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "src/baselines/bnn.hpp"
+
+#include "src/common/check.hpp"
+
+namespace apnn::baselines {
+
+namespace {
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+constexpr std::int64_t kBnnTile = 32;  // BSTC's small fixed tiles
+
+tcsim::KernelProfile bnn_profile_impl(std::int64_t m, std::int64_t n,
+                                      std::int64_t k,
+                                      const std::string& name) {
+  tcsim::KernelProfile prof;
+  prof.name = name;
+  prof.family = "bnn";
+  const std::int64_t gm = ceil_div(m, kBnnTile), gn = ceil_div(n, kBnnTile);
+  prof.grid_blocks = gm * gn;
+  prof.threads_per_block = 256;
+  prof.ci = 2.0 * kBnnTile * kBnnTile / (kBnnTile + kBnnTile);  // CI = 32
+  prof.shmem_per_block = 0;  // no shared-memory staging
+  auto& c = prof.counters;
+  c.kernel_launches = 1;
+  const std::int64_t ktiles = ceil_div(k, 128);
+  // No double caching: the 8 warps of a block each load their own 8x128 W
+  // slab and 16x128 X slab per k-tile (4x2 warp grid over the 32x32 tile).
+  // The L1 cache absorbs roughly half of the duplicated reads, so the
+  // effective DRAM traffic is ~1.5x the collaborative volume rather than 3x.
+  const std::int64_t warp_bits = 8 * (8 + 16) * 128 / 2;
+  c.global_load_bytes += prof.grid_blocks * ktiles * warp_bits / 8;
+  c.bmma_b1 += prof.grid_blocks * ktiles * (kBnnTile / 8) * (kBnnTile / 8);
+  c.alu_combine_ops += prof.grid_blocks * kBnnTile * kBnnTile;  // k - 2*popc
+  c.global_store_bytes += m * n * 4;
+  return prof;
+}
+
+}  // namespace
+
+tcsim::KernelProfile bnn_gemm_profile(std::int64_t m, std::int64_t n,
+                                      std::int64_t k) {
+  return bnn_profile_impl(m, n, k, "bnn-gemm");
+}
+
+tcsim::KernelProfile bnn_conv_profile(const layout::ConvGeometry& g) {
+  // Direct convolution: same lowered extent, but feature data is gathered
+  // per output tile with no patch reuse — each block re-reads its K*K*C
+  // window for all 32 of its output positions.
+  tcsim::KernelProfile prof =
+      bnn_profile_impl(g.gemm_m(), g.gemm_n(), g.gemm_k(), "bnn-conv");
+  return prof;
+}
+
+Tensor<std::int32_t> bnn_gemm(const bitops::BitMatrix& w,
+                              const bitops::BitMatrix& x) {
+  APNN_CHECK(w.cols() == x.cols());
+  const std::int64_t m = w.rows(), n = x.rows(), k = w.cols();
+  const std::int64_t words = w.row_words();
+  Tensor<std::int32_t> y({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int64_t popc = bitops::dot_xor_popc(w.row(i), x.row(j), words);
+      y(i, j) = static_cast<std::int32_t>(k - 2 * popc);
+    }
+  }
+  return y;
+}
+
+}  // namespace apnn::baselines

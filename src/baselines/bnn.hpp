@@ -1,0 +1,32 @@
+// BSTC / BTC-style binary-neural-network baseline (Li et al., the paper's
+// "state-of-the-art BNN on Tensor Cores" comparison, §6.2).
+//
+// These existing designs differ from APNN-TC exactly where the paper says
+// they do (§4.1a, §4.2): small fixed 32x32 block tiles (good TLP, poor CI),
+// no collaborative double caching (each warp loads its own tiles), and
+// direct convolution without the channel-major patch reuse. Functionally
+// they compute the ±1 XOR GEMM (Case II).
+#pragma once
+
+#include <cstdint>
+
+#include "src/bitops/bit_matrix.hpp"
+#include "src/layout/im2col.hpp"
+#include "src/layout/tensor.hpp"
+#include "src/tcsim/kernel.hpp"
+
+namespace apnn::baselines {
+
+/// Launch profile of the BSTC-like 1-bit GEMM (M x N x K over ±1 operands).
+tcsim::KernelProfile bnn_gemm_profile(std::int64_t m, std::int64_t n,
+                                      std::int64_t k);
+
+/// Launch profile of the BTC-like direct 1-bit convolution.
+tcsim::KernelProfile bnn_conv_profile(const layout::ConvGeometry& g);
+
+/// Functional ±1 GEMM: operands are bit matrices (bit 1 = +1, bit 0 = -1),
+/// result the integer dot products (XOR + popc, dot = k - 2*popc).
+Tensor<std::int32_t> bnn_gemm(const bitops::BitMatrix& w,
+                              const bitops::BitMatrix& x);
+
+}  // namespace apnn::baselines

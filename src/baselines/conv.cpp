@@ -1,0 +1,69 @@
+#include "src/baselines/conv.hpp"
+
+#include "src/baselines/gemm.hpp"
+#include "src/common/check.hpp"
+
+namespace apnn::baselines {
+
+tcsim::KernelProfile cutlass_conv_profile(tcsim::Precision prec,
+                                          const layout::ConvGeometry& g) {
+  // Implicit GEMM over the lowered problem size. CUTLASS's fprop configs
+  // default to a narrower 128x64 threadblock than the GEMM path (conv N
+  // extents are spatial and often small).
+  BaselineTile tile = baseline_tile(prec);
+  tile.tn = 64;
+  return cutlass_gemm_profile_tiled(
+      prec, g.gemm_m(), g.gemm_n(), g.gemm_k(), tile,
+      std::string("cutlass-conv-") + tcsim::precision_name(prec),
+      prec == tcsim::Precision::kInt1 ? "cutlass-conv-int1" : "cutlass-conv");
+}
+
+Tensor<std::int32_t> conv_int8(const Tensor<std::int8_t>& x_nhwc,
+                               const Tensor<std::int8_t>& w_ohwi,
+                               const layout::ConvGeometry& g) {
+  const Tensor<std::int8_t> patches =
+      layout::im2col_dense<std::int8_t>(x_nhwc, g, 0);
+  const Tensor<std::int8_t> wflat = w_ohwi.reshaped(
+      {w_ohwi.dim(0), w_ohwi.dim(1) * w_ohwi.dim(2) * w_ohwi.dim(3)});
+  // gemm: (Cout x K) * (NOHOW x K)^T -> Cout x NOHOW, then to NHWC.
+  const Tensor<std::int32_t> y = gemm_int8(wflat, patches);
+  Tensor<std::int32_t> out({g.batch, g.out_h(), g.out_w(), g.out_c});
+  const std::int64_t spatial = g.batch * g.out_h() * g.out_w();
+  for (std::int64_t m = 0; m < g.out_c; ++m) {
+    for (std::int64_t col = 0; col < spatial; ++col) {
+      out[col * g.out_c + m] = y(m, col);
+    }
+  }
+  return out;
+}
+
+Tensor<float> conv_fp32(const Tensor<float>& x_nhwc,
+                        const Tensor<float>& w_ohwi,
+                        const layout::ConvGeometry& g) {
+  APNN_CHECK(x_nhwc.rank() == 4 && w_ohwi.rank() == 4);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  Tensor<float> y({g.batch, oh, ow, g.out_c});
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        for (std::int64_t m = 0; m < g.out_c; ++m) {
+          float acc = 0.f;
+          for (int kh = 0; kh < g.kernel; ++kh) {
+            for (int kw = 0; kw < g.kernel; ++kw) {
+              const std::int64_t ih = oy * g.stride + kh - g.pad;
+              const std::int64_t iw = ox * g.stride + kw - g.pad;
+              if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) continue;
+              for (std::int64_t c = 0; c < g.in_c; ++c) {
+                acc += x_nhwc(n, ih, iw, c) * w_ohwi(m, kh, kw, c);
+              }
+            }
+          }
+          y(n, oy, ox, m) = acc;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace apnn::baselines

@@ -1,0 +1,34 @@
+// CUTLASS-like baseline convolution (implicit GEMM) on the simulated device.
+//
+// The paper's conv baselines (cutlass-conv-int1/int4/int8, §6.1.2) are
+// implicit-GEMM tensor-core kernels: the convolution is tiled exactly like a
+// GEMM of size Cout x (N*OH*OW) x (KH*KW*Cin), with activation tiles
+// gathered from the feature map on the fly.
+#pragma once
+
+#include <cstdint>
+
+#include "src/layout/im2col.hpp"
+#include "src/layout/tensor.hpp"
+#include "src/tcsim/kernel.hpp"
+#include "src/tcsim/precision.hpp"
+
+namespace apnn::baselines {
+
+/// Launch profile of a cutlass-like implicit-GEMM convolution.
+tcsim::KernelProfile cutlass_conv_profile(tcsim::Precision prec,
+                                          const layout::ConvGeometry& g);
+
+/// Functional int8 convolution (im2col + int8 tensor-core GEMM); x is NHWC
+/// logical, w is OHWI. Used by tests to validate the lowering path.
+Tensor<std::int32_t> conv_int8(const Tensor<std::int8_t>& x_nhwc,
+                               const Tensor<std::int8_t>& w_ohwi,
+                               const layout::ConvGeometry& g);
+
+/// Functional fp32 convolution (direct loops) — the float reference the NN
+/// framework validates against.
+Tensor<float> conv_fp32(const Tensor<float>& x_nhwc,
+                        const Tensor<float>& w_ohwi,
+                        const layout::ConvGeometry& g);
+
+}  // namespace apnn::baselines

@@ -1,0 +1,258 @@
+#include "src/baselines/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/tcsim/mma.hpp"
+#include "src/tcsim/precision.hpp"
+
+namespace apnn::baselines {
+
+namespace {
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// MMA tile issues for one block k-slice, per precision.
+std::int64_t mma_tiles_per_block(tcsim::Precision p, const BaselineTile& t) {
+  switch (p) {
+    case tcsim::Precision::kInt1:
+      return (t.tm / 8) * (t.tn / 8) * (t.tk / 128);
+    case tcsim::Precision::kInt4:
+      return (t.tm / 8) * (t.tn / 8) * (t.tk / 32);
+    case tcsim::Precision::kInt8:
+    case tcsim::Precision::kFp16:
+      return (t.tm / 16) * (t.tn / 16) * (t.tk / 16);
+    case tcsim::Precision::kFp32:
+      return 0;  // CUDA cores: counted as FMAs
+  }
+  return 0;
+}
+
+tcsim::KernelProfile gemm_profile_impl(tcsim::Precision prec, std::int64_t m,
+                                       std::int64_t n, std::int64_t k,
+                                       const BaselineTile& t,
+                                       const std::string& name,
+                                       const std::string& family) {
+  tcsim::KernelProfile prof;
+  prof.name = name;
+  prof.family = family;
+  const std::int64_t gm = ceil_div(m, t.tm), gn = ceil_div(n, t.tn);
+  prof.grid_blocks = gm * gn;
+  prof.threads_per_block = 256;
+  prof.ci = 2.0 * static_cast<double>(t.tm) * static_cast<double>(t.tn) /
+            static_cast<double>(t.tm + t.tn);
+  const double ebytes = tcsim::precision_bytes(prec);
+  prof.shmem_per_block = static_cast<std::int64_t>(
+      2.0 * static_cast<double>(t.tm + t.tn) * static_cast<double>(t.tk) *
+      ebytes);
+  auto& c = prof.counters;
+  c.kernel_launches = 1;
+  const std::int64_t ktiles = ceil_div(k, t.tk);
+  const std::int64_t tile_bytes = static_cast<std::int64_t>(
+      static_cast<double>(t.tm + t.tn) * static_cast<double>(t.tk) * ebytes);
+  c.global_load_bytes += prof.grid_blocks * ktiles * tile_bytes;
+  c.shared_store_bytes += prof.grid_blocks * ktiles * tile_bytes;
+  c.shared_load_bytes += prof.grid_blocks * ktiles * tile_bytes;
+  const std::int64_t mma = prof.grid_blocks * ktiles * mma_tiles_per_block(prec, t);
+  switch (prec) {
+    case tcsim::Precision::kInt1: c.bmma_b1 += mma; break;
+    case tcsim::Precision::kInt4: c.mma_i4 += mma; break;
+    case tcsim::Precision::kInt8: c.mma_i8 += mma; break;
+    case tcsim::Precision::kFp16: c.mma_f16 += mma; break;
+    case tcsim::Precision::kFp32:
+      c.fma_f32 += prof.grid_blocks * ktiles * t.tm * t.tn * t.tk;
+      break;
+  }
+  c.global_store_bytes += m * n * 4;  // 32-bit outputs (paper §6.1.1)
+  return prof;
+}
+
+}  // namespace
+
+BaselineTile baseline_tile(tcsim::Precision p) {
+  switch (p) {
+    case tcsim::Precision::kInt1: return {128, 128, 512};
+    case tcsim::Precision::kInt4: return {128, 128, 128};
+    case tcsim::Precision::kInt8: return {128, 128, 64};
+    case tcsim::Precision::kFp16: return {128, 128, 32};
+    case tcsim::Precision::kFp32: return {128, 128, 8};
+  }
+  return {};
+}
+
+tcsim::KernelProfile cutlass_gemm_profile(tcsim::Precision prec,
+                                          std::int64_t m, std::int64_t n,
+                                          std::int64_t k) {
+  const std::string pname = tcsim::precision_name(prec);
+  const std::string family = prec == tcsim::Precision::kInt1
+                                 ? "cutlass-gemm-int1"
+                                 : "cutlass-gemm";
+  return gemm_profile_impl(prec, m, n, k, baseline_tile(prec),
+                           "cutlass-gemm-" + pname, family);
+}
+
+tcsim::KernelProfile cublas_gemm_int8_profile(std::int64_t m, std::int64_t n,
+                                              std::int64_t k) {
+  return gemm_profile_impl(tcsim::Precision::kInt8, m, n, k,
+                           baseline_tile(tcsim::Precision::kInt8),
+                           "cublas-gemm-int8", "cublas-gemm");
+}
+
+tcsim::KernelProfile cutlass_gemm_profile_tiled(tcsim::Precision prec,
+                                                std::int64_t m,
+                                                std::int64_t n,
+                                                std::int64_t k,
+                                                const BaselineTile& tile,
+                                                const std::string& name,
+                                                const std::string& family) {
+  return gemm_profile_impl(prec, m, n, k, tile, name, family);
+}
+
+// --- Functional kernels -----------------------------------------------------
+
+namespace {
+
+/// Pads an R x C int8 matrix to tile multiples (rows_to, cols_to).
+std::vector<std::int8_t> pad_i8(const Tensor<std::int8_t>& m,
+                                std::int64_t rows_to, std::int64_t cols_to) {
+  std::vector<std::int8_t> out(
+      static_cast<std::size_t>(rows_to * cols_to), 0);
+  for (std::int64_t r = 0; r < m.dim(0); ++r) {
+    for (std::int64_t c = 0; c < m.dim(1); ++c) {
+      out[static_cast<std::size_t>(r * cols_to + c)] = m(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor<std::int32_t> gemm_int8(const Tensor<std::int8_t>& a,
+                               const Tensor<std::int8_t>& b) {
+  APNN_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1));
+  const std::int64_t m = a.dim(0), n = b.dim(0), k = a.dim(1);
+  const std::int64_t m16 = ceil_div(m, 16) * 16, n16 = ceil_div(n, 16) * 16,
+                     k16 = ceil_div(k, 16) * 16;
+  const auto ap = pad_i8(a, m16, k16);
+  const auto bp = pad_i8(b, n16, k16);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(m16 * n16), 0);
+  for (std::int64_t i = 0; i < m16; i += 16) {
+    for (std::int64_t j = 0; j < n16; j += 16) {
+      std::int32_t tile[256] = {0};
+      for (std::int64_t kk = 0; kk < k16; kk += 16) {
+        tcsim::imma_16x16x16(&ap[static_cast<std::size_t>(i * k16 + kk)], k16,
+                             &bp[static_cast<std::size_t>(j * k16 + kk)], k16,
+                             tile);
+      }
+      for (int di = 0; di < 16; ++di) {
+        for (int dj = 0; dj < 16; ++dj) {
+          acc[static_cast<std::size_t>((i + di) * n16 + (j + dj))] =
+              tile[di * 16 + dj];
+        }
+      }
+    }
+  }
+  Tensor<std::int32_t> y({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      y(i, j) = acc[static_cast<std::size_t>(i * n16 + j)];
+    }
+  }
+  return y;
+}
+
+Tensor<std::int32_t> gemm_int4(const Tensor<std::int8_t>& a,
+                               const Tensor<std::int8_t>& b) {
+  APNN_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1));
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    APNN_DCHECK(a[i] >= -8 && a[i] <= 7) << "int4 range";
+  }
+  const std::int64_t m = a.dim(0), n = b.dim(0), k = a.dim(1);
+  const std::int64_t m8 = ceil_div(m, 8) * 8, n8 = ceil_div(n, 8) * 8,
+                     k32 = ceil_div(k, 32) * 32;
+  const auto ap = pad_i8(a, m8, k32);
+  const auto bp = pad_i8(b, n8, k32);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(m8 * n8), 0);
+  for (std::int64_t i = 0; i < m8; i += 8) {
+    for (std::int64_t j = 0; j < n8; j += 8) {
+      std::int32_t tile[64] = {0};
+      for (std::int64_t kk = 0; kk < k32; kk += 32) {
+        tcsim::imma_8x8x32(&ap[static_cast<std::size_t>(i * k32 + kk)], k32,
+                           &bp[static_cast<std::size_t>(j * k32 + kk)], k32,
+                           tile);
+      }
+      for (int di = 0; di < 8; ++di) {
+        for (int dj = 0; dj < 8; ++dj) {
+          acc[static_cast<std::size_t>((i + di) * n8 + (j + dj))] =
+              tile[di * 8 + dj];
+        }
+      }
+    }
+  }
+  Tensor<std::int32_t> y({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      y(i, j) = acc[static_cast<std::size_t>(i * n8 + j)];
+    }
+  }
+  return y;
+}
+
+Tensor<float> gemm_fp16(const Tensor<tcsim::half_t>& a,
+                        const Tensor<tcsim::half_t>& b) {
+  APNN_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1));
+  const std::int64_t m = a.dim(0), n = b.dim(0), k = a.dim(1);
+  const std::int64_t m16 = ceil_div(m, 16) * 16, n16 = ceil_div(n, 16) * 16,
+                     k16 = ceil_div(k, 16) * 16;
+  std::vector<tcsim::half_t> ap(static_cast<std::size_t>(m16 * k16));
+  std::vector<tcsim::half_t> bp(static_cast<std::size_t>(n16 * k16));
+  for (std::int64_t r = 0; r < m; ++r)
+    for (std::int64_t c = 0; c < k; ++c)
+      ap[static_cast<std::size_t>(r * k16 + c)] = a(r, c);
+  for (std::int64_t r = 0; r < n; ++r)
+    for (std::int64_t c = 0; c < k; ++c)
+      bp[static_cast<std::size_t>(r * k16 + c)] = b(r, c);
+  std::vector<float> acc(static_cast<std::size_t>(m16 * n16), 0.f);
+  for (std::int64_t i = 0; i < m16; i += 16) {
+    for (std::int64_t j = 0; j < n16; j += 16) {
+      float tile[256] = {0.f};
+      for (std::int64_t kk = 0; kk < k16; kk += 16) {
+        tcsim::hmma_16x16x16(&ap[static_cast<std::size_t>(i * k16 + kk)], k16,
+                             &bp[static_cast<std::size_t>(j * k16 + kk)], k16,
+                             tile);
+      }
+      for (int di = 0; di < 16; ++di) {
+        for (int dj = 0; dj < 16; ++dj) {
+          acc[static_cast<std::size_t>((i + di) * n16 + (j + dj))] =
+              tile[di * 16 + dj];
+        }
+      }
+    }
+  }
+  Tensor<float> y({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      y(i, j) = acc[static_cast<std::size_t>(i * n16 + j)];
+    }
+  }
+  return y;
+}
+
+Tensor<float> gemm_fp32(const Tensor<float>& a, const Tensor<float>& b) {
+  APNN_CHECK(a.rank() == 2 && b.rank() == 2 && a.dim(1) == b.dim(1));
+  const std::int64_t m = a.dim(0), n = b.dim(0), k = a.dim(1);
+  Tensor<float> y({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.f;
+      for (std::int64_t kk = 0; kk < k; ++kk) acc += a(i, kk) * b(j, kk);
+      y(i, j) = acc;
+    }
+  }
+  return y;
+}
+
+}  // namespace apnn::baselines

@@ -1,0 +1,68 @@
+// CUTLASS / cuBLAS-like baseline GEMM kernels on the simulated device.
+//
+// The paper compares APMM against NVIDIA's int1/int4 CUTLASS kernels and the
+// int8 cuBLAS kernel (§6.1.1). We reproduce the baselines' *kernel
+// structure* — standard large-tile tensor-core GEMMs with shared-memory
+// staging — on the same substrate, so the comparison measures exactly what
+// the paper measures: emulated int1 arithmetic + APNN tiling vs native
+// higher-precision arithmetic + conventional tiling.
+//
+// Profiles are cheap (counter formulas); functional variants (used by the
+// test suite) run the actual MMA tile emulation.
+#pragma once
+
+#include <cstdint>
+
+#include "src/layout/tensor.hpp"
+#include "src/tcsim/device_spec.hpp"
+#include "src/tcsim/half.hpp"
+#include "src/tcsim/kernel.hpp"
+
+namespace apnn::baselines {
+
+/// Standard CUTLASS-style block tile for a precision (threadblock shape and
+/// k-depth chosen per the library's default sub-byte / integer configs).
+struct BaselineTile {
+  std::int64_t tm = 128, tn = 128, tk = 64;
+};
+BaselineTile baseline_tile(tcsim::Precision p);
+
+/// Launch profile of a cutlass-like GEMM: C(MxN,int32) = A(MxK) * B(NxK)^T.
+tcsim::KernelProfile cutlass_gemm_profile(tcsim::Precision prec,
+                                          std::int64_t m, std::int64_t n,
+                                          std::int64_t k);
+
+/// Launch profile of the cublas int8 GEMM (identical structure, different
+/// efficiency family — cublas tunes less aggressively for small shapes).
+tcsim::KernelProfile cublas_gemm_int8_profile(std::int64_t m, std::int64_t n,
+                                              std::int64_t k);
+
+/// GEMM profile with an explicit tile (used by the implicit-GEMM conv
+/// baseline, whose default threadblock shape differs from the GEMM one).
+tcsim::KernelProfile cutlass_gemm_profile_tiled(tcsim::Precision prec,
+                                                std::int64_t m,
+                                                std::int64_t n,
+                                                std::int64_t k,
+                                                const BaselineTile& tile,
+                                                const std::string& name,
+                                                const std::string& family);
+
+// --- Functional kernels (tests / examples) ---------------------------------
+
+/// int8 tensor-core GEMM via imma 16x16x16 tiles. a is M x K, b is N x K.
+Tensor<std::int32_t> gemm_int8(const Tensor<std::int8_t>& a,
+                               const Tensor<std::int8_t>& b);
+
+/// int4 tensor-core GEMM via imma 8x8x32 tiles (operands stored as int8
+/// values in [-8, 7]).
+Tensor<std::int32_t> gemm_int4(const Tensor<std::int8_t>& a,
+                               const Tensor<std::int8_t>& b);
+
+/// fp16 tensor-core GEMM via hmma 16x16x16 tiles, fp32 accumulate.
+Tensor<float> gemm_fp16(const Tensor<tcsim::half_t>& a,
+                        const Tensor<tcsim::half_t>& b);
+
+/// fp32 CUDA-core GEMM (plain FMA loops).
+Tensor<float> gemm_fp32(const Tensor<float>& a, const Tensor<float>& b);
+
+}  // namespace apnn::baselines

@@ -1,0 +1,67 @@
+#include "src/bitops/bit_matrix.hpp"
+
+namespace apnn::bitops {
+
+BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols), row_words_(padded_words(cols)) {
+  APNN_CHECK(rows >= 0 && cols >= 0) << "rows=" << rows << " cols=" << cols;
+  data_.assign(static_cast<std::size_t>(rows_ * row_words_), 0);
+}
+
+BitMatrix BitMatrix::from_dense01(const std::int32_t* vals, std::int64_t rows,
+                                  std::int64_t cols) {
+  BitMatrix m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::uint64_t* w = m.row(r);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::int32_t v = vals[r * cols + c];
+      APNN_DCHECK(v == 0 || v == 1) << "value " << v << " is not a bit";
+      if (v) w[c / kWordBits] |= 1ULL << (c % kWordBits);
+    }
+  }
+  return m;
+}
+
+BitMatrix BitMatrix::from_plane(const std::int32_t* vals, std::int64_t rows,
+                                std::int64_t cols, int s) {
+  APNN_CHECK(s >= 0 && s < 31) << "plane index " << s;
+  BitMatrix m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::uint64_t* w = m.row(r);
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::uint64_t bit = (static_cast<std::uint32_t>(vals[r * cols + c]) >> s) & 1u;
+      w[c / kWordBits] |= bit << (c % kWordBits);
+    }
+  }
+  return m;
+}
+
+void BitMatrix::randomize(Rng& rng) {
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    std::uint64_t* w = row(r);
+    for (std::int64_t i = 0; i < row_words_; ++i) w[i] = rng.next_u64();
+    // Clear padding bits beyond cols_ to preserve the zero-padding invariant.
+    const std::int64_t full_words = cols_ / kWordBits;
+    const int rem = static_cast<int>(cols_ % kWordBits);
+    if (rem != 0) w[full_words] &= (1ULL << rem) - 1;
+    for (std::int64_t i = full_words + (rem != 0 ? 1 : 0); i < row_words_; ++i) {
+      w[i] = 0;
+    }
+  }
+}
+
+std::vector<std::int32_t> BitMatrix::to_dense01() const {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(rows_ * cols_));
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t c = 0; c < cols_; ++c) {
+      out[static_cast<std::size_t>(r * cols_ + c)] = get(r, c) ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+std::int64_t BitMatrix::row_popcount(std::int64_t r) const {
+  return popc_words(row(r), row_words_);
+}
+
+}  // namespace apnn::bitops

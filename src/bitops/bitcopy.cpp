@@ -1,0 +1,54 @@
+#include "src/bitops/bitcopy.hpp"
+
+namespace apnn::bitops {
+
+void copy_bits(std::uint64_t* dst, std::int64_t dst_bit,
+               const std::uint64_t* src, std::int64_t src_bit,
+               std::int64_t count) {
+  // Fast path: both offsets word-aligned.
+  if (count >= 64 && (dst_bit % 64) == 0 && (src_bit % 64) == 0) {
+    std::int64_t words = count / 64;
+    std::uint64_t* d = dst + dst_bit / 64;
+    const std::uint64_t* s = src + src_bit / 64;
+    for (std::int64_t i = 0; i < words; ++i) d[i] = s[i];
+    dst_bit += words * 64;
+    src_bit += words * 64;
+    count -= words * 64;
+  }
+  // General path: move up to 64 bits at a time with shifts.
+  while (count > 0) {
+    const int d_off = static_cast<int>(dst_bit % 64);
+    const int s_off = static_cast<int>(src_bit % 64);
+    const int chunk = static_cast<int>(
+        count < 64 - (d_off > s_off ? d_off : s_off)
+            ? count
+            : 64 - (d_off > s_off ? d_off : s_off));
+    // Extract `chunk` bits from src.
+    const std::uint64_t bits = (src[src_bit / 64] >> s_off) &
+                               (chunk == 64 ? ~0ULL : ((1ULL << chunk) - 1));
+    // Merge into dst.
+    const std::uint64_t mask =
+        (chunk == 64 ? ~0ULL : ((1ULL << chunk) - 1)) << d_off;
+    std::uint64_t& w = dst[dst_bit / 64];
+    w = (w & ~mask) | (bits << d_off);
+    dst_bit += chunk;
+    src_bit += chunk;
+    count -= chunk;
+  }
+}
+
+void fill_bits(std::uint64_t* dst, std::int64_t dst_bit, std::int64_t count,
+               bool value) {
+  while (count > 0) {
+    const int off = static_cast<int>(dst_bit % 64);
+    const int chunk = static_cast<int>(count < 64 - off ? count : 64 - off);
+    const std::uint64_t mask =
+        (chunk == 64 ? ~0ULL : ((1ULL << chunk) - 1)) << off;
+    std::uint64_t& w = dst[dst_bit / 64];
+    w = value ? (w | mask) : (w & ~mask);
+    dst_bit += chunk;
+    count -= chunk;
+  }
+}
+
+}  // namespace apnn::bitops

@@ -1,0 +1,37 @@
+// Unaligned bit-range copy / fill over packed 64-bit words.
+//
+// The channel-major im2col (§4.2a) assembles convolution patch rows by
+// copying C-bit channel slabs at arbitrary bit offsets; these helpers do the
+// word-level shifting.
+#pragma once
+
+#include <cstdint>
+
+namespace apnn::bitops {
+
+/// Copies `count` bits from (src, src_bit) to (dst, dst_bit). Ranges must not
+/// overlap. Bits are little-endian within each 64-bit word.
+void copy_bits(std::uint64_t* dst, std::int64_t dst_bit,
+               const std::uint64_t* src, std::int64_t src_bit,
+               std::int64_t count);
+
+/// Sets `count` bits starting at (dst, dst_bit) to `value`.
+void fill_bits(std::uint64_t* dst, std::int64_t dst_bit, std::int64_t count,
+               bool value);
+
+/// Reads a single bit.
+inline bool get_bit(const std::uint64_t* p, std::int64_t bit) {
+  return (p[bit / 64] >> (bit % 64)) & 1ULL;
+}
+
+/// Writes a single bit.
+inline void put_bit(std::uint64_t* p, std::int64_t bit, bool v) {
+  const std::uint64_t mask = 1ULL << (bit % 64);
+  if (v) {
+    p[bit / 64] |= mask;
+  } else {
+    p[bit / 64] &= ~mask;
+  }
+}
+
+}  // namespace apnn::bitops

@@ -1,0 +1,52 @@
+#include "src/bitops/decompose.hpp"
+
+namespace apnn::bitops {
+
+BitPlanes decompose(const std::int32_t* vals, std::int64_t rows,
+                    std::int64_t cols, int bits) {
+  APNN_CHECK(bits >= 1 && bits <= 16) << "bits=" << bits;
+  for (std::int64_t i = 0; i < rows * cols; ++i) {
+    APNN_DCHECK(vals[i] >= 0 && vals[i] < (1 << bits))
+        << "value " << vals[i] << " out of range for " << bits << " bits";
+  }
+  BitPlanes bp;
+  bp.rows = rows;
+  bp.cols = cols;
+  bp.bits = bits;
+  bp.planes.reserve(static_cast<std::size_t>(bits));
+  for (int s = 0; s < bits; ++s) {
+    bp.planes.push_back(BitMatrix::from_plane(vals, rows, cols, s));
+  }
+  return bp;
+}
+
+std::vector<std::int32_t> recompose(const BitPlanes& bp) {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(bp.rows * bp.cols), 0);
+  for (int s = 0; s < bp.bits; ++s) {
+    const BitMatrix& m = bp.plane(s);
+    for (std::int64_t r = 0; r < bp.rows; ++r) {
+      for (std::int64_t c = 0; c < bp.cols; ++c) {
+        out[static_cast<std::size_t>(r * bp.cols + c)] |=
+            (m.get(r, c) ? 1 : 0) << s;
+      }
+    }
+  }
+  return out;
+}
+
+void combine_planes(const std::vector<std::vector<std::int32_t>>& partial,
+                    int p, int q, std::int64_t n, std::int32_t* out) {
+  APNN_CHECK(static_cast<int>(partial.size()) == p * q)
+      << "expected " << p * q << " partial planes, got " << partial.size();
+  for (std::int64_t i = 0; i < n; ++i) out[i] = 0;
+  for (int s = 0; s < p; ++s) {
+    for (int t = 0; t < q; ++t) {
+      const auto& y = partial[static_cast<std::size_t>(s * q + t)];
+      APNN_CHECK(static_cast<std::int64_t>(y.size()) == n);
+      const std::int32_t w = static_cast<std::int32_t>(plane_weight(s, t));
+      for (std::int64_t i = 0; i < n; ++i) out[i] += y[i] * w;
+    }
+  }
+}
+
+}  // namespace apnn::bitops

@@ -1,0 +1,55 @@
+// Bit decomposition (paper Eq. 2) and bit combination (paper Eq. 1).
+//
+// A p-bit integer matrix is decomposed into p 1-bit planes; after the batched
+// 1-bit tensor-core computation, the p*q int32 partial products Y^(s,t) are
+// recombined with weights 2^(s+t).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bitops/bit_matrix.hpp"
+
+namespace apnn::bitops {
+
+/// A matrix decomposed into bit planes: plane s holds bit s of every element.
+/// Plane 0 is the least-significant bit.
+struct BitPlanes {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  int bits = 0;
+  std::vector<BitMatrix> planes;
+
+  const BitMatrix& plane(int s) const { return planes[static_cast<std::size_t>(s)]; }
+
+  /// Payload bytes of all planes (what moves over the simulated bus).
+  std::int64_t payload_bytes() const {
+    std::int64_t total = 0;
+    for (const auto& p : planes) total += p.payload_bytes();
+    return total;
+  }
+};
+
+/// Decomposes a dense non-negative matrix (row-major, values < 2^bits) into
+/// `bits` 1-bit planes: plane[s][r][c] = (vals[r][c] >> s) & 1.
+BitPlanes decompose(const std::int32_t* vals, std::int64_t rows,
+                    std::int64_t cols, int bits);
+
+/// Reconstructs the dense matrix from its planes (inverse of decompose).
+std::vector<std::int32_t> recompose(const BitPlanes& bp);
+
+/// Bit combination (Eq. 1 generalized): given per-(s,t)-plane partial
+/// products partial[s * q + t] (each rows*cols int32, row-major), computes
+///   out[i] = sum_{s,t} partial[s*q+t][i] * 2^(s+t).
+void combine_planes(const std::vector<std::vector<std::int32_t>>& partial,
+                    int p, int q, std::int64_t n, std::int32_t* out);
+
+/// Scalar helper: the combination weight 2^(s+t).
+constexpr std::int64_t plane_weight(int s, int t) {
+  return std::int64_t{1} << (s + t);
+}
+
+/// Number of 1-bit MMA planes an (p, q) emulated product requires.
+constexpr int emulation_planes(int p, int q) { return p * q; }
+
+}  // namespace apnn::bitops

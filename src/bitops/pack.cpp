@@ -1,0 +1,55 @@
+#include "src/bitops/pack.hpp"
+
+#include "src/common/check.hpp"
+
+namespace apnn::bitops {
+
+std::uint32_t ballot_pack(const std::uint32_t* lane_bits, int lanes) {
+  APNN_CHECK(lanes >= 0 && lanes <= 32) << "lanes=" << lanes;
+  std::uint32_t ballot = 0;
+  for (int i = 0; i < lanes; ++i) {
+    ballot |= (lane_bits[i] & 1u) << i;
+  }
+  return ballot;
+}
+
+std::vector<std::vector<std::uint32_t>> pack_bit_planes(
+    const std::int32_t* values, std::int64_t n, int q) {
+  APNN_CHECK(q >= 1 && q <= 16) << "q=" << q;
+  const std::int64_t words = (n + 31) / 32;
+  std::vector<std::vector<std::uint32_t>> planes(
+      static_cast<std::size_t>(q),
+      std::vector<std::uint32_t>(static_cast<std::size_t>(words), 0));
+  // Warp-granular: process 32 "lanes" at a time and ballot each bit plane.
+  for (std::int64_t w = 0; w < words; ++w) {
+    std::uint32_t lane_vals[32] = {0};
+    const std::int64_t base = w * 32;
+    const int active = static_cast<int>(n - base < 32 ? n - base : 32);
+    for (int i = 0; i < active; ++i) {
+      lane_vals[i] = static_cast<std::uint32_t>(values[base + i]);
+    }
+    for (int t = 0; t < q; ++t) {
+      std::uint32_t shifted[32];
+      for (int i = 0; i < 32; ++i) shifted[i] = lane_vals[i] >> t;
+      planes[static_cast<std::size_t>(t)][static_cast<std::size_t>(w)] =
+          ballot_pack(shifted, 32);
+    }
+  }
+  return planes;
+}
+
+std::vector<std::int32_t> unpack_bit_planes(
+    const std::vector<std::vector<std::uint32_t>>& planes, std::int64_t n) {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(n), 0);
+  for (std::size_t t = 0; t < planes.size(); ++t) {
+    const auto& plane = planes[t];
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::uint32_t word = plane[static_cast<std::size_t>(i / 32)];
+      out[static_cast<std::size_t>(i)] |=
+          static_cast<std::int32_t>((word >> (i % 32)) & 1u) << t;
+    }
+  }
+  return out;
+}
+
+}  // namespace apnn::bitops

@@ -1,0 +1,27 @@
+// Bit packing utilities mirroring the device-side __ballot_sync repacking of
+// §4.1(b): after quantizing 32-bit accumulators to q-bit values in registers,
+// the 1-bit planes scattered across 32 lanes are packed into aligned 32-bit
+// words before the global-memory store.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace apnn::bitops {
+
+/// Simulates __ballot_sync: lane i contributes predicate bits[i] (bit 0 of
+/// each entry); returns the packed 32-bit ballot word.
+std::uint32_t ballot_pack(const std::uint32_t* lane_bits, int lanes = 32);
+
+/// Packs n q-bit values (each < 2^q) into q separate bit-plane streams of
+/// 32-bit words: plane t, word w holds bits t of values [32w, 32w+31].
+/// This is the "element-wise routine + inter-thread communication" path of
+/// memory-efficient bit combination.
+std::vector<std::vector<std::uint32_t>> pack_bit_planes(
+    const std::int32_t* values, std::int64_t n, int q);
+
+/// Inverse of pack_bit_planes (for testing / unpacking activations).
+std::vector<std::int32_t> unpack_bit_planes(
+    const std::vector<std::vector<std::uint32_t>>& planes, std::int64_t n);
+
+}  // namespace apnn::bitops

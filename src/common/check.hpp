@@ -1,0 +1,65 @@
+// Error-handling primitives used across the APNN-TC library.
+//
+// Library code validates preconditions with APNN_CHECK (always on) and uses
+// APNN_DCHECK for invariants that are cheap to state but expensive to verify
+// (compiled out in release builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apnn {
+
+/// Exception type thrown on all precondition / invariant violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail_check(const char* cond, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "APNN_CHECK failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+// Streams extra context into the failure message: APNN_CHECK(x) << "detail".
+class CheckStream {
+ public:
+  CheckStream(const char* cond, const char* file, int line)
+      : cond_(cond), file_(file), line_(line) {}
+  template <typename T>
+  CheckStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  [[noreturn]] ~CheckStream() noexcept(false) {
+    fail_check(cond_, file_, line_, os_.str());
+  }
+
+ private:
+  const char* cond_;
+  const char* file_;
+  int line_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace apnn
+
+/// Always-on precondition check. Usage:
+///   APNN_CHECK(rows > 0) << "rows=" << rows;
+#define APNN_CHECK(cond)                                       \
+  if (cond) {                                                  \
+  } else                                                       \
+    ::apnn::detail::CheckStream(#cond, __FILE__, __LINE__)
+
+#ifdef NDEBUG
+#define APNN_DCHECK(cond) APNN_CHECK(true)
+#else
+#define APNN_DCHECK(cond) APNN_CHECK(cond)
+#endif

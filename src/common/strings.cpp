@@ -1,0 +1,58 @@
+#include "src/common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace apnn {
+
+std::string strf(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args2);
+    out.resize(static_cast<std::size_t>(n));
+  }
+  va_end(args2);
+  return out;
+}
+
+std::string table_row(const std::vector<std::string>& cells, int width) {
+  std::string row;
+  for (const auto& c : cells) {
+    std::string cell = c;
+    if (static_cast<int>(cell.size()) < width) {
+      cell.append(static_cast<std::size_t>(width) - cell.size(), ' ');
+    }
+    row += cell;
+    row += ' ';
+  }
+  return row;
+}
+
+std::string table_rule(std::size_t ncells, int width) {
+  return std::string(ncells * (static_cast<std::size_t>(width) + 1), '-');
+}
+
+std::string format_time_us(double us) {
+  if (us < 1e3) return strf("%.2fus", us);
+  if (us < 1e6) return strf("%.2fms", us / 1e3);
+  return strf("%.2fs", us / 1e6);
+}
+
+std::string format_bytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return strf("%.2f %s", bytes, units[u]);
+}
+
+}  // namespace apnn

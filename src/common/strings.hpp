@@ -1,0 +1,25 @@
+// Small string/format helpers (gcc 12 lacks std::format) used mainly by the
+// benchmark harnesses to print paper-style tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace apnn {
+
+/// printf-style formatting into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Render one row of a fixed-width table: each cell right-padded to width.
+std::string table_row(const std::vector<std::string>& cells, int width = 14);
+
+/// Horizontal rule matching table_row width.
+std::string table_rule(std::size_t ncells, int width = 14);
+
+/// Human-readable microseconds (e.g. "6.67us", "1.66ms").
+std::string format_time_us(double us);
+
+/// Human-readable byte count (e.g. "1.5 KiB").
+std::string format_bytes(double bytes);
+
+}  // namespace apnn

@@ -1,0 +1,105 @@
+#include "src/core/ap_bit.hpp"
+
+#include <vector>
+
+#include "src/bitops/bit_matrix.hpp"
+
+namespace apnn::core {
+
+ApOperand make_operand(const Tensor<std::int32_t>& logical, Encoding enc,
+                       int bits) {
+  APNN_CHECK(logical.rank() == 2) << "operand must be a matrix";
+  if (enc == Encoding::kSignedPM1) {
+    APNN_CHECK(bits == 1) << "kSignedPM1 requires bits == 1";
+  }
+  const std::int64_t rows = logical.dim(0), cols = logical.dim(1);
+  std::vector<std::int32_t> codes(static_cast<std::size_t>(rows * cols));
+  for (std::int64_t i = 0; i < rows * cols; ++i) {
+    codes[static_cast<std::size_t>(i)] = encode_value(enc, bits, logical[i]);
+  }
+  ApOperand op;
+  op.planes = bitops::decompose(codes.data(), rows, cols, bits);
+  op.encoding = enc;
+  return op;
+}
+
+Tensor<std::int32_t> operand_to_logical(const ApOperand& op) {
+  const std::vector<std::int32_t> codes = bitops::recompose(op.planes);
+  Tensor<std::int32_t> out({op.rows(), op.cols()});
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out[i] = static_cast<std::int32_t>(
+        decode_value(op.encoding, op.bits(), codes[static_cast<std::size_t>(i)]));
+  }
+  return out;
+}
+
+Tensor<std::int32_t> ap_gemm_reference(const ApOperand& w,
+                                       const ApOperand& x) {
+  APNN_CHECK(w.cols() == x.cols())
+      << "K mismatch: " << w.cols() << " vs " << x.cols();
+  const OpSelection sel = select_operator({w.encoding, x.encoding});
+  const std::int64_t m = w.rows(), n = x.rows(), k = w.cols();
+  const std::int64_t words = w.planes.plane(0).row_words();
+
+  Tensor<std::int32_t> y({m, n});
+  for (int s = 0; s < w.bits(); ++s) {
+    const std::int64_t wm = plane_multiplier(w.encoding, s, w.bits());
+    const bitops::BitMatrix& wp = w.planes.plane(s);
+    for (int t = 0; t < x.bits(); ++t) {
+      const std::int64_t xm = plane_multiplier(x.encoding, t, x.bits());
+      const bitops::BitMatrix& xp = x.planes.plane(t);
+      for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          const std::int64_t raw =
+              sel.bit_op == tcsim::BitOp::kXor
+                  ? bitops::dot_xor_popc(wp.row(i), xp.row(j), words)
+                  : bitops::dot_and_popc(wp.row(i), xp.row(j), words);
+          const std::int64_t x_popc =
+              sel.kind == EmulationCase::kCaseIII
+                  ? bitops::popc_words(xp.row(j), words)
+                  : 0;
+          y(i, j) += static_cast<std::int32_t>(
+              wm * xm * finalize_partial(sel.kind, raw, k, x_popc));
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor<std::int32_t> ap_bit_template_tile(const ApOperand& w,
+                                          const ApOperand& x) {
+  APNN_CHECK(w.rows() == 8 && x.rows() == 8 && w.cols() == 128 &&
+             x.cols() == 128)
+      << "template tile requires 8x128 operands";
+  const OpSelection sel = select_operator({w.encoding, x.encoding});
+
+  Tensor<std::int32_t> y({8, 8});
+  // (b) batched tensor-core computation: one bmma per (s, t) plane pair.
+  for (int s = 0; s < w.bits(); ++s) {
+    const std::int64_t wm = plane_multiplier(w.encoding, s, w.bits());
+    const bitops::BitMatrix& wp = w.planes.plane(s);
+    for (int t = 0; t < x.bits(); ++t) {
+      const std::int64_t xm = plane_multiplier(x.encoding, t, x.bits());
+      const bitops::BitMatrix& xp = x.planes.plane(t);
+      std::int32_t raw[64] = {0};
+      tcsim::bmma_8x8x128(sel.bit_op, wp.row(0), wp.row_words(), xp.row(0),
+                          xp.row_words(), raw);
+      // (c) bit combination with the finalize transform of the selected case.
+      for (int i = 0; i < 8; ++i) {
+        for (int j = 0; j < 8; ++j) {
+          const std::int64_t x_popc =
+              sel.kind == EmulationCase::kCaseIII
+                  ? bitops::popc_words(xp.row(j), xp.row_words())
+                  : 0;
+          y(i, j) += static_cast<std::int32_t>(
+              wm * xm *
+              finalize_partial(sel.kind, raw[i * 8 + j], 128, x_popc));
+        }
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace apnn::core

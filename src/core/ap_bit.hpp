@@ -1,0 +1,51 @@
+// AP-BIT emulation template (paper §3.1).
+//
+// Arbitrary-precision integer GEMM is emulated with 1-bit operations:
+//   (a) bit decomposition   W -> W^(s), X -> X^(t)       (Eq. 2)
+//   (b) 1-bit tensor-core computation Y^(s,t) = bmma(W^(s), X^(t))
+//   (c) bit combination     Y = sum_{s,t} Y^(s,t) * 2^(s+t)  (Eq. 1)
+//
+// This header provides the operand representation plus two reference
+// implementations: the 8x8x128 single-tile template of Figure 2 (built on
+// the simulated bmma primitive) and a scalar golden-model GEMM for any
+// shape. The production kernel with tiling/caching/batching is apmm.hpp.
+#pragma once
+
+#include <cstdint>
+
+#include "src/bitops/decompose.hpp"
+#include "src/core/op_select.hpp"
+#include "src/layout/tensor.hpp"
+
+namespace apnn::core {
+
+/// A GEMM operand: decomposed bit planes plus the encoding its bits carry.
+struct ApOperand {
+  bitops::BitPlanes planes;
+  Encoding encoding = Encoding::kUnsigned01;
+
+  std::int64_t rows() const { return planes.rows; }
+  std::int64_t cols() const { return planes.cols; }
+  int bits() const { return planes.bits; }
+};
+
+/// Builds an operand from a dense matrix of *logical* values (row-major
+/// rows x cols): e.g. {-1, +1} for kSignedPM1, [0, 2^bits) for kUnsigned01,
+/// or signed integers for kTwosComplement. Values are range-checked.
+ApOperand make_operand(const Tensor<std::int32_t>& logical, Encoding enc,
+                       int bits);
+
+/// Inverse of make_operand (decode planes back to logical values).
+Tensor<std::int32_t> operand_to_logical(const ApOperand& op);
+
+/// Golden-model arbitrary-precision GEMM: Y[m][n] = sum_k W[m][k] * X[n][k]
+/// over the logical values, computed via decompose -> 1-bit dot products ->
+/// finalize -> combine. X is stored N x K (rows are feature vectors).
+Tensor<std::int32_t> ap_gemm_reference(const ApOperand& w, const ApOperand& x);
+
+/// The Figure-2 single-tile template: requires both operands to be exactly
+/// 8 x 128; runs p*q simulated bmma tile ops and combines. Returns 8 x 8.
+Tensor<std::int32_t> ap_bit_template_tile(const ApOperand& w,
+                                          const ApOperand& x);
+
+}  // namespace apnn::core

@@ -1,0 +1,382 @@
+#include "src/core/apconv.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/apmm_internal.hpp"
+
+namespace apnn::core {
+
+using internal::BatchedGeometry;
+using internal::ceil_div;
+
+namespace {
+
+std::string kernel_name(int p, int q) {
+  return "apconv-w" + std::to_string(p) + "a" + std::to_string(q);
+}
+
+ApmmOptions as_apmm_options(const ApconvOptions& o) {
+  ApmmOptions a;
+  a.autotune = false;  // tile already resolved by apconv
+  a.batch_planes = o.batch_planes;
+  a.double_caching = o.double_caching;
+  a.fragment_caching = o.fragment_caching;
+  a.semantic_aware = o.semantic_aware;
+  a.mode = o.mode;
+  return a;
+}
+
+/// Separate pooling kernel of the unfused path: one global round trip.
+tcsim::KernelProfile pool_kernel_profile(std::int64_t channels,
+                                         std::int64_t spatial,
+                                         const PoolSpec& pool) {
+  tcsim::KernelProfile prof;
+  prof.name = pool.kind == PoolSpec::Kind::kMax ? "maxpool" : "avgpool";
+  prof.family = "apnn";
+  prof.grid_blocks = ceil_div(channels * spatial, 4096);
+  prof.threads_per_block = 256;
+  auto& c = prof.counters;
+  c.kernel_launches = 1;
+  c.global_load_bytes += channels * spatial * 4;
+  c.global_store_bytes +=
+      channels * spatial / (pool.size * pool.size) * 4;
+  c.alu_epilogue_ops += channels * spatial;
+  return prof;
+}
+
+/// Separate elementwise epilogue kernel of the unfused path (BN/ReLU/quant
+/// + bit repacking).
+tcsim::KernelProfile epilogue_kernel_profile(std::int64_t elems,
+                                             const Epilogue& epi) {
+  tcsim::KernelProfile prof;
+  prof.name = "epilogue";
+  prof.family = "apnn";
+  prof.grid_blocks = ceil_div(elems, 4096);
+  prof.threads_per_block = 256;
+  auto& c = prof.counters;
+  c.kernel_launches = 1;
+  c.global_load_bytes += elems * 4;
+  c.alu_epilogue_ops += elems * epi.alu_ops_per_element();
+  if (epi.has_quant) {
+    const int qo = epi.quant.bits;
+    c.alu_decompose_ops += elems * qo + ceil_div(elems, 32) * qo;
+    c.global_store_bytes += ceil_div(elems, 32) * 4 * qo;
+  } else {
+    c.global_store_bytes += elems * 4;
+  }
+  return prof;
+}
+
+/// Applies the §4.2b Case-II amendment: out-of-frame taps were padded with
+/// bit 1 (+1); subtract their contribution so the result matches zero-pad
+/// semantics. The correction for one output position is
+///   2 * popc(W_row & pad_mask) - popc(pad_mask)
+/// computed once per (oy, ox) border position (shared across the batch).
+void apply_case2_padding_correction(const ApOperand& w,
+                                    const layout::ConvGeometry& g,
+                                    Tensor<std::int32_t>* y) {
+  const bitops::BitMatrix& w0 = w.planes.plane(0);
+  const std::int64_t row_words = w0.row_words();
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::vector<std::uint64_t> mask(static_cast<std::size_t>(row_words));
+  for (std::int64_t oy = 0; oy < oh; ++oy) {
+    for (std::int64_t ox = 0; ox < ow; ++ox) {
+      std::fill(mask.begin(), mask.end(), 0);
+      std::int64_t npad = 0;
+      for (int kh = 0; kh < g.kernel; ++kh) {
+        for (int kw = 0; kw < g.kernel; ++kw) {
+          const std::int64_t ih = oy * g.stride + kh - g.pad;
+          const std::int64_t iw = ox * g.stride + kw - g.pad;
+          if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) {
+            const std::int64_t bit =
+                (static_cast<std::int64_t>(kh) * g.kernel + kw) * g.in_c;
+            for (std::int64_t c = 0; c < g.in_c; ++c) {
+              mask[static_cast<std::size_t>((bit + c) / 64)] |=
+                  1ULL << ((bit + c) % 64);
+            }
+            npad += g.in_c;
+          }
+        }
+      }
+      if (npad == 0) continue;
+      for (std::int64_t m = 0; m < g.out_c; ++m) {
+        const std::int64_t ones =
+            bitops::dot_and_popc(w0.row(m), mask.data(), row_words);
+        const std::int32_t corr = static_cast<std::int32_t>(2 * ones - npad);
+        for (std::int64_t n = 0; n < g.batch; ++n) {
+          (*y)(m, (n * oh + oy) * ow + ox) -= corr;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+tcsim::SequenceProfile apconv_profile(const layout::ConvGeometry& g, int p,
+                                      int q, const EncodingConfig& enc,
+                                      const tcsim::DeviceSpec& dev,
+                                      const ApconvOptions& opts,
+                                      const Epilogue& epi,
+                                      const PoolSpec& pool) {
+  const OpSelection sel = select_operator(enc);
+  TileConfig tile = opts.tile;
+  if (opts.autotune) {
+    tile = autotune_tile(g.gemm_m(), g.gemm_n(), g.gemm_k(), p, q, dev,
+                         opts.tlp_threshold)
+               .tile;
+  } else {
+    assign_warp_grid(tile);
+  }
+  const BatchedGeometry geom = internal::make_geometry(
+      g.gemm_m(), g.gemm_n(), g.gemm_k(), p, q, tile);
+  const std::string name = kernel_name(p, q);
+  const ApmmOptions aopts = as_apmm_options(opts);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  const std::int64_t pooled_spatial =
+      pool.active() ? g.gemm_n() / (pool.size * pool.size) : g.gemm_n();
+
+  tcsim::SequenceProfile seq;
+  const Epilogue fused_epi = opts.fuse_epilogue ? epi : Epilogue{};
+  const std::int64_t store_scale =
+      (opts.fuse_epilogue && pool.active())
+          ? static_cast<std::int64_t>(pool.size) * pool.size
+          : 1;
+  const std::int64_t extra_alu =
+      (opts.fuse_epilogue && pool.active())
+          ? static_cast<std::int64_t>(pool.size) * pool.size
+          : 0;
+  tcsim::KernelProfile main_prof = internal::batched_profile(
+      geom, sel, aopts, fused_epi, name, store_scale, extra_alu);
+  // Narrow-channel coalescing penalty (§4.2a): the channel-major layout
+  // yields C-bit feature slabs; when C is far below the 32-bit transaction
+  // granularity (e.g. the 3-channel input layer) most of every transaction
+  // is wasted. The GEMM-side W loads are dense and unaffected.
+  if (g.in_c < 32) {
+    const double factor = std::min(8.0, 32.0 / static_cast<double>(g.in_c));
+    const double feat_frac = static_cast<double>(geom.vtn) /
+                             static_cast<double>(geom.vtm + geom.vtn);
+    const auto extra = static_cast<std::int64_t>(
+        static_cast<double>(main_prof.counters.global_load_bytes) *
+        feat_frac * (factor - 1.0));
+    main_prof.counters.global_load_bytes += extra;
+  }
+  if (sel.kind == EmulationCase::kCaseII) {
+    // Border amendment: one masked popc per (border position, out channel).
+    const std::int64_t border = 2 * (oh + ow);  // ~perimeter positions
+    main_prof.counters.alu_combine_ops += border * g.out_c * geom.row_words;
+  }
+  seq.add(std::move(main_prof));
+  if (!opts.semantic_aware) {
+    seq.add(internal::combine_kernel_profile(geom, fused_epi));
+  }
+  if (!opts.fuse_epilogue) {
+    if (pool.active()) {
+      seq.add(pool_kernel_profile(g.out_c, g.gemm_n(), pool));
+    }
+    if (!epi.identity()) {
+      seq.add(epilogue_kernel_profile(g.out_c * pooled_spatial, epi));
+    }
+  }
+  return seq;
+}
+
+ApOperand make_conv_weights(const Tensor<std::int32_t>& ohwi, Encoding enc,
+                            int bits) {
+  APNN_CHECK(ohwi.rank() == 4) << "conv weights must be {Cout, KH, KW, Cin}";
+  const Tensor<std::int32_t> flat = ohwi.reshaped(
+      {ohwi.dim(0), ohwi.dim(1) * ohwi.dim(2) * ohwi.dim(3)});
+  return make_operand(flat, enc, bits);
+}
+
+Tensor<std::int32_t> conv2d_reference(const Tensor<std::int32_t>& x_nhwc,
+                                      const Tensor<std::int32_t>& w_ohwi,
+                                      const layout::ConvGeometry& g) {
+  APNN_CHECK(x_nhwc.rank() == 4 && w_ohwi.rank() == 4);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  Tensor<std::int32_t> y({g.batch, oh, ow, g.out_c});
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t oy = 0; oy < oh; ++oy) {
+      for (std::int64_t ox = 0; ox < ow; ++ox) {
+        for (std::int64_t m = 0; m < g.out_c; ++m) {
+          std::int64_t acc = 0;
+          for (int kh = 0; kh < g.kernel; ++kh) {
+            for (int kw = 0; kw < g.kernel; ++kw) {
+              const std::int64_t ih = oy * g.stride + kh - g.pad;
+              const std::int64_t iw = ox * g.stride + kw - g.pad;
+              if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) continue;
+              for (std::int64_t c = 0; c < g.in_c; ++c) {
+                acc += static_cast<std::int64_t>(x_nhwc(n, ih, iw, c)) *
+                       w_ohwi(m, kh, kw, c);
+              }
+            }
+          }
+          y(n, oy, ox, m) = static_cast<std::int32_t>(acc);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+ApconvResult apconv(const ApOperand& w, const layout::PackedActivations& x,
+                    Encoding x_enc, const layout::ConvGeometry& g,
+                    const tcsim::DeviceSpec& dev, const ApconvOptions& opts,
+                    const Epilogue& epi, const PoolSpec& pool) {
+  APNN_CHECK(w.rows() == g.out_c) << "Cout mismatch";
+  APNN_CHECK(w.cols() == g.gemm_k()) << "weight K mismatch";
+  APNN_CHECK(x.n == g.batch && x.h == g.in_h && x.w == g.in_w &&
+             x.c == g.in_c)
+      << "activation shape mismatch";
+  APNN_CHECK(opts.batch_planes)
+      << "the unbatched plane strategy is exposed through apmm(); APConv "
+         "always uses the virtually batched kernel";
+  const OpSelection sel = select_operator({w.encoding, x_enc});
+  if (sel.kind == EmulationCase::kCaseII) {
+    APNN_CHECK(w.bits() == 1 && x.bits == 1)
+        << "Case II requires 1-bit operands";
+  }
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  std::int64_t pooled_h = oh, pooled_w = ow;
+  if (pool.active()) {
+    APNN_CHECK(oh % pool.size == 0 && ow % pool.size == 0)
+        << "pooling window must tile the output (" << oh << "x" << ow << ")";
+    pooled_h = oh / pool.size;
+    pooled_w = ow / pool.size;
+  }
+
+  ApconvResult res;
+  TileConfig tile = opts.tile;
+  if (opts.autotune) {
+    tile = autotune_tile(g.gemm_m(), g.gemm_n(), g.gemm_k(), w.bits(), x.bits,
+                         dev, opts.tlp_threshold)
+               .tile;
+  } else {
+    assign_warp_grid(tile);
+  }
+  res.tile = tile;
+  const BatchedGeometry geom = internal::make_geometry(
+      g.gemm_m(), g.gemm_n(), g.gemm_k(), w.bits(), x.bits, tile);
+
+  // Input-aware padding (§4.2b): ±1 features pad bit 1 (+1) and get the
+  // counter amendment; 0/1 features (Cases I and III) pad bit 0.
+  const bool pad_one = sel.kind == EmulationCase::kCaseII;
+
+  // --- Launch records -------------------------------------------------
+  {
+    ApconvOptions resolved = opts;
+    resolved.autotune = false;
+    resolved.tile = tile;
+    res.profile = apconv_profile(g, w.bits(), x.bits,
+                                 {w.encoding, x_enc}, dev, resolved, epi,
+                                 pool);
+  }
+
+  // --- Functional execution -------------------------------------------
+  if (opts.mode == ExecMode::kFull) {
+    // Channel-major lowering: one patch matrix per activation plane.
+    ApOperand xop;
+    xop.encoding = x_enc;
+    xop.planes.rows = g.gemm_n();
+    xop.planes.cols = g.gemm_k();
+    xop.planes.bits = x.bits;
+    for (int t = 0; t < x.bits; ++t) {
+      xop.planes.planes.push_back(im2col_bits(
+          x.planes[static_cast<std::size_t>(t)], g, pad_one));
+    }
+
+    Tensor<std::int32_t> y32({geom.m, geom.n});
+    bitops::BitPlanes unused;
+    internal::run_batched_compute(w, xop, sel, geom, Epilogue{}, &y32,
+                                  &unused);
+    if (sel.kind == EmulationCase::kCaseII) {
+      apply_case2_padding_correction(w, g, &y32);
+    }
+
+    // BN / ReLU before pooling.
+    if (epi.has_bn || epi.has_relu) {
+      Epilogue pre = epi;
+      pre.has_quant = false;
+      for (std::int64_t m = 0; m < geom.m; ++m) {
+        for (std::int64_t col = 0; col < geom.n; ++col) {
+          y32(m, col) = pre.apply(y32(m, col), m);
+        }
+      }
+    }
+
+    // Pooling.
+    Tensor<std::int32_t> pooled({geom.m, g.batch * pooled_h * pooled_w});
+    if (pool.active()) {
+      const std::int64_t win = pool.size;
+      for (std::int64_t m = 0; m < geom.m; ++m) {
+        for (std::int64_t n = 0; n < g.batch; ++n) {
+          for (std::int64_t py = 0; py < pooled_h; ++py) {
+            for (std::int64_t px = 0; px < pooled_w; ++px) {
+              std::int64_t agg =
+                  pool.kind == PoolSpec::Kind::kMax ? INT64_MIN : 0;
+              for (std::int64_t dy = 0; dy < win; ++dy) {
+                for (std::int64_t dx = 0; dx < win; ++dx) {
+                  const std::int64_t col =
+                      (n * oh + py * win + dy) * ow + (px * win + dx);
+                  const std::int32_t v = y32(m, col);
+                  if (pool.kind == PoolSpec::Kind::kMax) {
+                    agg = std::max<std::int64_t>(agg, v);
+                  } else {
+                    agg += v;
+                  }
+                }
+              }
+              if (pool.kind == PoolSpec::Kind::kAvg) {
+                // Floor division toward -inf would differ for negatives; the
+                // device epilogue truncates, so do the same.
+                agg /= win * win;
+              }
+              pooled(m, (n * pooled_h + py) * pooled_w + px) =
+                  static_cast<std::int32_t>(agg);
+            }
+          }
+        }
+      }
+    } else {
+      pooled = y32;
+    }
+
+    if (epi.has_quant) {
+      res.packed.n = g.batch;
+      res.packed.h = pooled_h;
+      res.packed.w = pooled_w;
+      res.packed.c = geom.m;
+      res.packed.bits = epi.quant.bits;
+      res.packed.planes.assign(
+          static_cast<std::size_t>(epi.quant.bits),
+          bitops::BitMatrix(g.batch * pooled_h * pooled_w, geom.m));
+      for (std::int64_t m = 0; m < geom.m; ++m) {
+        for (std::int64_t col = 0; col < g.batch * pooled_h * pooled_w;
+             ++col) {
+          const std::int32_t code =
+              quant::quantize_value(static_cast<float>(pooled(m, col)),
+                                    epi.quant);
+          for (int bit = 0; bit < epi.quant.bits; ++bit) {
+            if ((code >> bit) & 1) {
+              res.packed.planes[static_cast<std::size_t>(bit)].set(col, m,
+                                                                   true);
+            }
+          }
+        }
+      }
+    } else {
+      res.y = Tensor<std::int32_t>({g.batch, pooled_h, pooled_w, geom.m});
+      for (std::int64_t m = 0; m < geom.m; ++m) {
+        for (std::int64_t col = 0; col < g.batch * pooled_h * pooled_w;
+             ++col) {
+          res.y[col * geom.m + m] = pooled(m, col);
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace apnn::core

@@ -1,0 +1,250 @@
+#include "src/core/apmm_internal.hpp"
+
+#include <algorithm>
+
+namespace apnn::core::internal {
+
+BatchedGeometry make_geometry(const ApOperand& w, const ApOperand& x,
+                              const TileConfig& tile) {
+  return make_geometry(w.rows(), x.rows(), w.cols(), w.bits(), x.bits(),
+                       tile);
+}
+
+BatchedGeometry make_geometry(std::int64_t m, std::int64_t n, std::int64_t k,
+                              int p, int q, const TileConfig& tile) {
+  BatchedGeometry g;
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  g.p = p;
+  g.q = q;
+  g.tile = tile;
+  // Blocks own whole output elements (all p*q plane partials), so the block
+  // tile is expressed in output space and expanded by the plane counts.
+  g.om = std::max<std::int64_t>(1, tile.bm / g.p);
+  g.on = std::max<std::int64_t>(1, tile.bn / g.q);
+  g.vtm = g.om * g.p;
+  g.vtn = g.on * g.q;
+  g.vtm8 = round_up(g.vtm, 8);
+  g.vtn8 = round_up(g.vtn, 8);
+  g.grid_m = ceil_div(g.m, g.om);
+  g.grid_n = ceil_div(g.n, g.on);
+  g.blocks = g.grid_m * g.grid_n;
+  g.row_words = bitops::padded_words(k);
+  g.ktiles = g.row_words / bitops::kWordsPerTile;
+  return g;
+}
+
+tcsim::KernelProfile batched_profile(const BatchedGeometry& g,
+                                     const OpSelection& sel,
+                                     const ApmmOptions& opts,
+                                     const Epilogue& epi,
+                                     const std::string& name,
+                                     std::int64_t store_scale,
+                                     std::int64_t extra_alu_per_out) {
+  tcsim::KernelProfile prof;
+  prof.name = name;
+  prof.family = "apnn";
+  prof.grid_blocks = g.blocks;
+  prof.threads_per_block = g.tile.warps_per_block() * 32;
+  prof.shmem_per_block = g.tile.shmem_bytes();
+  prof.ci = compute_intensity(g.tile);
+  auto& c = prof.counters;
+  c.kernel_launches = 1;
+
+  const std::int64_t tile_bits = (g.vtm + g.vtn) * g.tile.bk;
+  const int wr = g.tile.warp_rows, wc = g.tile.warp_cols;
+  const std::int64_t wm_t = ceil_div(g.vtm, wr), wn_t = ceil_div(g.vtn, wc);
+  const std::int64_t warp_bits = static_cast<std::int64_t>(wr) * wc *
+                                 (wm_t + wn_t) * g.tile.bk;
+
+  if (opts.double_caching) {
+    // Warps collaboratively stage tiles in SHMEM, then fetch their subtiles.
+    c.global_load_bytes += g.blocks * g.ktiles * tile_bits / 8;
+    c.shared_store_bytes += g.blocks * g.ktiles * tile_bits / 8;
+    c.shared_load_bytes += g.blocks * g.ktiles * warp_bits / 8;
+  } else {
+    // Each warp pulls its own tiles straight from global memory.
+    c.global_load_bytes += g.blocks * g.ktiles * warp_bits / 8;
+  }
+
+  if (!opts.fragment_caching) {
+    // Partial accumulators spill to SHMEM and reload every k-tile instead of
+    // staying in register fragments.
+    c.shared_store_bytes += g.blocks * g.ktiles * g.vtm8 * g.vtn8 * 4;
+    c.shared_load_bytes += g.blocks * g.ktiles * g.vtm8 * g.vtn8 * 4;
+  }
+
+  c.bmma_b1 += g.blocks * g.ktiles * (g.vtm8 / 8) * (g.vtn8 / 8);
+
+  if (sel.kind == EmulationCase::kCaseIII) {
+    // J·X correction: one popc per loaded feature word.
+    c.alu_combine_ops += g.q * g.n * g.row_words;
+  }
+
+  const std::int64_t out_per_block =
+      std::max<std::int64_t>(1, g.om * g.on / store_scale);
+  if (opts.semantic_aware) {
+    // In-SHMEM reduction of the p*q partials of each output element.
+    c.shared_store_bytes += g.blocks * g.vtm * g.vtn * 4;
+    c.shared_load_bytes += g.blocks * g.vtm * g.vtn * 4;
+    c.alu_combine_ops += g.blocks * g.vtm * g.vtn * 2;
+    c.alu_epilogue_ops +=
+        g.blocks * out_per_block *
+        (epi.alu_ops_per_element() + extra_alu_per_out);
+    if (epi.has_quant) {
+      const int qo = epi.quant.bits;
+      // Plane split (shift+and per bit) plus one ballot per 32 lanes/plane.
+      c.alu_decompose_ops += g.blocks * out_per_block * qo;
+      c.alu_decompose_ops += g.blocks * ceil_div(out_per_block, 32) * qo;
+      c.global_store_bytes += g.blocks * ceil_div(out_per_block, 32) * 4 * qo;
+    } else {
+      c.global_store_bytes += g.blocks * out_per_block * 4;
+    }
+  } else {
+    // Partials leave the kernel unreduced; a second kernel combines them.
+    c.global_store_bytes += g.blocks * g.vtm * g.vtn * 4;
+  }
+  return prof;
+}
+
+tcsim::KernelProfile combine_kernel_profile(const BatchedGeometry& g,
+                                            const Epilogue& epi) {
+  tcsim::KernelProfile prof;
+  prof.name = "bit-combine";
+  prof.family = "apnn";
+  prof.grid_blocks = ceil_div(g.m * g.n, 4096);
+  prof.threads_per_block = 256;
+  prof.ci = 0;
+  auto& c = prof.counters;
+  c.kernel_launches = 1;
+  c.global_load_bytes += g.p * g.q * g.m * g.n * 4;
+  c.alu_combine_ops += g.p * g.q * g.m * g.n * 2;
+  c.alu_epilogue_ops += g.m * g.n * epi.alu_ops_per_element();
+  if (epi.has_quant) {
+    const int qo = epi.quant.bits;
+    c.alu_decompose_ops += g.m * g.n * qo + ceil_div(g.m * g.n, 32) * qo;
+    c.global_store_bytes += ceil_div(g.m * g.n, 32) * 4 * qo;
+  } else {
+    c.global_store_bytes += g.m * g.n * 4;
+  }
+  return prof;
+}
+
+void run_batched_compute(const ApOperand& w, const ApOperand& x,
+                         const OpSelection& sel, const BatchedGeometry& g,
+                         const Epilogue& epi, Tensor<std::int32_t>* y,
+                         bitops::BitPlanes* packed) {
+  // Case III needs popc(X row) per feature plane.
+  std::vector<std::vector<std::int64_t>> xpopc;
+  if (sel.kind == EmulationCase::kCaseIII) {
+    xpopc.resize(static_cast<std::size_t>(g.q));
+    for (int t = 0; t < g.q; ++t) {
+      auto& v = xpopc[static_cast<std::size_t>(t)];
+      v.resize(static_cast<std::size_t>(g.n));
+      for (std::int64_t j = 0; j < g.n; ++j) {
+        v[static_cast<std::size_t>(j)] = x.planes.plane(t).row_popcount(j);
+      }
+    }
+  }
+
+  // Plane combination multipliers.
+  std::vector<std::int64_t> wmult(static_cast<std::size_t>(g.p));
+  std::vector<std::int64_t> xmult(static_cast<std::size_t>(g.q));
+  for (int s = 0; s < g.p; ++s) {
+    wmult[static_cast<std::size_t>(s)] = plane_multiplier(w.encoding, s, g.p);
+  }
+  for (int t = 0; t < g.q; ++t) {
+    xmult[static_cast<std::size_t>(t)] = plane_multiplier(x.encoding, t, g.q);
+  }
+
+  const std::vector<std::uint64_t> zero_row(
+      static_cast<std::size_t>(g.row_words), 0);
+
+  parallel_for(0, g.blocks, [&](std::int64_t b) {
+    const std::int64_t bm_idx = b / g.grid_n;
+    const std::int64_t bn_idx = b % g.grid_n;
+    const std::int64_t m0 = bm_idx * g.om;
+    const std::int64_t n0 = bn_idx * g.on;
+
+    // Virtual rows are plane-interleaved: r = local_m * p + s, so a block
+    // always owns every plane partial of its output rows (§4.1b).
+    std::vector<const std::uint64_t*> wrows(static_cast<std::size_t>(g.vtm8),
+                                            zero_row.data());
+    std::vector<const std::uint64_t*> xrows(static_cast<std::size_t>(g.vtn8),
+                                            zero_row.data());
+    for (std::int64_t i = 0; i < g.vtm; ++i) {
+      const std::int64_t m = m0 + i / g.p;
+      const int s = static_cast<int>(i % g.p);
+      if (m < g.m) {
+        wrows[static_cast<std::size_t>(i)] = w.planes.plane(s).row(m);
+      }
+    }
+    for (std::int64_t j = 0; j < g.vtn; ++j) {
+      const std::int64_t n = n0 + j / g.q;
+      const int t = static_cast<int>(j % g.q);
+      if (n < g.n) {
+        xrows[static_cast<std::size_t>(j)] = x.planes.plane(t).row(n);
+      }
+    }
+
+    // Raw popc accumulation over all k-slabs ("fragment" storage).
+    std::vector<std::int32_t> raw(static_cast<std::size_t>(g.vtm8 * g.vtn8),
+                                  0);
+    for (std::int64_t ii = 0; ii < g.vtm8; ii += 8) {
+      for (std::int64_t jj = 0; jj < g.vtn8; jj += 8) {
+        std::int32_t acc[64] = {0};
+        for (std::int64_t kt = 0; kt < g.ktiles; ++kt) {
+          tcsim::bmma_8x8x128_rows(
+              sel.bit_op, &wrows[static_cast<std::size_t>(ii)],
+              &xrows[static_cast<std::size_t>(jj)],
+              kt * bitops::kWordsPerTile, acc);
+        }
+        for (int di = 0; di < 8; ++di) {
+          std::int32_t* dst = raw.data() + (ii + di) * g.vtn8 + jj;
+          const std::int32_t* src = acc + di * 8;
+          for (int dj = 0; dj < 8; ++dj) dst[dj] = src[dj];
+        }
+      }
+    }
+
+    // Bit combination + epilogue for the block's output elements.
+    for (std::int64_t mo = 0; mo < g.om; ++mo) {
+      const std::int64_t m = m0 + mo;
+      if (m >= g.m) break;
+      for (std::int64_t no = 0; no < g.on; ++no) {
+        const std::int64_t n = n0 + no;
+        if (n >= g.n) break;
+        std::int64_t acc = 0;
+        for (int s = 0; s < g.p; ++s) {
+          for (int t = 0; t < g.q; ++t) {
+            const std::int32_t rawv =
+                raw[static_cast<std::size_t>((mo * g.p + s) * g.vtn8 +
+                                             (no * g.q + t))];
+            const std::int64_t xp =
+                sel.kind == EmulationCase::kCaseIII
+                    ? xpopc[static_cast<std::size_t>(t)]
+                           [static_cast<std::size_t>(n)]
+                    : 0;
+            acc += wmult[static_cast<std::size_t>(s)] *
+                   xmult[static_cast<std::size_t>(t)] *
+                   finalize_partial(sel.kind, rawv, g.k, xp);
+          }
+        }
+        const std::int32_t out = epi.apply(static_cast<std::int32_t>(acc), m);
+        if (epi.has_quant) {
+          // Packed output is transposed (N x M) for the next layer.
+          for (int bit = 0; bit < epi.quant.bits; ++bit) {
+            if ((out >> bit) & 1) {
+              packed->planes[static_cast<std::size_t>(bit)].set(n, m, true);
+            }
+          }
+        } else {
+          (*y)(m, n) = out;
+        }
+      }
+    }
+  });
+}
+
+}  // namespace apnn::core::internal

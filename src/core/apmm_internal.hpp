@@ -1,0 +1,72 @@
+// Internal machinery shared by the APMM and APConv kernels. Not part of the
+// public API — include apmm.hpp / apconv.hpp instead.
+//
+// Both kernels are instances of the same virtually batched, plane-
+// interleaved block GEMM; APConv differs only in how operands are produced
+// (channel-major im2col), the input-aware padding correction, and the fused
+// pooling tail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bitops/bit_matrix.hpp"
+#include "src/core/apmm.hpp"
+#include "src/parallel/thread_pool.hpp"
+
+namespace apnn::core::internal {
+
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+/// Geometry shared between the compute path and the counter formulas.
+struct BatchedGeometry {
+  std::int64_t m, n, k;
+  int p, q;
+  TileConfig tile;
+  std::int64_t om, on;    ///< output rows/cols per block
+  std::int64_t vtm, vtn;  ///< virtual tile dims (om*p, on*q)
+  std::int64_t vtm8, vtn8;
+  std::int64_t grid_m, grid_n, blocks;
+  std::int64_t ktiles;    ///< 128-bit k-slabs
+  std::int64_t row_words;
+};
+
+BatchedGeometry make_geometry(const ApOperand& w, const ApOperand& x,
+                              const TileConfig& tile);
+
+/// Dimension-only overload (profile-only callers have no operands in hand).
+BatchedGeometry make_geometry(std::int64_t m, std::int64_t n, std::int64_t k,
+                              int p, int q, const TileConfig& tile);
+
+/// Counter formulas for the batched kernel; full and profile-only execution
+/// share them, so the two modes produce identical profiles by construction.
+/// `store_scale` divides the number of stored output elements (fused pooling
+/// stores one element per pool window); `extra_alu_per_out` adds per-stored-
+/// element epilogue work beyond the Epilogue's own ops (e.g. pool reads).
+tcsim::KernelProfile batched_profile(const BatchedGeometry& g,
+                                     const OpSelection& sel,
+                                     const ApmmOptions& opts,
+                                     const Epilogue& epi,
+                                     const std::string& name,
+                                     std::int64_t store_scale = 1,
+                                     std::int64_t extra_alu_per_out = 0);
+
+/// The separate bit-combination kernel of the non-semantic-aware path.
+tcsim::KernelProfile combine_kernel_profile(const BatchedGeometry& g,
+                                            const Epilogue& epi);
+
+/// Functional computation (identical for every option set — options only
+/// change where bytes move). Writes either y (m x n int32) or, when the
+/// epilogue quantizes, packed planes (n x m).
+void run_batched_compute(const ApOperand& w, const ApOperand& x,
+                         const OpSelection& sel, const BatchedGeometry& g,
+                         const Epilogue& epi, Tensor<std::int32_t>* y,
+                         bitops::BitPlanes* packed);
+
+}  // namespace apnn::core::internal

@@ -1,0 +1,3 @@
+// fusion.hpp is header-only; this TU exists so the build exposes a single
+// object per module and to anchor the vtable-free Epilogue in the library.
+#include "src/core/fusion.hpp"

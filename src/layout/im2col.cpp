@@ -1,0 +1,44 @@
+#include "src/layout/im2col.hpp"
+
+#include "src/bitops/bitcopy.hpp"
+
+namespace apnn::layout {
+
+bitops::BitMatrix im2col_bits(const bitops::BitMatrix& plane,
+                              const ConvGeometry& g, bool pad_value) {
+  APNN_CHECK(plane.rows() == g.batch * g.in_h * g.in_w)
+      << "plane rows " << plane.rows() << " vs geometry "
+      << g.batch * g.in_h * g.in_w;
+  APNN_CHECK(plane.cols() == g.in_c);
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  bitops::BitMatrix out(g.batch * oh * ow, g.gemm_k());
+
+  std::int64_t row = 0;
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x, ++row) {
+        std::uint64_t* dst = out.row(row);
+        for (int kh = 0; kh < g.kernel; ++kh) {
+          for (int kw = 0; kw < g.kernel; ++kw) {
+            const std::int64_t ih = y * g.stride + kh - g.pad;
+            const std::int64_t iw = x * g.stride + kw - g.pad;
+            const std::int64_t dst_bit =
+                (static_cast<std::int64_t>(kh) * g.kernel + kw) * g.in_c;
+            if (ih >= 0 && ih < g.in_h && iw >= 0 && iw < g.in_w) {
+              const std::int64_t src_row = (n * g.in_h + ih) * g.in_w + iw;
+              // One contiguous C-bit channel slab — the coalesced access the
+              // channel-major layout provides.
+              bitops::copy_bits(dst, dst_bit, plane.row(src_row), 0, g.in_c);
+            } else if (pad_value) {
+              bitops::fill_bits(dst, dst_bit, g.in_c, true);
+            }
+            // pad_value == 0 needs no action: rows start zeroed.
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace apnn::layout

@@ -1,0 +1,79 @@
+// Convolution lowering (im2col) for packed bit planes and dense tensors.
+//
+// APConv computes a p-bit x q-bit convolution as an emulated GEMM over
+// patch matrices: for each 1-bit activation plane, the (N*OH*OW) x (K*K*C)
+// patch matrix is assembled from the channel-major layout; each (kh, kw)
+// tap contributes one contiguous C-bit slab, which is what makes the
+// access coalesced (§4.2a). Out-of-image taps are filled with the padding
+// bit selected by the input-aware padding design (§4.2b).
+#pragma once
+
+#include <cstdint>
+
+#include "src/bitops/bit_matrix.hpp"
+#include "src/layout/packed_activations.hpp"
+#include "src/layout/tensor.hpp"
+
+namespace apnn::layout {
+
+/// Static geometry of a 2D convolution.
+struct ConvGeometry {
+  std::int64_t batch = 1;
+  std::int64_t in_c = 0, in_h = 0, in_w = 0;
+  std::int64_t out_c = 0;
+  int kernel = 3;
+  int stride = 1;
+  int pad = 1;
+
+  std::int64_t out_h() const { return (in_h + 2 * pad - kernel) / stride + 1; }
+  std::int64_t out_w() const { return (in_w + 2 * pad - kernel) / stride + 1; }
+  /// GEMM dims of the lowered convolution: M x N x K.
+  std::int64_t gemm_m() const { return out_c; }
+  std::int64_t gemm_n() const { return batch * out_h() * out_w(); }
+  std::int64_t gemm_k() const {
+    return static_cast<std::int64_t>(kernel) * kernel * in_c;
+  }
+  /// Multiply-accumulates of the direct convolution.
+  std::int64_t macs() const { return gemm_m() * gemm_n() * gemm_k(); }
+};
+
+/// Lowers one 1-bit activation plane (rows = N*H*W, cols = C, channel-major)
+/// to the patch matrix (rows = N*OH*OW, cols = K*K*C). `pad_value` is the
+/// bit written at out-of-image taps (input-aware padding).
+bitops::BitMatrix im2col_bits(const bitops::BitMatrix& plane,
+                              const ConvGeometry& g, bool pad_value);
+
+/// Dense im2col for baseline kernels: src is NHWC ({N, H, W, C}); output is
+/// {N*OH*OW, K*K*C}. Out-of-image taps read `pad_value`.
+template <typename T>
+Tensor<T> im2col_dense(const Tensor<T>& src, const ConvGeometry& g,
+                       T pad_value = T{}) {
+  APNN_CHECK(src.rank() == 4);
+  APNN_CHECK(src.dim(0) == g.batch && src.dim(1) == g.in_h &&
+             src.dim(2) == g.in_w && src.dim(3) == g.in_c)
+      << "input shape mismatch";
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+  Tensor<T> out({g.batch * oh * ow, g.gemm_k()});
+  std::int64_t row = 0;
+  for (std::int64_t n = 0; n < g.batch; ++n) {
+    for (std::int64_t y = 0; y < oh; ++y) {
+      for (std::int64_t x = 0; x < ow; ++x, ++row) {
+        std::int64_t col = 0;
+        for (int kh = 0; kh < g.kernel; ++kh) {
+          for (int kw = 0; kw < g.kernel; ++kw) {
+            const std::int64_t ih = y * g.stride + kh - g.pad;
+            const std::int64_t iw = x * g.stride + kw - g.pad;
+            for (std::int64_t c = 0; c < g.in_c; ++c, ++col) {
+              out(row, col) = (ih >= 0 && ih < g.in_h && iw >= 0 && iw < g.in_w)
+                                  ? src(n, ih, iw, c)
+                                  : pad_value;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace apnn::layout

@@ -1,0 +1,62 @@
+#include "src/layout/packed_activations.hpp"
+
+namespace apnn::layout {
+
+PackedActivations pack_activations(const Tensor<std::int32_t>& src,
+                                   DenseLayout layout, int bits) {
+  APNN_CHECK(src.rank() == 4);
+  APNN_CHECK(bits >= 1 && bits <= 16) << "bits=" << bits;
+  PackedActivations out;
+  out.bits = bits;
+  if (layout == DenseLayout::kNCHW) {
+    out.n = src.dim(0);
+    out.c = src.dim(1);
+    out.h = src.dim(2);
+    out.w = src.dim(3);
+  } else {
+    out.n = src.dim(0);
+    out.h = src.dim(1);
+    out.w = src.dim(2);
+    out.c = src.dim(3);
+  }
+  out.planes.assign(static_cast<std::size_t>(bits),
+                    bitops::BitMatrix(out.spatial_rows(), out.c));
+  for (std::int64_t in = 0; in < out.n; ++in) {
+    for (std::int64_t ih = 0; ih < out.h; ++ih) {
+      for (std::int64_t iw = 0; iw < out.w; ++iw) {
+        const std::int64_t row = (in * out.h + ih) * out.w + iw;
+        for (std::int64_t ic = 0; ic < out.c; ++ic) {
+          const std::int32_t v = layout == DenseLayout::kNCHW
+                                     ? src(in, ic, ih, iw)
+                                     : src(in, ih, iw, ic);
+          APNN_DCHECK(v >= 0 && v < (1 << bits))
+              << "activation " << v << " out of range for " << bits << " bits";
+          for (int t = 0; t < bits; ++t) {
+            if ((v >> t) & 1) {
+              out.planes[static_cast<std::size_t>(t)].set(row, ic, true);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor<std::int32_t> unpack_activations(const PackedActivations& packed) {
+  Tensor<std::int32_t> out({packed.n, packed.h, packed.w, packed.c});
+  for (std::int64_t row = 0; row < packed.spatial_rows(); ++row) {
+    for (std::int64_t ic = 0; ic < packed.c; ++ic) {
+      std::int32_t v = 0;
+      for (int t = 0; t < packed.bits; ++t) {
+        if (packed.planes[static_cast<std::size_t>(t)].get(row, ic)) {
+          v |= 1 << t;
+        }
+      }
+      out[row * packed.c + ic] = v;
+    }
+  }
+  return out;
+}
+
+}  // namespace apnn::layout

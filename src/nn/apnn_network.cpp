@@ -1,0 +1,505 @@
+#include "src/nn/apnn_network.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/check.hpp"
+#include "src/quant/quantizer.hpp"
+
+namespace apnn::nn {
+
+namespace {
+
+using core::Encoding;
+using core::Epilogue;
+using core::PoolSpec;
+
+/// Intermediate value flowing between layers: either packed q-bit planes
+/// (the minimal-traffic representation) or a dense int32 tensor (NHWC
+/// {B,H,W,C} or features {B,F}).
+struct Value {
+  std::optional<layout::PackedActivations> packed;
+  std::optional<Tensor<std::int32_t>> dense;
+
+  bool valid() const { return packed.has_value() || dense.has_value(); }
+};
+
+Tensor<std::int32_t> to_dense(const Value& v) {
+  APNN_CHECK(v.valid());
+  if (v.dense) return *v.dense;
+  return layout::unpack_activations(*v.packed);
+}
+
+layout::PackedActivations to_packed(const Value& v, int bits) {
+  APNN_CHECK(v.valid());
+  if (v.packed) return *v.packed;
+  APNN_CHECK(v.dense->rank() == 4) << "cannot pack feature vectors";
+  return layout::pack_activations(*v.dense, layout::DenseLayout::kNHWC, bits);
+}
+
+Tensor<std::int32_t> to_features(const Value& v, std::int64_t batch) {
+  Tensor<std::int32_t> d = to_dense(v);
+  return d.reshaped({batch, d.numel() / batch});
+}
+
+/// Integer max/avg pooling on a dense NHWC tensor.
+Tensor<std::int32_t> pool_dense(const Tensor<std::int32_t>& x,
+                                const PoolSpec& pool) {
+  const std::int64_t b = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  const std::int64_t ph = h / pool.size, pw = w / pool.size;
+  Tensor<std::int32_t> y({b, ph, pw, c});
+  for (std::int64_t n = 0; n < b; ++n) {
+    for (std::int64_t py = 0; py < ph; ++py) {
+      for (std::int64_t px = 0; px < pw; ++px) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          std::int64_t agg =
+              pool.kind == PoolSpec::Kind::kMax ? INT64_MIN : 0;
+          for (int dy = 0; dy < pool.size; ++dy) {
+            for (int dx = 0; dx < pool.size; ++dx) {
+              const std::int32_t v =
+                  x(n, py * pool.size + dy, px * pool.size + dx, ch);
+              if (pool.kind == PoolSpec::Kind::kMax) {
+                agg = std::max<std::int64_t>(agg, v);
+              } else {
+                agg += v;
+              }
+            }
+          }
+          if (pool.kind == PoolSpec::Kind::kAvg) {
+            agg /= static_cast<std::int64_t>(pool.size) * pool.size;
+          }
+          y(n, py, px, ch) = static_cast<std::int32_t>(agg);
+        }
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+ApnnNetwork ApnnNetwork::random_binary(const ModelSpec& spec,
+                                       std::uint64_t seed) {
+  ApnnNetwork net = random(spec, 1, 1, seed);
+  net.binary_ = true;
+  for (std::size_t si = 1; si < net.stages_.size(); ++si) {
+    net.stages_[si].in_enc = Encoding::kSignedPM1;
+    APNN_CHECK(net.stages_[si].in_bits == 1);
+  }
+  // Every quantize must fold into a stage tail (values between stages stay
+  // packed ±1 codes; dense binary intermediates are not supported).
+  for (std::size_t li = 0; li < spec.layers.size(); ++li) {
+    if (spec.layers[li].kind != LayerKind::kQuantize) continue;
+    bool absorbed = false;
+    for (const auto& st : net.stages_) {
+      for (std::size_t j : st.absorbed) absorbed |= j == li;
+    }
+    APNN_CHECK(absorbed) << "binary networks need fully fused tails ("
+                         << spec.layers[li].name << " is standalone)";
+  }
+  return net;
+}
+
+ApnnNetwork ApnnNetwork::random(const ModelSpec& spec, int wbits, int abits,
+                                std::uint64_t seed) {
+  APNN_CHECK(wbits >= 1 && wbits <= 8 && abits >= 1 && abits <= 8);
+  ApnnNetwork net;
+  net.spec_ = spec;
+  net.shapes_ = propagate_shapes(spec);
+  net.wbits_ = wbits;
+  net.abits_ = abits;
+  Rng rng(seed);
+
+  const Encoding w_enc =
+      wbits == 1 ? Encoding::kSignedPM1 : Encoding::kUnsigned01;
+  for (std::size_t li = 0; li < spec.layers.size(); ++li) {
+    const LayerSpec& l = spec.layers[li];
+    if (l.kind != LayerKind::kConv && l.kind != LayerKind::kLinear) continue;
+    ApnnStage st;
+    st.layer_index = li;
+    const TailScan tail = scan_tail(spec, li);
+    st.absorbed = tail.absorbed;
+    st.pool = tail.pool;
+
+    // Logical weights.
+    std::int64_t rows, cols;
+    if (l.kind == LayerKind::kConv) {
+      const layout::ConvGeometry g = conv_geometry(spec, net.shapes_, li, 1);
+      rows = g.out_c;
+      cols = g.gemm_k();
+    } else {
+      const ActShape in =
+          li == 0 ? spec.input : net.shapes_[li - 1];
+      rows = l.out_features;
+      cols = in.numel();
+    }
+    st.weights_logical = Tensor<std::int32_t>({rows, cols});
+    for (std::int64_t i = 0; i < st.weights_logical.numel(); ++i) {
+      st.weights_logical[i] =
+          wbits == 1 ? (rng.bernoulli(0.5) ? 1 : -1)
+                     : static_cast<std::int32_t>(
+                           rng.uniform_int(0, (1 << wbits) - 1));
+    }
+    st.weights = core::make_operand(st.weights_logical, w_enc, wbits);
+
+    // Epilogue skeleton; quantization scales are set by calibrate().
+    if (tail.has_bn) {
+      st.epilogue.has_bn = true;
+      st.epilogue.bn.scale.resize(static_cast<std::size_t>(rows));
+      st.epilogue.bn.bias.resize(static_cast<std::size_t>(rows));
+      for (std::int64_t c = 0; c < rows; ++c) {
+        st.epilogue.bn.scale[static_cast<std::size_t>(c)] =
+            static_cast<float>(rng.uniform(0.5, 1.5));
+        st.epilogue.bn.bias[static_cast<std::size_t>(c)] =
+            static_cast<float>(rng.uniform(-4.0, 4.0));
+      }
+    }
+    st.epilogue.has_relu = tail.has_relu;
+    st.epilogue.has_quant = tail.has_quant;
+    st.epilogue.quant.bits = abits;
+    st.in_bits = net.stages_.empty() ? 8 : abits;
+    net.stages_.push_back(std::move(st));
+  }
+  return net;
+}
+
+Tensor<std::int32_t> ApnnNetwork::quantize_input(
+    const Tensor<std::int32_t>& u8) const {
+  // The int8 image feeds the first layer directly as 8-bit activations
+  // (§5.1): the first stage's epilogue produces the abits-quantized feature
+  // map for the intermediate layers.
+  for (std::int64_t i = 0; i < u8.numel(); ++i) {
+    APNN_CHECK(u8[i] >= 0 && u8[i] <= 255) << "input must be uint8 codes";
+  }
+  return u8;
+}
+
+namespace {
+
+/// Shared walk used by forward_reference() and calibrate(). When
+/// `calibrating` is set, quantization parameters are (re)derived from the
+/// observed pre-quantization value range at each quantize point.
+struct ReferenceWalker {
+  const ModelSpec& spec;
+  const std::vector<ActShape>& shapes;
+  std::vector<ApnnStage>& stages;  // mutated when calibrating
+  int abits;
+  bool calibrating;
+  std::map<std::size_t, quant::QuantParams>& standalone_quant;
+  bool binary = false;  ///< ±1 networks: decode codes to -1/+1 post-quant
+
+  quant::QuantParams derive_params(const Tensor<std::int32_t>& x) const {
+    std::vector<float> vals(static_cast<std::size_t>(x.numel()));
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      vals[static_cast<std::size_t>(i)] = static_cast<float>(x[i]);
+    }
+    return quant::choose_uniform_params(vals, abits);
+  }
+
+  Tensor<std::int32_t> run(const Tensor<std::int32_t>& input_codes) {
+    std::vector<Tensor<std::int32_t>> vals(spec.layers.size());
+    std::map<std::size_t, const ApnnStage*> stage_at;
+    std::map<std::size_t, std::size_t> stage_idx_at;
+    for (std::size_t si = 0; si < stages.size(); ++si) {
+      stage_at[stages[si].layer_index] = &stages[si];
+      stage_idx_at[stages[si].layer_index] = si;
+    }
+    std::vector<bool> consumed(spec.layers.size(), false);
+    Tensor<std::int32_t> logits;
+
+    for (std::size_t li = 0; li < spec.layers.size(); ++li) {
+      if (consumed[li]) continue;
+      const LayerSpec& l = spec.layers[li];
+      const Tensor<std::int32_t>& in =
+          l.input >= 0 ? vals[static_cast<std::size_t>(l.input)]
+                       : (li == 0 ? input_codes : vals[li - 1]);
+
+      switch (l.kind) {
+        case LayerKind::kConv: {
+          ApnnStage& st = stages[stage_idx_at.at(li)];
+          const layout::ConvGeometry g =
+              conv_geometry(spec, shapes, li, in.dim(0));
+          const Tensor<std::int32_t> w_ohwi = st.weights_logical.reshaped(
+              {g.out_c, g.kernel, g.kernel, g.in_c});
+          Tensor<std::int32_t> y = core::conv2d_reference(in, w_ohwi, g);
+          // BN / ReLU (identical float arithmetic to Epilogue::apply).
+          if (st.epilogue.has_bn || st.epilogue.has_relu) {
+            Epilogue pre = st.epilogue;
+            pre.has_quant = false;
+            for (std::int64_t i = 0; i < y.numel(); ++i) {
+              y[i] = pre.apply(y[i], i % g.out_c);
+            }
+          }
+          if (st.pool.active()) y = pool_dense(y, st.pool);
+          Tensor<std::int32_t> out = y;
+          if (st.epilogue.has_quant) {
+            if (calibrating) st.epilogue.quant = derive_params(y);
+            for (std::int64_t i = 0; i < y.numel(); ++i) {
+              const std::int32_t code = quant::quantize_value(
+                  static_cast<float>(y[i]), st.epilogue.quant);
+              out[i] = binary ? 2 * code - 1 : code;
+            }
+          }
+          vals[li] = out;
+          for (std::size_t j : st.absorbed) {
+            vals[j] = out;
+            consumed[j] = true;
+          }
+          break;
+        }
+        case LayerKind::kLinear: {
+          ApnnStage& st = stages[stage_idx_at.at(li)];
+          const std::int64_t batch = in.dim(0);
+          const Tensor<std::int32_t> xf =
+              in.reshaped({batch, in.numel() / batch});
+          const std::int64_t out_f = l.out_features;
+          Tensor<std::int32_t> y({batch, out_f});
+          for (std::int64_t b = 0; b < batch; ++b) {
+            for (std::int64_t o = 0; o < out_f; ++o) {
+              std::int64_t acc = 0;
+              for (std::int64_t f = 0; f < xf.dim(1); ++f) {
+                acc += static_cast<std::int64_t>(xf(b, f)) *
+                       st.weights_logical(o, f);
+              }
+              y(b, o) = static_cast<std::int32_t>(acc);
+            }
+          }
+          if (st.epilogue.has_bn || st.epilogue.has_relu) {
+            Epilogue pre = st.epilogue;
+            pre.has_quant = false;
+            for (std::int64_t b = 0; b < batch; ++b) {
+              for (std::int64_t o = 0; o < out_f; ++o) {
+                y(b, o) = pre.apply(y(b, o), o);
+              }
+            }
+          }
+          Tensor<std::int32_t> out = y;
+          if (st.epilogue.has_quant) {
+            if (calibrating) st.epilogue.quant = derive_params(y);
+            for (std::int64_t i = 0; i < y.numel(); ++i) {
+              const std::int32_t code = quant::quantize_value(
+                  static_cast<float>(y[i]), st.epilogue.quant);
+              out[i] = binary ? 2 * code - 1 : code;
+            }
+          }
+          vals[li] = out;
+          for (std::size_t j : st.absorbed) {
+            vals[j] = out;
+            consumed[j] = true;
+          }
+          logits = out;
+          break;
+        }
+        case LayerKind::kBatchNorm:
+          vals[li] = in;  // standalone BN never occurs in the zoo models
+          break;
+        case LayerKind::kReLU: {
+          Tensor<std::int32_t> y = in;
+          for (std::int64_t i = 0; i < y.numel(); ++i) {
+            y[i] = std::max(y[i], 0);
+          }
+          vals[li] = std::move(y);
+          break;
+        }
+        case LayerKind::kPool:
+          vals[li] = pool_dense(in, l.pool);
+          break;
+        case LayerKind::kQuantize: {
+          if (calibrating) standalone_quant[li] = derive_params(in);
+          const auto it = standalone_quant.find(li);
+          APNN_CHECK(it != standalone_quant.end())
+              << "standalone quantize layer " << l.name << " not calibrated";
+          Tensor<std::int32_t> y = in;
+          for (std::int64_t i = 0; i < y.numel(); ++i) {
+            y[i] = quant::quantize_value(static_cast<float>(in[i]),
+                                         it->second);
+          }
+          vals[li] = std::move(y);
+          break;
+        }
+        case LayerKind::kResidualAdd: {
+          const Tensor<std::int32_t>& other =
+              vals[static_cast<std::size_t>(l.residual)];
+          APNN_CHECK(other.numel() == in.numel());
+          Tensor<std::int32_t> y = in;
+          for (std::int64_t i = 0; i < y.numel(); ++i) y[i] += other[i];
+          vals[li] = std::move(y);
+          break;
+        }
+        case LayerKind::kSoftmax:
+          vals[li] = in;  // logits are returned raw (softmax is monotonic)
+          break;
+      }
+      if (l.kind == LayerKind::kLinear) logits = vals[li];
+    }
+    return logits;
+  }
+};
+
+}  // namespace
+
+void ApnnNetwork::calibrate(const Tensor<std::int32_t>& input_u8) {
+  standalone_quant_.clear();
+  ReferenceWalker walker{spec_, shapes_, stages_, abits_, true,
+                         standalone_quant_, binary_};
+  walker.run(quantize_input(input_u8));
+  calibrated_ = true;
+}
+
+Tensor<std::int32_t> ApnnNetwork::forward_reference(
+    const Tensor<std::int32_t>& input_u8) const {
+  APNN_CHECK(calibrated_) << "call calibrate() first";
+  auto stages_copy = stages_;  // run() mutates only when calibrating
+  auto quant_copy = standalone_quant_;
+  ReferenceWalker walker{spec_, shapes_, stages_copy, abits_, false,
+                         quant_copy, binary_};
+  return walker.run(quantize_input(input_u8));
+}
+
+Tensor<std::int32_t> ApnnNetwork::forward(
+    const Tensor<std::int32_t>& input_u8, const tcsim::DeviceSpec& dev,
+    tcsim::SequenceProfile* prof) const {
+  APNN_CHECK(calibrated_) << "call calibrate() first";
+  const std::int64_t batch = input_u8.dim(0);
+  std::map<std::size_t, const ApnnStage*> stage_at;
+  for (const auto& st : stages_) stage_at[st.layer_index] = &st;
+
+  std::vector<Value> vals(spec_.layers.size());
+  Value input_val;
+  input_val.packed = layout::pack_activations(
+      quantize_input(input_u8), layout::DenseLayout::kNHWC, 8);
+  if (prof) {
+    prof->add(core::decompose_profile(batch * spec_.input.h * spec_.input.w,
+                                      spec_.input.c, 8, 1.0));
+  }
+
+  std::vector<bool> consumed(spec_.layers.size(), false);
+  Tensor<std::int32_t> logits;
+
+  auto input_value = [&](std::size_t li) -> const Value& {
+    const int src = spec_.layers[li].input;
+    if (src < 0) return li == 0 ? input_val : vals[li - 1];
+    return vals[static_cast<std::size_t>(src)];
+  };
+
+  for (std::size_t li = 0; li < spec_.layers.size(); ++li) {
+    if (consumed[li]) continue;
+    const LayerSpec& l = spec_.layers[li];
+    const Value& in = input_value(li);
+
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        const ApnnStage& st = *stage_at.at(li);
+        const layout::ConvGeometry g =
+            conv_geometry(spec_, shapes_, li, batch);
+        const layout::PackedActivations x = to_packed(in, st.in_bits);
+        core::ApconvOptions opts;
+        core::ApconvResult r = core::apconv(st.weights, x, st.in_enc, g, dev,
+                                            opts, st.epilogue, st.pool);
+        if (prof) prof->add(r.profile);
+        Value out;
+        if (st.epilogue.has_quant) {
+          out.packed = std::move(r.packed);
+        } else {
+          out.dense = std::move(r.y);
+        }
+        vals[li] = out;
+        for (std::size_t j : st.absorbed) {
+          vals[j] = out;
+          consumed[j] = true;
+        }
+        break;
+      }
+      case LayerKind::kLinear: {
+        const ApnnStage& st = *stage_at.at(li);
+        Tensor<std::int32_t> xf = to_features(in, batch);  // codes
+        if (st.in_enc == Encoding::kSignedPM1) {
+          for (std::int64_t i = 0; i < xf.numel(); ++i) {
+            xf[i] = 2 * xf[i] - 1;  // decode to the ±1 logical values
+          }
+        }
+        const core::ApOperand xop =
+            core::make_operand(xf, st.in_enc, st.in_bits);
+        core::ApmmOptions opts;
+        core::ApmmResult r = core::apmm(st.weights, xop, dev, opts,
+                                        st.epilogue);
+        if (prof) prof->add(r.profile);
+        Value out;
+        if (st.epilogue.has_quant) {
+          // Unpack the N x M planes back to dense {B, F} codes.
+          Tensor<std::int32_t> d({batch, st.weights.rows()});
+          const std::vector<std::int32_t> codes =
+              bitops::recompose(r.packed);
+          for (std::int64_t i = 0; i < d.numel(); ++i) {
+            d[i] = codes[static_cast<std::size_t>(i)];
+          }
+          out.dense = std::move(d);
+        } else {
+          // r.y is M x N; logits are {B, F}.
+          Tensor<std::int32_t> d({batch, st.weights.rows()});
+          for (std::int64_t b = 0; b < batch; ++b) {
+            for (std::int64_t o = 0; o < st.weights.rows(); ++o) {
+              d(b, o) = r.y(o, b);
+            }
+          }
+          out.dense = std::move(d);
+        }
+        vals[li] = out;
+        logits = *out.dense;
+        for (std::size_t j : st.absorbed) {
+          vals[j] = out;
+          consumed[j] = true;
+        }
+        break;
+      }
+      case LayerKind::kBatchNorm:
+        vals[li] = in;
+        break;
+      case LayerKind::kReLU: {
+        Tensor<std::int32_t> y = to_dense(in);
+        for (std::int64_t i = 0; i < y.numel(); ++i) y[i] = std::max(y[i], 0);
+        Value v;
+        v.dense = std::move(y);
+        vals[li] = std::move(v);
+        break;
+      }
+      case LayerKind::kPool: {
+        Value v;
+        v.dense = pool_dense(to_dense(in), l.pool);
+        vals[li] = std::move(v);
+        break;
+      }
+      case LayerKind::kQuantize: {
+        const auto it = standalone_quant_.find(li);
+        APNN_CHECK(it != standalone_quant_.end())
+            << "standalone quantize layer " << l.name << " not calibrated";
+        Tensor<std::int32_t> y = to_dense(in);
+        for (std::int64_t i = 0; i < y.numel(); ++i) {
+          y[i] = quant::quantize_value(static_cast<float>(y[i]), it->second);
+        }
+        Value v;
+        v.dense = std::move(y);
+        vals[li] = std::move(v);
+        break;
+      }
+      case LayerKind::kResidualAdd: {
+        Tensor<std::int32_t> a = to_dense(in);
+        const Tensor<std::int32_t> b =
+            to_dense(vals[static_cast<std::size_t>(l.residual)]);
+        APNN_CHECK(a.numel() == b.numel());
+        for (std::int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+        Value v;
+        v.dense = std::move(a);
+        vals[li] = std::move(v);
+        break;
+      }
+      case LayerKind::kSoftmax:
+        vals[li] = in;
+        break;
+    }
+  }
+  APNN_CHECK(logits.numel() > 0) << "network has no linear head";
+  return logits;
+}
+
+}  // namespace apnn::nn

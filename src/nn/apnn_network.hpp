@@ -1,0 +1,99 @@
+// Functional APNN inference (§5): an instantiated network with quantized
+// weights that executes end to end through the APNN-TC kernels, keeping
+// activations as packed q-bit planes between layers (minimal-traffic
+// dataflow) and fusing each conv/linear's elementwise tail into its epilogue
+// (semantic-aware kernel fusion).
+//
+// A bit-exact dense integer reference (conv2d_reference + the same epilogue
+// arithmetic) is provided for validation: forward() and forward_reference()
+// must agree exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/core/apconv.hpp"
+#include "src/core/apmm.hpp"
+#include "src/nn/model.hpp"
+#include "src/quant/quantizer.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+namespace apnn::nn {
+
+/// One executable stage: a conv/linear layer with its fused tail.
+struct ApnnStage {
+  std::size_t layer_index = 0;        ///< index of the conv/linear in the spec
+  core::ApOperand weights;            ///< conv: Cout x KKC; linear: out x in
+  Tensor<std::int32_t> weights_logical;  ///< logical values (reference path)
+  core::Epilogue epilogue;
+  core::PoolSpec pool;
+  std::vector<std::size_t> absorbed;  ///< tail layer indices fused away
+  /// Activation bits this stage consumes: 8 for the first stage (the int8
+  /// image is used directly, §5.1), abits elsewhere.
+  int in_bits = 2;
+  /// What the incoming activation bits encode: kUnsigned01 for APNN codes,
+  /// kSignedPM1 for binary (±1) networks past the first stage.
+  core::Encoding in_enc = core::Encoding::kUnsigned01;
+};
+
+class ApnnNetwork {
+ public:
+  /// Instantiates `spec` with random logical weights for the given
+  /// precision: wbits == 1 uses ±1 weights (Case III datapath), wbits > 1
+  /// unsigned multi-bit (Case I). Activations are abits unsigned.
+  static ApnnNetwork random(const ModelSpec& spec, int wbits, int abits,
+                            std::uint64_t seed);
+
+  /// Instantiates a binary (BNN) network: ±1 weights everywhere, ±1
+  /// activations past the first stage (which consumes the 8-bit image via
+  /// Case III). Intermediate convolutions run the XOR datapath with the
+  /// §4.2b pad-1 + counter amendment. Supported for fully fused sequential
+  /// models (every quantize folds into a conv/linear tail).
+  static ApnnNetwork random_binary(const ModelSpec& spec,
+                                   std::uint64_t seed);
+
+  /// Sets each stage's quantization scale from the activation ranges a
+  /// reference forward pass over `input` observes (simple min/max
+  /// calibration). Must be called once before forward().
+  void calibrate(const Tensor<std::int32_t>& input_u8);
+
+  /// Runs the packed-dataflow APNN forward pass through apconv()/apmm().
+  /// `input_u8` is NHWC uint8 codes {B, H, W, C}; returns int32 logits
+  /// {B, classes}. Appends kernel launch records to `prof` when given.
+  Tensor<std::int32_t> forward(const Tensor<std::int32_t>& input_u8,
+                               const tcsim::DeviceSpec& dev,
+                               tcsim::SequenceProfile* prof = nullptr) const;
+
+  /// Dense integer golden model with identical arithmetic.
+  Tensor<std::int32_t> forward_reference(
+      const Tensor<std::int32_t>& input_u8) const;
+
+  const ModelSpec& spec() const { return spec_; }
+  int wbits() const { return wbits_; }
+  int abits() const { return abits_; }
+  const std::vector<ApnnStage>& stages() const { return stages_; }
+
+ private:
+  // Serialization (nn/serialize.hpp) reads/writes the private state.
+  friend bool save_network(const ApnnNetwork& net, const std::string& path);
+  friend ApnnNetwork load_network(const std::string& path);
+
+  /// Validates the uint8 input image (used as 8-bit activations directly).
+  Tensor<std::int32_t> quantize_input(const Tensor<std::int32_t>& u8) const;
+
+  ModelSpec spec_;
+  std::vector<ActShape> shapes_;
+  int wbits_ = 1;
+  int abits_ = 2;
+  std::vector<ApnnStage> stages_;
+  /// Quantization parameters of quantize layers that are not fused into a
+  /// conv/linear epilogue (e.g. after residual adds), keyed by layer index.
+  std::map<std::size_t, quant::QuantParams> standalone_quant_;
+  bool calibrated_ = false;
+  /// Binary (±1 activation) network: quantized codes decode to -1/+1.
+  bool binary_ = false;
+};
+
+}  // namespace apnn::nn

@@ -1,0 +1,71 @@
+// Network-level execution schemes and the latency-profiling engine (§5).
+//
+// One ModelSpec can be profiled under any of the paper's five schemes
+// (Table 2): CUTLASS fp32 on CUDA cores, CUTLASS fp16 / int8 on tensor
+// cores, the BSTC/BTC-style BNN, and APNN-TC with arbitrary (p, q). The
+// engine walks the layer list, maps each layer to the appropriate kernel
+// profiles — applying the minimal-traffic dataflow (§5.1: activations move
+// as packed q-bit planes) and semantic-aware kernel fusion (§5.2: the
+// elementwise tail of each conv/linear is absorbed into its epilogue) — and
+// prices the launch sequence with the tcsim cost model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/nn/model.hpp"
+#include "src/tcsim/cost_model.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+namespace apnn::nn {
+
+enum class Scheme {
+  kFloat32,  ///< CUTLASS single precision, CUDA cores
+  kFloat16,  ///< CUTLASS half, tensor cores
+  kInt8,     ///< CUTLASS/cuBLAS int8, tensor cores
+  kBnn,      ///< 1-bit BSTC/BTC-style binary network
+  kApnn,     ///< APNN-TC, arbitrary (wbits, abits)
+};
+
+const char* scheme_name(Scheme s);
+
+struct SchemeConfig {
+  Scheme scheme = Scheme::kApnn;
+  int wbits = 1;  ///< APNN weight bits
+  int abits = 2;  ///< APNN activation bits
+  /// Semantic-aware kernel fusion (APNN only; baselines run layer-by-layer).
+  bool fuse = true;
+
+  std::string label() const;
+};
+
+struct LayerProfile {
+  std::string name;
+  LayerKind kind = LayerKind::kConv;
+  /// True when the layer was fused into the preceding conv/linear epilogue
+  /// (its cost is accounted there and `latency` is zero).
+  bool fused_away = false;
+  tcsim::LatencyEstimate latency;
+  tcsim::TrafficCounters counters;
+};
+
+struct ModelProfile {
+  std::string model;
+  std::string scheme;
+  std::int64_t batch = 0;
+  std::vector<LayerProfile> layers;
+  double total_us = 0;
+
+  double latency_ms() const { return total_us / 1e3; }
+  double throughput_fps() const {
+    return static_cast<double>(batch) / (total_us * 1e-6);
+  }
+};
+
+/// Prices one forward pass of `m` at the given batch size under `cfg`.
+ModelProfile profile_model(const ModelSpec& m, std::int64_t batch,
+                           const SchemeConfig& cfg,
+                           const tcsim::DeviceSpec& dev);
+
+}  // namespace apnn::nn

@@ -1,0 +1,342 @@
+#include "src/nn/model.hpp"
+
+#include "src/common/check.hpp"
+
+namespace apnn::nn {
+
+namespace {
+
+LayerSpec conv(std::string name, std::int64_t out_c, int kernel, int stride,
+               int pad) {
+  LayerSpec l;
+  l.kind = LayerKind::kConv;
+  l.name = std::move(name);
+  l.conv = {out_c, kernel, stride, pad};
+  return l;
+}
+
+LayerSpec linear(std::string name, std::int64_t out_features) {
+  LayerSpec l;
+  l.kind = LayerKind::kLinear;
+  l.name = std::move(name);
+  l.out_features = out_features;
+  return l;
+}
+
+LayerSpec simple(LayerKind kind, std::string name) {
+  LayerSpec l;
+  l.kind = kind;
+  l.name = std::move(name);
+  return l;
+}
+
+LayerSpec pool(std::string name, core::PoolSpec::Kind kind, int size) {
+  LayerSpec l;
+  l.kind = LayerKind::kPool;
+  l.name = std::move(name);
+  l.pool.kind = kind;
+  l.pool.size = size;
+  return l;
+}
+
+/// conv + BN + ReLU [+ pool] + quantize, the standard APNN stage; pooling
+/// precedes quantization so the whole tail fuses into the conv epilogue
+/// (the order Fig. 10 fuses).
+void conv_block(ModelSpec& m, const std::string& name, std::int64_t out_c,
+                int kernel = 3, int stride = 1, int pad = 1,
+                int pool_size = 0) {
+  m.layers.push_back(conv(name, out_c, kernel, stride, pad));
+  m.layers.push_back(simple(LayerKind::kBatchNorm, name + ".bn"));
+  m.layers.push_back(simple(LayerKind::kReLU, name + ".relu"));
+  if (pool_size > 0) {
+    m.layers.push_back(pool(name + ".pool", core::PoolSpec::Kind::kMax,
+                            pool_size));
+  }
+  m.layers.push_back(simple(LayerKind::kQuantize, name + ".quant"));
+}
+
+}  // namespace
+
+std::vector<ActShape> propagate_shapes(const ModelSpec& m) {
+  std::vector<ActShape> shapes(m.layers.size());
+  auto input_shape = [&](std::size_t li) -> ActShape {
+    const int src = m.layers[li].input;
+    if (src < 0) {
+      return li == 0 ? m.input : shapes[li - 1];
+    }
+    APNN_CHECK(static_cast<std::size_t>(src) < li) << "bad layer reference";
+    return shapes[static_cast<std::size_t>(src)];
+  };
+  for (std::size_t li = 0; li < m.layers.size(); ++li) {
+    const LayerSpec& l = m.layers[li];
+    const ActShape in = input_shape(li);
+    ActShape out = in;
+    switch (l.kind) {
+      case LayerKind::kConv: {
+        layout::ConvGeometry g;
+        g.batch = 1;
+        g.in_c = in.c;
+        g.in_h = in.h;
+        g.in_w = in.w;
+        g.out_c = l.conv.out_c;
+        g.kernel = l.conv.kernel;
+        g.stride = l.conv.stride;
+        g.pad = l.conv.pad;
+        out = {l.conv.out_c, g.out_h(), g.out_w()};
+        break;
+      }
+      case LayerKind::kLinear:
+        out = {l.out_features, 1, 1};
+        break;
+      case LayerKind::kPool:
+        APNN_CHECK(in.h % l.pool.size == 0 && in.w % l.pool.size == 0)
+            << "pool " << l.pool.size << " does not tile " << in.h << "x"
+            << in.w << " at layer " << l.name;
+        out = {in.c, in.h / l.pool.size, in.w / l.pool.size};
+        break;
+      case LayerKind::kResidualAdd: {
+        APNN_CHECK(l.residual >= 0 &&
+                   static_cast<std::size_t>(l.residual) < li);
+        const ActShape other = shapes[static_cast<std::size_t>(l.residual)];
+        APNN_CHECK(other.c == in.c && other.h == in.h && other.w == in.w)
+            << "residual shape mismatch at " << l.name;
+        break;
+      }
+      case LayerKind::kBatchNorm:
+      case LayerKind::kReLU:
+      case LayerKind::kQuantize:
+      case LayerKind::kSoftmax:
+        break;
+    }
+    shapes[li] = out;
+  }
+  return shapes;
+}
+
+layout::ConvGeometry conv_geometry(const ModelSpec& m,
+                                   const std::vector<ActShape>& shapes,
+                                   std::size_t li, std::int64_t batch) {
+  const LayerSpec& l = m.layers[li];
+  APNN_CHECK(l.kind == LayerKind::kConv);
+  const ActShape in =
+      l.input < 0 ? (li == 0 ? m.input : shapes[li - 1])
+                  : shapes[static_cast<std::size_t>(l.input)];
+  layout::ConvGeometry g;
+  g.batch = batch;
+  g.in_c = in.c;
+  g.in_h = in.h;
+  g.in_w = in.w;
+  g.out_c = l.conv.out_c;
+  g.kernel = l.conv.kernel;
+  g.stride = l.conv.stride;
+  g.pad = l.conv.pad;
+  return g;
+}
+
+std::int64_t model_macs(const ModelSpec& m) {
+  const auto shapes = propagate_shapes(m);
+  std::int64_t macs = 0;
+  for (std::size_t li = 0; li < m.layers.size(); ++li) {
+    const LayerSpec& l = m.layers[li];
+    if (l.kind == LayerKind::kConv) {
+      macs += conv_geometry(m, shapes, li, 1).macs();
+    } else if (l.kind == LayerKind::kLinear) {
+      const ActShape in = li == 0 ? m.input : shapes[li - 1];
+      macs += in.numel() * l.out_features;
+    }
+  }
+  return macs;
+}
+
+TailScan scan_tail(const ModelSpec& m, std::size_t li) {
+  TailScan t;
+  for (std::size_t j = li + 1; j < m.layers.size(); ++j) {
+    const LayerSpec& l = m.layers[j];
+    if (l.input >= 0) break;  // reads another layer: cannot fold
+    if (l.kind == LayerKind::kBatchNorm && !t.has_bn) {
+      t.has_bn = true;
+    } else if (l.kind == LayerKind::kReLU && !t.has_relu) {
+      t.has_relu = true;
+    } else if (l.kind == LayerKind::kPool && !t.pool.active() &&
+               l.pool.kind != core::PoolSpec::Kind::kNone) {
+      t.pool = l.pool;
+    } else if (l.kind == LayerKind::kQuantize && !t.has_quant) {
+      t.has_quant = true;
+      t.absorbed.push_back(j);
+      break;  // quantize ends the tail (its output feeds the next layer)
+    } else {
+      break;
+    }
+    t.absorbed.push_back(j);
+  }
+  return t;
+}
+
+ModelSpec alexnet() {
+  ModelSpec m;
+  m.name = "AlexNet";
+  m.input = {3, 224, 224};
+  // AlexNet's 11x11/4 conv yields 55x55; pooling with size==stride needs
+  // even dims, so the zoo pads to 56 (one extra border column/row).
+  conv_block(m, "conv1", 64, 11, 4, 4, 2);  // (224+8-11)/4+1 = 56 -> pool 28
+  conv_block(m, "conv2", 192, 5, 1, 2, 2);  // -> 14
+  conv_block(m, "conv3", 384, 3, 1, 1);
+  conv_block(m, "conv4", 256, 3, 1, 1);
+  conv_block(m, "conv5", 256, 3, 1, 1, 2);  // -> 7
+  m.layers.push_back(linear("fc6", 4096));
+  m.layers.push_back(simple(LayerKind::kReLU, "fc6.relu"));
+  m.layers.push_back(simple(LayerKind::kQuantize, "fc6.quant"));
+  m.layers.push_back(linear("fc7", 4096));
+  m.layers.push_back(simple(LayerKind::kReLU, "fc7.relu"));
+  m.layers.push_back(simple(LayerKind::kQuantize, "fc7.quant"));
+  m.layers.push_back(linear("fc8", 1000));
+  m.layers.push_back(simple(LayerKind::kSoftmax, "softmax"));
+  return m;
+}
+
+ModelSpec vgg_variant() {
+  ModelSpec m;
+  m.name = "VGG-Variant";
+  m.input = {3, 224, 224};
+  conv_block(m, "conv1_1", 64);
+  conv_block(m, "conv1_2", 64, 3, 1, 1, 2);   // -> 112
+  conv_block(m, "conv2_1", 128);
+  conv_block(m, "conv2_2", 128, 3, 1, 1, 2);  // -> 56
+  conv_block(m, "conv3_1", 256);
+  conv_block(m, "conv3_2", 256, 3, 1, 1, 2);  // -> 28
+  conv_block(m, "conv4_1", 512);
+  conv_block(m, "conv4_2", 512, 3, 1, 1, 2);  // -> 14
+  conv_block(m, "conv5_1", 512);
+  conv_block(m, "conv5_2", 512, 3, 1, 1, 2);  // -> 7
+  m.layers.push_back(linear("fc6", 4096));
+  m.layers.push_back(simple(LayerKind::kReLU, "fc6.relu"));
+  m.layers.push_back(simple(LayerKind::kQuantize, "fc6.quant"));
+  m.layers.push_back(linear("fc7", 1000));
+  m.layers.push_back(simple(LayerKind::kSoftmax, "softmax"));
+  return m;
+}
+
+ModelSpec resnet18() {
+  ModelSpec m;
+  m.name = "ResNet-18";
+  m.input = {3, 224, 224};
+  conv_block(m, "conv1", 64, 7, 2, 3, 2);  // 112 -> pool 56
+
+  auto basic_block = [&m](const std::string& name, std::int64_t channels,
+                          int stride) {
+    // Index of the block input (last layer so far).
+    const int block_in = static_cast<int>(m.layers.size()) - 1;
+    m.layers.push_back(conv(name + ".conv1", channels, 3, stride, 1));
+    m.layers.push_back(simple(LayerKind::kBatchNorm, name + ".bn1"));
+    m.layers.push_back(simple(LayerKind::kReLU, name + ".relu1"));
+    m.layers.push_back(simple(LayerKind::kQuantize, name + ".quant1"));
+    m.layers.push_back(conv(name + ".conv2", channels, 3, 1, 1));
+    m.layers.push_back(simple(LayerKind::kBatchNorm, name + ".bn2"));
+    int shortcut = block_in;
+    if (stride != 1) {
+      // Projection shortcut: 1x1 stride-2 conv reading the block input.
+      LayerSpec ds = conv(name + ".downsample", channels, 1, stride, 0);
+      ds.input = block_in;
+      m.layers.push_back(ds);
+      m.layers.push_back(simple(LayerKind::kBatchNorm, name + ".dsbn"));
+      shortcut = static_cast<int>(m.layers.size()) - 1;
+      // The add reads the main path (bn2) as primary input.
+      LayerSpec add = simple(LayerKind::kResidualAdd, name + ".add");
+      add.input = static_cast<int>(m.layers.size()) - 3;  // bn2
+      add.residual = shortcut;
+      m.layers.push_back(add);
+    } else {
+      LayerSpec add = simple(LayerKind::kResidualAdd, name + ".add");
+      add.residual = shortcut;
+      m.layers.push_back(add);
+    }
+    m.layers.push_back(simple(LayerKind::kReLU, name + ".relu2"));
+    m.layers.push_back(simple(LayerKind::kQuantize, name + ".quant2"));
+  };
+
+  basic_block("layer1.0", 64, 1);
+  basic_block("layer1.1", 64, 1);
+  basic_block("layer2.0", 128, 2);
+  basic_block("layer2.1", 128, 1);
+  basic_block("layer3.0", 256, 2);
+  basic_block("layer3.1", 256, 1);
+  basic_block("layer4.0", 512, 2);
+  basic_block("layer4.1", 512, 1);
+  m.layers.push_back(pool("avgpool", core::PoolSpec::Kind::kAvg, 7));  // 1x1
+  m.layers.push_back(linear("fc", 1000));
+  m.layers.push_back(simple(LayerKind::kSoftmax, "softmax"));
+  return m;
+}
+
+ModelSpec mini_resnet(std::int64_t in_c, std::int64_t in_hw,
+                      std::int64_t classes) {
+  ModelSpec m;
+  m.name = "MiniResNet";
+  m.input = {in_c, in_hw, in_hw};
+  conv_block(m, "stem", 8, 3, 1, 1);
+
+  auto basic_block = [&m](const std::string& name, std::int64_t channels,
+                          int stride) {
+    const int block_in = static_cast<int>(m.layers.size()) - 1;
+    m.layers.push_back(conv(name + ".conv1", channels, 3, stride, 1));
+    m.layers.push_back(simple(LayerKind::kBatchNorm, name + ".bn1"));
+    m.layers.push_back(simple(LayerKind::kReLU, name + ".relu1"));
+    m.layers.push_back(simple(LayerKind::kQuantize, name + ".quant1"));
+    m.layers.push_back(conv(name + ".conv2", channels, 3, 1, 1));
+    m.layers.push_back(simple(LayerKind::kBatchNorm, name + ".bn2"));
+    if (stride != 1) {
+      LayerSpec ds = conv(name + ".downsample", channels, 1, stride, 0);
+      ds.input = block_in;
+      m.layers.push_back(ds);
+      m.layers.push_back(simple(LayerKind::kBatchNorm, name + ".dsbn"));
+      LayerSpec add = simple(LayerKind::kResidualAdd, name + ".add");
+      add.input = static_cast<int>(m.layers.size()) - 3;  // bn2
+      add.residual = static_cast<int>(m.layers.size()) - 1;
+      m.layers.push_back(add);
+    } else {
+      LayerSpec add = simple(LayerKind::kResidualAdd, name + ".add");
+      add.residual = block_in;
+      m.layers.push_back(add);
+    }
+    m.layers.push_back(simple(LayerKind::kReLU, name + ".relu2"));
+    m.layers.push_back(simple(LayerKind::kQuantize, name + ".quant2"));
+  };
+  basic_block("block1", 8, 1);
+  basic_block("block2", 16, 2);
+  m.layers.push_back(pool("avgpool", core::PoolSpec::Kind::kAvg,
+                          static_cast<int>(in_hw / 2)));
+  m.layers.push_back(linear("fc", classes));
+  m.layers.push_back(simple(LayerKind::kSoftmax, "softmax"));
+  return m;
+}
+
+ModelSpec mini_cnn(std::int64_t in_c, std::int64_t in_hw,
+                   std::int64_t classes) {
+  ModelSpec m;
+  m.name = "MiniCNN";
+  m.input = {in_c, in_hw, in_hw};
+  conv_block(m, "conv1", 16);
+  conv_block(m, "conv2", 32, 3, 1, 1, 2);
+  m.layers.push_back(linear("fc", classes));
+  m.layers.push_back(simple(LayerKind::kSoftmax, "softmax"));
+  return m;
+}
+
+ModelSpec vgg_lite(std::int64_t in_hw, std::int64_t classes) {
+  ModelSpec m;
+  m.name = "VGG-Lite";
+  m.input = {3, in_hw, in_hw};
+  conv_block(m, "conv1_1", 32);
+  conv_block(m, "conv1_2", 32, 3, 1, 1, 2);
+  conv_block(m, "conv2_1", 64);
+  conv_block(m, "conv2_2", 64, 3, 1, 1, 2);
+  conv_block(m, "conv3_1", 128, 3, 1, 1, 2);
+  m.layers.push_back(linear("fc1", 256));
+  m.layers.push_back(simple(LayerKind::kReLU, "fc1.relu"));
+  m.layers.push_back(simple(LayerKind::kQuantize, "fc1.quant"));
+  m.layers.push_back(linear("fc2", classes));
+  m.layers.push_back(simple(LayerKind::kSoftmax, "softmax"));
+  return m;
+}
+
+}  // namespace apnn::nn

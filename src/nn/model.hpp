@@ -1,0 +1,113 @@
+// Network architecture descriptions and the model zoo.
+//
+// A ModelSpec is a flat layer list with optional cross references (residual
+// connections), enough to express the paper's three evaluation networks
+// (AlexNet, VGG-Variant, ResNet-18) plus the small test networks. Layer
+// shapes are propagated from the input; the spec is independent of precision
+// scheme — the engine decides how each layer executes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/apconv.hpp"
+#include "src/layout/im2col.hpp"
+
+namespace apnn::nn {
+
+enum class LayerKind {
+  kConv,
+  kLinear,
+  kBatchNorm,
+  kReLU,
+  kPool,
+  kQuantize,      ///< re-quantize activations to the scheme's a-bits
+  kResidualAdd,   ///< elementwise add with the output of another layer
+  kSoftmax,
+};
+
+struct ConvParams {
+  std::int64_t out_c = 0;
+  int kernel = 3;
+  int stride = 1;
+  int pad = 1;
+};
+
+struct LayerSpec {
+  LayerKind kind = LayerKind::kConv;
+  std::string name;
+
+  ConvParams conv;                 ///< kConv
+  std::int64_t out_features = 0;   ///< kLinear
+  core::PoolSpec pool;             ///< kPool
+
+  /// Index of the producing layer (-1 = previous layer / network input).
+  int input = -1;
+  /// Second input for kResidualAdd.
+  int residual = -1;
+};
+
+/// Per-sample activation shape.
+struct ActShape {
+  std::int64_t c = 0, h = 0, w = 0;
+  std::int64_t numel() const { return c * h * w; }
+};
+
+struct ModelSpec {
+  std::string name;
+  ActShape input;
+  std::vector<LayerSpec> layers;
+};
+
+/// Output shape of every layer (index i -> output of layers[i]).
+std::vector<ActShape> propagate_shapes(const ModelSpec& m);
+
+/// Conv geometry of layer `li` given the propagated shapes and a batch.
+layout::ConvGeometry conv_geometry(const ModelSpec& m,
+                                   const std::vector<ActShape>& shapes,
+                                   std::size_t li, std::int64_t batch);
+
+/// Total multiply-accumulates of one forward pass (batch 1).
+std::int64_t model_macs(const ModelSpec& m);
+
+/// The elementwise tail (BN / ReLU / pool / quantize, in any order, one
+/// each, quantize last) that follows layer `li` and can fuse into its
+/// epilogue. A layer reading a non-default input terminates the tail.
+struct TailScan {
+  bool has_bn = false;
+  bool has_relu = false;
+  bool has_quant = false;
+  core::PoolSpec pool;
+  std::vector<std::size_t> absorbed;  ///< layer indices consumed
+};
+TailScan scan_tail(const ModelSpec& m, std::size_t li);
+
+// --- Model zoo (the paper's Table 1 networks) -------------------------------
+
+/// AlexNet for 224x224x3 inputs. Pooling layers are 2x2/stride-2 (the
+/// original's overlapping 3x3/2 pools are not expressible with the
+/// size==stride pooling this library models; spatial dims match).
+ModelSpec alexnet();
+
+/// The VGG-Variant of Cai et al. (HWGQ), 224x224x3: a slimmed VGG with
+/// 2-conv stages.
+ModelSpec vgg_variant();
+
+/// ResNet-18 with standard basic blocks and 1x1 downsample shortcuts.
+ModelSpec resnet18();
+
+/// Small CNN for functional tests/examples (in_hw x in_hw x in_c input,
+/// two conv stages + classifier head).
+ModelSpec mini_cnn(std::int64_t in_c = 8, std::int64_t in_hw = 16,
+                   std::int64_t classes = 10);
+
+/// Reduced VGG (used by examples where full ImageNet scale is unnecessary).
+ModelSpec vgg_lite(std::int64_t in_hw = 32, std::int64_t classes = 10);
+
+/// Tiny two-stage residual network (basic blocks with a strided projection
+/// shortcut) for functional tests of the residual dataflow.
+ModelSpec mini_resnet(std::int64_t in_c = 3, std::int64_t in_hw = 8,
+                      std::int64_t classes = 5);
+
+}  // namespace apnn::nn

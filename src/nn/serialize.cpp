@@ -1,0 +1,235 @@
+#include "src/nn/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/common/check.hpp"
+
+namespace apnn::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'P', 'N', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+// --- primitive writers/readers (little-endian host assumed) -----------------
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  APNN_CHECK(static_cast<bool>(is)) << "truncated network file";
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<std::uint64_t>(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  APNN_CHECK(n < (1u << 20)) << "implausible string length";
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  APNN_CHECK(static_cast<bool>(is)) << "truncated network file";
+  return s;
+}
+
+template <typename T>
+void write_tensor(std::ostream& os, const Tensor<T>& t) {
+  write_pod<std::uint32_t>(os, static_cast<std::uint32_t>(t.rank()));
+  for (int d = 0; d < t.rank(); ++d) write_pod<std::int64_t>(os, t.dim(d));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(T)));
+}
+
+template <typename T>
+Tensor<T> read_tensor(std::istream& is) {
+  const auto rank = read_pod<std::uint32_t>(is);
+  APNN_CHECK(rank <= 8) << "implausible tensor rank";
+  std::vector<std::int64_t> shape(rank);
+  for (auto& d : shape) d = read_pod<std::int64_t>(is);
+  Tensor<T> t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(T)));
+  APNN_CHECK(static_cast<bool>(is)) << "truncated network file";
+  return t;
+}
+
+void write_floats(std::ostream& os, const std::vector<float>& v) {
+  write_pod<std::uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> read_floats(std::istream& is) {
+  const auto n = read_pod<std::uint64_t>(is);
+  APNN_CHECK(n < (1u << 28)) << "implausible vector length";
+  std::vector<float> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  APNN_CHECK(static_cast<bool>(is)) << "truncated network file";
+  return v;
+}
+
+void write_quant(std::ostream& os, const quant::QuantParams& p) {
+  write_pod<double>(os, p.scale);
+  write_pod<double>(os, p.zero_point);
+  write_pod<std::int32_t>(os, p.bits);
+}
+
+quant::QuantParams read_quant(std::istream& is) {
+  quant::QuantParams p;
+  p.scale = read_pod<double>(is);
+  p.zero_point = read_pod<double>(is);
+  p.bits = read_pod<std::int32_t>(is);
+  return p;
+}
+
+void write_spec(std::ostream& os, const ModelSpec& m) {
+  write_string(os, m.name);
+  write_pod<std::int64_t>(os, m.input.c);
+  write_pod<std::int64_t>(os, m.input.h);
+  write_pod<std::int64_t>(os, m.input.w);
+  write_pod<std::uint64_t>(os, m.layers.size());
+  for (const LayerSpec& l : m.layers) {
+    write_pod<std::int32_t>(os, static_cast<std::int32_t>(l.kind));
+    write_string(os, l.name);
+    write_pod<std::int64_t>(os, l.conv.out_c);
+    write_pod<std::int32_t>(os, l.conv.kernel);
+    write_pod<std::int32_t>(os, l.conv.stride);
+    write_pod<std::int32_t>(os, l.conv.pad);
+    write_pod<std::int64_t>(os, l.out_features);
+    write_pod<std::int32_t>(os, static_cast<std::int32_t>(l.pool.kind));
+    write_pod<std::int32_t>(os, l.pool.size);
+    write_pod<std::int32_t>(os, l.input);
+    write_pod<std::int32_t>(os, l.residual);
+  }
+}
+
+ModelSpec read_spec(std::istream& is) {
+  ModelSpec m;
+  m.name = read_string(is);
+  m.input.c = read_pod<std::int64_t>(is);
+  m.input.h = read_pod<std::int64_t>(is);
+  m.input.w = read_pod<std::int64_t>(is);
+  const auto n = read_pod<std::uint64_t>(is);
+  APNN_CHECK(n < (1u << 16)) << "implausible layer count";
+  m.layers.resize(n);
+  for (LayerSpec& l : m.layers) {
+    l.kind = static_cast<LayerKind>(read_pod<std::int32_t>(is));
+    l.name = read_string(is);
+    l.conv.out_c = read_pod<std::int64_t>(is);
+    l.conv.kernel = read_pod<std::int32_t>(is);
+    l.conv.stride = read_pod<std::int32_t>(is);
+    l.conv.pad = read_pod<std::int32_t>(is);
+    l.out_features = read_pod<std::int64_t>(is);
+    l.pool.kind = static_cast<core::PoolSpec::Kind>(read_pod<std::int32_t>(is));
+    l.pool.size = read_pod<std::int32_t>(is);
+    l.input = read_pod<std::int32_t>(is);
+    l.residual = read_pod<std::int32_t>(is);
+  }
+  return m;
+}
+
+}  // namespace
+
+bool save_network(const ApnnNetwork& net, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os.write(kMagic, 4);
+  write_pod<std::uint32_t>(os, kVersion);
+  write_spec(os, net.spec_);
+  write_pod<std::int32_t>(os, net.wbits_);
+  write_pod<std::int32_t>(os, net.abits_);
+  write_pod<std::uint8_t>(os, net.calibrated_ ? 1 : 0);
+  write_pod<std::uint8_t>(os, net.binary_ ? 1 : 0);
+
+  write_pod<std::uint64_t>(os, net.stages_.size());
+  for (const ApnnStage& st : net.stages_) {
+    write_pod<std::uint64_t>(os, st.layer_index);
+    write_pod<std::int32_t>(os, st.in_bits);
+    write_tensor(os, st.weights_logical);
+    write_pod<std::uint8_t>(os, st.epilogue.has_bn ? 1 : 0);
+    if (st.epilogue.has_bn) {
+      write_floats(os, st.epilogue.bn.scale);
+      write_floats(os, st.epilogue.bn.bias);
+    }
+    write_pod<std::uint8_t>(os, st.epilogue.has_relu ? 1 : 0);
+    write_pod<std::uint8_t>(os, st.epilogue.has_quant ? 1 : 0);
+    write_quant(os, st.epilogue.quant);
+  }
+
+  write_pod<std::uint64_t>(os, net.standalone_quant_.size());
+  for (const auto& [li, qp] : net.standalone_quant_) {
+    write_pod<std::uint64_t>(os, li);
+    write_quant(os, qp);
+  }
+  return static_cast<bool>(os);
+}
+
+ApnnNetwork load_network(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  APNN_CHECK(static_cast<bool>(is)) << "cannot open " << path;
+  char magic[4];
+  is.read(magic, 4);
+  APNN_CHECK(is && std::memcmp(magic, kMagic, 4) == 0)
+      << path << " is not an APNN network file";
+  const auto version = read_pod<std::uint32_t>(is);
+  APNN_CHECK(version == kVersion)
+      << "unsupported network file version " << version;
+
+  ApnnNetwork net;
+  net.spec_ = read_spec(is);
+  net.shapes_ = propagate_shapes(net.spec_);
+  net.wbits_ = read_pod<std::int32_t>(is);
+  net.abits_ = read_pod<std::int32_t>(is);
+  net.calibrated_ = read_pod<std::uint8_t>(is) != 0;
+  net.binary_ = read_pod<std::uint8_t>(is) != 0;
+
+  const core::Encoding w_enc = net.wbits_ == 1
+                                   ? core::Encoding::kSignedPM1
+                                   : core::Encoding::kUnsigned01;
+  const auto nstages = read_pod<std::uint64_t>(is);
+  APNN_CHECK(nstages < (1u << 16)) << "implausible stage count";
+  net.stages_.resize(nstages);
+  for (ApnnStage& st : net.stages_) {
+    st.layer_index = read_pod<std::uint64_t>(is);
+    APNN_CHECK(st.layer_index < net.spec_.layers.size())
+        << "stage references a missing layer";
+    st.in_bits = read_pod<std::int32_t>(is);
+    if (net.binary_ && &st != &net.stages_.front()) {
+      st.in_enc = core::Encoding::kSignedPM1;
+    }
+    st.weights_logical = read_tensor<std::int32_t>(is);
+    st.weights = core::make_operand(st.weights_logical, w_enc, net.wbits_);
+    if (read_pod<std::uint8_t>(is)) {
+      st.epilogue.has_bn = true;
+      st.epilogue.bn.scale = read_floats(is);
+      st.epilogue.bn.bias = read_floats(is);
+    }
+    st.epilogue.has_relu = read_pod<std::uint8_t>(is) != 0;
+    st.epilogue.has_quant = read_pod<std::uint8_t>(is) != 0;
+    st.epilogue.quant = read_quant(is);
+    // Derived fields come from the spec, not the file.
+    const TailScan tail = scan_tail(net.spec_, st.layer_index);
+    st.absorbed = tail.absorbed;
+    st.pool = tail.pool;
+  }
+
+  const auto nquant = read_pod<std::uint64_t>(is);
+  APNN_CHECK(nquant < (1u << 16)) << "implausible quant map size";
+  for (std::uint64_t i = 0; i < nquant; ++i) {
+    const auto li = read_pod<std::uint64_t>(is);
+    net.standalone_quant_[li] = read_quant(is);
+  }
+  return net;
+}
+
+}  // namespace apnn::nn

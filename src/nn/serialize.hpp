@@ -1,0 +1,24 @@
+// Binary serialization of instantiated APNN networks.
+//
+// Format (little-endian, versioned): the model spec (layer list), the
+// quantized logical weights of every stage, the epilogue parameters (BN
+// scale/bias, quantization scale/zero-point) and the standalone-quantize
+// calibration — everything needed to reload a calibrated network and get
+// bit-identical logits.
+#pragma once
+
+#include <string>
+
+#include "src/nn/apnn_network.hpp"
+
+namespace apnn::nn {
+
+/// Serializes a calibrated (or uncalibrated) network to `path`.
+/// Returns false on I/O failure.
+bool save_network(const ApnnNetwork& net, const std::string& path);
+
+/// Loads a network saved by save_network. Throws apnn::Error on a missing
+/// file, bad magic, or version mismatch.
+ApnnNetwork load_network(const std::string& path);
+
+}  // namespace apnn::nn

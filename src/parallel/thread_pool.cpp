@@ -1,0 +1,131 @@
+#include "src/parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/check.hpp"
+
+namespace apnn {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The caller participates in parallel_for, so spawn one fewer worker.
+  const unsigned spawned = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(spawned);
+  for (unsigned i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task.fn();
+  }
+}
+
+bool ThreadPool::run_one() {
+  Task task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task.fn();
+  return true;
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              const std::function<void(std::int64_t)>& fn,
+                              std::int64_t grain) {
+  APNN_CHECK(grain >= 1) << "grain=" << grain;
+  if (begin >= end) return;
+  const std::int64_t n = end - begin;
+  const std::int64_t nchunks = (n + grain - 1) / grain;
+  if (nchunks == 1 || workers_.empty()) {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  struct Shared {
+    std::atomic<std::int64_t> next{0};
+    std::atomic<std::int64_t> done{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  auto run_chunk = [shared, begin, end, grain, &fn, nchunks]() {
+    for (;;) {
+      const std::int64_t c = shared->next.fetch_add(1);
+      if (c >= nchunks) return;
+      const std::int64_t lo = begin + c * grain;
+      const std::int64_t hi = std::min<std::int64_t>(lo + grain, end);
+      if (!shared->failed.load(std::memory_order_relaxed)) {
+        try {
+          for (std::int64_t i = lo; i < hi; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(shared->error_mu);
+          if (!shared->failed.exchange(true)) {
+            shared->error = std::current_exception();
+          }
+        }
+      }
+      shared->done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  };
+
+  // One queued task per worker; each drains the shared chunk counter.
+  const std::int64_t helpers = std::min<std::int64_t>(
+      static_cast<std::int64_t>(workers_.size()), nchunks - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::int64_t i = 0; i < helpers; ++i) {
+      queue_.push_back(Task{run_chunk});
+    }
+  }
+  cv_.notify_all();
+
+  run_chunk();  // caller participates
+
+  // Help drain any unrelated queued tasks while waiting (avoids deadlock if
+  // parallel_for is nested).
+  while (shared->done.load(std::memory_order_acquire) < nchunks) {
+    if (!run_one()) std::this_thread::yield();
+  }
+
+  if (shared->failed.load()) std::rethrow_exception(shared->error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t grain) {
+  ThreadPool::global().parallel_for(begin, end, fn, grain);
+}
+
+}  // namespace apnn

@@ -1,0 +1,61 @@
+// Host thread pool used to execute blocks of the simulated GPU grid.
+//
+// The APNN-TC kernels are written as loops over thread blocks; on the host we
+// farm independent blocks across a pool. Exceptions thrown by tasks are
+// captured and rethrown on the caller's thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apnn {
+
+/// Fixed-size worker pool with a blocking parallel_for.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(i) for i in [begin, end), partitioned into chunks of `grain`
+  /// indices, blocking until every index has completed. The calling thread
+  /// participates in the work. Rethrows the first task exception.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t)>& fn,
+                    std::int64_t grain = 1);
+
+  /// Process-wide pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  bool run_one();  // returns false if queue empty
+
+  std::vector<std::thread> workers_;
+  std::deque<Task> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().
+void parallel_for(std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  std::int64_t grain = 1);
+
+}  // namespace apnn

@@ -1,0 +1,134 @@
+#include "src/quant/qem.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace apnn::quant {
+
+namespace {
+
+// Solves the p x p symmetric system A v = b by Gaussian elimination with
+// partial pivoting (p <= 8, so no numerics library needed).
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b,
+                                 int p) {
+  for (int col = 0; col < p; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < p; ++r) {
+      if (std::abs(a[r * p + col]) > std::abs(a[pivot * p + col])) pivot = r;
+    }
+    if (std::abs(a[pivot * p + col]) < 1e-12) {
+      // Degenerate direction (e.g. all codes identical): leave v_col as is.
+      a[col * p + col] = 1.0;
+      b[col] = 0.0;
+      continue;
+    }
+    if (pivot != col) {
+      for (int c = 0; c < p; ++c) std::swap(a[col * p + c], a[pivot * p + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (int r = col + 1; r < p; ++r) {
+      const double f = a[r * p + col] / a[col * p + col];
+      for (int c = col; c < p; ++c) a[r * p + c] -= f * a[col * p + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> v(static_cast<std::size_t>(p), 0.0);
+  for (int r = p - 1; r >= 0; --r) {
+    double s = b[r];
+    for (int c = r + 1; c < p; ++c) s -= a[r * p + c] * v[static_cast<std::size_t>(c)];
+    v[static_cast<std::size_t>(r)] = s / a[r * p + r];
+  }
+  return v;
+}
+
+}  // namespace
+
+double qem_reconstruct(std::uint32_t code, std::span<const double> basis) {
+  double v = 0.0;
+  for (std::size_t s = 0; s < basis.size(); ++s) {
+    v += ((code >> s) & 1u) ? basis[s] : -basis[s];
+  }
+  return v;
+}
+
+QemResult qem_quantize(std::span<const float> xs, int bits, int max_iters) {
+  APNN_CHECK(bits >= 1 && bits <= 8) << "bits=" << bits;
+  const int p = bits;
+  const std::size_t n = xs.size();
+  QemResult r;
+  r.codes.assign(n, 0);
+
+  // Initialize with a power-of-two basis scaled to the data (BWN-style
+  // alpha = E|w| for the leading bit).
+  double mean_abs = 0.0;
+  for (float x : xs) mean_abs += std::abs(x);
+  mean_abs = n > 0 ? mean_abs / static_cast<double>(n) : 1.0;
+  if (mean_abs == 0.0) mean_abs = 1.0;
+  r.basis.resize(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    r.basis[static_cast<std::size_t>(s)] =
+        mean_abs * std::pow(0.5, p - 1 - s);
+  }
+
+  const int ncodes = 1 << p;
+  double prev_mse = -1.0;
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // (1) Encode: nearest representable value (enumerate all 2^p codes —
+    // p <= 8 keeps this tiny).
+    std::vector<double> values(static_cast<std::size_t>(ncodes));
+    for (int code = 0; code < ncodes; ++code) {
+      values[static_cast<std::size_t>(code)] =
+          qem_reconstruct(static_cast<std::uint32_t>(code), r.basis);
+    }
+    double se = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::abs(xs[i] - values[0]);
+      for (int code = 1; code < ncodes; ++code) {
+        const double d = std::abs(xs[i] - values[static_cast<std::size_t>(code)]);
+        if (d < best_d) {
+          best_d = d;
+          best = code;
+        }
+      }
+      r.codes[i] = static_cast<std::uint32_t>(best);
+      se += best_d * best_d;
+    }
+    r.mse = n > 0 ? se / static_cast<double>(n) : 0.0;
+    r.iterations = iter + 1;
+    if (prev_mse >= 0.0 && prev_mse - r.mse < 1e-12) break;
+    prev_mse = r.mse;
+
+    // (2) Basis update: least squares v = (B'B)^-1 B'w with B in {-1,+1}.
+    std::vector<double> btb(static_cast<std::size_t>(p * p), 0.0);
+    std::vector<double> btw(static_cast<std::size_t>(p), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double bi[8];
+      for (int s = 0; s < p; ++s) bi[s] = ((r.codes[i] >> s) & 1u) ? 1.0 : -1.0;
+      for (int s = 0; s < p; ++s) {
+        btw[static_cast<std::size_t>(s)] += bi[s] * xs[i];
+        for (int t = 0; t < p; ++t) {
+          btb[static_cast<std::size_t>(s * p + t)] += bi[s] * bi[t];
+        }
+      }
+    }
+    r.basis = solve_linear(std::move(btb), std::move(btw), p);
+    // Keep basis positive and sorted ascending for a canonical form
+    // (sign flips are absorbed into the codes on the next encode pass).
+    for (auto& v : r.basis) v = std::abs(v);
+    std::sort(r.basis.begin(), r.basis.end());
+  }
+  return r;
+}
+
+std::vector<float> qem_reconstruct_all(const QemResult& r) {
+  std::vector<float> out(r.codes.size());
+  for (std::size_t i = 0; i < r.codes.size(); ++i) {
+    out[i] = static_cast<float>(qem_reconstruct(r.codes[i], r.basis));
+  }
+  return out;
+}
+
+}  // namespace apnn::quant

@@ -1,0 +1,36 @@
+// Quantization-error-minimization (QEM) weight quantizer, following the
+// LQ-Nets strategy the paper adopts (§2.1): weights are approximated as
+//   w ~ sum_{s=0}^{p-1} v_s * b_s,   b_s in {-1, +1}
+// with the basis v learned by alternating minimization:
+//   (1) given v, encode each weight to its nearest representable value;
+//   (2) given the codes B, solve the least-squares basis v = (B'B)^-1 B'w.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace apnn::quant {
+
+struct QemResult {
+  /// Learned basis, one coefficient per bit (size p).
+  std::vector<double> basis;
+  /// Codes: for weight i, bit s of codes[i] is 1 when b_s = +1.
+  std::vector<std::uint32_t> codes;
+  /// Final mean squared reconstruction error.
+  double mse = 0.0;
+  int iterations = 0;
+};
+
+/// Runs QEM for `bits`-bit quantization of xs. `max_iters` alternating steps
+/// (converges in a handful).
+QemResult qem_quantize(std::span<const float> xs, int bits,
+                       int max_iters = 20);
+
+/// Reconstructs weight i from its code and the basis.
+double qem_reconstruct(std::uint32_t code, std::span<const double> basis);
+
+/// Reconstructs the full vector.
+std::vector<float> qem_reconstruct_all(const QemResult& r);
+
+}  // namespace apnn::quant

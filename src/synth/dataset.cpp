@@ -1,0 +1,75 @@
+#include "src/synth/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace apnn::synth {
+
+Dataset make_dataset(std::int64_t n, const DatasetConfig& cfg,
+                     std::uint64_t sample_seed) {
+  APNN_CHECK(n > 0 && cfg.classes > 1 && cfg.hw >= 4);
+  const std::int64_t hw = cfg.hw, ch = cfg.channels;
+
+  // Class prototypes: smooth random fields (low-frequency sinusoid mix) so
+  // that shifts change them gradually.
+  Rng proto_rng(cfg.task_seed);
+  std::vector<Tensor<float>> protos;
+  protos.reserve(static_cast<std::size_t>(cfg.classes));
+  for (int c = 0; c < cfg.classes; ++c) {
+    Tensor<float> p({hw, hw, ch});
+    // Each prototype is a sum of a few random 2D waves.
+    struct Wave {
+      double fx, fy, phase, amp;
+    };
+    std::vector<Wave> waves(4);
+    for (auto& w : waves) {
+      w.fx = proto_rng.uniform(0.5, 2.5);
+      w.fy = proto_rng.uniform(0.5, 2.5);
+      w.phase = proto_rng.uniform(0.0, 2.0 * M_PI);
+      w.amp = proto_rng.uniform(0.3, 1.0);
+    }
+    for (std::int64_t y = 0; y < hw; ++y) {
+      for (std::int64_t x = 0; x < hw; ++x) {
+        double v = 0;
+        for (const auto& w : waves) {
+          v += w.amp * std::sin(2.0 * M_PI *
+                                    (w.fx * x / static_cast<double>(hw) +
+                                     w.fy * y / static_cast<double>(hw)) +
+                                w.phase);
+        }
+        for (std::int64_t cc = 0; cc < ch; ++cc) {
+          p(y, x, cc) = static_cast<float>(std::tanh(v));
+        }
+      }
+    }
+    protos.push_back(std::move(p));
+  }
+
+  Rng rng(sample_seed);
+  Dataset ds;
+  ds.classes = cfg.classes;
+  ds.images = Tensor<float>({n, hw, hw, ch});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % cfg.classes);
+    ds.labels[static_cast<std::size_t>(i)] = label;
+    const Tensor<float>& p = protos[static_cast<std::size_t>(label)];
+    const std::int64_t dy = rng.uniform_int(-cfg.max_shift, cfg.max_shift);
+    const std::int64_t dx = rng.uniform_int(-cfg.max_shift, cfg.max_shift);
+    for (std::int64_t y = 0; y < hw; ++y) {
+      for (std::int64_t x = 0; x < hw; ++x) {
+        const std::int64_t sy = std::clamp<std::int64_t>(y + dy, 0, hw - 1);
+        const std::int64_t sx = std::clamp<std::int64_t>(x + dx, 0, hw - 1);
+        for (std::int64_t cc = 0; cc < ch; ++cc) {
+          ds.images(i, y, x, cc) =
+              p(sy, sx, cc) + static_cast<float>(rng.normal(0, cfg.noise));
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace apnn::synth

@@ -1,0 +1,70 @@
+#include "src/tcsim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/check.hpp"
+
+namespace apnn::tcsim {
+
+double CostModel::parallel_efficiency(std::int64_t blocks) const {
+  if (blocks <= 0) return 1.0;
+  const std::int64_t sms = spec_->num_sms;
+  const std::int64_t waves = (blocks + sms - 1) / sms;
+  const double busy =
+      static_cast<double>(blocks) / static_cast<double>(waves * sms);
+  return std::pow(busy, spec_->latency_hiding_alpha);
+}
+
+double CostModel::ci_efficiency(double ci) const {
+  if (ci <= 0) return 1.0;
+  return ci / (ci + spec_->ci_half);
+}
+
+LatencyEstimate CostModel::estimate(const KernelProfile& k) const {
+  LatencyEstimate e;
+  e.launch_us =
+      spec_->launch_overhead_us * static_cast<double>(
+          std::max<std::int64_t>(k.counters.kernel_launches, 1));
+
+  const double par = parallel_efficiency(k.grid_blocks);
+  const double ci_eff = ci_efficiency(k.ci);
+  const double fam = spec_->family_eff(k.family);
+
+  // MMA pipeline time, per precision (a kernel normally uses one).
+  const TrafficCounters& c = k.counters;
+  auto mma_time_us = [&](std::int64_t ops, Precision p) -> double {
+    if (ops == 0) return 0.0;
+    const double eff_tops = spec_->peak(p) * fam * ci_eff * par;
+    return static_cast<double>(ops) / (eff_tops * 1e12) * 1e6;
+  };
+  e.compute_us += mma_time_us(c.ops_b1(), Precision::kInt1);
+  e.compute_us += mma_time_us(c.ops_i4(), Precision::kInt4);
+  e.compute_us += mma_time_us(c.ops_i8(), Precision::kInt8);
+  e.compute_us += mma_time_us(c.ops_f16(), Precision::kFp16);
+  e.compute_us += mma_time_us(c.ops_f32(), Precision::kFp32);
+
+  if (c.total_alu_ops() > 0) {
+    e.alu_us = static_cast<double>(c.total_alu_ops()) /
+               (spec_->int_alu_tops * 1e12 * par) * 1e6;
+  }
+
+  e.global_mem_us = static_cast<double>(c.total_global_bytes()) /
+                    (spec_->mem_bw_gbps * 1e9 * spec_->mem_efficiency) * 1e6;
+  if (c.total_shared_bytes() > 0) {
+    e.shared_mem_us = static_cast<double>(c.total_shared_bytes()) /
+                      (spec_->shmem_bw_gbps * 1e9 * par) * 1e6;
+  }
+
+  e.total_us = e.launch_us + std::max({e.compute_us + e.alu_us,
+                                       e.global_mem_us, e.shared_mem_us});
+  return e;
+}
+
+LatencyEstimate CostModel::estimate(const SequenceProfile& s) const {
+  LatencyEstimate sum;
+  for (const auto& k : s.kernels) sum += estimate(k);
+  return sum;
+}
+
+}  // namespace apnn::tcsim

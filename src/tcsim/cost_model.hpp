@@ -1,0 +1,71 @@
+// Analytic latency model for the simulated Ampere device.
+//
+// The model converts a KernelProfile's counters into time:
+//
+//   total = launch + max(compute + alu, global_memory, shared_memory)
+//
+//   compute    = sum_p ops_p / (peak_p * family_eff * ci_eff * parallel_eff)
+//   alu        = alu_ops / (int_alu_peak * parallel_eff)
+//   global mem = bytes / (bw * mem_eff)
+//   shared mem = bytes / (shmem_bw * parallel_eff)
+//
+//   parallel_eff = B / (ceil(B / SMs) * SMs)  — the fraction of the device a
+//     B-block grid keeps busy, including wave quantization. This is what the
+//     paper's TLP knob (Eq. 3) controls: more (smaller) blocks -> higher
+//     parallel_eff until the device saturates.
+//   ci_eff = ci / (ci + ci_half)              — the paper's CI knob (Eq. 4):
+//     larger tiles amortize memory ops and pipeline better.
+//
+// The absolute anchor points are calibrated to the paper's measurements
+// (DESIGN.md §4); shapes (who wins, crossovers) follow from the structure.
+#pragma once
+
+#include "src/tcsim/device_spec.hpp"
+#include "src/tcsim/kernel.hpp"
+
+namespace apnn::tcsim {
+
+struct LatencyEstimate {
+  double launch_us = 0;
+  double compute_us = 0;  ///< MMA pipeline time
+  double alu_us = 0;      ///< CUDA-core ALU time (decompose/combine/epilogue)
+  double global_mem_us = 0;
+  double shared_mem_us = 0;
+  double total_us = 0;
+
+  LatencyEstimate& operator+=(const LatencyEstimate& o) {
+    launch_us += o.launch_us;
+    compute_us += o.compute_us;
+    alu_us += o.alu_us;
+    global_mem_us += o.global_mem_us;
+    shared_mem_us += o.shared_mem_us;
+    total_us += o.total_us;
+    return *this;
+  }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const DeviceSpec& spec) : spec_(&spec) {}
+
+  const DeviceSpec& device() const { return *spec_; }
+
+  /// Fraction of the device a B-block grid utilizes (wave-quantized).
+  double parallel_efficiency(std::int64_t blocks) const;
+
+  /// Tile efficiency from compute intensity (0 ci means elementwise: 1.0
+  /// since such kernels are bandwidth-bound anyway).
+  double ci_efficiency(double ci) const;
+
+  /// Latency of one kernel launch.
+  LatencyEstimate estimate(const KernelProfile& k) const;
+
+  /// Latency of a kernel sequence (per-launch overheads accumulate — this is
+  /// exactly what kernel fusion removes).
+  LatencyEstimate estimate(const SequenceProfile& s) const;
+
+ private:
+  const DeviceSpec* spec_;
+};
+
+}  // namespace apnn::tcsim

@@ -1,0 +1,67 @@
+// Simulated Ampere device descriptions and calibration parameters.
+//
+// Peak throughputs come from the GA102 / GA100 whitepapers; the per-kernel-
+// family base efficiencies are calibrated against the measured anchors the
+// paper reports (DESIGN.md §4), e.g. "cutlass-gemm-int1 is only 5.9x faster
+// than cublas-gemm-int8 on RTX 3090".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/tcsim/precision.hpp"
+
+namespace apnn::tcsim {
+
+struct DeviceSpec {
+  std::string name;
+
+  int num_sms = 0;
+  double clock_ghz = 0;
+
+  /// Peak dense MMA throughput in TOPS (tera-ops, 2 ops per MAC), per
+  /// precision. fp32 entry is the CUDA-core FMA peak.
+  std::map<Precision, double> peak_tops;
+
+  /// CUDA-core integer ALU peak in TOPS (bit decompose/combine, epilogues).
+  double int_alu_tops = 0;
+
+  double mem_bw_gbps = 0;        ///< global memory bandwidth, GB/s
+  double shmem_bw_gbps = 0;      ///< aggregate shared-memory bandwidth, GB/s
+  std::int64_t shmem_per_sm = 0; ///< usable shared memory per SM, bytes
+  int max_blocks_per_sm = 16;
+
+  double launch_overhead_us = 0; ///< fixed cost per kernel launch
+
+  /// Base efficiency (fraction of peak reachable at full occupancy) per
+  /// kernel family: "cutlass-gemm", "cublas-gemm", "cutlass-conv",
+  /// "apnn", "bnn". Unknown families fall back to kDefaultEfficiency.
+  std::map<std::string, double> family_efficiency;
+
+  /// Compute-intensity half-saturation constant: tile efficiency is
+  /// ci / (ci + ci_half) with ci = 2*bm*bn/(bm+bn) (paper Eq. 4).
+  double ci_half = 0;
+
+  /// Fraction of peak DRAM bandwidth streaming kernels achieve.
+  double mem_efficiency = 0.8;
+
+  /// Latency-hiding exponent: a grid keeping fraction x of the SMs busy
+  /// achieves x^alpha of peak (alpha < 1 because co-resident warps hide
+  /// pipeline latency, so low occupancy hurts sub-linearly).
+  double latency_hiding_alpha = 0.7;
+
+  double family_eff(const std::string& family) const;
+
+  double peak(Precision p) const;
+
+  static constexpr double kDefaultEfficiency = 0.5;
+};
+
+/// NVIDIA GeForce RTX 3090 (GA102), the paper's primary platform.
+const DeviceSpec& rtx3090();
+
+/// NVIDIA A100 (GA100), the paper's second platform.
+const DeviceSpec& a100();
+
+}  // namespace apnn::tcsim

@@ -1,0 +1,72 @@
+#include "src/tcsim/half.hpp"
+
+#include <cstring>
+
+namespace apnn::tcsim {
+
+half_t float_to_half(float f) {
+  std::uint32_t x;
+  std::memcpy(&x, &f, 4);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xff) - 127;
+  std::uint32_t mant = x & 0x7fffffu;
+
+  half_t out;
+  if (exp == 128) {  // inf / nan
+    out.bits = static_cast<std::uint16_t>(sign | 0x7c00u | (mant ? 0x200u : 0));
+    return out;
+  }
+  if (exp > 15) {  // overflow -> inf
+    out.bits = static_cast<std::uint16_t>(sign | 0x7c00u);
+    return out;
+  }
+  if (exp >= -14) {  // normal range
+    // 13 mantissa bits are dropped; round to nearest even.
+    std::uint32_t half_mant = mant >> 13;
+    const std::uint32_t rem = mant & 0x1fffu;
+    std::uint32_t bits = sign | (static_cast<std::uint32_t>(exp + 15) << 10) |
+                         half_mant;
+    if (rem > 0x1000u || (rem == 0x1000u && (half_mant & 1u))) bits += 1;
+    out.bits = static_cast<std::uint16_t>(bits);
+    return out;
+  }
+  if (exp >= -25) {  // subnormal half
+    mant |= 0x800000u;  // implicit leading 1
+    const int shift = -exp - 14 + 13;  // 13 = fp32->fp16 mantissa shift
+    std::uint32_t half_mant = mant >> shift;
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    if (rem > halfway || (rem == halfway && (half_mant & 1u))) half_mant += 1;
+    out.bits = static_cast<std::uint16_t>(sign | half_mant);
+    return out;
+  }
+  out.bits = static_cast<std::uint16_t>(sign);  // underflow -> signed zero
+  return out;
+}
+
+float half_to_float(half_t h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h.bits) & 0x8000u) << 16;
+  const std::uint32_t exp = (h.bits >> 10) & 0x1fu;
+  std::uint32_t mant = h.bits & 0x3ffu;
+  std::uint32_t out;
+  if (exp == 0x1f) {  // inf / nan
+    out = sign | 0x7f800000u | (mant << 13);
+  } else if (exp != 0) {  // normal
+    out = sign | ((exp + 112u) << 23) | (mant << 13);
+  } else if (mant != 0) {  // subnormal: normalize
+    int e = -1;
+    do {
+      mant <<= 1;
+      ++e;
+    } while ((mant & 0x400u) == 0);
+    out = sign | ((113u - static_cast<std::uint32_t>(e) - 1u) << 23) |
+          ((mant & 0x3ffu) << 13);
+  } else {
+    out = sign;  // zero
+  }
+  float f;
+  std::memcpy(&f, &out, 4);
+  return f;
+}
+
+}  // namespace apnn::tcsim

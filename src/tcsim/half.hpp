@@ -1,0 +1,21 @@
+// Software IEEE binary16 (half precision) — storage type plus conversions.
+// Used by the fp16 baseline kernels; conversion is round-to-nearest-even.
+#pragma once
+
+#include <cstdint>
+
+namespace apnn::tcsim {
+
+/// Opaque binary16 payload.
+struct half_t {
+  std::uint16_t bits = 0;
+};
+
+/// fp32 -> binary16 with round-to-nearest-even, overflow to infinity,
+/// gradual underflow to subnormals.
+half_t float_to_half(float f);
+
+/// binary16 -> fp32 (exact).
+float half_to_float(half_t h);
+
+}  // namespace apnn::tcsim

@@ -1,0 +1,95 @@
+#include "src/tcsim/mma.hpp"
+
+namespace apnn::tcsim {
+
+void bmma_8x8x128(BitOp op, const std::uint64_t* a, std::int64_t a_stride,
+                  const std::uint64_t* b, std::int64_t b_stride,
+                  std::int32_t* acc) {
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t a0 = a[i * a_stride];
+    const std::uint64_t a1 = a[i * a_stride + 1];
+    std::int32_t* arow = acc + i * 8;
+    if (op == BitOp::kXor) {
+      for (int j = 0; j < 8; ++j) {
+        const std::uint64_t b0 = b[j * b_stride];
+        const std::uint64_t b1 = b[j * b_stride + 1];
+        arow[j] += __builtin_popcountll(a0 ^ b0) + __builtin_popcountll(a1 ^ b1);
+      }
+    } else {
+      for (int j = 0; j < 8; ++j) {
+        const std::uint64_t b0 = b[j * b_stride];
+        const std::uint64_t b1 = b[j * b_stride + 1];
+        arow[j] += __builtin_popcountll(a0 & b0) + __builtin_popcountll(a1 & b1);
+      }
+    }
+  }
+}
+
+void bmma_8x8x128_rows(BitOp op, const std::uint64_t* const* a_rows,
+                       const std::uint64_t* const* b_rows,
+                       std::int64_t word_offset, std::int32_t* acc) {
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t a0 = a_rows[i][word_offset];
+    const std::uint64_t a1 = a_rows[i][word_offset + 1];
+    std::int32_t* arow = acc + i * 8;
+    if (op == BitOp::kXor) {
+      for (int j = 0; j < 8; ++j) {
+        const std::uint64_t b0 = b_rows[j][word_offset];
+        const std::uint64_t b1 = b_rows[j][word_offset + 1];
+        arow[j] += __builtin_popcountll(a0 ^ b0) + __builtin_popcountll(a1 ^ b1);
+      }
+    } else {
+      for (int j = 0; j < 8; ++j) {
+        const std::uint64_t b0 = b_rows[j][word_offset];
+        const std::uint64_t b1 = b_rows[j][word_offset + 1];
+        arow[j] += __builtin_popcountll(a0 & b0) + __builtin_popcountll(a1 & b1);
+      }
+    }
+  }
+}
+
+void imma_8x8x32(const std::int8_t* a, std::int64_t a_stride,
+                 const std::int8_t* b, std::int64_t b_stride,
+                 std::int32_t* acc) {
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      std::int32_t sum = 0;
+      for (int k = 0; k < 32; ++k) {
+        sum += static_cast<std::int32_t>(a[i * a_stride + k]) *
+               static_cast<std::int32_t>(b[j * b_stride + k]);
+      }
+      acc[i * 8 + j] += sum;
+    }
+  }
+}
+
+void imma_16x16x16(const std::int8_t* a, std::int64_t a_stride,
+                   const std::int8_t* b, std::int64_t b_stride,
+                   std::int32_t* acc) {
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      std::int32_t sum = 0;
+      for (int k = 0; k < 16; ++k) {
+        sum += static_cast<std::int32_t>(a[i * a_stride + k]) *
+               static_cast<std::int32_t>(b[j * b_stride + k]);
+      }
+      acc[i * 16 + j] += sum;
+    }
+  }
+}
+
+void hmma_16x16x16(const half_t* a, std::int64_t a_stride, const half_t* b,
+                   std::int64_t b_stride, float* acc) {
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      float sum = 0.f;
+      for (int k = 0; k < 16; ++k) {
+        sum += half_to_float(a[i * a_stride + k]) *
+               half_to_float(b[j * b_stride + k]);
+      }
+      acc[i * 16 + j] += sum;
+    }
+  }
+}
+
+}  // namespace apnn::tcsim

@@ -1,0 +1,55 @@
+// Functional emulation of Ampere tensor-core MMA tile primitives.
+//
+// Shapes follow the CUDA WMMA sub-byte / integer fragments:
+//   b1   : m8 n8 k128, XOR or AND bit op + popc, int32 accumulate
+//   int4 : m8 n8 k32, int32 accumulate
+//   int8 : m16 n16 k16, int32 accumulate
+//   fp16 : m16 n16 k16, fp32 accumulate
+// A is row-major (m x k), B is column-major presented as rows of B^T
+// (n x k), acc is row-major m x n — exactly the bmma operand layout the
+// paper uses (8x128 W rows against 8x128 X rows producing 8x8).
+#pragma once
+
+#include <cstdint>
+
+#include "src/tcsim/half.hpp"
+
+namespace apnn::tcsim {
+
+/// Bit-level op selected on the b1 tensor core (§2.3: XOR since Turing,
+/// AND added in Ampere).
+enum class BitOp { kXor, kAnd };
+
+/// b1 MMA tile: for each (i, j), acc[i*8+j] += popc(op(a_row_i, b_row_j))
+/// over the 128-bit k-slab. `a`/`b` point at the first row's 2 words;
+/// strides are in 64-bit words.
+void bmma_8x8x128(BitOp op, const std::uint64_t* a, std::int64_t a_stride,
+                  const std::uint64_t* b, std::int64_t b_stride,
+                  std::int32_t* acc);
+
+/// Row-pointer variant used by the virtually batched APMM: the 8 A rows and
+/// 8 B rows may live in different bit planes (the batching of §4.1a), so
+/// each is addressed through its own pointer. `word_offset` selects the
+/// 128-bit k-slab (2 words) within every row.
+void bmma_8x8x128_rows(BitOp op, const std::uint64_t* const* a_rows,
+                       const std::uint64_t* const* b_rows,
+                       std::int64_t word_offset, std::int32_t* acc);
+
+/// int4 MMA tile (values stored one per int8, range [-8, 7] signed or
+/// [0, 15] unsigned — the emulation just multiplies the int8 payloads):
+/// acc[i*8+j] += sum_k a[i][k] * b[j][k], k = 32.
+void imma_8x8x32(const std::int8_t* a, std::int64_t a_stride,
+                 const std::int8_t* b, std::int64_t b_stride,
+                 std::int32_t* acc);
+
+/// int8 MMA tile m16n16k16: acc[i*16+j] += sum_k a[i][k] * b[j][k].
+void imma_16x16x16(const std::int8_t* a, std::int64_t a_stride,
+                   const std::int8_t* b, std::int64_t b_stride,
+                   std::int32_t* acc);
+
+/// fp16 MMA tile m16n16k16 with fp32 accumulate. Inputs are IEEE binary16
+/// payloads; products are computed in fp32 like the hardware does.
+void hmma_16x16x16(const half_t* a, std::int64_t a_stride, const half_t* b,
+                   std::int64_t b_stride, float* acc);
+
+}  // namespace apnn::tcsim

@@ -1,0 +1,40 @@
+// Precision taxonomy of the simulated device.
+#pragma once
+
+#include <string>
+
+namespace apnn::tcsim {
+
+/// Precisions with native MMA support on the simulated Ampere device.
+enum class Precision {
+  kInt1,  ///< 1-bit (bmma, XOR/AND + popc), Turing/Ampere
+  kInt4,  ///< 4-bit integer MMA
+  kInt8,  ///< 8-bit integer MMA
+  kFp16,  ///< half-precision MMA
+  kFp32,  ///< CUDA-core single precision (no tensor core)
+};
+
+inline const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kInt1: return "int1";
+    case Precision::kInt4: return "int4";
+    case Precision::kInt8: return "int8";
+    case Precision::kFp16: return "fp16";
+    case Precision::kFp32: return "fp32";
+  }
+  return "?";
+}
+
+/// Storage footprint of one element, in bytes (sub-byte precisions pack).
+inline double precision_bytes(Precision p) {
+  switch (p) {
+    case Precision::kInt1: return 1.0 / 8.0;
+    case Precision::kInt4: return 0.5;
+    case Precision::kInt8: return 1.0;
+    case Precision::kFp16: return 2.0;
+    case Precision::kFp32: return 4.0;
+  }
+  return 4.0;
+}
+
+}  // namespace apnn::tcsim

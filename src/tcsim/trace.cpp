@@ -1,0 +1,66 @@
+#include "src/tcsim/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace apnn::tcsim {
+
+namespace {
+
+/// Minimal JSON string escaping (kernel names are ASCII identifiers, but be
+/// safe about quotes/backslashes).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const SequenceProfile& seq, const CostModel& cm) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  double t = 0.0;  // microseconds
+  bool first = true;
+  for (const auto& k : seq.kernels) {
+    const LatencyEstimate est = cm.estimate(k);
+    if (!first) os << ",";
+    first = false;
+    // Launch overhead as its own slice, then the kernel body.
+    os << "{\"name\":\"launch\",\"cat\":\"driver\",\"ph\":\"X\",\"pid\":1,"
+       << "\"tid\":1,\"ts\":" << t << ",\"dur\":" << est.launch_us << "},";
+    t += est.launch_us;
+    const double body = est.total_us - est.launch_us;
+    os << "{\"name\":\"" << json_escape(k.name)
+       << "\",\"cat\":\"kernel\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":"
+       << t << ",\"dur\":" << body << ",\"args\":{"
+       << "\"family\":\"" << json_escape(k.family) << "\","
+       << "\"grid_blocks\":" << k.grid_blocks << ","
+       << "\"ci\":" << k.ci << ","
+       << "\"compute_us\":" << est.compute_us << ","
+       << "\"alu_us\":" << est.alu_us << ","
+       << "\"global_mem_us\":" << est.global_mem_us << ","
+       << "\"shared_mem_us\":" << est.shared_mem_us << ","
+       << "\"global_bytes\":" << k.counters.total_global_bytes() << ","
+       << "\"shared_bytes\":" << k.counters.total_shared_bytes() << ","
+       << "\"bmma_b1\":" << k.counters.bmma_b1 << "}}";
+    t += body;
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool write_chrome_trace(const SequenceProfile& seq, const CostModel& cm,
+                        const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_chrome_trace(seq, cm);
+  return static_cast<bool>(f);
+}
+
+}  // namespace apnn::tcsim

@@ -1,0 +1,25 @@
+// Chrome-trace export of kernel launch sequences.
+//
+// Writes a SequenceProfile as a chrome://tracing / Perfetto JSON file so the
+// modeled execution of a network can be inspected visually: one lane for
+// kernel execution, with launch overheads and per-kernel counters attached
+// as arguments.
+#pragma once
+
+#include <string>
+
+#include "src/tcsim/cost_model.hpp"
+#include "src/tcsim/kernel.hpp"
+
+namespace apnn::tcsim {
+
+/// Renders the sequence as Chrome trace-event JSON (returned as a string).
+/// Kernels execute back to back on one timeline; each event carries the
+/// kernel's grid size, traffic counters and latency components.
+std::string to_chrome_trace(const SequenceProfile& seq, const CostModel& cm);
+
+/// Convenience: writes the trace to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const SequenceProfile& seq, const CostModel& cm,
+                        const std::string& path);
+
+}  // namespace apnn::tcsim

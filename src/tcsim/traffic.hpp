@@ -1,0 +1,83 @@
+// Byte-accurate traffic and instruction counters.
+//
+// Kernels written against the simulator count, at tile granularity, exactly
+// the bytes a real Ampere kernel with the same loop structure would move
+// between global memory, shared memory and registers, plus the MMA / ALU
+// instructions it would issue. The cost model converts these counters into a
+// modeled latency. Counting at tile granularity (instead of per scalar) keeps
+// the host emulation fast while remaining exact: every tile move has a known
+// byte size.
+#pragma once
+
+#include <cstdint>
+
+namespace apnn::tcsim {
+
+struct TrafficCounters {
+  // Memory traffic in bytes.
+  std::int64_t global_load_bytes = 0;
+  std::int64_t global_store_bytes = 0;
+  std::int64_t shared_load_bytes = 0;
+  std::int64_t shared_store_bytes = 0;
+
+  // MMA tile issues, by precision (tile shapes are fixed per precision:
+  // b1 8x8x128, i4 8x8x32, i8 16x16x16, f16 16x16x16).
+  std::int64_t bmma_b1 = 0;
+  std::int64_t mma_i4 = 0;
+  std::int64_t mma_i8 = 0;
+  std::int64_t mma_f16 = 0;
+  std::int64_t fma_f32 = 0;  ///< CUDA-core fused multiply-adds (fp32 path)
+
+  // CUDA-core integer/ALU work, split by phase so the bit-decomposition /
+  // bit-combination overhead study (paper Fig. 11) can be reproduced.
+  std::int64_t alu_decompose_ops = 0;
+  std::int64_t alu_combine_ops = 0;
+  std::int64_t alu_epilogue_ops = 0;
+  std::int64_t alu_other_ops = 0;
+
+  std::int64_t kernel_launches = 0;
+
+  TrafficCounters& operator+=(const TrafficCounters& o) {
+    global_load_bytes += o.global_load_bytes;
+    global_store_bytes += o.global_store_bytes;
+    shared_load_bytes += o.shared_load_bytes;
+    shared_store_bytes += o.shared_store_bytes;
+    bmma_b1 += o.bmma_b1;
+    mma_i4 += o.mma_i4;
+    mma_i8 += o.mma_i8;
+    mma_f16 += o.mma_f16;
+    fma_f32 += o.fma_f32;
+    alu_decompose_ops += o.alu_decompose_ops;
+    alu_combine_ops += o.alu_combine_ops;
+    alu_epilogue_ops += o.alu_epilogue_ops;
+    alu_other_ops += o.alu_other_ops;
+    kernel_launches += o.kernel_launches;
+    return *this;
+  }
+
+  std::int64_t total_global_bytes() const {
+    return global_load_bytes + global_store_bytes;
+  }
+  std::int64_t total_shared_bytes() const {
+    return shared_load_bytes + shared_store_bytes;
+  }
+  std::int64_t total_alu_ops() const {
+    return alu_decompose_ops + alu_combine_ops + alu_epilogue_ops +
+           alu_other_ops;
+  }
+
+  /// Multiply-accumulate operation counts implied by the MMA tile issues
+  /// (2 ops per MAC), per precision.
+  std::int64_t ops_b1() const { return bmma_b1 * 2 * 8 * 8 * 128; }
+  std::int64_t ops_i4() const { return mma_i4 * 2 * 8 * 8 * 32; }
+  std::int64_t ops_i8() const { return mma_i8 * 2 * 16 * 16 * 16; }
+  std::int64_t ops_f16() const { return mma_f16 * 2 * 16 * 16 * 16; }
+  std::int64_t ops_f32() const { return fma_f32 * 2; }
+};
+
+inline TrafficCounters operator+(TrafficCounters a, const TrafficCounters& b) {
+  a += b;
+  return a;
+}
+
+}  // namespace apnn::tcsim

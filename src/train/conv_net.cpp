@@ -1,0 +1,428 @@
+#include "src/train/conv_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace apnn::train {
+
+namespace {
+
+constexpr int kK = 3;  // 3x3 convolutions with pad 1 throughout
+
+/// z = conv3x3(x, w) + b; x {B,H,W,Cin}, w {Cout,3,3,Cin}, z {B,H,W,Cout}.
+Tensor<float> conv_forward(const Tensor<float>& x, const Tensor<float>& w,
+                           const Tensor<float>& b) {
+  const std::int64_t bs = x.dim(0), h = x.dim(1), ww = x.dim(2),
+                     cin = x.dim(3), cout = w.dim(0);
+  Tensor<float> z({bs, h, ww, cout});
+  for (std::int64_t n = 0; n < bs; ++n) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x2 = 0; x2 < ww; ++x2) {
+        for (std::int64_t m = 0; m < cout; ++m) {
+          float acc = b[m];
+          for (int kh = 0; kh < kK; ++kh) {
+            const std::int64_t iy = y + kh - 1;
+            if (iy < 0 || iy >= h) continue;
+            for (int kw = 0; kw < kK; ++kw) {
+              const std::int64_t ix = x2 + kw - 1;
+              if (ix < 0 || ix >= ww) continue;
+              for (std::int64_t c = 0; c < cin; ++c) {
+                acc += x(n, iy, ix, c) * w(m, kh, kw, c);
+              }
+            }
+          }
+          z(n, y, x2, m) = acc;
+        }
+      }
+    }
+  }
+  return z;
+}
+
+/// dx = conv3x3_backward_data(dz, w): full correlation with flipped taps.
+Tensor<float> conv_backward_data(const Tensor<float>& dz,
+                                 const Tensor<float>& w,
+                                 std::int64_t cin) {
+  const std::int64_t bs = dz.dim(0), h = dz.dim(1), ww = dz.dim(2),
+                     cout = dz.dim(3);
+  Tensor<float> dx({bs, h, ww, cin});
+  for (std::int64_t n = 0; n < bs; ++n) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x2 = 0; x2 < ww; ++x2) {
+        for (std::int64_t m = 0; m < cout; ++m) {
+          const float g = dz(n, y, x2, m);
+          if (g == 0.f) continue;
+          for (int kh = 0; kh < kK; ++kh) {
+            const std::int64_t iy = y + kh - 1;
+            if (iy < 0 || iy >= h) continue;
+            for (int kw = 0; kw < kK; ++kw) {
+              const std::int64_t ix = x2 + kw - 1;
+              if (ix < 0 || ix >= ww) continue;
+              for (std::int64_t c = 0; c < cin; ++c) {
+                dx(n, iy, ix, c) += g * w(m, kh, kw, c);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+/// dw[m][kh][kw][c] = sum over batch/space of dz * x; db[m] = sum dz.
+void conv_backward_weights(const Tensor<float>& dz, const Tensor<float>& x,
+                           Tensor<float>* dw, Tensor<float>* db) {
+  const std::int64_t bs = dz.dim(0), h = dz.dim(1), ww = dz.dim(2),
+                     cout = dz.dim(3), cin = x.dim(3);
+  dw->fill(0.f);
+  db->fill(0.f);
+  for (std::int64_t n = 0; n < bs; ++n) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x2 = 0; x2 < ww; ++x2) {
+        for (std::int64_t m = 0; m < cout; ++m) {
+          const float g = dz(n, y, x2, m);
+          if (g == 0.f) continue;
+          (*db)[m] += g;
+          for (int kh = 0; kh < kK; ++kh) {
+            const std::int64_t iy = y + kh - 1;
+            if (iy < 0 || iy >= h) continue;
+            for (int kw = 0; kw < kK; ++kw) {
+              const std::int64_t ix = x2 + kw - 1;
+              if (ix < 0 || ix >= ww) continue;
+              for (std::int64_t c = 0; c < cin; ++c) {
+                (*dw)(m, kh, kw, c) += g * x(n, iy, ix, c);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// 2x2 average pooling; input spatial dims must be even.
+Tensor<float> avgpool2(const Tensor<float>& x) {
+  const std::int64_t bs = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  Tensor<float> y({bs, h / 2, w / 2, c});
+  for (std::int64_t n = 0; n < bs; ++n) {
+    for (std::int64_t py = 0; py < h / 2; ++py) {
+      for (std::int64_t px = 0; px < w / 2; ++px) {
+        for (std::int64_t cc = 0; cc < c; ++cc) {
+          y(n, py, px, cc) = 0.25f * (x(n, 2 * py, 2 * px, cc) +
+                                      x(n, 2 * py, 2 * px + 1, cc) +
+                                      x(n, 2 * py + 1, 2 * px, cc) +
+                                      x(n, 2 * py + 1, 2 * px + 1, cc));
+        }
+      }
+    }
+  }
+  return y;
+}
+
+/// Backward of avgpool2: spreads each gradient over its 2x2 window.
+Tensor<float> avgpool2_backward(const Tensor<float>& dy, std::int64_t h,
+                                std::int64_t w) {
+  const std::int64_t bs = dy.dim(0), c = dy.dim(3);
+  Tensor<float> dx({bs, h, w, c});
+  for (std::int64_t n = 0; n < bs; ++n) {
+    for (std::int64_t py = 0; py < h / 2; ++py) {
+      for (std::int64_t px = 0; px < w / 2; ++px) {
+        for (std::int64_t cc = 0; cc < c; ++cc) {
+          const float g = 0.25f * dy(n, py, px, cc);
+          dx(n, 2 * py, 2 * px, cc) = g;
+          dx(n, 2 * py, 2 * px + 1, cc) = g;
+          dx(n, 2 * py + 1, 2 * px, cc) = g;
+          dx(n, 2 * py + 1, 2 * px + 1, cc) = g;
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+/// Clipped-ReLU activation (+ optional fake quantization).
+Tensor<float> activate(const Tensor<float>& z, const QatConfig& qat) {
+  Tensor<float> a(z.shape());
+  for (std::int64_t i = 0; i < z.numel(); ++i) a[i] = std::max(z[i], 0.f);
+  return qat.enabled ? fake_quantize_activations(a, qat.abits) : a;
+}
+
+/// STE gradient mask of the clipped ReLU.
+inline bool ste_pass(float z, const QatConfig& qat) {
+  return qat.enabled ? (z > 0.f && z < 1.f) : (z > 0.f);
+}
+
+void init_tensor(Tensor<float>& t, Rng& rng, std::int64_t fan_in,
+                 std::int64_t fan_out) {
+  const double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-bound, bound));
+  }
+}
+
+void sgd_update(Tensor<float>& w, Tensor<float>& v, const Tensor<float>& g,
+                const TrainConfig& cfg) {
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    v[i] = static_cast<float>(cfg.momentum * v[i] - cfg.lr * g[i]);
+    w[i] += v[i];
+  }
+}
+
+}  // namespace
+
+struct QatCnn::Cache {
+  Tensor<float> x0, z1, a1, p1, z2, a2, p2, z3, a3;
+  Tensor<float> w1q, w2q, f1q;  // quantized weights used in the forward
+};
+
+QatCnn::QatCnn(const CnnConfig& cfg, std::uint64_t seed) : cfg_(cfg) {
+  APNN_CHECK(cfg.in_hw % 4 == 0) << "two 2x2 pools need in_hw % 4 == 0";
+  Rng rng(seed);
+  conv1_w_ = Tensor<float>({cfg.c1, kK, kK, cfg.in_c});
+  conv2_w_ = Tensor<float>({cfg.c2, kK, kK, cfg.c1});
+  const std::int64_t feat = cfg.in_hw / 4 * (cfg.in_hw / 4) * cfg.c2;
+  fc1_w_ = Tensor<float>({cfg.fc_hidden, feat});
+  fc2_w_ = Tensor<float>({cfg.classes, cfg.fc_hidden});
+  init_tensor(conv1_w_, rng, cfg.in_c * kK * kK, cfg.c1 * kK * kK);
+  init_tensor(conv2_w_, rng, cfg.c1 * kK * kK, cfg.c2 * kK * kK);
+  init_tensor(fc1_w_, rng, feat, cfg.fc_hidden);
+  init_tensor(fc2_w_, rng, cfg.fc_hidden, cfg.classes);
+  conv1_b_ = Tensor<float>({cfg.c1});
+  conv2_b_ = Tensor<float>({cfg.c2});
+  fc1_b_ = Tensor<float>({cfg.fc_hidden});
+  fc2_b_ = Tensor<float>({cfg.classes});
+  vc1_w_ = Tensor<float>(conv1_w_.shape());
+  vc2_w_ = Tensor<float>(conv2_w_.shape());
+  vf1_w_ = Tensor<float>(fc1_w_.shape());
+  vf2_w_ = Tensor<float>(fc2_w_.shape());
+  vc1_b_ = Tensor<float>(conv1_b_.shape());
+  vc2_b_ = Tensor<float>(conv2_b_.shape());
+  vf1_b_ = Tensor<float>(fc1_b_.shape());
+  vf2_b_ = Tensor<float>(fc2_b_.shape());
+}
+
+Tensor<float> QatCnn::forward_impl(const Tensor<float>& x,
+                                   const QatConfig& qat, Cache* cache) const {
+  APNN_CHECK(x.rank() == 4 && x.dim(3) == cfg_.in_c) << "input must be NHWC";
+  const std::int64_t bs = x.dim(0);
+  const Tensor<float> w1q =
+      qat.enabled ? fake_quantize_weights(conv1_w_, qat.wbits) : conv1_w_;
+  const Tensor<float> w2q =
+      qat.enabled ? fake_quantize_weights(conv2_w_, qat.wbits) : conv2_w_;
+  const Tensor<float> f1q =
+      qat.enabled ? fake_quantize_weights(fc1_w_, qat.wbits) : fc1_w_;
+
+  Tensor<float> z1 = conv_forward(x, w1q, conv1_b_);
+  Tensor<float> a1 = activate(z1, qat);
+  Tensor<float> p1 = avgpool2(a1);
+  Tensor<float> z2 = conv_forward(p1, w2q, conv2_b_);
+  Tensor<float> a2 = activate(z2, qat);
+  Tensor<float> p2 = avgpool2(a2);
+
+  const std::int64_t feat = p2.numel() / bs;
+  Tensor<float> z3({bs, cfg_.fc_hidden});
+  for (std::int64_t n = 0; n < bs; ++n) {
+    for (std::int64_t o = 0; o < cfg_.fc_hidden; ++o) {
+      float acc = fc1_b_[o];
+      const float* wrow = f1q.data() + o * feat;
+      const float* frow = p2.data() + n * feat;
+      for (std::int64_t i = 0; i < feat; ++i) acc += wrow[i] * frow[i];
+      z3(n, o) = acc;
+    }
+  }
+  Tensor<float> a3 = activate(z3, qat);
+  // Float head (the paper's 32-bit output layer).
+  Tensor<float> logits({bs, cfg_.classes});
+  for (std::int64_t n = 0; n < bs; ++n) {
+    for (std::int64_t o = 0; o < cfg_.classes; ++o) {
+      float acc = fc2_b_[o];
+      for (std::int64_t i = 0; i < cfg_.fc_hidden; ++i) {
+        acc += fc2_w_(o, i) * a3(n, i);
+      }
+      logits(n, o) = acc;
+    }
+  }
+  if (cache) {
+    cache->x0 = x;
+    cache->z1 = std::move(z1);
+    cache->a1 = std::move(a1);
+    cache->p1 = std::move(p1);
+    cache->z2 = std::move(z2);
+    cache->a2 = std::move(a2);
+    cache->p2 = std::move(p2);
+    cache->z3 = std::move(z3);
+    cache->a3 = std::move(a3);
+    cache->w1q = w1q;
+    cache->w2q = w2q;
+    cache->f1q = f1q;
+  }
+  return logits;
+}
+
+Tensor<float> QatCnn::forward(const Tensor<float>& x,
+                              const QatConfig& qat) const {
+  return forward_impl(x, qat, nullptr);
+}
+
+void QatCnn::backward(const Cache& cache, const Tensor<float>& delta,
+                      const QatConfig& qat, const TrainConfig& cfg) {
+  const std::int64_t bs = delta.dim(0);
+  const std::int64_t feat = cache.p2.numel() / bs;
+
+  // Head: dz4 = delta.
+  Tensor<float> dfc2_w(fc2_w_.shape());
+  Tensor<float> dfc2_b(fc2_b_.shape());
+  Tensor<float> da3({bs, cfg_.fc_hidden});
+  for (std::int64_t o = 0; o < cfg_.classes; ++o) {
+    for (std::int64_t n = 0; n < bs; ++n) {
+      const float g = delta(n, o);
+      dfc2_b[o] += g;
+      for (std::int64_t i = 0; i < cfg_.fc_hidden; ++i) {
+        dfc2_w(o, i) += g * cache.a3(n, i);
+        da3(n, i) += g * fc2_w_(o, i);
+      }
+    }
+  }
+  // fc1.
+  Tensor<float> dz3({bs, cfg_.fc_hidden});
+  for (std::int64_t i = 0; i < dz3.numel(); ++i) {
+    dz3[i] = ste_pass(cache.z3[i], qat) ? da3[i] : 0.f;
+  }
+  Tensor<float> dfc1_w(fc1_w_.shape());
+  Tensor<float> dfc1_b(fc1_b_.shape());
+  Tensor<float> dp2_flat({bs, feat});
+  for (std::int64_t o = 0; o < cfg_.fc_hidden; ++o) {
+    for (std::int64_t n = 0; n < bs; ++n) {
+      const float g = dz3(n, o);
+      if (g == 0.f) continue;
+      dfc1_b[o] += g;
+      const float* frow = cache.p2.data() + n * feat;
+      float* dwrow = dfc1_w.data() + o * feat;
+      const float* wrow = cache.f1q.data() + o * feat;
+      float* dprow = dp2_flat.data() + n * feat;
+      for (std::int64_t i = 0; i < feat; ++i) {
+        dwrow[i] += g * frow[i];
+        dprow[i] += g * wrow[i];
+      }
+    }
+  }
+  // pool2 / conv2.
+  const Tensor<float> dp2 = dp2_flat.reshaped(cache.p2.shape());
+  Tensor<float> da2 =
+      avgpool2_backward(dp2, cache.a2.dim(1), cache.a2.dim(2));
+  Tensor<float> dz2(da2.shape());
+  for (std::int64_t i = 0; i < dz2.numel(); ++i) {
+    dz2[i] = ste_pass(cache.z2[i], qat) ? da2[i] : 0.f;
+  }
+  Tensor<float> dconv2_w(conv2_w_.shape());
+  Tensor<float> dconv2_b(conv2_b_.shape());
+  conv_backward_weights(dz2, cache.p1, &dconv2_w, &dconv2_b);
+  Tensor<float> dp1 = conv_backward_data(dz2, cache.w2q, cfg_.c1);
+  // pool1 / conv1.
+  Tensor<float> da1 =
+      avgpool2_backward(dp1, cache.a1.dim(1), cache.a1.dim(2));
+  Tensor<float> dz1(da1.shape());
+  for (std::int64_t i = 0; i < dz1.numel(); ++i) {
+    dz1[i] = ste_pass(cache.z1[i], qat) ? da1[i] : 0.f;
+  }
+  Tensor<float> dconv1_w(conv1_w_.shape());
+  Tensor<float> dconv1_b(conv1_b_.shape());
+  conv_backward_weights(dz1, cache.x0, &dconv1_w, &dconv1_b);
+
+  sgd_update(fc2_w_, vf2_w_, dfc2_w, cfg);
+  sgd_update(fc2_b_, vf2_b_, dfc2_b, cfg);
+  sgd_update(fc1_w_, vf1_w_, dfc1_w, cfg);
+  sgd_update(fc1_b_, vf1_b_, dfc1_b, cfg);
+  sgd_update(conv2_w_, vc2_w_, dconv2_w, cfg);
+  sgd_update(conv2_b_, vc2_b_, dconv2_b, cfg);
+  sgd_update(conv1_w_, vc1_w_, dconv1_w, cfg);
+  sgd_update(conv1_b_, vc1_b_, dconv1_b, cfg);
+}
+
+double QatCnn::train_epoch(const synth::Dataset& data, const QatConfig& qat,
+                           const TrainConfig& cfg, Rng& rng) {
+  const std::int64_t n = data.size();
+  const std::int64_t h = data.images.dim(1), w = data.images.dim(2),
+                     c = data.images.dim(3);
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(rng.uniform_int(0, i))]);
+  }
+  double total_loss = 0;
+  std::int64_t batches = 0;
+  const std::int64_t sample = h * w * c;
+  for (std::int64_t start = 0; start < n; start += cfg.batch) {
+    const std::int64_t bs = std::min<std::int64_t>(cfg.batch, n - start);
+    Tensor<float> x({bs, h, w, c});
+    std::vector<int> labels(static_cast<std::size_t>(bs));
+    for (std::int64_t bi = 0; bi < bs; ++bi) {
+      const std::int64_t idx = order[static_cast<std::size_t>(start + bi)];
+      for (std::int64_t f = 0; f < sample; ++f) {
+        x[bi * sample + f] = data.images[idx * sample + f];
+      }
+      labels[static_cast<std::size_t>(bi)] =
+          data.labels[static_cast<std::size_t>(idx)];
+    }
+    Cache cache;
+    const Tensor<float> logits = forward_impl(x, qat, &cache);
+    Tensor<float> delta(logits.shape());
+    double loss = 0;
+    for (std::int64_t bi = 0; bi < bs; ++bi) {
+      float maxv = logits(bi, 0);
+      for (std::int64_t cc = 1; cc < cfg_.classes; ++cc) {
+        maxv = std::max(maxv, logits(bi, cc));
+      }
+      double denom = 0;
+      for (std::int64_t cc = 0; cc < cfg_.classes; ++cc) {
+        denom += std::exp(static_cast<double>(logits(bi, cc) - maxv));
+      }
+      const int y = labels[static_cast<std::size_t>(bi)];
+      for (std::int64_t cc = 0; cc < cfg_.classes; ++cc) {
+        const double pc =
+            std::exp(static_cast<double>(logits(bi, cc) - maxv)) / denom;
+        delta(bi, cc) = static_cast<float>((pc - (cc == y ? 1.0 : 0.0)) /
+                                           static_cast<double>(bs));
+        if (cc == y) loss -= std::log(std::max(pc, 1e-12));
+      }
+    }
+    total_loss += loss / static_cast<double>(bs);
+    ++batches;
+    backward(cache, delta, qat, cfg);
+  }
+  return total_loss / std::max<std::int64_t>(1, batches);
+}
+
+double QatCnn::evaluate(const synth::Dataset& data,
+                        const QatConfig& qat) const {
+  const Tensor<float>& imgs = data.images;
+  const Tensor<float> logits = forward(imgs, qat);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < data.size(); ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < logits.dim(1); ++c) {
+      if (logits(i, c) > logits(i, best)) best = c;
+    }
+    if (best == data.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double train_and_evaluate_cnn(const synth::Dataset& train,
+                              const synth::Dataset& test,
+                              const QatConfig& qat, const TrainConfig& cfg,
+                              const CnnConfig& arch) {
+  QatCnn net(arch, cfg.seed);
+  Rng rng(cfg.seed ^ 0xf00d);
+  for (int e = 0; e < cfg.epochs; ++e) {
+    net.train_epoch(train, qat, cfg, rng);
+  }
+  return net.evaluate(test, qat);
+}
+
+}  // namespace apnn::train

@@ -1,0 +1,66 @@
+// Small convolutional network with quantization-aware training.
+//
+// Architecture: [conv3x3 -> (q)ReLU -> avgpool2] x 2 -> fc -> (q)ReLU ->
+// fc -> softmax. Same QAT scheme as the MLP (BWN / uniform fake-quantized
+// weights, clipped-ReLU activation quantization, straight-through
+// gradients); convolutions give the activation bit width the compounding
+// effect that separates binary from w1a2 the way the paper's CNNs do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/layout/tensor.hpp"
+#include "src/synth/dataset.hpp"
+#include "src/train/mlp.hpp"
+
+namespace apnn::train {
+
+struct CnnConfig {
+  std::int64_t in_c = 1;
+  std::int64_t in_hw = 12;
+  std::int64_t classes = 10;
+  std::int64_t c1 = 8;   ///< channels after conv1
+  std::int64_t c2 = 16;  ///< channels after conv2
+  std::int64_t fc_hidden = 48;
+};
+
+class QatCnn {
+ public:
+  QatCnn(const CnnConfig& cfg, std::uint64_t seed);
+
+  /// Forward for a batch {B, H, W, C}; returns logits {B, classes}.
+  Tensor<float> forward(const Tensor<float>& x, const QatConfig& qat) const;
+
+  /// One epoch of mini-batch SGD with momentum; returns mean training loss.
+  double train_epoch(const synth::Dataset& data, const QatConfig& qat,
+                     const TrainConfig& cfg, Rng& rng);
+
+  /// Top-1 accuracy.
+  double evaluate(const synth::Dataset& data, const QatConfig& qat) const;
+
+  const CnnConfig& config() const { return cfg_; }
+
+ private:
+  struct Cache;  // forward activations for backprop
+  Tensor<float> forward_impl(const Tensor<float>& x, const QatConfig& qat,
+                             Cache* cache) const;
+  void backward(const Cache& cache, const Tensor<float>& delta_logits,
+                const QatConfig& qat, const TrainConfig& cfg);
+
+  CnnConfig cfg_;
+  // conv weights {Cout, KH, KW, Cin}; fc weights {out, in}; biases {out}.
+  Tensor<float> conv1_w_, conv2_w_, fc1_w_, fc2_w_;
+  Tensor<float> conv1_b_, conv2_b_, fc1_b_, fc2_b_;
+  // momentum buffers, same shapes
+  Tensor<float> vc1_w_, vc2_w_, vf1_w_, vf2_w_;
+  Tensor<float> vc1_b_, vc2_b_, vf1_b_, vf2_b_;
+};
+
+/// Trains a fresh CNN and reports final test accuracy.
+double train_and_evaluate_cnn(const synth::Dataset& train,
+                              const synth::Dataset& test,
+                              const QatConfig& qat, const TrainConfig& cfg,
+                              const CnnConfig& arch);
+
+}  // namespace apnn::train

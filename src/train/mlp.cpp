@@ -1,0 +1,254 @@
+#include "src/train/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/common/check.hpp"
+
+namespace apnn::train {
+
+Tensor<float> fake_quantize_weights(const Tensor<float>& w, int wbits) {
+  Tensor<float> q(w.shape());
+  if (wbits == 1) {
+    // BWN: sign(w) * E|w|.
+    double mean_abs = 0;
+    for (std::int64_t i = 0; i < w.numel(); ++i) mean_abs += std::abs(w[i]);
+    mean_abs /= std::max<std::int64_t>(1, w.numel());
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      q[i] = static_cast<float>(w[i] >= 0 ? mean_abs : -mean_abs);
+    }
+    return q;
+  }
+  // Symmetric uniform over [-amax, amax], 2^wbits levels.
+  float amax = 0;
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    amax = std::max(amax, std::abs(w[i]));
+  }
+  if (amax == 0) return w;
+  const int half = (1 << (wbits - 1)) - 1;  // symmetric integer grid
+  const float step = amax / std::max(half, 1);
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    const float lvl = std::round(w[i] / step);
+    q[i] = step * std::clamp<float>(lvl, -half - 1, half);
+  }
+  return q;
+}
+
+Tensor<float> fake_quantize_activations(const Tensor<float>& a, int abits) {
+  Tensor<float> q(a.shape());
+  const int levels = (1 << abits) - 1;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const float clipped = std::clamp(a[i], 0.f, 1.f);
+    q[i] = levels > 0 ? std::round(clipped * levels) / levels : clipped;
+  }
+  return q;
+}
+
+Mlp::Mlp(std::vector<std::int64_t> sizes, std::uint64_t seed)
+    : sizes_(std::move(sizes)) {
+  APNN_CHECK(sizes_.size() >= 2) << "need at least input and output sizes";
+  Rng rng(seed);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    const std::int64_t in = sizes_[l], out = sizes_[l + 1];
+    Tensor<float> w({out, in});
+    const double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      w[i] = static_cast<float>(rng.uniform(-bound, bound));
+    }
+    w_.push_back(std::move(w));
+    b_.emplace_back(Tensor<float>({out}));
+    vw_.emplace_back(Tensor<float>(w_.back().shape()));
+    vb_.emplace_back(Tensor<float>({out}));
+  }
+}
+
+Tensor<float> Mlp::forward_impl(const Tensor<float>& x, const QatConfig& qat,
+                                ForwardCache* cache) const {
+  const std::int64_t batch = x.dim(0);
+  Tensor<float> a = x;
+  if (cache) {
+    cache->a.clear();
+    cache->z.clear();
+    cache->wq.clear();
+  }
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    const bool is_head = l + 1 == w_.size();
+    const Tensor<float> wq = (qat.enabled && !is_head)
+                                 ? fake_quantize_weights(w_[l], qat.wbits)
+                                 : w_[l];
+    if (cache) {
+      cache->a.push_back(a);
+      cache->wq.push_back(wq);
+    }
+    const std::int64_t out = wq.dim(0), in = wq.dim(1);
+    APNN_CHECK(a.dim(1) == in) << "layer " << l << " dim mismatch";
+    Tensor<float> z({batch, out});
+    for (std::int64_t bi = 0; bi < batch; ++bi) {
+      for (std::int64_t o = 0; o < out; ++o) {
+        float acc = b_[l][o];
+        const float* wrow = wq.data() + o * in;
+        const float* arow = a.data() + bi * in;
+        for (std::int64_t i = 0; i < in; ++i) acc += wrow[i] * arow[i];
+        z(bi, o) = acc;
+      }
+    }
+    if (cache) cache->z.push_back(z);
+    if (is_head) return z;  // logits
+    // Hidden activation: clipped ReLU (+ fake quantization under QAT).
+    Tensor<float> act(z.shape());
+    for (std::int64_t i = 0; i < z.numel(); ++i) {
+      act[i] = std::max(z[i], 0.f);
+    }
+    a = qat.enabled ? fake_quantize_activations(act, qat.abits) : act;
+  }
+  return a;
+}
+
+Tensor<float> Mlp::forward(const Tensor<float>& x,
+                           const QatConfig& qat) const {
+  return forward_impl(x, qat, nullptr);
+}
+
+double Mlp::train_epoch(const synth::Dataset& data, const QatConfig& qat,
+                        const TrainConfig& cfg, Rng& rng) {
+  const std::int64_t n = data.size();
+  const std::int64_t features = data.features();
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates shuffle with our deterministic RNG.
+  for (std::int64_t i = n - 1; i > 0; --i) {
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(rng.uniform_int(0, i))]);
+  }
+
+  double total_loss = 0;
+  std::int64_t batches = 0;
+  for (std::int64_t start = 0; start < n; start += cfg.batch) {
+    const std::int64_t bs = std::min<std::int64_t>(cfg.batch, n - start);
+    Tensor<float> x({bs, features});
+    std::vector<int> labels(static_cast<std::size_t>(bs));
+    for (std::int64_t bi = 0; bi < bs; ++bi) {
+      const std::int64_t idx = order[static_cast<std::size_t>(start + bi)];
+      for (std::int64_t f = 0; f < features; ++f) {
+        x(bi, f) = data.images[idx * features + f];
+      }
+      labels[static_cast<std::size_t>(bi)] =
+          data.labels[static_cast<std::size_t>(idx)];
+    }
+
+    ForwardCache cache;
+    const Tensor<float> logits = forward_impl(x, qat, &cache);
+    const std::int64_t classes = logits.dim(1);
+
+    // Softmax cross-entropy gradient (delta = softmax - onehot) / bs.
+    Tensor<float> delta(logits.shape());
+    double loss = 0;
+    for (std::int64_t bi = 0; bi < bs; ++bi) {
+      float maxv = logits(bi, 0);
+      for (std::int64_t c = 1; c < classes; ++c) {
+        maxv = std::max(maxv, logits(bi, c));
+      }
+      double denom = 0;
+      for (std::int64_t c = 0; c < classes; ++c) {
+        denom += std::exp(static_cast<double>(logits(bi, c) - maxv));
+      }
+      const int y = labels[static_cast<std::size_t>(bi)];
+      for (std::int64_t c = 0; c < classes; ++c) {
+        const double pc =
+            std::exp(static_cast<double>(logits(bi, c) - maxv)) / denom;
+        delta(bi, c) = static_cast<float>((pc - (c == y ? 1.0 : 0.0)) /
+                                          static_cast<double>(bs));
+        if (c == y) loss -= std::log(std::max(pc, 1e-12));
+      }
+    }
+    total_loss += loss / static_cast<double>(bs);
+    ++batches;
+
+    // Backward pass. STE: gradients flow through the fake-quantized weights
+    // and activations as if they were identity maps (clipped ReLU masks by
+    // the pre-activation sign and the [0, 1] clip range).
+    Tensor<float> grad_out = delta;  // d loss / d z of current layer
+    for (int l = static_cast<int>(w_.size()) - 1; l >= 0; --l) {
+      const Tensor<float>& a_in = cache.a[static_cast<std::size_t>(l)];
+      const Tensor<float>& wq = cache.wq[static_cast<std::size_t>(l)];
+      const std::int64_t out = wq.dim(0), in = wq.dim(1);
+
+      // Weight/bias gradients and SGD+momentum update.
+      auto& vw = vw_[static_cast<std::size_t>(l)];
+      auto& vb = vb_[static_cast<std::size_t>(l)];
+      auto& w = w_[static_cast<std::size_t>(l)];
+      auto& b = b_[static_cast<std::size_t>(l)];
+      for (std::int64_t o = 0; o < out; ++o) {
+        float gb = 0;
+        for (std::int64_t bi = 0; bi < bs; ++bi) gb += grad_out(bi, o);
+        vb[o] = static_cast<float>(cfg.momentum * vb[o] - cfg.lr * gb);
+        b[o] += vb[o];
+        for (std::int64_t i = 0; i < in; ++i) {
+          float gw = 0;
+          for (std::int64_t bi = 0; bi < bs; ++bi) {
+            gw += grad_out(bi, o) * a_in(bi, i);
+          }
+          vw[o * in + i] = static_cast<float>(cfg.momentum * vw[o * in + i] -
+                                              cfg.lr * gw);
+          w[o * in + i] += vw[o * in + i];
+        }
+      }
+
+      if (l == 0) break;
+      // Propagate to the previous layer's pre-activation.
+      const Tensor<float>& z_prev = cache.z[static_cast<std::size_t>(l - 1)];
+      Tensor<float> grad_in({bs, in});
+      for (std::int64_t bi = 0; bi < bs; ++bi) {
+        for (std::int64_t i = 0; i < in; ++i) {
+          float g = 0;
+          for (std::int64_t o = 0; o < out; ++o) {
+            g += grad_out(bi, o) * wq(o, i);
+          }
+          // Clipped-ReLU STE mask: gradient passes where 0 < z < 1 (or z > 0
+          // without QAT).
+          const float z = z_prev(bi, i);
+          const bool pass = qat.enabled ? (z > 0.f && z < 1.f) : (z > 0.f);
+          grad_in(bi, i) = pass ? g : 0.f;
+        }
+      }
+      grad_out = std::move(grad_in);
+    }
+  }
+  return total_loss / std::max<std::int64_t>(1, batches);
+}
+
+double Mlp::evaluate(const synth::Dataset& data, const QatConfig& qat) const {
+  const std::int64_t n = data.size();
+  const std::int64_t features = data.features();
+  Tensor<float> x({n, features});
+  for (std::int64_t i = 0; i < n * features; ++i) x[i] = data.images[i];
+  const Tensor<float> logits = forward(x, qat);
+  std::int64_t correct = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < logits.dim(1); ++c) {
+      if (logits(i, c) > logits(i, best)) best = c;
+    }
+    if (best == data.labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+double train_and_evaluate(const synth::Dataset& train,
+                          const synth::Dataset& test, const QatConfig& qat,
+                          const TrainConfig& cfg,
+                          std::vector<std::int64_t> hidden) {
+  std::vector<std::int64_t> sizes;
+  sizes.push_back(train.features());
+  for (auto h : hidden) sizes.push_back(h);
+  sizes.push_back(train.classes);
+  Mlp net(std::move(sizes), cfg.seed);
+  Rng rng(cfg.seed ^ 0xabcdef);
+  for (int e = 0; e < cfg.epochs; ++e) {
+    net.train_epoch(train, qat, cfg, rng);
+  }
+  return net.evaluate(test, qat);
+}
+
+}  // namespace apnn::train

@@ -1,0 +1,92 @@
+// Minimal float training substrate with quantization-aware training (QAT).
+//
+// Used only for the Table 1 accuracy experiment and the quantization
+// trade-off example. Follows the paper's algorithm lineage (§2.1): full-
+// precision master weights, DoReFa/LQ-Nets-style fake quantization in the
+// forward pass, straight-through-estimator gradients.
+//
+//  * Weights: wbits == 1 -> BWN binarization (sign(w) * E|w|);
+//             wbits  > 1 -> symmetric uniform fake quantization.
+//  * Activations: ReLU clipped to [0, 1], quantized to abits uniform levels
+//    (abits == 0 disables activation quantization). The sign-activation
+//    binary case is abits == 1 over the clipped range.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/layout/tensor.hpp"
+#include "src/synth/dataset.hpp"
+
+namespace apnn::train {
+
+struct QatConfig {
+  bool enabled = false;
+  int wbits = 1;
+  int abits = 2;
+
+  static QatConfig off() { return {}; }
+  static QatConfig wa(int wbits, int abits) { return {true, wbits, abits}; }
+};
+
+struct TrainConfig {
+  double lr = 0.05;
+  double momentum = 0.9;
+  std::int64_t batch = 32;
+  int epochs = 30;
+  std::uint64_t seed = 7;
+};
+
+/// Fully connected network: sizes = {in, hidden..., classes}; hidden layers
+/// use (quantized) ReLU, the head is a float linear layer (the paper's
+/// output layer stays 32-bit, §5.1).
+class Mlp {
+ public:
+  Mlp(std::vector<std::int64_t> sizes, std::uint64_t seed);
+
+  /// Forward for a batch {B, in}; returns logits {B, classes}.
+  Tensor<float> forward(const Tensor<float>& x, const QatConfig& qat) const;
+
+  /// One epoch of mini-batch SGD with momentum on softmax cross-entropy;
+  /// returns the mean training loss.
+  double train_epoch(const synth::Dataset& data, const QatConfig& qat,
+                     const TrainConfig& cfg, Rng& rng);
+
+  /// Top-1 accuracy on a dataset.
+  double evaluate(const synth::Dataset& data, const QatConfig& qat) const;
+
+  int num_layers() const { return static_cast<int>(w_.size()); }
+  const Tensor<float>& weights(int layer) const {
+    return w_[static_cast<std::size_t>(layer)];
+  }
+
+ private:
+  struct ForwardCache {
+    std::vector<Tensor<float>> a;   ///< post-activation (quantized) inputs
+    std::vector<Tensor<float>> z;   ///< pre-activations
+    std::vector<Tensor<float>> wq;  ///< quantized weights used
+  };
+  Tensor<float> forward_impl(const Tensor<float>& x, const QatConfig& qat,
+                             ForwardCache* cache) const;
+
+  std::vector<std::int64_t> sizes_;
+  std::vector<Tensor<float>> w_;   ///< {out, in} per layer
+  std::vector<Tensor<float>> b_;   ///< {out}
+  std::vector<Tensor<float>> vw_;  ///< momentum buffers
+  std::vector<Tensor<float>> vb_;
+};
+
+/// Fake-quantizes a weight tensor (returns the dequantized values used in
+/// the QAT forward pass). Exposed for tests.
+Tensor<float> fake_quantize_weights(const Tensor<float>& w, int wbits);
+
+/// Fake-quantizes clipped activations in [0, 1] to `abits` uniform levels.
+Tensor<float> fake_quantize_activations(const Tensor<float>& a, int abits);
+
+/// Trains a fresh MLP on train/test splits and reports final test accuracy.
+double train_and_evaluate(const synth::Dataset& train,
+                          const synth::Dataset& test, const QatConfig& qat,
+                          const TrainConfig& cfg,
+                          std::vector<std::int64_t> hidden = {96, 64});
+
+}  // namespace apnn::train

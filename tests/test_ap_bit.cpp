@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/ap_bit.hpp"
+#include "test_util.hpp"
+
+namespace apnn::core {
+namespace {
+
+using apnn::testing::naive_gemm;
+using apnn::testing::random_logical;
+using apnn::testing::random_operand;
+
+TEST(Operand, MakeAndRecoverLogical) {
+  Rng rng(1);
+  for (const auto& [enc, bits] :
+       {std::pair{Encoding::kUnsigned01, 3}, {Encoding::kSignedPM1, 1},
+        {Encoding::kTwosComplement, 4}}) {
+    const Tensor<std::int32_t> logical = random_logical(rng, 6, 40, enc, bits);
+    const ApOperand op = make_operand(logical, enc, bits);
+    EXPECT_EQ(op.rows(), 6);
+    EXPECT_EQ(op.cols(), 40);
+    EXPECT_EQ(op.bits(), bits);
+    EXPECT_EQ(operand_to_logical(op), logical);
+  }
+}
+
+TEST(Operand, RejectsWrongArity) {
+  Tensor<std::int32_t> bad({2, 2});
+  bad.fill(1);
+  EXPECT_THROW(make_operand(bad, Encoding::kSignedPM1, 2), apnn::Error);
+}
+
+// --- the Figure-2 single-tile template ---------------------------------------
+
+TEST(ApBitTemplate, W1A2MatchesNaive) {
+  Rng rng(2);
+  const auto wl = random_logical(rng, 8, 128, Encoding::kSignedPM1, 1);
+  const auto xl = random_logical(rng, 8, 128, Encoding::kUnsigned01, 2);
+  const ApOperand w = make_operand(wl, Encoding::kSignedPM1, 1);
+  const ApOperand x = make_operand(xl, Encoding::kUnsigned01, 2);
+  EXPECT_EQ(ap_bit_template_tile(w, x), naive_gemm(wl, xl));
+}
+
+TEST(ApBitTemplate, RequiresExactTileShape) {
+  Rng rng(3);
+  const ApOperand w = random_operand(rng, 8, 64, Encoding::kUnsigned01, 1);
+  const ApOperand x = random_operand(rng, 8, 64, Encoding::kUnsigned01, 1);
+  EXPECT_THROW(ap_bit_template_tile(w, x), apnn::Error);
+}
+
+class TemplateBitsTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TemplateBitsTest, UnsignedMatchesNaive) {
+  const auto [p, q] = GetParam();
+  Rng rng(p * 10 + q);
+  const auto wl = random_logical(rng, 8, 128, Encoding::kUnsigned01, p);
+  const auto xl = random_logical(rng, 8, 128, Encoding::kUnsigned01, q);
+  const ApOperand w = make_operand(wl, Encoding::kUnsigned01, p);
+  const ApOperand x = make_operand(xl, Encoding::kUnsigned01, q);
+  EXPECT_EQ(ap_bit_template_tile(w, x), naive_gemm(wl, xl));
+}
+
+INSTANTIATE_TEST_SUITE_P(PQ, TemplateBitsTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 4, 8)));
+
+// --- the reference GEMM across all encodings and shapes -----------------------
+
+struct RefCase {
+  Encoding w_enc;
+  int p;
+  Encoding x_enc;
+  int q;
+  std::int64_t m, n, k;
+};
+
+class ReferenceGemmTest : public ::testing::TestWithParam<RefCase> {};
+
+TEST_P(ReferenceGemmTest, MatchesNaiveIntegerGemm) {
+  const RefCase c = GetParam();
+  Rng rng(static_cast<std::uint64_t>(c.m * 1000 + c.n * 100 + c.k + c.p * 7 +
+                                     c.q));
+  const auto wl = random_logical(rng, c.m, c.k, c.w_enc, c.p);
+  const auto xl = random_logical(rng, c.n, c.k, c.x_enc, c.q);
+  const ApOperand w = make_operand(wl, c.w_enc, c.p);
+  const ApOperand x = make_operand(xl, c.x_enc, c.q);
+  EXPECT_EQ(ap_gemm_reference(w, x), naive_gemm(wl, xl));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ReferenceGemmTest,
+    ::testing::Values(
+        // Case I, assorted bit widths and ragged shapes.
+        RefCase{Encoding::kUnsigned01, 1, Encoding::kUnsigned01, 1, 4, 5, 30},
+        RefCase{Encoding::kUnsigned01, 2, Encoding::kUnsigned01, 2, 8, 8, 128},
+        RefCase{Encoding::kUnsigned01, 3, Encoding::kUnsigned01, 5, 7, 9, 200},
+        RefCase{Encoding::kUnsigned01, 4, Encoding::kUnsigned01, 4, 16, 3, 64},
+        RefCase{Encoding::kUnsigned01, 8, Encoding::kUnsigned01, 8, 3, 3, 77},
+        // Case II (BNN).
+        RefCase{Encoding::kSignedPM1, 1, Encoding::kSignedPM1, 1, 9, 6, 130},
+        RefCase{Encoding::kSignedPM1, 1, Encoding::kSignedPM1, 1, 5, 5, 1},
+        // Case III (the common wXaY networks).
+        RefCase{Encoding::kSignedPM1, 1, Encoding::kUnsigned01, 2, 6, 10, 90},
+        RefCase{Encoding::kSignedPM1, 1, Encoding::kUnsigned01, 8, 4, 4, 256},
+        // Two's-complement extension.
+        RefCase{Encoding::kTwosComplement, 4, Encoding::kUnsigned01, 2, 5, 6,
+                50},
+        RefCase{Encoding::kTwosComplement, 2, Encoding::kUnsigned01, 3, 8, 8,
+                128}));
+
+TEST(ReferenceGemm, RejectsKMismatch) {
+  Rng rng(5);
+  const ApOperand w = random_operand(rng, 4, 32, Encoding::kUnsigned01, 2);
+  const ApOperand x = random_operand(rng, 4, 64, Encoding::kUnsigned01, 2);
+  EXPECT_THROW(ap_gemm_reference(w, x), apnn::Error);
+}
+
+}  // namespace
+}  // namespace apnn::core

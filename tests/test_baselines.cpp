@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "src/baselines/bnn.hpp"
+#include "src/baselines/conv.hpp"
+#include "src/baselines/gemm.hpp"
+#include "src/tcsim/cost_model.hpp"
+#include "test_util.hpp"
+
+namespace apnn::baselines {
+namespace {
+
+using tcsim::Precision;
+
+TEST(BaselineGemm, Int8MatchesNaive) {
+  Rng rng(1);
+  Tensor<std::int8_t> a({33, 50}), b({21, 50});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  for (std::int64_t i = 0; i < b.numel(); ++i) {
+    b[i] = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  const Tensor<std::int32_t> y = gemm_int8(a, b);
+  for (std::int64_t m = 0; m < 33; ++m) {
+    for (std::int64_t n = 0; n < 21; ++n) {
+      std::int32_t expect = 0;
+      for (std::int64_t k = 0; k < 50; ++k) expect += a(m, k) * b(n, k);
+      ASSERT_EQ(y(m, n), expect);
+    }
+  }
+}
+
+TEST(BaselineGemm, Int4MatchesNaive) {
+  Rng rng(2);
+  Tensor<std::int8_t> a({17, 40}), b({19, 40});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    a[i] = static_cast<std::int8_t>(rng.uniform_int(-8, 7));
+  }
+  for (std::int64_t i = 0; i < b.numel(); ++i) {
+    b[i] = static_cast<std::int8_t>(rng.uniform_int(-8, 7));
+  }
+  const Tensor<std::int32_t> y = gemm_int4(a, b);
+  for (std::int64_t m = 0; m < 17; ++m) {
+    for (std::int64_t n = 0; n < 19; ++n) {
+      std::int32_t expect = 0;
+      for (std::int64_t k = 0; k < 40; ++k) expect += a(m, k) * b(n, k);
+      ASSERT_EQ(y(m, n), expect);
+    }
+  }
+}
+
+TEST(BaselineGemm, Fp16CloseToFp32) {
+  Rng rng(3);
+  Tensor<float> af({20, 30}), bf({20, 30});
+  af.randomize(rng, -1.f, 1.f);
+  bf.randomize(rng, -1.f, 1.f);
+  Tensor<tcsim::half_t> a({20, 30}), b({20, 30});
+  for (std::int64_t i = 0; i < af.numel(); ++i) {
+    a[i] = tcsim::float_to_half(af[i]);
+    b[i] = tcsim::float_to_half(bf[i]);
+  }
+  const Tensor<float> yh = gemm_fp16(a, b);
+  const Tensor<float> yf = gemm_fp32(af, bf);
+  for (std::int64_t i = 0; i < yh.numel(); ++i) {
+    EXPECT_NEAR(yh[i], yf[i], 0.1f);
+  }
+}
+
+TEST(BaselineConv, Int8MatchesFp32Reference) {
+  Rng rng(4);
+  layout::ConvGeometry g;
+  g.batch = 2;
+  g.in_c = 5;
+  g.in_h = g.in_w = 7;
+  g.out_c = 6;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  Tensor<std::int8_t> x({2, 7, 7, 5}), w({6, 3, 3, 5});
+  Tensor<float> xf({2, 7, 7, 5}), wf({6, 3, 3, 5});
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<std::int8_t>(rng.uniform_int(-10, 10));
+    xf[i] = static_cast<float>(x[i]);
+  }
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<std::int8_t>(rng.uniform_int(-10, 10));
+    wf[i] = static_cast<float>(w[i]);
+  }
+  const Tensor<std::int32_t> yi = conv_int8(x, w, g);
+  const Tensor<float> yf = conv_fp32(xf, wf, g);
+  ASSERT_EQ(yi.numel(), yf.numel());
+  for (std::int64_t i = 0; i < yi.numel(); ++i) {
+    EXPECT_EQ(static_cast<float>(yi[i]), yf[i]);
+  }
+}
+
+TEST(Bnn, GemmMatchesSignedDot) {
+  Rng rng(5);
+  const auto wl =
+      apnn::testing::random_logical(rng, 10, 70, core::Encoding::kSignedPM1, 1);
+  const auto xl =
+      apnn::testing::random_logical(rng, 12, 70, core::Encoding::kSignedPM1, 1);
+  bitops::BitMatrix wb(10, 70), xb(12, 70);
+  for (std::int64_t r = 0; r < 10; ++r) {
+    for (std::int64_t c = 0; c < 70; ++c) wb.set(r, c, wl(r, c) == 1);
+  }
+  for (std::int64_t r = 0; r < 12; ++r) {
+    for (std::int64_t c = 0; c < 70; ++c) xb.set(r, c, xl(r, c) == 1);
+  }
+  EXPECT_EQ(bnn_gemm(wb, xb), apnn::testing::naive_gemm(wl, xl));
+}
+
+// --- profile structure ---------------------------------------------------------
+
+TEST(BaselineProfiles, TileShapesPerPrecision) {
+  EXPECT_EQ(baseline_tile(Precision::kInt1).tk, 512);
+  EXPECT_EQ(baseline_tile(Precision::kInt4).tk, 128);
+  EXPECT_EQ(baseline_tile(Precision::kInt8).tk, 64);
+  EXPECT_EQ(baseline_tile(Precision::kFp16).tk, 32);
+}
+
+TEST(BaselineProfiles, GemmOpCountsExact) {
+  // 128x128x512 int4: one block, 4 ktiles of 128.
+  const auto p = cutlass_gemm_profile(Precision::kInt4, 128, 128, 512);
+  EXPECT_EQ(p.grid_blocks, 1);
+  // ops = 2*M*N*K over all mma tiles.
+  EXPECT_EQ(p.counters.ops_i4(), 2LL * 128 * 128 * 512);
+}
+
+TEST(BaselineProfiles, FamiliesDiffer) {
+  const auto cutlass = cutlass_gemm_profile(Precision::kInt8, 256, 256, 256);
+  const auto cublas = cublas_gemm_int8_profile(256, 256, 256);
+  EXPECT_EQ(cutlass.family, "cutlass-gemm");
+  EXPECT_EQ(cublas.family, "cublas-gemm");
+  EXPECT_EQ(cutlass_gemm_profile(Precision::kInt1, 256, 256, 256).family,
+            "cutlass-gemm-int1");
+}
+
+TEST(BaselineProfiles, ConvUsesImplicitGemmExtent) {
+  layout::ConvGeometry g;
+  g.batch = 1;
+  g.in_c = 128;
+  g.in_h = g.in_w = 16;
+  g.out_c = 128;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  const auto p = cutlass_conv_profile(Precision::kInt8, g);
+  EXPECT_EQ(p.counters.ops_i8(),
+            2 * g.gemm_m() * ((g.gemm_n() + 127) / 128 * 128) *
+                ((g.gemm_k() + 63) / 64 * 64));
+}
+
+TEST(BaselineProfiles, BnnUsesSmallTilesNoShmem) {
+  const auto p = bnn_gemm_profile(512, 512, 512);
+  EXPECT_EQ(p.family, "bnn");
+  EXPECT_EQ(p.grid_blocks, 16 * 16);  // 32x32 tiles
+  EXPECT_EQ(p.shmem_per_block, 0);
+  EXPECT_EQ(p.counters.total_shared_bytes(), 0);
+  EXPECT_DOUBLE_EQ(p.ci, 32.0);
+}
+
+TEST(BaselineProfiles, CalibrationAnchorInt1OverInt8) {
+  // The §6.1.1 anchor: effective cutlass-int1 / cublas-int8 ~ 5.9x on the
+  // RTX 3090 at saturating sizes.
+  const tcsim::CostModel cm(tcsim::rtx3090());
+  const std::int64_t m = 8192, n = 8192, k = 8192;
+  const double t1 =
+      cm.estimate(cutlass_gemm_profile(Precision::kInt1, m, n, k)).total_us;
+  const double t8 = cm.estimate(cublas_gemm_int8_profile(m, n, k)).total_us;
+  EXPECT_NEAR(t8 / t1, 5.9, 1.2);
+}
+
+TEST(BaselineProfiles, PrecisionLatencyOrdering) {
+  // At saturating sizes: int1 < int4 < int8 < fp16 < fp32.
+  const tcsim::CostModel cm(tcsim::rtx3090());
+  const std::int64_t m = 4096, n = 4096, k = 4096;
+  double prev = 0;
+  for (Precision prec : {Precision::kInt1, Precision::kInt4, Precision::kInt8,
+                         Precision::kFp16, Precision::kFp32}) {
+    const double t = cm.estimate(cutlass_gemm_profile(prec, m, n, k)).total_us;
+    EXPECT_GT(t, prev) << precision_name(prec);
+    prev = t;
+  }
+}
+
+}  // namespace
+}  // namespace apnn::baselines

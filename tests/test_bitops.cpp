@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/bitops/bit_matrix.hpp"
+#include "src/bitops/bitcopy.hpp"
+#include "src/bitops/decompose.hpp"
+#include "src/bitops/pack.hpp"
+#include "src/common/rng.hpp"
+
+namespace apnn::bitops {
+namespace {
+
+TEST(BitMatrix, PaddedWordsAlignTo128Bits) {
+  EXPECT_EQ(padded_words(1), 2);
+  EXPECT_EQ(padded_words(64), 2);
+  EXPECT_EQ(padded_words(128), 2);
+  EXPECT_EQ(padded_words(129), 4);
+  EXPECT_EQ(padded_words(256), 4);
+}
+
+TEST(BitMatrix, SetGetRoundTrip) {
+  BitMatrix m(5, 200);
+  m.set(0, 0, true);
+  m.set(4, 199, true);
+  m.set(2, 64, true);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(4, 199));
+  EXPECT_TRUE(m.get(2, 64));
+  EXPECT_FALSE(m.get(0, 1));
+  m.set(0, 0, false);
+  EXPECT_FALSE(m.get(0, 0));
+}
+
+TEST(BitMatrix, FromDense01RoundTrip) {
+  Rng rng(42);
+  const std::int64_t r = 7, c = 131;
+  std::vector<std::int32_t> vals(static_cast<std::size_t>(r * c));
+  for (auto& v : vals) v = rng.bernoulli(0.5) ? 1 : 0;
+  const BitMatrix m = BitMatrix::from_dense01(vals.data(), r, c);
+  EXPECT_EQ(m.to_dense01(), vals);
+}
+
+TEST(BitMatrix, RandomizeKeepsPaddingZero) {
+  Rng rng(1);
+  BitMatrix m(3, 100);  // 100 bits -> 2 words, 28 bits padding
+  m.randomize(rng);
+  for (std::int64_t r = 0; r < 3; ++r) {
+    const std::uint64_t* w = m.row(r);
+    // Bits 100..127 of word 1 must be zero.
+    EXPECT_EQ(w[1] >> (100 - 64), 0u);
+  }
+}
+
+TEST(BitMatrix, PayloadVsStorageBytes) {
+  BitMatrix m(4, 100);
+  EXPECT_EQ(m.payload_bytes(), 4 * 13);     // ceil(100/8) = 13
+  EXPECT_EQ(m.storage_bytes(), 4 * 2 * 8);  // 2 words padded
+}
+
+TEST(BitMatrix, FromPlaneExtractsBit) {
+  std::vector<std::int32_t> vals = {0, 1, 2, 3, 4, 5};
+  const BitMatrix p0 = BitMatrix::from_plane(vals.data(), 2, 3, 0);
+  const BitMatrix p1 = BitMatrix::from_plane(vals.data(), 2, 3, 1);
+  const BitMatrix p2 = BitMatrix::from_plane(vals.data(), 2, 3, 2);
+  EXPECT_EQ(p0.to_dense01(), (std::vector<std::int32_t>{0, 1, 0, 1, 0, 1}));
+  EXPECT_EQ(p1.to_dense01(), (std::vector<std::int32_t>{0, 0, 1, 1, 0, 0}));
+  EXPECT_EQ(p2.to_dense01(), (std::vector<std::int32_t>{0, 0, 0, 0, 1, 1}));
+}
+
+// --- dot products -----------------------------------------------------------
+
+class DotTest : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(DotTest, XorPopcMatchesNaive) {
+  const std::int64_t k = GetParam();
+  Rng rng(k);
+  BitMatrix a(1, k), b(1, k);
+  a.randomize(rng);
+  b.randomize(rng);
+  std::int64_t expect = 0;
+  for (std::int64_t i = 0; i < k; ++i) {
+    expect += a.get(0, i) != b.get(0, i) ? 1 : 0;
+  }
+  EXPECT_EQ(dot_xor_popc(a.row(0), b.row(0), a.row_words()), expect);
+}
+
+TEST_P(DotTest, AndPopcMatchesNaive) {
+  const std::int64_t k = GetParam();
+  Rng rng(k + 1000);
+  BitMatrix a(1, k), b(1, k);
+  a.randomize(rng);
+  b.randomize(rng);
+  std::int64_t expect = 0;
+  for (std::int64_t i = 0; i < k; ++i) {
+    expect += (a.get(0, i) && b.get(0, i)) ? 1 : 0;
+  }
+  EXPECT_EQ(dot_and_popc(a.row(0), b.row(0), a.row_words()), expect);
+}
+
+TEST_P(DotTest, RowPopcountMatchesNaive) {
+  const std::int64_t k = GetParam();
+  Rng rng(k + 2000);
+  BitMatrix a(1, k);
+  a.randomize(rng);
+  std::int64_t expect = 0;
+  for (std::int64_t i = 0; i < k; ++i) expect += a.get(0, i);
+  EXPECT_EQ(a.row_popcount(0), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DotTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128, 129,
+                                           200, 256, 1000));
+
+// --- decompose / recompose ---------------------------------------------------
+
+class DecomposeTest
+    : public ::testing::TestWithParam<std::tuple<int, std::int64_t>> {};
+
+TEST_P(DecomposeTest, RoundTrip) {
+  const int bits = std::get<0>(GetParam());
+  const std::int64_t cols = std::get<1>(GetParam());
+  Rng rng(bits * 100 + cols);
+  const std::int64_t rows = 9;
+  std::vector<std::int32_t> vals(static_cast<std::size_t>(rows * cols));
+  for (auto& v : vals) {
+    v = static_cast<std::int32_t>(rng.uniform_int(0, (1 << bits) - 1));
+  }
+  const BitPlanes bp = decompose(vals.data(), rows, cols, bits);
+  EXPECT_EQ(bp.bits, bits);
+  EXPECT_EQ(static_cast<int>(bp.planes.size()), bits);
+  EXPECT_EQ(recompose(bp), vals);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitsAndWidths, DecomposeTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 8),
+                       ::testing::Values<std::int64_t>(1, 17, 128, 300)));
+
+TEST(Decompose, RejectsOutOfRange) {
+  std::vector<std::int32_t> vals = {4};
+#ifndef NDEBUG
+  EXPECT_THROW(decompose(vals.data(), 1, 1, 2), apnn::Error);
+#else
+  GTEST_SKIP() << "range checks are debug-only";
+#endif
+}
+
+TEST(CombinePlanes, WeightsArePowersOfTwo) {
+  EXPECT_EQ(plane_weight(0, 0), 1);
+  EXPECT_EQ(plane_weight(1, 0), 2);
+  EXPECT_EQ(plane_weight(2, 3), 32);
+  EXPECT_EQ(emulation_planes(3, 5), 15);
+}
+
+TEST(CombinePlanes, MatchesDirectSum) {
+  const int p = 2, q = 3;
+  const std::int64_t n = 6;
+  std::vector<std::vector<std::int32_t>> partial;
+  for (int s = 0; s < p; ++s) {
+    for (int t = 0; t < q; ++t) {
+      std::vector<std::int32_t> y(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        y[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(s * 10 + t + i);
+      }
+      partial.push_back(std::move(y));
+    }
+  }
+  std::vector<std::int32_t> out(static_cast<std::size_t>(n));
+  combine_planes(partial, p, q, n, out.data());
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int32_t expect = 0;
+    for (int s = 0; s < p; ++s) {
+      for (int t = 0; t < q; ++t) {
+        expect += static_cast<std::int32_t>((s * 10 + t + i) << (s + t));
+      }
+    }
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], expect);
+  }
+}
+
+// --- ballot packing ----------------------------------------------------------
+
+TEST(Pack, BallotMatchesBitLayout) {
+  std::uint32_t lanes[32] = {0};
+  lanes[0] = 1;
+  lanes[5] = 1;
+  lanes[31] = 3;  // only bit 0 participates
+  EXPECT_EQ(ballot_pack(lanes, 32), (1u << 0) | (1u << 5) | (1u << 31));
+}
+
+TEST(Pack, BallotPartialWarp) {
+  std::uint32_t lanes[32] = {1, 1, 1, 1};
+  EXPECT_EQ(ballot_pack(lanes, 4), 0xfu);
+}
+
+class PackPlanesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackPlanesTest, RoundTrip) {
+  const int q = GetParam();
+  Rng rng(q);
+  const std::int64_t n = 77;
+  std::vector<std::int32_t> vals(static_cast<std::size_t>(n));
+  for (auto& v : vals) {
+    v = static_cast<std::int32_t>(rng.uniform_int(0, (1 << q) - 1));
+  }
+  const auto planes = pack_bit_planes(vals.data(), n, q);
+  EXPECT_EQ(static_cast<int>(planes.size()), q);
+  EXPECT_EQ(planes[0].size(), static_cast<std::size_t>((n + 31) / 32));
+  EXPECT_EQ(unpack_bit_planes(planes, n), vals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PackPlanesTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// --- bit copy ----------------------------------------------------------------
+
+TEST(BitCopy, AlignedWordCopy) {
+  std::uint64_t src[4] = {0xdeadbeefULL, 0x12345678ULL, 0, 0};
+  std::uint64_t dst[4] = {0, 0, 0, 0};
+  copy_bits(dst, 0, src, 0, 128);
+  EXPECT_EQ(dst[0], src[0]);
+  EXPECT_EQ(dst[1], src[1]);
+}
+
+TEST(BitCopy, UnalignedRandomized) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::uint64_t src[8], dst[8], expect_dst[8];
+    for (int i = 0; i < 8; ++i) {
+      src[i] = rng.next_u64();
+      dst[i] = rng.next_u64();
+      expect_dst[i] = dst[i];
+    }
+    const std::int64_t src_bit = rng.uniform_int(0, 200);
+    const std::int64_t dst_bit = rng.uniform_int(0, 200);
+    const std::int64_t count = rng.uniform_int(0, 300);
+    // Golden: bit-by-bit copy.
+    for (std::int64_t i = 0; i < count; ++i) {
+      put_bit(expect_dst, dst_bit + i, get_bit(src, src_bit + i));
+    }
+    copy_bits(dst, dst_bit, src, src_bit, count);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(dst[i], expect_dst[i]) << "trial " << trial << " word " << i;
+    }
+  }
+}
+
+TEST(BitCopy, FillSetsAndClears) {
+  std::uint64_t buf[4] = {0, 0, 0, 0};
+  fill_bits(buf, 10, 120, true);
+  for (std::int64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(get_bit(buf, i), i >= 10 && i < 130) << "bit " << i;
+  }
+  fill_bits(buf, 20, 50, false);
+  for (std::int64_t i = 20; i < 70; ++i) EXPECT_FALSE(get_bit(buf, i));
+  EXPECT_TRUE(get_bit(buf, 19));
+  EXPECT_TRUE(get_bit(buf, 70));
+}
+
+}  // namespace
+}  // namespace apnn::bitops

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/strings.hpp"
+#include "src/common/timer.hpp"
+
+namespace apnn {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    APNN_CHECK(1 == 2) << "context " << 42;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(APNN_CHECK(true) << "never built");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 9);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIn01) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Strings, Strf) {
+  EXPECT_EQ(strf("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(Strings, TableRowPads) {
+  const std::string row = table_row({"a", "bb"}, 4);
+  EXPECT_EQ(row, "a    bb   ");
+}
+
+TEST(Strings, FormatTime) {
+  EXPECT_EQ(format_time_us(12.345), "12.35us");
+  EXPECT_EQ(format_time_us(4500.0), "4.50ms");
+  EXPECT_EQ(format_time_us(2.5e6), "2.50s");
+}
+
+TEST(Strings, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3.0 * 1024 * 1024), "3.00 MiB");
+}
+
+TEST(Timer, MeasuresElapsed) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.micros(), t.millis());
+}
+
+}  // namespace
+}  // namespace apnn

@@ -1,0 +1,130 @@
+// Invariants of the batched-kernel geometry (apmm_internal) and a few cost
+// model branches the main suites don't reach.
+#include <gtest/gtest.h>
+
+#include "src/core/apmm_internal.hpp"
+#include "src/tcsim/cost_model.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+namespace apnn::core::internal {
+namespace {
+
+class GeometryTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t,
+                                                 std::int64_t, int, int>> {};
+
+TEST_P(GeometryTest, BlocksTileTheOutputExactly) {
+  const auto [m, n, k, p, q] = GetParam();
+  TileConfig tile;
+  assign_warp_grid(tile);
+  const BatchedGeometry g = make_geometry(m, n, k, p, q, tile);
+  // Every output element belongs to exactly one block.
+  EXPECT_GE(g.grid_m * g.om, m);
+  EXPECT_GE(g.grid_n * g.on, n);
+  EXPECT_LT((g.grid_m - 1) * g.om, m);
+  EXPECT_LT((g.grid_n - 1) * g.on, n);
+  // Virtual tile covers all plane partials of its output elements.
+  EXPECT_EQ(g.vtm, g.om * p);
+  EXPECT_EQ(g.vtn, g.on * q);
+  EXPECT_EQ(g.vtm8 % 8, 0);
+  EXPECT_EQ(g.vtn8 % 8, 0);
+  EXPECT_GE(g.vtm8, g.vtm);
+  EXPECT_LT(g.vtm8 - g.vtm, 8);
+  // K slabs cover K with 128-bit alignment.
+  EXPECT_GE(g.ktiles * 128, k);
+  EXPECT_LT((g.ktiles - 1) * 128, k);
+  EXPECT_EQ(g.row_words, bitops::padded_words(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometryTest,
+    ::testing::Values(std::make_tuple(64, 64, 128, 1, 2),
+                      std::make_tuple(1, 1, 1, 1, 1),
+                      std::make_tuple(1000, 3, 77, 3, 5),
+                      std::make_tuple(17, 1024, 4096, 8, 8),
+                      std::make_tuple(64, 1024, 1024, 2, 8),
+                      std::make_tuple(128, 128, 129, 5, 1)));
+
+TEST(Geometry, OmShrinksWithPlaneCount) {
+  TileConfig tile;
+  tile.bm = 64;
+  tile.bn = 64;
+  assign_warp_grid(tile);
+  const auto g1 = make_geometry(256, 256, 512, 1, 1, tile);
+  const auto g8 = make_geometry(256, 256, 512, 8, 8, tile);
+  EXPECT_EQ(g1.om, 64);
+  EXPECT_EQ(g8.om, 8);  // 64 / 8 planes
+  EXPECT_EQ(g8.vtm, 64);
+  // More planes -> more blocks for the same output.
+  EXPECT_GT(g8.blocks, g1.blocks);
+}
+
+TEST(Geometry, ManyPlanesClampToOneOutputPerBlockRow) {
+  TileConfig tile;
+  tile.bm = 16;
+  tile.bn = 16;
+  assign_warp_grid(tile);
+  // p = 32 > bm: om clamps to 1 and the virtual tile still holds all planes.
+  const auto g = make_geometry(8, 8, 128, 8, 8, tile);
+  EXPECT_EQ(g.om, 2);  // 16 / 8
+  EXPECT_EQ(g.on, 2);
+  EXPECT_EQ(g.vtm, 16);
+}
+
+TEST(BatchedProfile, LoadBytesScaleWithKtiles) {
+  TileConfig tile;
+  assign_warp_grid(tile);
+  ApmmOptions opts;
+  const OpSelection sel =
+      select_operator({Encoding::kSignedPM1, Encoding::kUnsigned01});
+  const auto g1 = make_geometry(64, 64, 128, 1, 2, tile);
+  const auto g4 = make_geometry(64, 64, 512, 1, 2, tile);
+  const auto p1 = batched_profile(g1, sel, opts, {}, "a");
+  const auto p4 = batched_profile(g4, sel, opts, {}, "b");
+  EXPECT_EQ(p4.counters.global_load_bytes, 4 * p1.counters.global_load_bytes);
+  EXPECT_EQ(p4.counters.bmma_b1, 4 * p1.counters.bmma_b1);
+}
+
+TEST(BatchedProfile, StoreScaleReducesOutputTraffic) {
+  TileConfig tile;
+  assign_warp_grid(tile);
+  ApmmOptions opts;
+  const OpSelection sel =
+      select_operator({Encoding::kUnsigned01, Encoding::kUnsigned01});
+  const auto g = make_geometry(128, 256, 512, 1, 2, tile);
+  const auto p1 = batched_profile(g, sel, opts, {}, "x", 1);
+  const auto p4 = batched_profile(g, sel, opts, {}, "x", 4);
+  EXPECT_GT(p1.counters.global_store_bytes, p4.counters.global_store_bytes);
+}
+
+TEST(CostModel, SharedMemoryBoundKernel) {
+  // A kernel with huge shared traffic and nothing else must be priced by
+  // the shared-memory term.
+  tcsim::CostModel cm(tcsim::rtx3090());
+  tcsim::KernelProfile k;
+  k.family = "apnn";
+  k.grid_blocks = 82;
+  k.counters.kernel_launches = 1;
+  k.counters.shared_load_bytes = std::int64_t{1} << 30;
+  const auto est = cm.estimate(k);
+  EXPECT_GT(est.shared_mem_us, 0);
+  EXPECT_NEAR(est.total_us, est.launch_us + est.shared_mem_us, 1e-9);
+}
+
+TEST(CostModel, ElementwiseKernelIsBandwidthBound) {
+  tcsim::CostModel cm(tcsim::rtx3090());
+  tcsim::KernelProfile k;
+  k.family = "apnn";
+  k.grid_blocks = 1024;
+  k.ci = 0;  // elementwise
+  k.counters.kernel_launches = 1;
+  k.counters.global_load_bytes = 64 << 20;
+  k.counters.global_store_bytes = 64 << 20;
+  k.counters.alu_epilogue_ops = 1 << 20;  // negligible next to 128 MiB
+  const auto est = cm.estimate(k);
+  EXPECT_GT(est.global_mem_us, est.alu_us);
+  EXPECT_NEAR(est.total_us, est.launch_us + est.global_mem_us, 1e-9);
+}
+
+}  // namespace
+}  // namespace apnn::core::internal

@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/nn/apnn_network.hpp"
+#include "src/nn/engine.hpp"
+#include "src/nn/model.hpp"
+#include "src/nn/serialize.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+namespace apnn::nn {
+namespace {
+
+const tcsim::DeviceSpec& dev() { return tcsim::rtx3090(); }
+
+// --- model zoo shapes ------------------------------------------------------------
+
+TEST(ModelZoo, AlexNetShapes) {
+  const ModelSpec m = alexnet();
+  const auto shapes = propagate_shapes(m);
+  EXPECT_EQ(shapes.back().c, 1000);
+  // conv1 output (post fused pool): 28x28x64.
+  bool found = false;
+  for (std::size_t i = 0; i < m.layers.size(); ++i) {
+    if (m.layers[i].name == "conv1.quant") {
+      EXPECT_EQ(shapes[i].h, 28);
+      EXPECT_EQ(shapes[i].c, 64);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ModelZoo, VggVariantShapes) {
+  const ModelSpec m = vgg_variant();
+  const auto shapes = propagate_shapes(m);
+  EXPECT_EQ(shapes.back().c, 1000);
+  for (std::size_t i = 0; i < m.layers.size(); ++i) {
+    if (m.layers[i].name == "conv5_2.quant") {
+      EXPECT_EQ(shapes[i].h, 7);
+      EXPECT_EQ(shapes[i].c, 512);
+    }
+  }
+}
+
+TEST(ModelZoo, ResNet18Shapes) {
+  const ModelSpec m = resnet18();
+  const auto shapes = propagate_shapes(m);
+  EXPECT_EQ(shapes.back().c, 1000);
+  for (std::size_t i = 0; i < m.layers.size(); ++i) {
+    if (m.layers[i].name == "avgpool") {
+      EXPECT_EQ(shapes[i].h, 1);
+      EXPECT_EQ(shapes[i].c, 512);
+    }
+    if (m.layers[i].name == "layer4.1.quant2") {
+      EXPECT_EQ(shapes[i].h, 7);
+      EXPECT_EQ(shapes[i].c, 512);
+    }
+  }
+}
+
+TEST(ModelZoo, MacCountsOrdering) {
+  // VGG-Variant is the heaviest of the three (the paper's latency ordering).
+  const std::int64_t alex = model_macs(alexnet());
+  const std::int64_t vgg = model_macs(vgg_variant());
+  const std::int64_t res = model_macs(resnet18());
+  EXPECT_GT(vgg, res);
+  EXPECT_GT(res, alex);
+  EXPECT_GT(alex, std::int64_t{500} * 1000 * 1000);  // ~0.7 GMAC
+}
+
+TEST(ModelZoo, ScanTailFindsFusionRun) {
+  const ModelSpec m = mini_cnn();
+  // Layer 0 is conv1; tail = bn, relu, quant.
+  const TailScan t0 = scan_tail(m, 0);
+  EXPECT_TRUE(t0.has_bn);
+  EXPECT_TRUE(t0.has_relu);
+  EXPECT_TRUE(t0.has_quant);
+  EXPECT_FALSE(t0.pool.active());
+  EXPECT_EQ(t0.absorbed.size(), 3u);
+  // conv2 (index 4) has a pooled tail.
+  const TailScan t1 = scan_tail(m, 4);
+  EXPECT_TRUE(t1.pool.active());
+  EXPECT_EQ(t1.absorbed.size(), 4u);
+}
+
+TEST(ModelZoo, ResidualReferencesAreValid) {
+  const ModelSpec m = resnet18();
+  for (std::size_t i = 0; i < m.layers.size(); ++i) {
+    const LayerSpec& l = m.layers[i];
+    if (l.kind == LayerKind::kResidualAdd) {
+      EXPECT_GE(l.residual, 0);
+      EXPECT_LT(static_cast<std::size_t>(l.residual), i);
+    }
+  }
+  EXPECT_NO_THROW(propagate_shapes(m));
+}
+
+// --- profiling engine -------------------------------------------------------------
+
+TEST(Engine, SchemeLabels) {
+  SchemeConfig apnn;
+  apnn.wbits = 1;
+  apnn.abits = 2;
+  EXPECT_EQ(apnn.label(), "APNN-w1a2");
+  SchemeConfig f32;
+  f32.scheme = Scheme::kFloat32;
+  EXPECT_EQ(f32.label(), "CUTLASS-Single");
+}
+
+TEST(Engine, ProfilesEveryLayer) {
+  const ModelSpec m = mini_cnn();
+  SchemeConfig cfg;
+  const ModelProfile p = profile_model(m, 8, cfg, dev());
+  // input.quant + one entry per spec layer.
+  EXPECT_EQ(p.layers.size(), m.layers.size() + 1);
+  EXPECT_GT(p.total_us, 0);
+  EXPECT_GT(p.throughput_fps(), 0);
+}
+
+TEST(Engine, FusionReducesLatency) {
+  const ModelSpec m = vgg_lite();
+  SchemeConfig fused, unfused;
+  unfused.fuse = false;
+  const double tf = profile_model(m, 8, fused, dev()).total_us;
+  const double tu = profile_model(m, 8, unfused, dev()).total_us;
+  EXPECT_LT(tf, tu);
+}
+
+TEST(Engine, FusedLayersMarked) {
+  const ModelSpec m = mini_cnn();
+  SchemeConfig cfg;
+  const ModelProfile p = profile_model(m, 8, cfg, dev());
+  int fused = 0;
+  for (const auto& lp : p.layers) fused += lp.fused_away ? 1 : 0;
+  EXPECT_GT(fused, 0);
+  for (const auto& lp : p.layers) {
+    if (lp.fused_away) EXPECT_EQ(lp.latency.total_us, 0.0);
+  }
+}
+
+TEST(Engine, SchemeOrderingOnVggLite) {
+  // The Table 2/3 shape: BNN and APNN-w1a2 beat int8/half/fp32; fp32 slowest.
+  const ModelSpec m = vgg_variant();
+  auto total = [&](Scheme s, int wb = 1, int ab = 2) {
+    SchemeConfig cfg;
+    cfg.scheme = s;
+    cfg.wbits = wb;
+    cfg.abits = ab;
+    return profile_model(m, 8, cfg, dev()).total_us;
+  };
+  const double t_f32 = total(Scheme::kFloat32);
+  const double t_f16 = total(Scheme::kFloat16);
+  const double t_i8 = total(Scheme::kInt8);
+  const double t_bnn = total(Scheme::kBnn);
+  const double t_apnn = total(Scheme::kApnn);
+  EXPECT_LT(t_apnn, t_i8);
+  EXPECT_LT(t_bnn, t_i8);
+  EXPECT_LT(t_i8, t_f32);
+  EXPECT_LT(t_f16, t_f32);
+}
+
+TEST(Engine, MoreActivationBitsCostMore) {
+  const ModelSpec m = vgg_lite();
+  auto total = [&](int wb, int ab) {
+    SchemeConfig cfg;
+    cfg.wbits = wb;
+    cfg.abits = ab;
+    return profile_model(m, 8, cfg, dev()).total_us;
+  };
+  EXPECT_LT(total(1, 2), total(2, 2));
+  EXPECT_LT(total(2, 2), total(2, 8));
+}
+
+TEST(Engine, ThroughputScalesSublinearlyWithBatch) {
+  const ModelSpec m = vgg_lite();
+  SchemeConfig cfg;
+  const ModelProfile p8 = profile_model(m, 8, cfg, dev());
+  const ModelProfile p128 = profile_model(m, 128, cfg, dev());
+  EXPECT_GT(p128.total_us, p8.total_us);               // more work
+  EXPECT_GT(p128.throughput_fps(), p8.throughput_fps());  // amortized
+}
+
+TEST(Engine, FirstConvDominatesApnnLatency) {
+  // Fig 9 property: the first (largest-feature-map) layer takes the
+  // biggest share.
+  const ModelSpec m = alexnet();
+  SchemeConfig cfg;
+  const ModelProfile p = profile_model(m, 8, cfg, dev());
+  double first_conv = 0, max_other = 0;
+  for (const auto& lp : p.layers) {
+    if (lp.name == "conv1") {
+      first_conv = lp.latency.total_us;
+    } else if (lp.kind == LayerKind::kConv ||
+               lp.kind == LayerKind::kLinear) {
+      max_other = std::max(max_other, lp.latency.total_us);
+    }
+  }
+  EXPECT_GT(first_conv, max_other);
+}
+
+// --- functional APNN network -------------------------------------------------------
+
+TEST(ApnnNetwork, ForwardMatchesReferenceMiniCnn) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 42);
+  Rng rng(1);
+  Tensor<std::int32_t> input({2, 8, 8, 4});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  const auto ref = net.forward_reference(input);
+  const auto got = net.forward(input, dev());
+  EXPECT_EQ(got, ref);
+}
+
+TEST(ApnnNetwork, ForwardMatchesReferenceMultiBit) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 2, 3, 43);
+  Rng rng(2);
+  Tensor<std::int32_t> input({1, 8, 8, 4});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  EXPECT_EQ(net.forward(input, dev()), net.forward_reference(input));
+}
+
+TEST(ApnnNetwork, LogitsShapeAndDeterminism) {
+  const ModelSpec m = mini_cnn(4, 8, 7);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 44);
+  Rng rng(3);
+  Tensor<std::int32_t> input({3, 8, 8, 4});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  const auto a = net.forward(input, dev());
+  const auto b = net.forward(input, dev());
+  EXPECT_EQ(a.shape(), (std::vector<std::int64_t>{3, 7}));
+  EXPECT_EQ(a, b);
+}
+
+TEST(ApnnNetwork, CollectsKernelProfiles) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 45);
+  Rng rng(4);
+  Tensor<std::int32_t> input({1, 8, 8, 4});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  tcsim::SequenceProfile prof;
+  net.forward(input, dev(), &prof);
+  // decompose + 2 convs + 1 linear at least.
+  EXPECT_GE(prof.kernels.size(), 4u);
+  EXPECT_GT(prof.total_counters().bmma_b1, 0);
+}
+
+TEST(ApnnNetwork, MiniResNetForwardMatchesReference) {
+  // Exercises the residual dataflow: projection shortcuts, residual adds on
+  // dense int32 values, standalone ReLU/quantize after the adds, and the
+  // final average pool on quantized codes.
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 61);
+  Rng rng(62);
+  Tensor<std::int32_t> input({2, 8, 8, 3});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  const auto got = net.forward(input, dev());
+  EXPECT_EQ(got.shape(), (std::vector<std::int64_t>{2, 5}));
+  EXPECT_EQ(got, net.forward_reference(input));
+}
+
+TEST(ApnnNetwork, MiniResNetMultiBitMatchesReference) {
+  const ModelSpec m = mini_resnet(3, 8, 4);
+  ApnnNetwork net = ApnnNetwork::random(m, 2, 2, 63);
+  Rng rng(64);
+  Tensor<std::int32_t> input({1, 8, 8, 3});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  EXPECT_EQ(net.forward(input, dev()), net.forward_reference(input));
+}
+
+TEST(ModelZoo, MiniResNetShapes) {
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  const auto shapes = propagate_shapes(m);
+  EXPECT_EQ(shapes.back().c, 5);
+  bool saw_ds = false;
+  for (std::size_t i = 0; i < m.layers.size(); ++i) {
+    if (m.layers[i].name == "block2.downsample") {
+      EXPECT_EQ(shapes[i].h, 4);  // strided projection halves the map
+      EXPECT_EQ(shapes[i].c, 16);
+      saw_ds = true;
+    }
+  }
+  EXPECT_TRUE(saw_ds);
+}
+
+TEST(Engine, ProfilesResidualModels) {
+  SchemeConfig cfg;
+  const ModelProfile p = profile_model(mini_resnet(), 8, cfg, dev());
+  EXPECT_GT(p.total_us, 0);
+  // Residual adds are standalone elementwise kernels (never fused).
+  bool saw_add = false;
+  for (const auto& lp : p.layers) {
+    if (lp.kind == LayerKind::kResidualAdd) {
+      EXPECT_FALSE(lp.fused_away);
+      EXPECT_GT(lp.latency.total_us, 0);
+      saw_add = true;
+    }
+  }
+  EXPECT_TRUE(saw_add);
+}
+
+TEST(BinaryNetwork, ForwardMatchesReferenceMiniCnn) {
+  // End-to-end BNN: ±1 activations between layers exercise the Case II
+  // XOR datapath and the §4.2b pad-1 + counter amendment inside a network.
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random_binary(m, 91);
+  Rng rng(92);
+  Tensor<std::int32_t> input({2, 8, 8, 4});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  EXPECT_EQ(net.forward(input, dev()), net.forward_reference(input));
+}
+
+TEST(BinaryNetwork, ForwardMatchesReferenceVggLite) {
+  const ModelSpec m = vgg_lite(16, 6);
+  ApnnNetwork net = ApnnNetwork::random_binary(m, 93);
+  Rng rng(94);
+  Tensor<std::int32_t> input({1, 16, 16, 3});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  EXPECT_EQ(net.forward(input, dev()), net.forward_reference(input));
+}
+
+TEST(BinaryNetwork, RejectsStandaloneQuantize) {
+  // ResNet's post-add quantize layers cannot fold into a stage tail.
+  EXPECT_THROW(ApnnNetwork::random_binary(mini_resnet(), 95), apnn::Error);
+}
+
+TEST(Serialize, RoundTripPreservesLogits) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 77);
+  Rng rng(78);
+  Tensor<std::int32_t> input({2, 8, 8, 4});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  const auto before = net.forward(input, dev());
+
+  const std::string path = ::testing::TempDir() + "/apnn_roundtrip.bin";
+  ASSERT_TRUE(save_network(net, path));
+  const ApnnNetwork loaded = load_network(path);
+  EXPECT_EQ(loaded.spec().name, m.name);
+  EXPECT_EQ(loaded.wbits(), 1);
+  EXPECT_EQ(loaded.abits(), 2);
+  EXPECT_EQ(loaded.forward(input, dev()), before);
+  EXPECT_EQ(loaded.forward_reference(input), before);
+}
+
+TEST(Serialize, RoundTripResidualNetwork) {
+  const ModelSpec m = mini_resnet(3, 8, 4);
+  ApnnNetwork net = ApnnNetwork::random(m, 2, 2, 79);
+  Rng rng(80);
+  Tensor<std::int32_t> input({1, 8, 8, 3});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  const std::string path = ::testing::TempDir() + "/apnn_resnet.bin";
+  ASSERT_TRUE(save_network(net, path));
+  EXPECT_EQ(load_network(path).forward(input, dev()),
+            net.forward(input, dev()));
+}
+
+TEST(Serialize, RoundTripBinaryNetwork) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random_binary(m, 96);
+  Rng rng(97);
+  Tensor<std::int32_t> input({1, 8, 8, 4});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  const std::string path = ::testing::TempDir() + "/apnn_bnn.bin";
+  ASSERT_TRUE(save_network(net, path));
+  EXPECT_EQ(load_network(path).forward(input, dev()),
+            net.forward(input, dev()));
+}
+
+TEST(Serialize, RejectsGarbageFile) {
+  const std::string path = ::testing::TempDir() + "/apnn_garbage.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a network";
+  }
+  EXPECT_THROW(load_network(path), apnn::Error);
+  EXPECT_THROW(load_network(::testing::TempDir() + "/does_not_exist.bin"),
+               apnn::Error);
+}
+
+TEST(ApnnNetwork, RequiresCalibration) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 46);
+  Tensor<std::int32_t> input({1, 8, 8, 4});
+  EXPECT_THROW(net.forward(input, dev()), apnn::Error);
+}
+
+}  // namespace
+}  // namespace apnn::nn

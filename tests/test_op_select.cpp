@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/core/op_select.hpp"
+
+namespace apnn::core {
+namespace {
+
+TEST(OpSelect, CaseIUsesAnd) {
+  const OpSelection s =
+      select_operator({Encoding::kUnsigned01, Encoding::kUnsigned01});
+  EXPECT_EQ(s.kind, EmulationCase::kCaseI);
+  EXPECT_EQ(s.bit_op, tcsim::BitOp::kAnd);
+}
+
+TEST(OpSelect, CaseIIUsesXor) {
+  const OpSelection s =
+      select_operator({Encoding::kSignedPM1, Encoding::kSignedPM1});
+  EXPECT_EQ(s.kind, EmulationCase::kCaseII);
+  EXPECT_EQ(s.bit_op, tcsim::BitOp::kXor);
+}
+
+TEST(OpSelect, CaseIIIUsesAndWithCorrection) {
+  const OpSelection s =
+      select_operator({Encoding::kSignedPM1, Encoding::kUnsigned01});
+  EXPECT_EQ(s.kind, EmulationCase::kCaseIII);
+  EXPECT_EQ(s.bit_op, tcsim::BitOp::kAnd);
+}
+
+TEST(OpSelect, TwosComplementMapsToCaseI) {
+  const OpSelection s =
+      select_operator({Encoding::kTwosComplement, Encoding::kUnsigned01});
+  EXPECT_EQ(s.kind, EmulationCase::kCaseI);
+}
+
+TEST(OpSelect, RejectsSignedActivationsWithUnsignedWeights) {
+  EXPECT_THROW(
+      select_operator({Encoding::kUnsigned01, Encoding::kSignedPM1}),
+      apnn::Error);
+}
+
+// --- the paper's three worked examples (§3.2) --------------------------------
+
+TEST(OpSelect, PaperExampleCaseI) {
+  // W = [0,1], X = [1,1]: popc(AND) = 1.
+  const std::int64_t raw = 1;  // popc(AND([0,1],[1,1]))
+  EXPECT_EQ(finalize_partial(EmulationCase::kCaseI, raw, 2, 0), 1);
+}
+
+TEST(OpSelect, PaperExampleCaseII) {
+  // W = [-1,1] -> [0,1], X = [1,1] -> [1,1]: popc(XOR) = 1; n - 2*popc = 0.
+  const std::int64_t raw = 1;
+  EXPECT_EQ(finalize_partial(EmulationCase::kCaseII, raw, 2, 0), 0);
+}
+
+TEST(OpSelect, PaperExampleCaseIII) {
+  // W = [-1,1], X = [1,0]: W^ = [0,1]; popc(AND([0,1],[1,0])) = 0;
+  // 2*0 - popc(X)=1 -> -1.
+  const std::int64_t raw = 0;
+  const std::int64_t x_popc = 1;
+  EXPECT_EQ(finalize_partial(EmulationCase::kCaseIII, raw, 2, x_popc), -1);
+}
+
+// --- scalar dot property checks over random vectors --------------------------
+
+TEST(OpSelect, CaseIIFinalizeMatchesDotProduct) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 64));
+    std::int64_t dot = 0, popc = 0;
+    for (int i = 0; i < n; ++i) {
+      const int w = rng.bernoulli(0.5) ? 1 : -1;
+      const int x = rng.bernoulli(0.5) ? 1 : -1;
+      dot += w * x;
+      popc += ((w == 1) != (x == 1)) ? 1 : 0;  // XOR of encodings
+    }
+    EXPECT_EQ(finalize_partial(EmulationCase::kCaseII, popc, n, 0), dot);
+  }
+}
+
+TEST(OpSelect, CaseIIIFinalizeMatchesDotProduct) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 64));
+    std::int64_t dot = 0, raw = 0, xp = 0;
+    for (int i = 0; i < n; ++i) {
+      const int w = rng.bernoulli(0.5) ? 1 : -1;
+      const int x = rng.bernoulli(0.5) ? 1 : 0;
+      dot += w * x;
+      raw += ((w + 1) / 2) & x;  // AND(W^, X)
+      xp += x;
+    }
+    EXPECT_EQ(finalize_partial(EmulationCase::kCaseIII, raw, n, xp), dot);
+  }
+}
+
+// --- plane multipliers and encode/decode --------------------------------------
+
+TEST(OpSelect, PlaneMultipliers) {
+  EXPECT_EQ(plane_multiplier(Encoding::kUnsigned01, 0, 4), 1);
+  EXPECT_EQ(plane_multiplier(Encoding::kUnsigned01, 3, 4), 8);
+  EXPECT_EQ(plane_multiplier(Encoding::kSignedPM1, 0, 1), 1);
+  EXPECT_EQ(plane_multiplier(Encoding::kTwosComplement, 2, 4), 4);
+  EXPECT_EQ(plane_multiplier(Encoding::kTwosComplement, 3, 4), -8);
+}
+
+TEST(OpSelect, EncodingRanges) {
+  EXPECT_EQ(encoding_range(Encoding::kUnsigned01, 3).hi, 7);
+  EXPECT_EQ(encoding_range(Encoding::kSignedPM1, 1).lo, -1);
+  EXPECT_EQ(encoding_range(Encoding::kTwosComplement, 4).lo, -8);
+  EXPECT_EQ(encoding_range(Encoding::kTwosComplement, 4).hi, 7);
+}
+
+TEST(OpSelect, EncodeDecodeRoundTrip) {
+  for (int bits : {1, 2, 3, 4, 8}) {
+    const auto r = encoding_range(Encoding::kUnsigned01, bits);
+    for (std::int64_t v = r.lo; v <= r.hi; ++v) {
+      EXPECT_EQ(decode_value(Encoding::kUnsigned01, bits,
+                             encode_value(Encoding::kUnsigned01, bits, v)),
+                v);
+    }
+  }
+  for (std::int64_t v : {-1, 1}) {
+    EXPECT_EQ(decode_value(Encoding::kSignedPM1, 1,
+                           encode_value(Encoding::kSignedPM1, 1, v)),
+              v);
+  }
+  for (int bits : {2, 4, 8}) {
+    const auto r = encoding_range(Encoding::kTwosComplement, bits);
+    for (std::int64_t v = r.lo; v <= r.hi; ++v) {
+      EXPECT_EQ(
+          decode_value(Encoding::kTwosComplement, bits,
+                       encode_value(Encoding::kTwosComplement, bits, v)),
+          v);
+    }
+  }
+}
+
+TEST(OpSelect, EncodeRejectsOutOfRange) {
+  EXPECT_THROW(encode_value(Encoding::kUnsigned01, 2, 4), apnn::Error);
+  EXPECT_THROW(encode_value(Encoding::kSignedPM1, 1, 0), apnn::Error);
+  EXPECT_THROW(encode_value(Encoding::kTwosComplement, 4, 8), apnn::Error);
+}
+
+}  // namespace
+}  // namespace apnn::core

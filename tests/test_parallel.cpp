@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/parallel/thread_pool.hpp"
+
+namespace apnn {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, RespectsRange) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(10, 20, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::int64_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, GrainBatchesWork) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  pool.parallel_for(0, 256, [&](std::int64_t i) { hits[static_cast<std::size_t>(i)]++; }, 32);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::int64_t i) {
+                          if (i == 42) throw Error("boom");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, SingleThreadedFallback) {
+  ThreadPool pool(1);
+  std::int64_t sum = 0;  // safe: no workers, caller runs everything
+  pool.parallel_for(0, 100, [&](std::int64_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(0, 50, [&](std::int64_t) { ++count; });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolWorks) {
+  std::atomic<std::int64_t> sum{0};
+  parallel_for(0, 64, [&](std::int64_t i) { sum += i * i; });
+  std::int64_t expect = 0;
+  for (int i = 0; i < 64; ++i) expect += i * i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+}  // namespace
+}  // namespace apnn

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "src/common/check.hpp"
+#include "src/core/perf_model.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+namespace apnn::core {
+namespace {
+
+TEST(PerfModel, TlpFormulaEq3) {
+  TileConfig t;
+  t.bm = 64;
+  t.bn = 64;
+  // TLP = pM * qN / (bm * bn)
+  EXPECT_DOUBLE_EQ(tlp(64, 1024, 1, 2, t), 64.0 * 2048 / 4096);
+  EXPECT_DOUBLE_EQ(tlp(128, 128, 2, 2, t), 256.0 * 256 / 4096);
+}
+
+TEST(PerfModel, CiFormulaEq4) {
+  TileConfig t;
+  t.bm = 64;
+  t.bn = 64;
+  EXPECT_DOUBLE_EQ(compute_intensity(t), 64.0);
+  t.bm = 128;
+  t.bn = 128;
+  EXPECT_DOUBLE_EQ(compute_intensity(t), 128.0);
+  t.bm = 16;
+  t.bn = 128;
+  EXPECT_DOUBLE_EQ(compute_intensity(t), 2.0 * 16 * 128 / 144);
+}
+
+TEST(PerfModel, CiIndependentOfBk) {
+  TileConfig a, b;
+  a.bm = b.bm = 64;
+  a.bn = b.bn = 32;
+  a.bk = 128;
+  b.bk = 512;
+  EXPECT_DOUBLE_EQ(compute_intensity(a), compute_intensity(b));
+}
+
+TEST(PerfModel, WarpGridPrefers4x2) {
+  TileConfig t;
+  t.bm = 64;
+  t.bn = 64;
+  assign_warp_grid(t);
+  EXPECT_EQ(t.warp_rows, 4);
+  EXPECT_EQ(t.warp_cols, 2);
+  EXPECT_EQ(t.wm(), 16);
+  EXPECT_EQ(t.wn(), 32);
+}
+
+TEST(PerfModel, WarpGridAdaptsToNarrowTiles) {
+  TileConfig t;
+  t.bm = 16;
+  t.bn = 128;
+  assign_warp_grid(t);
+  // 4x2 needs bm % 32 == 0; must fall back while keeping 8x8 granularity.
+  EXPECT_EQ(t.bm % (t.warp_rows * 8), 0);
+  EXPECT_EQ(t.bn % (t.warp_cols * 8), 0);
+}
+
+TEST(PerfModel, ShmemAccounting) {
+  TileConfig t;
+  t.bm = 64;
+  t.bn = 64;
+  t.bk = 128;
+  // double-buffered tiles: 2*(64+64)*128/8 = 4096 B; staging 64*64*4 = 16 KiB
+  EXPECT_EQ(t.shmem_bytes(), 4096 + 16384);
+}
+
+TEST(Autotune, SmallProblemPicksSmallTiles) {
+  // M=64, N=128, p=q=1: large tiles would leave almost no blocks.
+  const TuneResult r = autotune_tile(64, 128, 512, 1, 1, tcsim::rtx3090());
+  EXPECT_LE(r.tile.bm, 32);
+  EXPECT_GT(r.tlp, 0);
+}
+
+TEST(Autotune, LargeProblemPicksLargeCiTiles) {
+  const TuneResult r =
+      autotune_tile(4096, 4096, 1024, 2, 8, tcsim::rtx3090());
+  // TLP is huge for every candidate; the CI-maximizing 128x128 tile wins.
+  EXPECT_EQ(r.tile.bm, 128);
+  EXPECT_EQ(r.tile.bn, 128);
+}
+
+TEST(Autotune, ThresholdRuleRespected) {
+  // Engineered so max TLP is just below the threshold: the tuner sticks
+  // with the max-TLP config instead of trading for CI.
+  const std::int64_t m = 32, n = 32;  // pM*qN = 1024; min tile 16x16 -> TLP 4
+  const TuneResult r = autotune_tile(m, n, 128, 1, 1, tcsim::rtx3090());
+  EXPECT_DOUBLE_EQ(r.tlp, 1024.0 / (r.tile.bm * r.tile.bn));
+  EXPECT_EQ(r.tile.bm, 16);
+  EXPECT_EQ(r.tile.bn, 16);
+}
+
+TEST(Autotune, PlaneCountRaisesTlp) {
+  // The virtual batching enlarges the grid: with more planes the tuner can
+  // afford bigger tiles.
+  const TuneResult r11 = autotune_tile(64, 512, 512, 1, 1, tcsim::rtx3090());
+  const TuneResult r28 = autotune_tile(64, 512, 512, 2, 8, tcsim::rtx3090());
+  EXPECT_GE(r28.tile.bm * r28.tile.bn, r11.tile.bm * r11.tile.bn);
+}
+
+TEST(Autotune, RespectsSharedMemoryCap) {
+  tcsim::DeviceSpec tiny = tcsim::rtx3090();
+  tiny.shmem_per_sm = 8 * 1024;  // exclude large tiles
+  const TuneResult r = autotune_tile(4096, 4096, 1024, 1, 1, tiny);
+  EXPECT_LE(r.tile.shmem_bytes(), tiny.shmem_per_sm);
+}
+
+TEST(Autotune, DeterministicForSameInputs) {
+  const TuneResult a = autotune_tile(300, 700, 900, 2, 3, tcsim::a100());
+  const TuneResult b = autotune_tile(300, 700, 900, 2, 3, tcsim::a100());
+  EXPECT_EQ(a.tile.bm, b.tile.bm);
+  EXPECT_EQ(a.tile.bn, b.tile.bn);
+}
+
+TEST(Autotune, RejectsDegenerateProblem) {
+  EXPECT_THROW(autotune_tile(0, 10, 10, 1, 1, tcsim::rtx3090()),
+               apnn::Error);
+}
+
+}  // namespace
+}  // namespace apnn::core

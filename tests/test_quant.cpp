@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hpp"
+#include "src/quant/qem.hpp"
+#include "src/quant/quantizer.hpp"
+
+namespace apnn::quant {
+namespace {
+
+TEST(Quantizer, FloorSemantics) {
+  QuantParams p{2.0, 1.0, 4};
+  // code = floor((x - 1) / 2)
+  EXPECT_EQ(quantize_value(1.0f, p), 0);
+  EXPECT_EQ(quantize_value(2.9f, p), 0);
+  EXPECT_EQ(quantize_value(3.1f, p), 1);
+  EXPECT_EQ(quantize_value(9.0f, p), 4);
+}
+
+TEST(Quantizer, ClampsToRange) {
+  QuantParams p{1.0, 0.0, 2};
+  EXPECT_EQ(quantize_value(-5.f, p), 0);
+  EXPECT_EQ(quantize_value(100.f, p), 3);
+}
+
+TEST(Quantizer, UniformParamsCoverData) {
+  Rng rng(1);
+  std::vector<float> xs(1000);
+  for (auto& x : xs) x = static_cast<float>(rng.uniform(-3, 7));
+  const QuantParams p = choose_uniform_params(xs, 4);
+  for (float x : xs) {
+    const std::int32_t c = quantize_value(x, p);
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, p.qmax());
+  }
+  // Extremes map to extreme codes.
+  EXPECT_EQ(quantize_value(*std::min_element(xs.begin(), xs.end()), p), 0);
+  EXPECT_EQ(quantize_value(*std::max_element(xs.begin(), xs.end()), p),
+            p.qmax());
+}
+
+TEST(Quantizer, DegenerateConstantInput) {
+  std::vector<float> xs(10, 3.5f);
+  const QuantParams p = choose_uniform_params(xs, 3);
+  EXPECT_EQ(quantize_value(3.5f, p), 0);
+  EXPECT_NO_THROW(dequantize_value(0, p));
+}
+
+TEST(Quantizer, SymmetricParamsCenterZero) {
+  Rng rng(2);
+  std::vector<float> xs(500);
+  for (auto& x : xs) x = static_cast<float>(rng.normal(0, 1));
+  const QuantParams p = choose_symmetric_params(xs, 4);
+  // Zero should land near the middle of the code range.
+  const std::int32_t zero_code = quantize_value(0.f, p);
+  EXPECT_NEAR(zero_code, 8, 1);
+}
+
+TEST(Quantizer, RoundTripErrorBounded) {
+  Rng rng(3);
+  std::vector<float> xs(2000);
+  for (auto& x : xs) x = static_cast<float>(rng.uniform(0, 10));
+  for (int bits : {2, 4, 8}) {
+    const QuantParams p = choose_uniform_params(xs, bits);
+    for (float x : xs) {
+      const float r = dequantize_value(quantize_value(x, p), p);
+      EXPECT_LE(std::abs(x - r), p.scale) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Quantizer, MseDecreasesWithBits) {
+  Rng rng(4);
+  std::vector<float> xs(3000);
+  for (auto& x : xs) x = static_cast<float>(rng.normal(0, 2));
+  double prev = 1e18;
+  for (int bits : {1, 2, 3, 4, 6, 8}) {
+    const double mse = quantization_mse(xs, choose_uniform_params(xs, bits));
+    EXPECT_LT(mse, prev) << "bits=" << bits;
+    prev = mse;
+  }
+}
+
+TEST(Quantizer, TensorRoundTrip) {
+  Rng rng(5);
+  Tensor<float> x({4, 5});
+  x.randomize(rng, 0.f, 1.f);
+  std::vector<float> flat(x.data(), x.data() + x.numel());
+  const QuantParams p = choose_uniform_params(flat, 4);
+  const auto q = quantize_tensor(x, p);
+  const auto r = dequantize_tensor(q, p);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_NEAR(r[i], x[i], static_cast<float>(p.scale));
+  }
+}
+
+// --- QEM --------------------------------------------------------------------
+
+TEST(Qem, BinaryBasisApproximatesMeanAbs) {
+  Rng rng(6);
+  std::vector<float> xs(4000);
+  for (auto& x : xs) x = static_cast<float>(rng.normal(0, 1));
+  const QemResult r = qem_quantize(xs, 1);
+  ASSERT_EQ(r.basis.size(), 1u);
+  // For a symmetric distribution the optimal 1-bit basis is E|w| (BWN).
+  double mean_abs = 0;
+  for (float x : xs) mean_abs += std::abs(x);
+  mean_abs /= xs.size();
+  EXPECT_NEAR(r.basis[0], mean_abs, 0.05);
+}
+
+TEST(Qem, ReconstructionUsesCodes) {
+  const std::vector<double> basis = {0.5, 1.0};
+  EXPECT_DOUBLE_EQ(qem_reconstruct(0b00, basis), -1.5);
+  EXPECT_DOUBLE_EQ(qem_reconstruct(0b01, basis), -0.5);
+  EXPECT_DOUBLE_EQ(qem_reconstruct(0b10, basis), 0.5);
+  EXPECT_DOUBLE_EQ(qem_reconstruct(0b11, basis), 1.5);
+}
+
+TEST(Qem, MseImprovesWithBits) {
+  Rng rng(7);
+  std::vector<float> xs(3000);
+  for (auto& x : xs) x = static_cast<float>(rng.normal(0, 1));
+  double prev = 1e18;
+  for (int bits : {1, 2, 3, 4}) {
+    const QemResult r = qem_quantize(xs, bits);
+    EXPECT_LT(r.mse, prev) << "bits=" << bits;
+    prev = r.mse;
+  }
+}
+
+TEST(Qem, BeatsNaiveUniformSymmetric) {
+  // The QEM claim (LQ-Nets): learned basis MSE <= naive uniform symmetric
+  // quantization MSE on gaussian weights.
+  Rng rng(8);
+  std::vector<float> xs(5000);
+  for (auto& x : xs) x = static_cast<float>(rng.normal(0, 1.3));
+  for (int bits : {2, 3, 4}) {
+    const QemResult r = qem_quantize(xs, bits);
+    const QuantParams naive = choose_symmetric_params(xs, bits);
+    EXPECT_LT(r.mse, quantization_mse(xs, naive)) << "bits=" << bits;
+  }
+}
+
+TEST(Qem, ConvergesAndMonotone) {
+  Rng rng(9);
+  std::vector<float> xs(1000);
+  for (auto& x : xs) x = static_cast<float>(rng.uniform(-2, 2));
+  const QemResult r = qem_quantize(xs, 3, 50);
+  EXPECT_LE(r.iterations, 50);
+  // Re-running from the returned basis should not move (fixed point).
+  const auto recon = qem_reconstruct_all(r);
+  double se = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    se += (xs[i] - recon[i]) * (xs[i] - recon[i]);
+  }
+  EXPECT_NEAR(se / xs.size(), r.mse, 1e-9);
+}
+
+TEST(Qem, HandlesConstantInput) {
+  std::vector<float> xs(100, 2.0f);
+  const QemResult r = qem_quantize(xs, 2);
+  const auto recon = qem_reconstruct_all(r);
+  EXPECT_NEAR(recon[0], 2.0f, 0.2f);
+}
+
+}  // namespace
+}  // namespace apnn::quant

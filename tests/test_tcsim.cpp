@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "src/bitops/bit_matrix.hpp"
+#include "src/common/rng.hpp"
+#include "src/tcsim/cost_model.hpp"
+#include "src/tcsim/device_spec.hpp"
+#include "src/tcsim/half.hpp"
+#include "src/tcsim/mma.hpp"
+#include "src/tcsim/trace.hpp"
+#include "src/tcsim/traffic.hpp"
+
+namespace apnn::tcsim {
+namespace {
+
+// --- bmma -------------------------------------------------------------------
+
+TEST(Bmma, XorMatchesNaive) {
+  Rng rng(1);
+  bitops::BitMatrix a(8, 128), b(8, 128);
+  a.randomize(rng);
+  b.randomize(rng);
+  std::int32_t acc[64] = {0};
+  bmma_8x8x128(BitOp::kXor, a.row(0), a.row_words(), b.row(0), b.row_words(),
+               acc);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      std::int32_t expect = 0;
+      for (int k = 0; k < 128; ++k) {
+        expect += a.get(i, k) != b.get(j, k) ? 1 : 0;
+      }
+      EXPECT_EQ(acc[i * 8 + j], expect) << i << "," << j;
+    }
+  }
+}
+
+TEST(Bmma, AndMatchesNaive) {
+  Rng rng(2);
+  bitops::BitMatrix a(8, 128), b(8, 128);
+  a.randomize(rng);
+  b.randomize(rng);
+  std::int32_t acc[64] = {0};
+  bmma_8x8x128(BitOp::kAnd, a.row(0), a.row_words(), b.row(0), b.row_words(),
+               acc);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      std::int32_t expect = 0;
+      for (int k = 0; k < 128; ++k) {
+        expect += (a.get(i, k) && b.get(j, k)) ? 1 : 0;
+      }
+      EXPECT_EQ(acc[i * 8 + j], expect);
+    }
+  }
+}
+
+TEST(Bmma, Accumulates) {
+  Rng rng(3);
+  bitops::BitMatrix a(8, 128), b(8, 128);
+  a.randomize(rng);
+  b.randomize(rng);
+  std::int32_t once[64] = {0}, twice[64] = {0};
+  bmma_8x8x128(BitOp::kAnd, a.row(0), a.row_words(), b.row(0), b.row_words(),
+               once);
+  bmma_8x8x128(BitOp::kAnd, a.row(0), a.row_words(), b.row(0), b.row_words(),
+               twice);
+  bmma_8x8x128(BitOp::kAnd, a.row(0), a.row_words(), b.row(0), b.row_words(),
+               twice);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(twice[i], 2 * once[i]);
+}
+
+TEST(Bmma, RowPointerVariantMatchesStrided) {
+  Rng rng(4);
+  bitops::BitMatrix a(8, 256), b(8, 256);
+  a.randomize(rng);
+  b.randomize(rng);
+  std::int32_t strided[64] = {0}, rows[64] = {0};
+  const std::uint64_t* arows[8];
+  const std::uint64_t* brows[8];
+  for (int i = 0; i < 8; ++i) {
+    arows[i] = a.row(i);
+    brows[i] = b.row(i);
+  }
+  // Second 128-bit slab.
+  bmma_8x8x128(BitOp::kXor, a.row(0) + 2, a.row_words(), b.row(0) + 2,
+               b.row_words(), strided);
+  bmma_8x8x128_rows(BitOp::kXor, arows, brows, 2, rows);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(rows[i], strided[i]);
+}
+
+// --- integer / fp16 MMA -----------------------------------------------------
+
+TEST(Imma, Int8TileMatchesNaive) {
+  Rng rng(5);
+  std::int8_t a[16 * 16], b[16 * 16];
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  std::int32_t acc[256] = {0};
+  imma_16x16x16(a, 16, b, 16, acc);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      std::int32_t expect = 0;
+      for (int k = 0; k < 16; ++k) expect += a[i * 16 + k] * b[j * 16 + k];
+      EXPECT_EQ(acc[i * 16 + j], expect);
+    }
+  }
+}
+
+TEST(Imma, Int4TileMatchesNaive) {
+  Rng rng(6);
+  std::int8_t a[8 * 32], b[8 * 32];
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_int(-8, 7));
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_int(-8, 7));
+  std::int32_t acc[64] = {0};
+  imma_8x8x32(a, 32, b, 32, acc);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      std::int32_t expect = 0;
+      for (int k = 0; k < 32; ++k) expect += a[i * 32 + k] * b[j * 32 + k];
+      EXPECT_EQ(acc[i * 8 + j], expect);
+    }
+  }
+}
+
+TEST(Hmma, Fp16TileApproximatesFloat) {
+  Rng rng(7);
+  half_t a[16 * 16], b[16 * 16];
+  float af[16 * 16], bf[16 * 16];
+  for (int i = 0; i < 256; ++i) {
+    af[i] = static_cast<float>(rng.uniform(-2, 2));
+    bf[i] = static_cast<float>(rng.uniform(-2, 2));
+    a[i] = float_to_half(af[i]);
+    b[i] = float_to_half(bf[i]);
+  }
+  float acc[256] = {0};
+  hmma_16x16x16(a, 16, b, 16, acc);
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      float expect = 0;
+      for (int k = 0; k < 16; ++k) {
+        expect += half_to_float(a[i * 16 + k]) * half_to_float(b[j * 16 + k]);
+      }
+      EXPECT_FLOAT_EQ(acc[i * 16 + j], expect);
+    }
+  }
+}
+
+// --- half precision -----------------------------------------------------------
+
+TEST(Half, ExactSmallValues) {
+  for (float f : {0.f, 1.f, -1.f, 0.5f, 2.f, 1024.f, -0.25f}) {
+    EXPECT_EQ(half_to_float(float_to_half(f)), f);
+  }
+}
+
+TEST(Half, RoundTripErrorBounded) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const float f = static_cast<float>(rng.uniform(-100, 100));
+    const float r = half_to_float(float_to_half(f));
+    EXPECT_NEAR(r, f, std::abs(f) * 1e-3 + 1e-4);
+  }
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(std::isinf(half_to_float(float_to_half(1e6f))));
+  EXPECT_TRUE(std::isinf(half_to_float(float_to_half(-1e6f))));
+  EXPECT_LT(half_to_float(float_to_half(-1e6f)), 0);
+}
+
+TEST(Half, SubnormalsSurvive) {
+  const float tiny = 1e-5f;  // subnormal in fp16 (min normal 6.1e-5)
+  const float r = half_to_float(float_to_half(tiny));
+  EXPECT_GT(r, 0.f);
+  EXPECT_NEAR(r, tiny, 1e-6);
+}
+
+TEST(Half, ZeroPreservesSign) {
+  EXPECT_EQ(float_to_half(0.f).bits, 0);
+  EXPECT_EQ(float_to_half(-0.f).bits, 0x8000);
+}
+
+// --- counters ----------------------------------------------------------------
+
+TEST(Traffic, AdditionAggregates) {
+  TrafficCounters a, b;
+  a.global_load_bytes = 10;
+  a.bmma_b1 = 3;
+  b.global_load_bytes = 5;
+  b.alu_combine_ops = 7;
+  b.kernel_launches = 1;
+  const TrafficCounters c = a + b;
+  EXPECT_EQ(c.global_load_bytes, 15);
+  EXPECT_EQ(c.bmma_b1, 3);
+  EXPECT_EQ(c.alu_combine_ops, 7);
+  EXPECT_EQ(c.kernel_launches, 1);
+}
+
+TEST(Traffic, OpsPerTileShape) {
+  TrafficCounters c;
+  c.bmma_b1 = 1;
+  c.mma_i4 = 1;
+  c.mma_i8 = 1;
+  c.mma_f16 = 1;
+  c.fma_f32 = 1;
+  EXPECT_EQ(c.ops_b1(), 2 * 8 * 8 * 128);
+  EXPECT_EQ(c.ops_i4(), 2 * 8 * 8 * 32);
+  EXPECT_EQ(c.ops_i8(), 2 * 16 * 16 * 16);
+  EXPECT_EQ(c.ops_f16(), 2 * 16 * 16 * 16);
+  EXPECT_EQ(c.ops_f32(), 2);
+}
+
+// --- device specs -------------------------------------------------------------
+
+TEST(DeviceSpec, AmpereRatiosHold) {
+  const DeviceSpec& d = rtx3090();
+  EXPECT_EQ(d.num_sms, 82);
+  EXPECT_DOUBLE_EQ(d.peak(Precision::kInt1) / d.peak(Precision::kInt8), 4.0);
+  EXPECT_DOUBLE_EQ(d.peak(Precision::kInt4) / d.peak(Precision::kInt8), 2.0);
+  const DeviceSpec& a = a100();
+  EXPECT_DOUBLE_EQ(a.peak(Precision::kInt1) / a.peak(Precision::kInt8), 8.0);
+}
+
+TEST(DeviceSpec, FamilyEffFallsBack) {
+  const DeviceSpec& d = rtx3090();
+  EXPECT_GT(d.family_eff("apnn"), 0);
+  EXPECT_DOUBLE_EQ(d.family_eff("unknown-family"),
+                   DeviceSpec::kDefaultEfficiency);
+}
+
+// --- cost model ----------------------------------------------------------------
+
+KernelProfile sample_kernel(std::int64_t blocks, std::int64_t bmma,
+                            std::int64_t bytes) {
+  KernelProfile k;
+  k.name = "sample";
+  k.family = "apnn";
+  k.grid_blocks = blocks;
+  k.ci = 64;
+  k.counters.kernel_launches = 1;
+  k.counters.bmma_b1 = bmma;
+  k.counters.global_load_bytes = bytes;
+  return k;
+}
+
+TEST(CostModel, ParallelEfficiencySaturates) {
+  DeviceSpec linear = rtx3090();
+  linear.latency_hiding_alpha = 1.0;  // exact-value checks without the
+                                      // latency-hiding exponent
+  CostModel cm(linear);
+  EXPECT_NEAR(cm.parallel_efficiency(1), 1.0 / 82, 1e-12);
+  EXPECT_NEAR(cm.parallel_efficiency(41), 0.5, 1e-12);
+  EXPECT_NEAR(cm.parallel_efficiency(82), 1.0, 1e-12);
+  // Wave quantization: 83 blocks take two waves.
+  EXPECT_NEAR(cm.parallel_efficiency(83), 83.0 / 164, 1e-12);
+  EXPECT_NEAR(cm.parallel_efficiency(8200), 1.0, 1e-12);
+}
+
+TEST(CostModel, LatencyHidingSoftensLowOccupancy) {
+  CostModel cm(rtx3090());  // alpha < 1
+  EXPECT_GT(cm.parallel_efficiency(8), 8.0 / 82);
+  EXPECT_LT(cm.parallel_efficiency(8), 1.0);
+  EXPECT_NEAR(cm.parallel_efficiency(82), 1.0, 1e-12);
+  // Still monotone in the block count up to saturation.
+  EXPECT_LT(cm.parallel_efficiency(8), cm.parallel_efficiency(40));
+}
+
+TEST(CostModel, CiEfficiencyMonotone) {
+  CostModel cm(rtx3090());
+  EXPECT_LT(cm.ci_efficiency(16), cm.ci_efficiency(64));
+  EXPECT_LT(cm.ci_efficiency(64), cm.ci_efficiency(128));
+  EXPECT_DOUBLE_EQ(cm.ci_efficiency(0), 1.0);
+}
+
+TEST(CostModel, MoreBlocksFasterUntilSaturation) {
+  CostModel cm(rtx3090());
+  const auto t8 = cm.estimate(sample_kernel(8, 1 << 20, 0));
+  const auto t64 = cm.estimate(sample_kernel(64, 1 << 20, 0));
+  const auto t82 = cm.estimate(sample_kernel(82, 1 << 20, 0));
+  EXPECT_GT(t8.compute_us, t64.compute_us);
+  EXPECT_GT(t64.compute_us, t82.compute_us);
+}
+
+TEST(CostModel, MemoryBoundKernelScalesWithBytes) {
+  CostModel cm(rtx3090());
+  const auto t1 = cm.estimate(sample_kernel(1000, 0, 1 << 20));
+  const auto t2 = cm.estimate(sample_kernel(1000, 0, 2 << 20));
+  EXPECT_NEAR(t2.global_mem_us / t1.global_mem_us, 2.0, 1e-9);
+  EXPECT_GT(t2.total_us, t1.total_us);
+}
+
+TEST(CostModel, LaunchOverheadAdditivePerKernel) {
+  CostModel cm(rtx3090());
+  SequenceProfile seq;
+  seq.add(sample_kernel(82, 1000, 1000));
+  seq.add(sample_kernel(82, 1000, 1000));
+  seq.add(sample_kernel(82, 1000, 1000));
+  const auto est = cm.estimate(seq);
+  EXPECT_NEAR(est.launch_us, 3 * rtx3090().launch_overhead_us, 1e-9);
+}
+
+TEST(CostModel, ComputeAndMemoryOverlapViaMax) {
+  CostModel cm(rtx3090());
+  KernelProfile k = sample_kernel(82, 1 << 22, 1 << 26);
+  const auto est = cm.estimate(k);
+  const double body = est.total_us - est.launch_us;
+  EXPECT_NEAR(body, std::max(est.compute_us + est.alu_us, est.global_mem_us),
+              1e-9);
+}
+
+TEST(Trace, ChromeTraceContainsKernels) {
+  CostModel cm(rtx3090());
+  SequenceProfile seq;
+  seq.add(sample_kernel(82, 1 << 20, 1 << 20));
+  KernelProfile k2 = sample_kernel(16, 1 << 18, 1 << 16);
+  k2.name = "epilogue\"quoted\"";
+  seq.add(k2);
+  const std::string json = to_chrome_trace(seq, cm);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"sample\""), std::string::npos);
+  EXPECT_NE(json.find("launch"), std::string::npos);
+  // Quotes in kernel names must be escaped.
+  EXPECT_NE(json.find("epilogue\\\"quoted\\\""), std::string::npos);
+  // Two kernels -> two launch slices + two kernel slices.
+  std::size_t events = 0;
+  for (std::size_t pos = json.find("\"ph\""); pos != std::string::npos;
+       pos = json.find("\"ph\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_EQ(events, 4u);
+}
+
+TEST(Trace, WriteToFile) {
+  CostModel cm(rtx3090());
+  SequenceProfile seq;
+  seq.add(sample_kernel(8, 1024, 1024));
+  const std::string path = ::testing::TempDir() + "/trace.json";
+  EXPECT_TRUE(write_chrome_trace(seq, cm, path));
+  std::ifstream f(path);
+  std::string contents((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, to_chrome_trace(seq, cm));
+  EXPECT_FALSE(write_chrome_trace(seq, cm, "/nonexistent-dir/trace.json"));
+}
+
+TEST(CostModel, A100FasterAtSameWork) {
+  CostModel c3090(rtx3090());
+  CostModel ca100(a100());
+  KernelProfile k = sample_kernel(1024, 1 << 22, 1 << 24);
+  EXPECT_LT(ca100.estimate(k).compute_us, c3090.estimate(k).compute_us);
+}
+
+}  // namespace
+}  // namespace apnn::tcsim

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/synth/dataset.hpp"
+#include "src/train/conv_net.hpp"
+#include "src/train/mlp.hpp"
+
+namespace apnn::train {
+namespace {
+
+synth::DatasetConfig small_cfg() {
+  synth::DatasetConfig cfg;
+  cfg.classes = 6;
+  cfg.hw = 10;
+  cfg.noise = 0.4;
+  return cfg;
+}
+
+TEST(SynthDataset, ShapesAndLabels) {
+  const synth::Dataset ds = synth::make_dataset(120, small_cfg(), 1);
+  EXPECT_EQ(ds.size(), 120);
+  EXPECT_EQ(ds.features(), 100);
+  for (int label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 6);
+  }
+  // Round-robin labels are balanced.
+  std::vector<int> counts(6, 0);
+  for (int label : ds.labels) counts[static_cast<std::size_t>(label)]++;
+  for (int c : counts) EXPECT_EQ(c, 20);
+}
+
+TEST(SynthDataset, SameTaskSeedSamePrototypes) {
+  synth::DatasetConfig cfg = small_cfg();
+  cfg.noise = 0.0;
+  cfg.max_shift = 0;
+  const auto a = synth::make_dataset(6, cfg, 1);
+  const auto b = synth::make_dataset(6, cfg, 999);  // different sample seed
+  // With no jitter/noise the images are the pure prototypes.
+  for (std::int64_t i = 0; i < a.images.numel(); ++i) {
+    EXPECT_FLOAT_EQ(a.images[i], b.images[i]);
+  }
+}
+
+TEST(SynthDataset, DifferentTaskSeedDifferentTask) {
+  synth::DatasetConfig a = small_cfg(), b = small_cfg();
+  b.task_seed = 12345;
+  a.noise = b.noise = 0;
+  const auto da = synth::make_dataset(6, a, 1);
+  const auto db = synth::make_dataset(6, b, 1);
+  double diff = 0;
+  for (std::int64_t i = 0; i < da.images.numel(); ++i) {
+    diff += std::abs(da.images[i] - db.images[i]);
+  }
+  EXPECT_GT(diff / da.images.numel(), 0.1);
+}
+
+TEST(FakeQuant, BinaryWeightsAreSignTimesMean) {
+  Tensor<float> w({4});
+  w[0] = 0.5f;
+  w[1] = -1.5f;
+  w[2] = 2.0f;
+  w[3] = -0.2f;
+  const Tensor<float> q = fake_quantize_weights(w, 1);
+  const float alpha = (0.5f + 1.5f + 2.0f + 0.2f) / 4;
+  EXPECT_FLOAT_EQ(q[0], alpha);
+  EXPECT_FLOAT_EQ(q[1], -alpha);
+  EXPECT_FLOAT_EQ(q[2], alpha);
+  EXPECT_FLOAT_EQ(q[3], -alpha);
+}
+
+TEST(FakeQuant, MultiBitWeightsBounded) {
+  Rng rng(5);
+  Tensor<float> w({1000});
+  w.randomize(rng, -2.f, 2.f);
+  const Tensor<float> q = fake_quantize_weights(w, 3);
+  float err = 0;
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    err = std::max(err, std::abs(q[i] - w[i]));
+  }
+  EXPECT_LT(err, 2.0f / 3 + 1e-5);  // one step of the 3-bit grid
+}
+
+TEST(FakeQuant, ActivationsClipAndSnap) {
+  Tensor<float> a({4});
+  a[0] = -0.5f;
+  a[1] = 0.49f;
+  a[2] = 0.76f;
+  a[3] = 2.0f;
+  const Tensor<float> q = fake_quantize_activations(a, 2);
+  EXPECT_FLOAT_EQ(q[0], 0.f);
+  EXPECT_FLOAT_EQ(q[1], 1.f / 3);  // nearest of {0,1/3,2/3,1}
+  EXPECT_FLOAT_EQ(q[2], 2.f / 3);
+  EXPECT_FLOAT_EQ(q[3], 1.f);
+}
+
+TEST(Mlp, LossDecreasesDuringTraining) {
+  const synth::Dataset train = synth::make_dataset(240, small_cfg(), 11);
+  Mlp net({train.features(), 48, train.classes}, 1);
+  Rng rng(2);
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  const double first = net.train_epoch(train, QatConfig::off(), cfg, rng);
+  double last = first;
+  for (int e = 0; e < 8; ++e) {
+    last = net.train_epoch(train, QatConfig::off(), cfg, rng);
+  }
+  EXPECT_LT(last, first * 0.7);
+}
+
+TEST(Mlp, FloatLearnsTask) {
+  const synth::Dataset train = synth::make_dataset(360, small_cfg(), 21);
+  const synth::Dataset test = synth::make_dataset(120, small_cfg(), 22);
+  TrainConfig cfg;
+  cfg.epochs = 25;
+  const double acc =
+      train_and_evaluate(train, test, QatConfig::off(), cfg, {64});
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(Mlp, QatW1A2StillLearns) {
+  const synth::Dataset train = synth::make_dataset(360, small_cfg(), 31);
+  const synth::Dataset test = synth::make_dataset(120, small_cfg(), 32);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  const double acc =
+      train_and_evaluate(train, test, QatConfig::wa(1, 2), cfg, {64});
+  EXPECT_GT(acc, 0.7);
+}
+
+TEST(Mlp, AccuracyOrderingBinaryLeW1A2LeFloat) {
+  // The Table 1 shape: binary < w1a2 <= float (with a small w1a2 gap).
+  const synth::Dataset train = synth::make_dataset(480, small_cfg(), 41);
+  const synth::Dataset test = synth::make_dataset(240, small_cfg(), 42);
+  TrainConfig cfg;
+  cfg.epochs = 30;
+  const double acc_float =
+      train_and_evaluate(train, test, QatConfig::off(), cfg, {64});
+  const double acc_w1a2 =
+      train_and_evaluate(train, test, QatConfig::wa(1, 2), cfg, {64});
+  const double acc_bin =
+      train_and_evaluate(train, test, QatConfig::wa(1, 1), cfg, {64});
+  EXPECT_LE(acc_bin, acc_w1a2 + 0.02);
+  EXPECT_LE(acc_w1a2, acc_float + 0.02);
+  EXPECT_GT(acc_float, 0.9);
+}
+
+TEST(Cnn, LossDecreasesDuringTraining) {
+  synth::DatasetConfig cfg = small_cfg();
+  cfg.hw = 8;
+  const synth::Dataset train = synth::make_dataset(120, cfg, 61);
+  CnnConfig arch;
+  arch.in_c = cfg.channels;
+  arch.in_hw = 8;
+  arch.classes = cfg.classes;
+  arch.c1 = 4;
+  arch.c2 = 8;
+  arch.fc_hidden = 24;
+  QatCnn net(arch, 3);
+  Rng rng(4);
+  TrainConfig tc;
+  tc.lr = 0.08;
+  const double first = net.train_epoch(train, QatConfig::off(), tc, rng);
+  double last = first;
+  for (int e = 0; e < 19; ++e) {
+    last = net.train_epoch(train, QatConfig::off(), tc, rng);
+  }
+  EXPECT_LT(last, first * 0.8);
+}
+
+TEST(Cnn, FloatLearnsTask) {
+  synth::DatasetConfig cfg = small_cfg();
+  cfg.hw = 8;
+  const synth::Dataset train = synth::make_dataset(240, cfg, 71);
+  const synth::Dataset test = synth::make_dataset(120, cfg, 72);
+  CnnConfig arch;
+  arch.in_c = cfg.channels;
+  arch.in_hw = 8;
+  arch.classes = cfg.classes;
+  arch.c1 = 6;
+  arch.c2 = 12;
+  arch.fc_hidden = 32;
+  TrainConfig tc;
+  tc.epochs = 15;
+  const double acc =
+      train_and_evaluate_cnn(train, test, QatConfig::off(), tc, arch);
+  EXPECT_GT(acc, 0.85);
+}
+
+TEST(Cnn, QatOrderingBinaryLeW1a2LeFloat) {
+  synth::DatasetConfig cfg = small_cfg();
+  cfg.hw = 8;
+  cfg.noise = 0.8;
+  const synth::Dataset train = synth::make_dataset(300, cfg, 81);
+  const synth::Dataset test = synth::make_dataset(150, cfg, 82);
+  CnnConfig arch;
+  arch.in_c = cfg.channels;
+  arch.in_hw = 8;
+  arch.classes = cfg.classes;
+  arch.c1 = 6;
+  arch.c2 = 12;
+  arch.fc_hidden = 32;
+  TrainConfig tc;
+  tc.epochs = 18;
+  const double acc_bin =
+      train_and_evaluate_cnn(train, test, QatConfig::wa(1, 1), tc, arch);
+  const double acc_w1a2 =
+      train_and_evaluate_cnn(train, test, QatConfig::wa(1, 2), tc, arch);
+  const double acc_fp =
+      train_and_evaluate_cnn(train, test, QatConfig::off(), tc, arch);
+  EXPECT_LE(acc_bin, acc_w1a2 + 0.03);
+  EXPECT_LE(acc_w1a2, acc_fp + 0.03);
+  EXPECT_GT(acc_fp, 0.8);
+}
+
+TEST(Cnn, RejectsBadGeometry) {
+  CnnConfig arch;
+  arch.in_hw = 10;  // not a multiple of 4
+  EXPECT_THROW(QatCnn(arch, 1), apnn::Error);
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  const synth::Dataset train = synth::make_dataset(120, small_cfg(), 51);
+  const synth::Dataset test = synth::make_dataset(60, small_cfg(), 52);
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  const double a = train_and_evaluate(train, test, QatConfig::off(), cfg, {32});
+  const double b = train_and_evaluate(train, test, QatConfig::off(), cfg, {32});
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace apnn::train

@@ -1,0 +1,54 @@
+// Shared helpers for the test suite: naive golden models and random operand
+// generators.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.hpp"
+#include "src/core/ap_bit.hpp"
+#include "src/layout/tensor.hpp"
+
+namespace apnn::testing {
+
+/// Naive integer GEMM on logical values: y[m][n] = sum_k a[m][k] * b[n][k].
+inline Tensor<std::int32_t> naive_gemm(const Tensor<std::int32_t>& a,
+                                       const Tensor<std::int32_t>& b) {
+  const std::int64_t m = a.dim(0), n = b.dim(0), k = a.dim(1);
+  Tensor<std::int32_t> y({m, n});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int64_t>(a(i, kk)) * b(j, kk);
+      }
+      y(i, j) = static_cast<std::int32_t>(acc);
+    }
+  }
+  return y;
+}
+
+/// Random logical matrix for an encoding.
+inline Tensor<std::int32_t> random_logical(Rng& rng, std::int64_t rows,
+                                           std::int64_t cols,
+                                           core::Encoding enc, int bits) {
+  Tensor<std::int32_t> t({rows, cols});
+  const core::ValueRange r = core::encoding_range(enc, bits);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    if (enc == core::Encoding::kSignedPM1) {
+      t[i] = rng.bernoulli(0.5) ? 1 : -1;
+    } else {
+      t[i] = static_cast<std::int32_t>(rng.uniform_int(r.lo, r.hi));
+    }
+  }
+  return t;
+}
+
+/// Random operand (logical values + decomposed planes).
+inline core::ApOperand random_operand(Rng& rng, std::int64_t rows,
+                                      std::int64_t cols, core::Encoding enc,
+                                      int bits) {
+  return core::make_operand(random_logical(rng, rows, cols, enc, bits), enc,
+                            bits);
+}
+
+}  // namespace apnn::testing

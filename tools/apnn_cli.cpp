@@ -1,0 +1,256 @@
+// Command-line front end for the library: price arbitrary GEMM / conv /
+// model configurations on the simulated devices without writing code.
+//
+//   apnn_cli gemm  M N K p q        [--device 3090|a100] [--trace out.json]
+//   apnn_cli conv  C HW Cout k s    [--wbits p] [--abits q] [--device ...]
+//   apnn_cli model alexnet|vgg|resnet18 [--scheme fp32|fp16|int8|bnn|wXaY]
+//                                   [--batch N] [--device ...] [--no-fuse]
+//   apnn_cli devices
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/baselines/conv.hpp"
+#include "src/baselines/gemm.hpp"
+#include "src/common/strings.hpp"
+#include "src/core/apconv.hpp"
+#include "src/core/apmm.hpp"
+#include "src/nn/engine.hpp"
+#include "src/tcsim/cost_model.hpp"
+#include "src/tcsim/trace.hpp"
+
+using namespace apnn;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string device = "3090";
+  std::string scheme = "w1a2";
+  std::string trace_path;
+  std::int64_t batch = 8;
+  int wbits = 1, abits = 2;
+  bool fuse = true;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (s == "--device") {
+      a.device = next("--device");
+    } else if (s == "--scheme") {
+      a.scheme = next("--scheme");
+    } else if (s == "--trace") {
+      a.trace_path = next("--trace");
+    } else if (s == "--batch") {
+      a.batch = std::atoll(next("--batch").c_str());
+    } else if (s == "--wbits") {
+      a.wbits = std::atoi(next("--wbits").c_str());
+    } else if (s == "--abits") {
+      a.abits = std::atoi(next("--abits").c_str());
+    } else if (s == "--no-fuse") {
+      a.fuse = false;
+    } else {
+      a.positional.push_back(s);
+    }
+  }
+  return a;
+}
+
+const tcsim::DeviceSpec& device_for(const std::string& name) {
+  if (name == "a100" || name == "A100") return tcsim::a100();
+  return tcsim::rtx3090();
+}
+
+nn::SchemeConfig scheme_for(const Args& a) {
+  nn::SchemeConfig cfg;
+  cfg.fuse = a.fuse;
+  if (a.scheme == "fp32") {
+    cfg.scheme = nn::Scheme::kFloat32;
+  } else if (a.scheme == "fp16") {
+    cfg.scheme = nn::Scheme::kFloat16;
+  } else if (a.scheme == "int8") {
+    cfg.scheme = nn::Scheme::kInt8;
+  } else if (a.scheme == "bnn") {
+    cfg.scheme = nn::Scheme::kBnn;
+  } else {
+    // wXaY
+    int p = 1, q = 2;
+    if (std::sscanf(a.scheme.c_str(), "w%da%d", &p, &q) != 2) {
+      std::fprintf(stderr, "unknown scheme '%s'\n", a.scheme.c_str());
+      std::exit(2);
+    }
+    cfg.scheme = nn::Scheme::kApnn;
+    cfg.wbits = p;
+    cfg.abits = q;
+  }
+  return cfg;
+}
+
+int cmd_gemm(const Args& a) {
+  if (a.positional.size() != 6) {
+    std::fprintf(stderr, "usage: apnn_cli gemm M N K p q\n");
+    return 2;
+  }
+  const std::int64_t m = std::atoll(a.positional[1].c_str());
+  const std::int64_t n = std::atoll(a.positional[2].c_str());
+  const std::int64_t k = std::atoll(a.positional[3].c_str());
+  const int p = std::atoi(a.positional[4].c_str());
+  const int q = std::atoi(a.positional[5].c_str());
+  const auto& dev = device_for(a.device);
+  const tcsim::CostModel cm(dev);
+  const core::EncodingConfig enc{
+      p == 1 ? core::Encoding::kSignedPM1 : core::Encoding::kUnsigned01,
+      core::Encoding::kUnsigned01};
+  const auto prof = core::apmm_profile(m, n, k, p, q, enc, dev);
+  const auto est = cm.estimate(prof);
+  std::printf("APMM-w%da%d %ldx%ldx%ld on %s\n", p, q, m, n, k,
+              dev.name.c_str());
+  std::printf("  modeled latency : %.2f us (compute %.2f, mem %.2f, "
+              "launch %.2f)\n",
+              est.total_us, est.compute_us, est.global_mem_us,
+              est.launch_us);
+  const auto c = prof.total_counters();
+  std::printf("  traffic         : %s global, %s shared, %lld bmma tiles\n",
+              format_bytes(static_cast<double>(c.total_global_bytes())).c_str(),
+              format_bytes(static_cast<double>(c.total_shared_bytes())).c_str(),
+              static_cast<long long>(c.bmma_b1));
+  for (auto prec : {tcsim::Precision::kInt4, tcsim::Precision::kInt8,
+                    tcsim::Precision::kFp16}) {
+    const double t =
+        cm.estimate(baselines::cutlass_gemm_profile(prec, m, n, k)).total_us;
+    std::printf("  vs cutlass-%-5s: %.2f us (%.2fx)\n",
+                tcsim::precision_name(prec), t, t / est.total_us);
+  }
+  if (!a.trace_path.empty() &&
+      tcsim::write_chrome_trace(prof, cm, a.trace_path)) {
+    std::printf("  trace written to %s\n", a.trace_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_conv(const Args& a) {
+  if (a.positional.size() != 6) {
+    std::fprintf(stderr, "usage: apnn_cli conv Cin HW Cout k s\n");
+    return 2;
+  }
+  layout::ConvGeometry g;
+  g.in_c = std::atoll(a.positional[1].c_str());
+  g.in_h = g.in_w = std::atoll(a.positional[2].c_str());
+  g.out_c = std::atoll(a.positional[3].c_str());
+  g.kernel = std::atoi(a.positional[4].c_str());
+  g.stride = std::atoi(a.positional[5].c_str());
+  g.pad = g.kernel / 2;
+  g.batch = a.batch;
+  const auto& dev = device_for(a.device);
+  const tcsim::CostModel cm(dev);
+  const core::EncodingConfig enc{
+      a.wbits == 1 ? core::Encoding::kSignedPM1 : core::Encoding::kUnsigned01,
+      core::Encoding::kUnsigned01};
+  const auto prof =
+      core::apconv_profile(g, a.wbits, a.abits, enc, dev);
+  const auto est = cm.estimate(prof);
+  std::printf("APConv-w%da%d %ldx%ldx%ld -> %ld (k=%d s=%d batch=%ld) on "
+              "%s\n",
+              a.wbits, a.abits, g.in_c, g.in_h, g.in_w, g.out_c, g.kernel,
+              g.stride, g.batch, dev.name.c_str());
+  std::printf("  lowered GEMM    : %ldx%ldx%ld\n", g.gemm_m(), g.gemm_n(),
+              g.gemm_k());
+  std::printf("  modeled latency : %.2f us\n", est.total_us);
+  for (auto prec : {tcsim::Precision::kInt4, tcsim::Precision::kInt8}) {
+    const double t =
+        cm.estimate(baselines::cutlass_conv_profile(prec, g)).total_us;
+    std::printf("  vs cutlass-conv-%-5s: %.2f us (%.2fx)\n",
+                tcsim::precision_name(prec), t, t / est.total_us);
+  }
+  if (!a.trace_path.empty() &&
+      tcsim::write_chrome_trace(prof, cm, a.trace_path)) {
+    std::printf("  trace written to %s\n", a.trace_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_model(const Args& a) {
+  if (a.positional.size() != 2) {
+    std::fprintf(stderr, "usage: apnn_cli model alexnet|vgg|resnet18\n");
+    return 2;
+  }
+  const std::string& name = a.positional[1];
+  nn::ModelSpec spec;
+  if (name == "alexnet") {
+    spec = nn::alexnet();
+  } else if (name == "vgg") {
+    spec = nn::vgg_variant();
+  } else if (name == "resnet18") {
+    spec = nn::resnet18();
+  } else if (name == "vgg_lite") {
+    spec = nn::vgg_lite();
+  } else {
+    std::fprintf(stderr, "unknown model '%s'\n", name.c_str());
+    return 2;
+  }
+  const auto& dev = device_for(a.device);
+  const nn::SchemeConfig cfg = scheme_for(a);
+  const nn::ModelProfile p = nn::profile_model(spec, a.batch, cfg, dev);
+  std::printf("%s under %s on %s, batch %ld\n", spec.name.c_str(),
+              cfg.label().c_str(), dev.name.c_str(), a.batch);
+  std::printf("  total latency   : %.3f ms  (%.1f fps)\n", p.latency_ms(),
+              p.throughput_fps());
+  std::printf("  %.2f GMACs/sample\n",
+              static_cast<double>(nn::model_macs(spec)) / 1e9);
+  std::printf("\n  %-22s %12s %8s\n", "layer", "latency", "share");
+  for (const auto& lp : p.layers) {
+    if (lp.fused_away) continue;
+    const double share = 100.0 * lp.latency.total_us / p.total_us;
+    if (share < 0.5) continue;
+    std::printf("  %-22s %12s %7.1f%%\n", lp.name.c_str(),
+                format_time_us(lp.latency.total_us).c_str(), share);
+  }
+  return 0;
+}
+
+int cmd_devices() {
+  for (const auto* d : {&tcsim::rtx3090(), &tcsim::a100()}) {
+    std::printf("%s: %d SMs @ %.2f GHz, %.0f GB/s, peaks int1/int4/int8/"
+                "fp16 = %.0f/%.0f/%.0f/%.0f TOPS\n",
+                d->name.c_str(), d->num_sms, d->clock_ghz, d->mem_bw_gbps,
+                d->peak(tcsim::Precision::kInt1),
+                d->peak(tcsim::Precision::kInt4),
+                d->peak(tcsim::Precision::kInt8),
+                d->peak(tcsim::Precision::kFp16));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  if (a.positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: apnn_cli gemm|conv|model|devices ...\n"
+                 "  gemm M N K p q\n"
+                 "  conv Cin HW Cout k s [--wbits p --abits q --batch N]\n"
+                 "  model alexnet|vgg|resnet18|vgg_lite [--scheme wXaY|fp32|"
+                 "fp16|int8|bnn] [--batch N] [--no-fuse]\n"
+                 "  common: [--device 3090|a100] [--trace out.json]\n");
+    return 2;
+  }
+  const std::string& cmd = a.positional[0];
+  if (cmd == "gemm") return cmd_gemm(a);
+  if (cmd == "conv") return cmd_conv(a);
+  if (cmd == "model") return cmd_model(a);
+  if (cmd == "devices") return cmd_devices();
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
