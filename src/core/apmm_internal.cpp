@@ -1,6 +1,10 @@
 #include "src/core/apmm_internal.hpp"
 
 #include <algorithm>
+#include <atomic>
+
+#include "src/core/microkernel.hpp"
+#include "src/parallel/scratch.hpp"
 
 namespace apnn::core::internal {
 
@@ -131,21 +135,46 @@ tcsim::KernelProfile combine_kernel_profile(const BatchedGeometry& g,
   return prof;
 }
 
+namespace {
+
+/// Combines the raw popc partials of one output element (all p*q plane
+/// pairs) into the integer dot product. `raw_row` points at the element's
+/// first plane row (raw + (mo*p)*vtn8 + no*q).
+inline std::int64_t combine_element(const BatchedGeometry& g,
+                                    const OpSelection& sel,
+                                    const std::int32_t* raw_row,
+                                    const std::int64_t* wmult,
+                                    const std::int64_t* xmult,
+                                    const std::int64_t* xpopc_col) {
+  std::int64_t acc = 0;
+  for (int s = 0; s < g.p; ++s) {
+    const std::int32_t* prow = raw_row + s * g.vtn8;
+    for (int t = 0; t < g.q; ++t) {
+      const std::int64_t xp = xpopc_col != nullptr ? xpopc_col[t] : 0;
+      acc += wmult[s] * xmult[t] *
+             finalize_partial(sel.kind, prow[t], g.k, xp);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
 void run_batched_compute(const ApOperand& w, const ApOperand& x,
                          const OpSelection& sel, const BatchedGeometry& g,
                          const Epilogue& epi, Tensor<std::int32_t>* y,
                          bitops::BitPlanes* packed) {
-  // Case III needs popc(X row) per feature plane.
-  std::vector<std::vector<std::int64_t>> xpopc;
+  // Case III needs popc(X row) per feature plane; flattened q x n, column
+  // xpopc[n * q + t] so one output column's planes sit contiguously.
+  std::vector<std::int64_t> xpopc;
   if (sel.kind == EmulationCase::kCaseIII) {
-    xpopc.resize(static_cast<std::size_t>(g.q));
-    for (int t = 0; t < g.q; ++t) {
-      auto& v = xpopc[static_cast<std::size_t>(t)];
-      v.resize(static_cast<std::size_t>(g.n));
-      for (std::int64_t j = 0; j < g.n; ++j) {
-        v[static_cast<std::size_t>(j)] = x.planes.plane(t).row_popcount(j);
+    xpopc.resize(static_cast<std::size_t>(g.n * g.q));
+    parallel_for(0, g.n, [&](std::int64_t j) {
+      for (int t = 0; t < g.q; ++t) {
+        xpopc[static_cast<std::size_t>(j * g.q + t)] =
+            x.planes.plane(t).row_popcount(j);
       }
-    }
+    }, /*grain=*/256);
   }
 
   // Plane combination multipliers.
@@ -158,89 +187,133 @@ void run_batched_compute(const ApOperand& w, const ApOperand& x,
     xmult[static_cast<std::size_t>(t)] = plane_multiplier(x.encoding, t, g.q);
   }
 
-  const std::vector<std::uint64_t> zero_row(
-      static_cast<std::size_t>(g.row_words), 0);
+  const int qbits = epi.has_quant ? epi.quant.bits : 0;
 
   parallel_for(0, g.blocks, [&](std::int64_t b) {
+    // Every temporary below is a pointer bump into the worker's private
+    // arena; after the first block on each thread the hot path allocates
+    // nothing.
+    auto& arena = parallel::ScratchArena::tls();
+    arena.reset();
+
     const std::int64_t bm_idx = b / g.grid_n;
     const std::int64_t bn_idx = b % g.grid_n;
     const std::int64_t m0 = bm_idx * g.om;
     const std::int64_t n0 = bn_idx * g.on;
+    const std::int64_t m_end = std::min(m0 + g.om, g.m);
+    const std::int64_t n_end = std::min(n0 + g.on, g.n);
 
     // Virtual rows are plane-interleaved: r = local_m * p + s, so a block
-    // always owns every plane partial of its output rows (§4.1b).
-    std::vector<const std::uint64_t*> wrows(static_cast<std::size_t>(g.vtm8),
-                                            zero_row.data());
-    std::vector<const std::uint64_t*> xrows(static_cast<std::size_t>(g.vtn8),
-                                            zero_row.data());
-    for (std::int64_t i = 0; i < g.vtm; ++i) {
+    // always owns every plane partial of its output rows (§4.1b). nullptr
+    // marks out-of-range rows; the staging pass turns them into zeros.
+    const std::uint64_t** wrows =
+        arena.get<const std::uint64_t*>(g.vtm8);
+    const std::uint64_t** xrows =
+        arena.get<const std::uint64_t*>(g.vtn8);
+    for (std::int64_t i = 0; i < g.vtm8; ++i) {
       const std::int64_t m = m0 + i / g.p;
-      const int s = static_cast<int>(i % g.p);
-      if (m < g.m) {
-        wrows[static_cast<std::size_t>(i)] = w.planes.plane(s).row(m);
-      }
+      wrows[i] = (i < g.vtm && m < g.m)
+                     ? w.planes.plane(static_cast<int>(i % g.p)).row(m)
+                     : nullptr;
     }
-    for (std::int64_t j = 0; j < g.vtn; ++j) {
+    for (std::int64_t j = 0; j < g.vtn8; ++j) {
       const std::int64_t n = n0 + j / g.q;
-      const int t = static_cast<int>(j % g.q);
-      if (n < g.n) {
-        xrows[static_cast<std::size_t>(j)] = x.planes.plane(t).row(n);
-      }
+      xrows[j] = (j < g.vtn && n < g.n)
+                     ? x.planes.plane(static_cast<int>(j % g.q)).row(n)
+                     : nullptr;
     }
 
-    // Raw popc accumulation over all k-slabs ("fragment" storage).
-    std::vector<std::int32_t> raw(static_cast<std::size_t>(g.vtm8 * g.vtn8),
-                                  0);
-    for (std::int64_t ii = 0; ii < g.vtm8; ii += 8) {
-      for (std::int64_t jj = 0; jj < g.vtn8; jj += 8) {
-        std::int32_t acc[64] = {0};
-        for (std::int64_t kt = 0; kt < g.ktiles; ++kt) {
-          tcsim::bmma_8x8x128_rows(
-              sel.bit_op, &wrows[static_cast<std::size_t>(ii)],
-              &xrows[static_cast<std::size_t>(jj)],
-              kt * bitops::kWordsPerTile, acc);
-        }
-        for (int di = 0; di < 8; ++di) {
-          std::int32_t* dst = raw.data() + (ii + di) * g.vtn8 + jj;
-          const std::int32_t* src = acc + di * 8;
-          for (int dj = 0; dj < 8; ++dj) dst[dj] = src[dj];
-        }
-      }
-    }
+    // Raw popc accumulation over all k-strips ("fragment" storage), then the
+    // staged cache-blocked microkernel sweep.
+    std::int32_t* raw = arena.get<std::int32_t>(g.vtm8 * g.vtn8);
+    std::fill_n(raw, g.vtm8 * g.vtn8, 0);
+    microkernel::block_bitgemm(sel.bit_op, wrows, g.vtm8, xrows, g.vtn8,
+                               g.row_words, raw, arena);
 
     // Bit combination + epilogue for the block's output elements.
-    for (std::int64_t mo = 0; mo < g.om; ++mo) {
-      const std::int64_t m = m0 + mo;
-      if (m >= g.m) break;
-      for (std::int64_t no = 0; no < g.on; ++no) {
-        const std::int64_t n = n0 + no;
-        if (n >= g.n) break;
-        std::int64_t acc = 0;
-        for (int s = 0; s < g.p; ++s) {
-          for (int t = 0; t < g.q; ++t) {
-            const std::int32_t rawv =
-                raw[static_cast<std::size_t>((mo * g.p + s) * g.vtn8 +
-                                             (no * g.q + t))];
-            const std::int64_t xp =
-                sel.kind == EmulationCase::kCaseIII
-                    ? xpopc[static_cast<std::size_t>(t)]
-                           [static_cast<std::size_t>(n)]
-                    : 0;
-            acc += wmult[static_cast<std::size_t>(s)] *
-                   xmult[static_cast<std::size_t>(t)] *
-                   finalize_partial(sel.kind, rawv, g.k, xp);
+    if (!epi.has_quant) {
+      const bool fast = g.p == 1 && g.q == 1 && epi.identity();
+      const std::int64_t cols = n_end - n0;
+      for (std::int64_t mo = 0; mo < m_end - m0; ++mo) {
+        const std::int64_t m = m0 + mo;
+        const std::int32_t* raw_row = raw + (mo * g.p) * g.vtn8;
+        std::int32_t* yrow = y->data() + m * g.n + n0;
+        if (fast) {
+          // Single-plane identity combine: a branch-free elementwise map the
+          // compiler vectorizes (the p*q loop nest and the float epilogue
+          // round trip cost more than the bit kernel for 1-bit operands).
+          const auto mult = static_cast<std::int32_t>(wmult[0] * xmult[0]);
+          const auto k32 = static_cast<std::int32_t>(g.k);
+          switch (sel.kind) {
+            case EmulationCase::kCaseI:
+              for (std::int64_t no = 0; no < cols; ++no) {
+                yrow[no] = mult * raw_row[no];
+              }
+              break;
+            case EmulationCase::kCaseII:
+              for (std::int64_t no = 0; no < cols; ++no) {
+                yrow[no] = mult * (k32 - 2 * raw_row[no]);
+              }
+              break;
+            case EmulationCase::kCaseIII:
+              for (std::int64_t no = 0; no < cols; ++no) {
+                const auto xp =
+                    static_cast<std::int32_t>(xpopc[(n0 + no) * g.q]);
+                yrow[no] = mult * (2 * raw_row[no] - xp);
+              }
+              break;
           }
+          continue;
         }
+        for (std::int64_t no = 0; no < cols; ++no) {
+          const std::int64_t n = n0 + no;
+          const std::int64_t* xp_col =
+              xpopc.empty() ? nullptr : xpopc.data() + n * g.q;
+          const std::int64_t acc = combine_element(
+              g, sel, raw_row + no * g.q, wmult.data(), xmult.data(), xp_col);
+          yrow[no] = epi.apply(static_cast<std::int32_t>(acc), m);
+        }
+      }
+      return;
+    }
+
+    // Quantized epilogue: packed output is transposed (N x M) for the next
+    // layer, so this block's bits land in packed rows [n0, n_end) at bit
+    // columns [m0, m_end). When om is not a multiple of 64 those bit spans
+    // share 64-bit words with the horizontally adjacent blocks — the seed's
+    // unsynchronized BitMatrix::set() raced there. Instead each block builds
+    // its span masks in scratch and publishes them with one atomic OR per
+    // touched word.
+    const std::int64_t w_lo = m0 >> 6;
+    const std::int64_t w_hi = (m_end - 1) >> 6;
+    const std::int64_t nw = w_hi - w_lo + 1;
+    std::uint64_t* masks = arena.get<std::uint64_t>(nw * qbits);
+    for (std::int64_t no = 0; no < n_end - n0; ++no) {
+      const std::int64_t n = n0 + no;
+      const std::int64_t* xp_col =
+          xpopc.empty() ? nullptr : xpopc.data() + n * g.q;
+      std::fill_n(masks, nw * qbits, 0);
+      for (std::int64_t mo = 0; mo < m_end - m0; ++mo) {
+        const std::int64_t m = m0 + mo;
+        const std::int64_t acc =
+            combine_element(g, sel, raw + (mo * g.p) * g.vtn8 + no * g.q,
+                            wmult.data(), xmult.data(), xp_col);
         const std::int32_t out = epi.apply(static_cast<std::int32_t>(acc), m);
-        if (epi.has_quant) {
-          // Packed output is transposed (N x M) for the next layer.
-          for (int bit = 0; bit < epi.quant.bits; ++bit) {
-            if ((out >> bit) & 1) {
-              packed->planes[static_cast<std::size_t>(bit)].set(n, m, true);
-            }
+        const std::int64_t wi = (m >> 6) - w_lo;
+        const std::uint64_t bit = std::uint64_t{1} << (m & 63);
+        for (int plane = 0; plane < qbits; ++plane) {
+          if ((out >> plane) & 1) masks[plane * nw + wi] |= bit;
+        }
+      }
+      for (int plane = 0; plane < qbits; ++plane) {
+        std::uint64_t* row =
+            packed->planes[static_cast<std::size_t>(plane)].row(n) + w_lo;
+        for (std::int64_t wi = 0; wi < nw; ++wi) {
+          const std::uint64_t mask = masks[plane * nw + wi];
+          if (mask != 0) {
+            std::atomic_ref<std::uint64_t>(row[wi]).fetch_or(
+                mask, std::memory_order_relaxed);
           }
-        } else {
-          (*y)(m, n) = out;
         }
       }
     }

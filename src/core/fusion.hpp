@@ -49,8 +49,11 @@ struct Epilogue {
   }
 
   /// Applies the epilogue to one 32-bit accumulator of output channel `ch`.
-  /// Returns the (possibly quantized) integer result.
+  /// Returns the (possibly quantized) integer result. An identity epilogue
+  /// is exact — no float round trip — so it agrees with the integer fast
+  /// paths for accumulators beyond float's 2^24 integer range.
   std::int32_t apply(std::int32_t acc, std::int64_t ch) const {
+    if (identity()) return acc;
     float v = static_cast<float>(acc);
     if (has_bn) {
       APNN_DCHECK(ch < static_cast<std::int64_t>(bn.scale.size()));

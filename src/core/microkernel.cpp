@@ -1,0 +1,185 @@
+#include "src/core/microkernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.hpp"
+#include "src/parallel/scratch.hpp"
+
+namespace apnn::core::microkernel {
+
+void stage_panel(const std::uint64_t* const* rows, std::int64_t nrows,
+                 std::int64_t w0, std::int64_t words, std::uint64_t* panel) {
+  for (std::int64_t i = 0; i < nrows; ++i) {
+    std::uint64_t* dst = panel + i * words;
+    if (rows[i] != nullptr) {
+      std::memcpy(dst, rows[i] + w0,
+                  static_cast<std::size_t>(words) * sizeof(std::uint64_t));
+    } else {
+      std::memset(dst, 0,
+                  static_cast<std::size_t>(words) * sizeof(std::uint64_t));
+    }
+  }
+}
+
+void stage_panel_transposed(const std::uint64_t* const* rows,
+                            std::int64_t nrows, std::int64_t w0,
+                            std::int64_t words, std::uint64_t* panel) {
+  for (std::int64_t j = 0; j < nrows; ++j) {
+    const std::uint64_t* src = rows[j];
+    if (src != nullptr) {
+      for (std::int64_t w = 0; w < words; ++w) {
+        panel[w * nrows + j] = src[w0 + w];
+      }
+    } else {
+      for (std::int64_t w = 0; w < words; ++w) {
+        panel[w * nrows + j] = 0;
+      }
+    }
+  }
+}
+
+namespace {
+
+#if defined(__AVX512BW__)
+
+// B is staged word-interleaved (panel[w * cols8 + j]), so one 512-bit load
+// covers word w of 8 consecutive output columns and psadbw's eight 64-bit
+// lanes ARE the eight per-column partial sums — no horizontal reduction per
+// output element, the killer overhead when K is only a few words. Byte-wise
+// counters flush to the lane accumulator at most every 31 words (8 bits max
+// per byte per word, 255 ceiling).
+template <tcsim::BitOp Op>
+void rowblock_strip(const std::uint64_t* a_panel, std::int64_t rows8,
+                    const std::uint64_t* bt_panel, std::int64_t cols8,
+                    std::int64_t words, std::int32_t* raw) {
+  constexpr std::int64_t kMaxWordsPerChunk = 31;
+  for (std::int64_t i = 0; i < rows8; ++i) {
+    const std::uint64_t* ap = a_panel + i * words;
+    for (std::int64_t j = 0; j < cols8; j += 8) {
+      __m512i acc64 = _mm512_setzero_si512();
+      std::int64_t w = 0;
+      while (w < words) {
+        const std::int64_t chunk =
+            std::min<std::int64_t>(words - w, kMaxWordsPerChunk);
+        __m512i bytes = _mm512_setzero_si512();
+        for (std::int64_t s = 0; s < chunk; ++s, ++w) {
+          const __m512i av =
+              _mm512_set1_epi64(static_cast<long long>(ap[w]));
+          const __m512i bv = _mm512_loadu_si512(bt_panel + w * cols8 + j);
+          bytes = _mm512_add_epi8(
+              bytes, detail::popcount_bytes512(detail::bit_op512<Op>(av, bv)));
+        }
+        acc64 = _mm512_add_epi64(acc64,
+                                 _mm512_sad_epu8(bytes, _mm512_setzero_si512()));
+      }
+      std::int32_t* dst = raw + i * cols8 + j;
+      const __m256i lanes = _mm512_cvtepi64_epi32(acc64);
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst),
+          _mm256_add_epi32(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst)),
+              lanes));
+    }
+  }
+}
+
+constexpr bool kUseTransposedB = true;
+
+#elif defined(__AVX2__)
+
+// AVX2 flavor of the word-interleaved kernel: 256-bit vectors cover word w
+// of 4 consecutive output columns; psadbw's four 64-bit lanes are the four
+// per-column partials.
+template <tcsim::BitOp Op>
+void rowblock_strip(const std::uint64_t* a_panel, std::int64_t rows8,
+                    const std::uint64_t* bt_panel, std::int64_t cols8,
+                    std::int64_t words, std::int32_t* raw) {
+  constexpr std::int64_t kMaxWordsPerChunk = 31;
+  for (std::int64_t i = 0; i < rows8; ++i) {
+    const std::uint64_t* ap = a_panel + i * words;
+    for (std::int64_t j = 0; j < cols8; j += 4) {
+      __m256i acc64 = _mm256_setzero_si256();
+      std::int64_t w = 0;
+      while (w < words) {
+        const std::int64_t chunk =
+            std::min<std::int64_t>(words - w, kMaxWordsPerChunk);
+        __m256i bytes = _mm256_setzero_si256();
+        for (std::int64_t s = 0; s < chunk; ++s, ++w) {
+          const __m256i av =
+              _mm256_set1_epi64x(static_cast<long long>(ap[w]));
+          const __m256i bv = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(bt_panel + w * cols8 + j));
+          bytes = _mm256_add_epi8(
+              bytes, detail::popcount_bytes(detail::bit_op256<Op>(av, bv)));
+        }
+        acc64 = _mm256_add_epi64(acc64,
+                                 _mm256_sad_epu8(bytes, _mm256_setzero_si256()));
+      }
+      alignas(32) std::int64_t lanes[4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc64);
+      std::int32_t* dst = raw + i * cols8 + j;
+      dst[0] += static_cast<std::int32_t>(lanes[0]);
+      dst[1] += static_cast<std::int32_t>(lanes[1]);
+      dst[2] += static_cast<std::int32_t>(lanes[2]);
+      dst[3] += static_cast<std::int32_t>(lanes[3]);
+    }
+  }
+}
+
+constexpr bool kUseTransposedB = true;
+
+#else
+
+constexpr bool kUseTransposedB = false;
+
+#endif
+
+template <tcsim::BitOp Op>
+void block_bitgemm_impl(const std::uint64_t* const* a_rows, std::int64_t rows8,
+                        const std::uint64_t* const* b_rows, std::int64_t cols8,
+                        std::int64_t row_words, std::int32_t* acc,
+                        parallel::ScratchArena& arena) {
+  const std::int64_t strip = std::min<std::int64_t>(kStripWords, row_words);
+  std::uint64_t* a_panel = arena.get<std::uint64_t>(rows8 * strip);
+  std::uint64_t* b_panel = arena.get<std::uint64_t>(cols8 * strip);
+
+  for (std::int64_t w0 = 0; w0 < row_words; w0 += strip) {
+    const std::int64_t wc = std::min<std::int64_t>(strip, row_words - w0);
+    stage_panel(a_rows, rows8, w0, wc, a_panel);
+    if constexpr (kUseTransposedB) {
+      stage_panel_transposed(b_rows, cols8, w0, wc, b_panel);
+      rowblock_strip<Op>(a_panel, rows8, b_panel, cols8, wc, acc);
+    } else {
+      stage_panel(b_rows, cols8, w0, wc, b_panel);
+      for (std::int64_t ii = 0; ii < rows8; ii += 8) {
+        const std::uint64_t* a_tile = a_panel + ii * wc;
+        std::int32_t* acc_row = acc + ii * cols8;
+        for (std::int64_t jj = 0; jj < cols8; jj += 8) {
+          tile_8x8_strip<Op>(a_tile, wc, b_panel + jj * wc, wc, wc,
+                             acc_row + jj, cols8);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
+                   std::int64_t rows8, const std::uint64_t* const* b_rows,
+                   std::int64_t cols8, std::int64_t row_words,
+                   std::int32_t* acc, parallel::ScratchArena& arena) {
+  APNN_DCHECK(rows8 % 8 == 0 && cols8 % 8 == 0)
+      << "tile dims must be multiples of 8: " << rows8 << "x" << cols8;
+  if (rows8 == 0 || cols8 == 0 || row_words == 0) return;
+  if (op == tcsim::BitOp::kXor) {
+    block_bitgemm_impl<tcsim::BitOp::kXor>(a_rows, rows8, b_rows, cols8,
+                                           row_words, acc, arena);
+  } else {
+    block_bitgemm_impl<tcsim::BitOp::kAnd>(a_rows, rows8, b_rows, cols8,
+                                           row_words, acc, arena);
+  }
+}
+
+}  // namespace apnn::core::microkernel

@@ -1,6 +1,7 @@
 #include "src/layout/im2col.hpp"
 
 #include "src/bitops/bitcopy.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace apnn::layout {
 
@@ -13,31 +14,33 @@ bitops::BitMatrix im2col_bits(const bitops::BitMatrix& plane,
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   bitops::BitMatrix out(g.batch * oh * ow, g.gemm_k());
 
-  std::int64_t row = 0;
-  for (std::int64_t n = 0; n < g.batch; ++n) {
-    for (std::int64_t y = 0; y < oh; ++y) {
-      for (std::int64_t x = 0; x < ow; ++x, ++row) {
-        std::uint64_t* dst = out.row(row);
-        for (int kh = 0; kh < g.kernel; ++kh) {
-          for (int kw = 0; kw < g.kernel; ++kw) {
-            const std::int64_t ih = y * g.stride + kh - g.pad;
-            const std::int64_t iw = x * g.stride + kw - g.pad;
-            const std::int64_t dst_bit =
-                (static_cast<std::int64_t>(kh) * g.kernel + kw) * g.in_c;
-            if (ih >= 0 && ih < g.in_h && iw >= 0 && iw < g.in_w) {
-              const std::int64_t src_row = (n * g.in_h + ih) * g.in_w + iw;
-              // One contiguous C-bit channel slab — the coalesced access the
-              // channel-major layout provides.
-              bitops::copy_bits(dst, dst_bit, plane.row(src_row), 0, g.in_c);
-            } else if (pad_value) {
-              bitops::fill_bits(dst, dst_bit, g.in_c, true);
-            }
-            // pad_value == 0 needs no action: rows start zeroed.
-          }
+  // Each patch row is independent (it writes only its own padded row of
+  // `out`), so the lowering parallelizes over output positions. The grain
+  // keeps one task per whole output row of the image to preserve the
+  // sequential-slab access pattern within a task.
+  parallel_for(0, g.batch * oh * ow, [&](std::int64_t row) {
+    const std::int64_t x = row % ow;
+    const std::int64_t y = (row / ow) % oh;
+    const std::int64_t n = row / (oh * ow);
+    std::uint64_t* dst = out.row(row);
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw) {
+        const std::int64_t ih = y * g.stride + kh - g.pad;
+        const std::int64_t iw = x * g.stride + kw - g.pad;
+        const std::int64_t dst_bit =
+            (static_cast<std::int64_t>(kh) * g.kernel + kw) * g.in_c;
+        if (ih >= 0 && ih < g.in_h && iw >= 0 && iw < g.in_w) {
+          const std::int64_t src_row = (n * g.in_h + ih) * g.in_w + iw;
+          // One contiguous C-bit channel slab — the coalesced access the
+          // channel-major layout provides.
+          bitops::copy_bits(dst, dst_bit, plane.row(src_row), 0, g.in_c);
+        } else if (pad_value) {
+          bitops::fill_bits(dst, dst_bit, g.in_c, true);
         }
+        // pad_value == 0 needs no action: rows start zeroed.
       }
     }
-  }
+  }, /*grain=*/ow);
   return out;
 }
 

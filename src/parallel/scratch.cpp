@@ -1,0 +1,79 @@
+#include "src/parallel/scratch.hpp"
+
+#include <algorithm>
+
+namespace apnn::parallel {
+
+namespace {
+
+constexpr std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+
+/// First chunk size: big enough for a typical block's temporaries so most
+/// shapes never grow at all.
+constexpr std::size_t kInitialChunkBytes = std::size_t{1} << 16;  // 64 KiB
+
+}  // namespace
+
+void ScratchArena::add_chunk(std::size_t min_bytes) {
+  // Geometric growth keeps the number of lifetime allocations logarithmic in
+  // the high-water mark.
+  const std::size_t size = std::max(
+      {align_up(min_bytes, kAlignment), kInitialChunkBytes, capacity_});
+  Chunk c;
+  // operator new guarantees only alignof(max_align_t); over-allocate and let
+  // raw() align the bump pointer instead of relying on the base address.
+  c.data = std::make_unique<std::byte[]>(size + kAlignment);
+  c.size = size;
+  ++heap_allocs_;
+  capacity_ += size;
+  chunks_.push_back(std::move(c));
+}
+
+std::byte* ScratchArena::raw(std::size_t bytes) {
+  bytes = align_up(std::max<std::size_t>(bytes, 1), kAlignment);
+  for (;;) {
+    if (active_ < chunks_.size()) {
+      Chunk& c = chunks_[active_];
+      auto base = reinterpret_cast<std::uintptr_t>(c.data.get());
+      const std::size_t skew = align_up(base, kAlignment) - base;
+      if (offset_ + bytes <= c.size) {
+        std::byte* p = c.data.get() + skew + offset_;
+        offset_ += bytes;
+        used_ += bytes;
+        return p;
+      }
+      // Active chunk exhausted: move on (leftover bytes are reclaimed by the
+      // coalescing reset()).
+      ++active_;
+      offset_ = 0;
+      continue;
+    }
+    add_chunk(bytes);
+    active_ = chunks_.size() - 1;
+    offset_ = 0;
+  }
+}
+
+void ScratchArena::reset() {
+  if (chunks_.size() > 1) {
+    // The last cycle spilled over chunk boundaries. Replace the fragments
+    // with one buffer covering the whole high-water footprint so the next
+    // cycle bump-allocates from a single block and never spills again.
+    const std::size_t total = capacity_;
+    chunks_.clear();
+    capacity_ = 0;
+    add_chunk(total);
+  }
+  active_ = 0;
+  offset_ = 0;
+  used_ = 0;
+}
+
+ScratchArena& ScratchArena::tls() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace apnn::parallel

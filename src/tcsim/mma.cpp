@@ -1,51 +1,35 @@
 #include "src/tcsim/mma.hpp"
 
+#include "src/core/microkernel.hpp"
+
 namespace apnn::tcsim {
+
+// The b1 tile primitives are thin adapters over the shared 8x8 k-strip
+// microkernel (src/core/microkernel.hpp): one 128-bit slab is a 2-word
+// strip. Keeping a single implementation means the tile entry points and
+// the batched block driver cannot drift apart numerically.
 
 void bmma_8x8x128(BitOp op, const std::uint64_t* a, std::int64_t a_stride,
                   const std::uint64_t* b, std::int64_t b_stride,
                   std::int32_t* acc) {
-  for (int i = 0; i < 8; ++i) {
-    const std::uint64_t a0 = a[i * a_stride];
-    const std::uint64_t a1 = a[i * a_stride + 1];
-    std::int32_t* arow = acc + i * 8;
-    if (op == BitOp::kXor) {
-      for (int j = 0; j < 8; ++j) {
-        const std::uint64_t b0 = b[j * b_stride];
-        const std::uint64_t b1 = b[j * b_stride + 1];
-        arow[j] += __builtin_popcountll(a0 ^ b0) + __builtin_popcountll(a1 ^ b1);
-      }
-    } else {
-      for (int j = 0; j < 8; ++j) {
-        const std::uint64_t b0 = b[j * b_stride];
-        const std::uint64_t b1 = b[j * b_stride + 1];
-        arow[j] += __builtin_popcountll(a0 & b0) + __builtin_popcountll(a1 & b1);
-      }
-    }
-  }
+  core::microkernel::tile_8x8_strip(op, a, a_stride, b, b_stride,
+                                    /*words=*/2, acc, /*ldacc=*/8);
 }
 
 void bmma_8x8x128_rows(BitOp op, const std::uint64_t* const* a_rows,
                        const std::uint64_t* const* b_rows,
                        std::int64_t word_offset, std::int32_t* acc) {
+  // Gather the slab through the row pointers once, then run the dense
+  // microkernel — the double indirection is paid 16 times instead of 72.
+  std::uint64_t a_buf[16], b_buf[16];
   for (int i = 0; i < 8; ++i) {
-    const std::uint64_t a0 = a_rows[i][word_offset];
-    const std::uint64_t a1 = a_rows[i][word_offset + 1];
-    std::int32_t* arow = acc + i * 8;
-    if (op == BitOp::kXor) {
-      for (int j = 0; j < 8; ++j) {
-        const std::uint64_t b0 = b_rows[j][word_offset];
-        const std::uint64_t b1 = b_rows[j][word_offset + 1];
-        arow[j] += __builtin_popcountll(a0 ^ b0) + __builtin_popcountll(a1 ^ b1);
-      }
-    } else {
-      for (int j = 0; j < 8; ++j) {
-        const std::uint64_t b0 = b_rows[j][word_offset];
-        const std::uint64_t b1 = b_rows[j][word_offset + 1];
-        arow[j] += __builtin_popcountll(a0 & b0) + __builtin_popcountll(a1 & b1);
-      }
-    }
+    a_buf[2 * i] = a_rows[i][word_offset];
+    a_buf[2 * i + 1] = a_rows[i][word_offset + 1];
+    b_buf[2 * i] = b_rows[i][word_offset];
+    b_buf[2 * i + 1] = b_rows[i][word_offset + 1];
   }
+  core::microkernel::tile_8x8_strip(op, a_buf, 2, b_buf, 2, /*words=*/2, acc,
+                                    /*ldacc=*/8);
 }
 
 void imma_8x8x32(const std::int8_t* a, std::int64_t a_stride,

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include "src/parallel/scratch.hpp"
+
+namespace apnn::parallel {
+namespace {
+
+TEST(ScratchArena, ReturnsAlignedDistinctRegions) {
+  ScratchArena arena;
+  auto* a = arena.get<std::int32_t>(100);
+  auto* b = arena.get<std::uint64_t>(7);
+  auto* c = arena.get<char>(1);
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(b));
+  EXPECT_NE(static_cast<void*>(b), static_cast<void*>(c));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % ScratchArena::kAlignment,
+            0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % ScratchArena::kAlignment,
+            0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % ScratchArena::kAlignment,
+            0u);
+  // Regions must not overlap: fill and check.
+  for (int i = 0; i < 100; ++i) a[i] = -1;
+  for (int i = 0; i < 7; ++i) b[i] = 0xffffffffffffffffULL;
+  *c = 'x';
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a[i], -1);
+}
+
+TEST(ScratchArena, ResetRecyclesWithoutReallocating) {
+  ScratchArena arena;
+  auto* first = arena.get<std::byte>(1000);
+  const std::int64_t allocs = arena.heap_alloc_count();
+  for (int rep = 0; rep < 100; ++rep) {
+    arena.reset();
+    auto* p = arena.get<std::byte>(1000);
+    EXPECT_EQ(p, first);  // same bump position every cycle
+  }
+  EXPECT_EQ(arena.heap_alloc_count(), allocs);
+}
+
+TEST(ScratchArena, GrowsThenCoalescesToSteadyState) {
+  ScratchArena arena;
+  // Force spills over several chunks.
+  for (int i = 0; i < 20; ++i) arena.get<std::byte>(100 * 1024);
+  const std::size_t high_water = arena.used_bytes();
+  arena.reset();  // coalesce
+  EXPECT_GE(arena.capacity_bytes(), high_water);
+  const std::int64_t settled = arena.heap_alloc_count();
+  for (int rep = 0; rep < 5; ++rep) {
+    arena.reset();
+    for (int i = 0; i < 20; ++i) arena.get<std::byte>(100 * 1024);
+  }
+  EXPECT_EQ(arena.heap_alloc_count(), settled);
+}
+
+TEST(ScratchArena, UsedBytesTracksRequests) {
+  ScratchArena arena;
+  arena.get<std::byte>(1);
+  EXPECT_EQ(arena.used_bytes(), ScratchArena::kAlignment);  // rounded up
+  arena.get<std::byte>(128);
+  EXPECT_EQ(arena.used_bytes(), ScratchArena::kAlignment + 128);
+  arena.reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+}
+
+TEST(ScratchArena, TlsArenasAreThreadPrivate) {
+  ScratchArena* main_arena = &ScratchArena::tls();
+  ScratchArena* worker_arena = nullptr;
+  std::thread t([&] { worker_arena = &ScratchArena::tls(); });
+  t.join();
+  EXPECT_NE(main_arena, nullptr);
+  EXPECT_NE(worker_arena, nullptr);
+  EXPECT_NE(main_arena, worker_arena);
+}
+
+}  // namespace
+}  // namespace apnn::parallel
