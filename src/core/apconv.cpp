@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/apmm_internal.hpp"
+#include "src/parallel/scratch.hpp"
 
 namespace apnn::core {
 
@@ -69,48 +70,54 @@ tcsim::KernelProfile epilogue_kernel_profile(std::int64_t elems,
   return prof;
 }
 
-/// Applies the §4.2b Case-II amendment: out-of-frame taps were padded with
-/// bit 1 (+1); subtract their contribution so the result matches zero-pad
-/// semantics. The correction for one output position is
+/// Precomputes the §4.2b Case-II amendment: out-of-frame taps were padded
+/// with bit 1 (+1); the fused block epilogue subtracts their contribution so
+/// the result matches zero-pad semantics. The correction for one output
+/// position is
 ///   2 * popc(W_row & pad_mask) - popc(pad_mask)
-/// computed once per (oy, ox) border position (shared across the batch).
-void apply_case2_padding_correction(const ApOperand& w,
-                                    const layout::ConvGeometry& g,
-                                    Tensor<std::int32_t>* y) {
+/// shared across the batch; the table is indexed [m * oh*ow + oy*ow + ox]
+/// and is zero at interior positions (most of it, so the build parallelizes
+/// over positions and skips the pad-free ones).
+std::vector<std::int32_t> build_case2_correction(
+    const ApOperand& w, const layout::ConvGeometry& g) {
   const bitops::BitMatrix& w0 = w.planes.plane(0);
   const std::int64_t row_words = w0.row_words();
   const std::int64_t oh = g.out_h(), ow = g.out_w();
-  std::vector<std::uint64_t> mask(static_cast<std::size_t>(row_words));
-  for (std::int64_t oy = 0; oy < oh; ++oy) {
-    for (std::int64_t ox = 0; ox < ow; ++ox) {
-      std::fill(mask.begin(), mask.end(), 0);
-      std::int64_t npad = 0;
-      for (int kh = 0; kh < g.kernel; ++kh) {
-        for (int kw = 0; kw < g.kernel; ++kw) {
-          const std::int64_t ih = oy * g.stride + kh - g.pad;
-          const std::int64_t iw = ox * g.stride + kw - g.pad;
-          if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) {
-            const std::int64_t bit =
-                (static_cast<std::int64_t>(kh) * g.kernel + kw) * g.in_c;
-            for (std::int64_t c = 0; c < g.in_c; ++c) {
-              mask[static_cast<std::size_t>((bit + c) / 64)] |=
-                  1ULL << ((bit + c) % 64);
-            }
-            npad += g.in_c;
+  std::vector<std::int32_t> corr(
+      static_cast<std::size_t>(g.out_c * oh * ow), 0);
+  parallel_for(0, oh * ow, [&](std::int64_t pos) {
+    const std::int64_t oy = pos / ow, ox = pos % ow;
+    // Mask scratch comes from the worker's arena (pointer bump, no heap
+    // after the first position on each thread).
+    auto& arena = parallel::ScratchArena::tls();
+    arena.reset();
+    std::uint64_t* mask = arena.get<std::uint64_t>(row_words);
+    std::fill_n(mask, row_words, 0);
+    std::int64_t npad = 0;
+    for (int kh = 0; kh < g.kernel; ++kh) {
+      for (int kw = 0; kw < g.kernel; ++kw) {
+        const std::int64_t ih = oy * g.stride + kh - g.pad;
+        const std::int64_t iw = ox * g.stride + kw - g.pad;
+        if (ih < 0 || ih >= g.in_h || iw < 0 || iw >= g.in_w) {
+          const std::int64_t bit =
+              (static_cast<std::int64_t>(kh) * g.kernel + kw) * g.in_c;
+          for (std::int64_t c = 0; c < g.in_c; ++c) {
+            mask[static_cast<std::size_t>((bit + c) / 64)] |=
+                1ULL << ((bit + c) % 64);
           }
-        }
-      }
-      if (npad == 0) continue;
-      for (std::int64_t m = 0; m < g.out_c; ++m) {
-        const std::int64_t ones =
-            bitops::dot_and_popc(w0.row(m), mask.data(), row_words);
-        const std::int32_t corr = static_cast<std::int32_t>(2 * ones - npad);
-        for (std::int64_t n = 0; n < g.batch; ++n) {
-          (*y)(m, (n * oh + oy) * ow + ox) -= corr;
+          npad += g.in_c;
         }
       }
     }
-  }
+    if (npad == 0) return;
+    for (std::int64_t m = 0; m < g.out_c; ++m) {
+      const std::int64_t ones = bitops::dot_and_popc(w0.row(m), mask,
+                                                     row_words);
+      corr[static_cast<std::size_t>(m * oh * ow + pos)] =
+          static_cast<std::int32_t>(2 * ones - npad);
+    }
+  }, /*grain=*/ow);
+  return corr;
 }
 
 }  // namespace
@@ -276,104 +283,57 @@ ApconvResult apconv(const ApOperand& w, const layout::PackedActivations& x,
 
   // --- Functional execution -------------------------------------------
   if (opts.mode == ExecMode::kFull) {
-    // Channel-major lowering: one patch matrix per activation plane.
-    ApOperand xop;
-    xop.encoding = x_enc;
-    xop.planes.rows = g.gemm_n();
-    xop.planes.cols = g.gemm_k();
-    xop.planes.bits = x.bits;
-    for (int t = 0; t < x.bits; ++t) {
-      xop.planes.planes.push_back(im2col_bits(
-          x.planes[static_cast<std::size_t>(t)], g, pad_one));
+    // Im2col-free fused path: no patch matrix is ever materialized — the
+    // microkernel's staging layer window-gathers each B-panel k-strip
+    // straight from the packed feature-map planes, and the whole
+    // BN -> ReLU -> pool -> quantize tail runs inside each block's epilogue.
+    // Blocks are aligned to whole pooling windows (window-major column
+    // order) so a window never straddles blocks; this functional geometry
+    // does not alter the launch records above, which model the nominal
+    // tiling.
+    const std::int64_t win = pool.active() ? pool.size : 1;
+    const internal::BatchedGeometry fgeom = internal::make_geometry(
+        g.gemm_m(), g.gemm_n(), g.gemm_k(), w.bits(), x.bits, tile,
+        win * win);
+
+    std::vector<std::int32_t> corr;
+    if (sel.kind == EmulationCase::kCaseII && g.pad > 0) {
+      corr = build_case2_correction(w, g);
     }
 
-    Tensor<std::int32_t> y32({geom.m, geom.n});
-    bitops::BitPlanes unused;
-    internal::run_batched_compute(w, xop, sel, geom, Epilogue{}, &y32,
-                                  &unused);
-    if (sel.kind == EmulationCase::kCaseII) {
-      apply_case2_padding_correction(w, g, &y32);
-    }
+    internal::FeatureSource src;
+    src.fmap = &x;
+    src.conv = &g;
+    src.pad_one = pad_one;
+    src.pool_win = static_cast<int>(win);
+    src.encoding = x_enc;
+    src.bits = x.bits;
 
-    // BN / ReLU before pooling.
-    if (epi.has_bn || epi.has_relu) {
-      Epilogue pre = epi;
-      pre.has_quant = false;
-      for (std::int64_t m = 0; m < geom.m; ++m) {
-        for (std::int64_t col = 0; col < geom.n; ++col) {
-          y32(m, col) = pre.apply(y32(m, col), m);
-        }
-      }
-    }
+    internal::ConvTail tail;
+    tail.g = &g;
+    tail.pool = pool;
+    tail.corr = corr.empty() ? nullptr : corr.data();
 
-    // Pooling.
-    Tensor<std::int32_t> pooled({geom.m, g.batch * pooled_h * pooled_w});
-    if (pool.active()) {
-      const std::int64_t win = pool.size;
-      for (std::int64_t m = 0; m < geom.m; ++m) {
-        for (std::int64_t n = 0; n < g.batch; ++n) {
-          for (std::int64_t py = 0; py < pooled_h; ++py) {
-            for (std::int64_t px = 0; px < pooled_w; ++px) {
-              std::int64_t agg =
-                  pool.kind == PoolSpec::Kind::kMax ? INT64_MIN : 0;
-              for (std::int64_t dy = 0; dy < win; ++dy) {
-                for (std::int64_t dx = 0; dx < win; ++dx) {
-                  const std::int64_t col =
-                      (n * oh + py * win + dy) * ow + (px * win + dx);
-                  const std::int32_t v = y32(m, col);
-                  if (pool.kind == PoolSpec::Kind::kMax) {
-                    agg = std::max<std::int64_t>(agg, v);
-                  } else {
-                    agg += v;
-                  }
-                }
-              }
-              if (pool.kind == PoolSpec::Kind::kAvg) {
-                // Floor division toward -inf would differ for negatives; the
-                // device epilogue truncates, so do the same.
-                agg /= win * win;
-              }
-              pooled(m, (n * pooled_h + py) * pooled_w + px) =
-                  static_cast<std::int32_t>(agg);
-            }
-          }
-        }
-      }
-    } else {
-      pooled = y32;
-    }
-
+    const std::int64_t pooled_cols = g.batch * pooled_h * pooled_w;
     if (epi.has_quant) {
       res.packed.n = g.batch;
       res.packed.h = pooled_h;
       res.packed.w = pooled_w;
       res.packed.c = geom.m;
       res.packed.bits = epi.quant.bits;
-      res.packed.planes.assign(
-          static_cast<std::size_t>(epi.quant.bits),
-          bitops::BitMatrix(g.batch * pooled_h * pooled_w, geom.m));
-      for (std::int64_t m = 0; m < geom.m; ++m) {
-        for (std::int64_t col = 0; col < g.batch * pooled_h * pooled_w;
-             ++col) {
-          const std::int32_t code =
-              quant::quantize_value(static_cast<float>(pooled(m, col)),
-                                    epi.quant);
-          for (int bit = 0; bit < epi.quant.bits; ++bit) {
-            if ((code >> bit) & 1) {
-              res.packed.planes[static_cast<std::size_t>(bit)].set(col, m,
-                                                                   true);
-            }
-          }
-        }
-      }
+      bitops::BitPlanes planes;
+      planes.rows = pooled_cols;
+      planes.cols = geom.m;
+      planes.bits = epi.quant.bits;
+      planes.planes.assign(static_cast<std::size_t>(epi.quant.bits),
+                           bitops::BitMatrix(pooled_cols, geom.m));
+      internal::run_batched_compute(w, src, sel, fgeom, epi, tail, nullptr,
+                                    &planes);
+      res.packed.planes = std::move(planes.planes);
     } else {
       res.y = Tensor<std::int32_t>({g.batch, pooled_h, pooled_w, geom.m});
-      for (std::int64_t m = 0; m < geom.m; ++m) {
-        for (std::int64_t col = 0; col < g.batch * pooled_h * pooled_w;
-             ++col) {
-          res.y[col * geom.m + m] = pooled(m, col);
-        }
-      }
+      internal::run_batched_compute(w, src, sel, fgeom, epi, tail, &res.y,
+                                    nullptr);
     }
   }
   return res;

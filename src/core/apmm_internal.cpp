@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
 #include "src/core/microkernel.hpp"
+#include "src/layout/im2col.hpp"
 #include "src/parallel/scratch.hpp"
 
 namespace apnn::core::internal {
@@ -15,7 +17,8 @@ BatchedGeometry make_geometry(const ApOperand& w, const ApOperand& x,
 }
 
 BatchedGeometry make_geometry(std::int64_t m, std::int64_t n, std::int64_t k,
-                              int p, int q, const TileConfig& tile) {
+                              int p, int q, const TileConfig& tile,
+                              std::int64_t col_align) {
   BatchedGeometry g;
   g.m = m;
   g.n = n;
@@ -26,7 +29,7 @@ BatchedGeometry make_geometry(std::int64_t m, std::int64_t n, std::int64_t k,
   // Blocks own whole output elements (all p*q plane partials), so the block
   // tile is expressed in output space and expanded by the plane counts.
   g.om = std::max<std::int64_t>(1, tile.bm / g.p);
-  g.on = std::max<std::int64_t>(1, tile.bn / g.q);
+  g.on = round_up(std::max<std::int64_t>(1, tile.bn / g.q), col_align);
   g.vtm = g.om * g.p;
   g.vtn = g.on * g.q;
   g.vtm8 = round_up(g.vtm, 8);
@@ -164,17 +167,66 @@ void run_batched_compute(const ApOperand& w, const ApOperand& x,
                          const OpSelection& sel, const BatchedGeometry& g,
                          const Epilogue& epi, Tensor<std::int32_t>* y,
                          bitops::BitPlanes* packed) {
+  FeatureSource src;
+  src.planes = &x.planes;
+  src.encoding = x.encoding;
+  src.bits = x.bits();
+  run_batched_compute(w, src, sel, g, epi, ConvTail{}, y, packed);
+}
+
+void run_batched_compute(const ApOperand& w, const FeatureSource& x,
+                         const OpSelection& sel, const BatchedGeometry& g,
+                         const Epilogue& epi, const ConvTail& tail,
+                         Tensor<std::int32_t>* y, bitops::BitPlanes* packed) {
   // Case III needs popc(X row) per feature plane; flattened q x n, column
-  // xpopc[n * q + t] so one output column's planes sit contiguously.
+  // xpopc[n * q + t] so one output column's planes sit contiguously. For the
+  // window-gathered operand the patch row never exists, but its popcount is
+  // the sum of the in-frame channel-slab popcounts (§4.2b pads 0 here, so
+  // padding taps contribute nothing).
   std::vector<std::int64_t> xpopc;
   if (sel.kind == EmulationCase::kCaseIII) {
     xpopc.resize(static_cast<std::size_t>(g.n * g.q));
-    parallel_for(0, g.n, [&](std::int64_t j) {
-      for (int t = 0; t < g.q; ++t) {
-        xpopc[static_cast<std::size_t>(j * g.q + t)] =
-            x.planes.plane(t).row_popcount(j);
-      }
-    }, /*grain=*/256);
+    if (x.window_gather()) {
+      // Two stages: popc of each spatial position's C-bit slab once per
+      // plane, then per column a pure-integer sum over its in-frame taps.
+      const layout::ConvGeometry& cg = *x.conv;
+      const std::int64_t spatial = cg.batch * cg.in_h * cg.in_w;
+      std::vector<std::int32_t> slab_popc(
+          static_cast<std::size_t>(spatial * g.q));
+      parallel_for(0, spatial, [&](std::int64_t r) {
+        for (int t = 0; t < g.q; ++t) {
+          slab_popc[static_cast<std::size_t>(r * g.q + t)] =
+              static_cast<std::int32_t>(
+                  x.fmap->planes[static_cast<std::size_t>(t)]
+                      .row_popcount(r));
+        }
+      }, /*grain=*/256);
+      parallel_for(0, g.n, [&](std::int64_t j) {
+        const layout::OutPos pos =
+            layout::conv_col_position(cg, j, x.pool_win);
+        std::int64_t* out = xpopc.data() + j * g.q;
+        for (int t = 0; t < g.q; ++t) out[t] = 0;
+        for (int kh = 0; kh < cg.kernel; ++kh) {
+          const std::int64_t ih = pos.oy * cg.stride + kh - cg.pad;
+          if (ih < 0 || ih >= cg.in_h) continue;
+          for (int kw = 0; kw < cg.kernel; ++kw) {
+            const std::int64_t iw = pos.ox * cg.stride + kw - cg.pad;
+            if (iw < 0 || iw >= cg.in_w) continue;
+            const std::int32_t* sp =
+                slab_popc.data() +
+                ((pos.n * cg.in_h + ih) * cg.in_w + iw) * g.q;
+            for (int t = 0; t < g.q; ++t) out[t] += sp[t];
+          }
+        }
+      }, /*grain=*/256);
+    } else {
+      parallel_for(0, g.n, [&](std::int64_t j) {
+        for (int t = 0; t < g.q; ++t) {
+          xpopc[static_cast<std::size_t>(j * g.q + t)] =
+              x.planes->plane(t).row_popcount(j);
+        }
+      }, /*grain=*/256);
+    }
   }
 
   // Plane combination multipliers.
@@ -208,27 +260,270 @@ void run_batched_compute(const ApOperand& w, const ApOperand& x,
     // marks out-of-range rows; the staging pass turns them into zeros.
     const std::uint64_t** wrows =
         arena.get<const std::uint64_t*>(g.vtm8);
-    const std::uint64_t** xrows =
-        arena.get<const std::uint64_t*>(g.vtn8);
     for (std::int64_t i = 0; i < g.vtm8; ++i) {
       const std::int64_t m = m0 + i / g.p;
       wrows[i] = (i < g.vtm && m < g.m)
                      ? w.planes.plane(static_cast<int>(i % g.p)).row(m)
                      : nullptr;
     }
-    for (std::int64_t j = 0; j < g.vtn8; ++j) {
-      const std::int64_t n = n0 + j / g.q;
-      xrows[j] = (j < g.vtn && n < g.n)
-                     ? x.planes.plane(static_cast<int>(j % g.q)).row(n)
-                     : nullptr;
+
+    // The feature panels come from the staging source: a row-pointer table
+    // over contiguous planes, or the im2col-free window gather that
+    // assembles each k-strip straight from the packed feature map.
+    const std::uint64_t** xrows = nullptr;
+    std::optional<layout::WindowGatherSource> gather;
+    std::optional<microkernel::RowPointerSource> pointer;
+    if (x.window_gather()) {
+      gather.emplace(*x.fmap, *x.conv, x.pad_one, x.pool_win, n0, g.vtn8,
+                     g.vtn);
+    } else {
+      xrows = arena.get<const std::uint64_t*>(g.vtn8);
+      for (std::int64_t j = 0; j < g.vtn8; ++j) {
+        const std::int64_t n = n0 + j / g.q;
+        xrows[j] = (j < g.vtn && n < g.n)
+                       ? x.planes->plane(static_cast<int>(j % g.q)).row(n)
+                       : nullptr;
+      }
+      pointer.emplace(xrows, g.vtn8);
     }
+    const microkernel::PanelSource& bsrc =
+        gather ? static_cast<const microkernel::PanelSource&>(*gather)
+               : *pointer;
 
     // Raw popc accumulation over all k-strips ("fragment" storage), then the
     // staged cache-blocked microkernel sweep.
     std::int32_t* raw = arena.get<std::int32_t>(g.vtm8 * g.vtn8);
     std::fill_n(raw, g.vtm8 * g.vtn8, 0);
-    microkernel::block_bitgemm(sel.bit_op, wrows, g.vtm8, xrows, g.vtn8,
-                               g.row_words, raw, arena);
+    microkernel::block_bitgemm(sel.bit_op, wrows, g.vtm8, bsrc, g.row_words,
+                               raw, arena);
+
+    // Fused conv tail: correction -> BN/ReLU -> pool -> quantize/store, all
+    // inside the block (no full-output pass exists downstream). The walk is
+    // m-outer so `raw` is read row-major (the same cache-friendly order as
+    // the APMM combine); the pool windows of all the block's columns are
+    // reduced per output row.
+    if (tail.active()) {
+      const layout::ConvGeometry& cg = *tail.g;
+      const std::int64_t oh = cg.out_h(), ow = cg.out_w();
+      const std::int64_t win = tail.pool.active() ? tail.pool.size : 1;
+      const std::int64_t wsz = win * win;
+      const bool max_pool = tail.pool.kind == PoolSpec::Kind::kMax;
+      APNN_DCHECK(n0 % wsz == 0 && n_end % wsz == 0)
+          << "conv blocks must be pool-window aligned (make_geometry "
+             "col_align)";
+      const std::int64_t cols = n_end - n0;
+      const std::int64_t nwin = cols / wsz;
+      const bool pre_active = epi.has_bn || epi.has_relu;
+
+      // Per-column index of the Case-II correction entry, hoisted out of
+      // the m loop (the mapping depends only on the column).
+      const std::int32_t* corr_idx = nullptr;
+      if (tail.corr != nullptr) {
+        std::int32_t* idx = arena.get<std::int32_t>(cols);
+        for (std::int64_t no = 0; no < cols; ++no) {
+          const layout::OutPos pos = layout::conv_col_position(
+              cg, n0 + no, static_cast<int>(win));
+          idx[no] = static_cast<std::int32_t>(pos.oy * ow + pos.ox);
+        }
+        corr_idx = idx;
+      }
+
+      // Quantized output: bits land at columns [m0, m_end) of the packed
+      // rows this block's windows map to; spans sharing 64-bit words with
+      // horizontally adjacent blocks are merged with one atomic OR per
+      // touched word (§4.1b repack). The m-outer walk accumulates all the
+      // block's window masks and publishes them once at the end.
+      const std::int64_t w_lo = m0 >> 6;
+      const std::int64_t w_hi = (m_end - 1) >> 6;
+      const std::int64_t nw = w_hi - w_lo + 1;
+      std::uint64_t* masks = nullptr;
+      if (qbits > 0) {
+        masks = arena.get<std::uint64_t>(nwin * qbits * nw);
+        std::fill_n(masks, nwin * qbits * nw, 0);
+      }
+
+      // One combined output row at a time, in four flat vectorizable
+      // passes over an L1-resident row buffer — the host analogue of the
+      // in-SHMEM plane reduction followed by the in-register epilogue:
+      //   (1) per-(s,t) specialized bit combination (case switch hoisted
+      //       out of the element loop),
+      //   (2) border correction + BN/ReLU with the channel's scale/bias
+      //       held in scalars,
+      //   (3) pooling over the win² *contiguous* columns of each window
+      //       (the window-major column order makes them adjacent),
+      //   (4) quantize + mask build, or the dense NHWC store.
+      std::int32_t* yrow = arena.get<std::int32_t>(cols);
+      const auto k32 = static_cast<std::int32_t>(g.k);
+      for (std::int64_t mo = 0; mo < m_end - m0; ++mo) {
+        const std::int64_t m = m0 + mo;
+        std::fill_n(yrow, cols, 0);
+        for (int s = 0; s < g.p; ++s) {
+          const std::int32_t* pr = raw + (mo * g.p + s) * g.vtn8;
+          const std::int64_t ws = wmult[static_cast<std::size_t>(s)];
+          // 16 is the plane-count ceiling enforced by bitops::decompose /
+          // layout::pack_activations.
+          APNN_DCHECK(g.q <= 16) << "q=" << g.q;
+          std::int32_t mult[16];
+          for (int t = 0; t < g.q; ++t) {
+            mult[t] = static_cast<std::int32_t>(
+                ws * xmult[static_cast<std::size_t>(t)]);
+          }
+          // All q plane partials of a column sit adjacent in `pr`, so each
+          // pass reads contiguously; q = 1 (the BNN case) and q = 2 (the
+          // dominant w1a2 stages) get flat unrolled maps.
+          switch (sel.kind) {
+            case EmulationCase::kCaseI:
+              if (g.q == 1) {
+                for (std::int64_t no = 0; no < cols; ++no) {
+                  yrow[no] += mult[0] * pr[no];
+                }
+              } else if (g.q == 2) {
+                for (std::int64_t no = 0; no < cols; ++no) {
+                  yrow[no] +=
+                      mult[0] * pr[no * 2] + mult[1] * pr[no * 2 + 1];
+                }
+              } else {
+                for (std::int64_t no = 0; no < cols; ++no) {
+                  const std::int32_t* pp = pr + no * g.q;
+                  std::int32_t acc = 0;
+                  for (int t = 0; t < g.q; ++t) acc += mult[t] * pp[t];
+                  yrow[no] += acc;
+                }
+              }
+              break;
+            case EmulationCase::kCaseII:
+              if (g.q == 1) {
+                for (std::int64_t no = 0; no < cols; ++no) {
+                  yrow[no] += mult[0] * (k32 - 2 * pr[no]);
+                }
+              } else {
+                for (std::int64_t no = 0; no < cols; ++no) {
+                  const std::int32_t* pp = pr + no * g.q;
+                  std::int32_t acc = 0;
+                  for (int t = 0; t < g.q; ++t) {
+                    acc += mult[t] * (k32 - 2 * pp[t]);
+                  }
+                  yrow[no] += acc;
+                }
+              }
+              break;
+            case EmulationCase::kCaseIII: {
+              const std::int64_t* xp = xpopc.data() + n0 * g.q;
+              if (g.q == 1) {
+                for (std::int64_t no = 0; no < cols; ++no) {
+                  yrow[no] += mult[0] * (2 * pr[no] -
+                                         static_cast<std::int32_t>(xp[no]));
+                }
+              } else if (g.q == 2) {
+                for (std::int64_t no = 0; no < cols; ++no) {
+                  yrow[no] +=
+                      mult[0] * (2 * pr[no * 2] -
+                                 static_cast<std::int32_t>(xp[no * 2])) +
+                      mult[1] * (2 * pr[no * 2 + 1] -
+                                 static_cast<std::int32_t>(xp[no * 2 + 1]));
+                }
+              } else {
+                for (std::int64_t no = 0; no < cols; ++no) {
+                  const std::int32_t* pp = pr + no * g.q;
+                  const std::int64_t* xpp = xp + no * g.q;
+                  std::int32_t acc = 0;
+                  for (int t = 0; t < g.q; ++t) {
+                    acc += mult[t] *
+                           (2 * pp[t] - static_cast<std::int32_t>(xpp[t]));
+                  }
+                  yrow[no] += acc;
+                }
+              }
+              break;
+            }
+          }
+        }
+        if (corr_idx != nullptr) {
+          const std::int32_t* mcorr = tail.corr + m * oh * ow;
+          for (std::int64_t no = 0; no < cols; ++no) {
+            yrow[no] -= mcorr[corr_idx[no]];
+          }
+        }
+        if (pre_active) {
+          // Identical float arithmetic to Epilogue::apply with the per-
+          // channel parameters hoisted (x*1+0 is exact, so the hoisted
+          // form also covers the BN-less ReLU).
+          const float scale =
+              epi.has_bn ? epi.bn.scale[static_cast<std::size_t>(m)] : 1.0f;
+          const float bias =
+              epi.has_bn ? epi.bn.bias[static_cast<std::size_t>(m)] : 0.0f;
+          if (epi.has_relu) {
+            for (std::int64_t no = 0; no < cols; ++no) {
+              const float v = static_cast<float>(yrow[no]) * scale + bias;
+              yrow[no] = static_cast<std::int32_t>(v < 0.0f ? 0.0f : v);
+            }
+          } else {
+            for (std::int64_t no = 0; no < cols; ++no) {
+              yrow[no] = static_cast<std::int32_t>(
+                  static_cast<float>(yrow[no]) * scale + bias);
+            }
+          }
+        }
+        if (wsz > 1) {
+          if (max_pool) {
+            for (std::int64_t wloc = 0; wloc < nwin; ++wloc) {
+              const std::int32_t* src = yrow + wloc * wsz;
+              std::int32_t agg = src[0];
+              for (std::int64_t e = 1; e < wsz; ++e) {
+                agg = std::max(agg, src[e]);
+              }
+              yrow[wloc] = agg;
+            }
+          } else {
+            for (std::int64_t wloc = 0; wloc < nwin; ++wloc) {
+              const std::int32_t* src = yrow + wloc * wsz;
+              std::int64_t agg = 0;
+              for (std::int64_t e = 0; e < wsz; ++e) agg += src[e];
+              // The device epilogue truncates the average (see PoolSpec).
+              yrow[wloc] = static_cast<std::int32_t>(agg / wsz);
+            }
+          }
+        }
+        if (qbits > 0) {
+          const std::int64_t wi = (m >> 6) - w_lo;
+          const std::uint64_t bit = std::uint64_t{1} << (m & 63);
+          for (std::int64_t wloc = 0; wloc < nwin; ++wloc) {
+            const std::int32_t code = quant::quantize_value(
+                static_cast<float>(yrow[wloc]), epi.quant);
+            for (int plane = 0; plane < qbits; ++plane) {
+              if ((code >> plane) & 1) {
+                masks[(wloc * qbits + plane) * nw + wi] |= bit;
+              }
+            }
+          }
+        } else {
+          const std::int64_t widx0 = n0 / wsz;
+          std::int32_t* dst = y->data() + widx0 * cg.out_c + m;
+          for (std::int64_t wloc = 0; wloc < nwin; ++wloc) {
+            dst[wloc * cg.out_c] = yrow[wloc];
+          }
+        }
+      }
+      if (qbits > 0) {
+        for (std::int64_t wloc = 0; wloc < nwin; ++wloc) {
+          const std::int64_t widx = (n0 + wloc * wsz) / wsz;
+          for (int plane = 0; plane < qbits; ++plane) {
+            std::uint64_t* row =
+                packed->planes[static_cast<std::size_t>(plane)].row(widx) +
+                w_lo;
+            for (std::int64_t wwi = 0; wwi < nw; ++wwi) {
+              const std::uint64_t mask =
+                  masks[(wloc * qbits + plane) * nw + wwi];
+              if (mask != 0) {
+                std::atomic_ref<std::uint64_t>(row[wwi]).fetch_or(
+                    mask, std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+      }
+      return;
+    }
 
     // Bit combination + epilogue for the block's output elements.
     if (!epi.has_quant) {

@@ -39,6 +39,19 @@ void stage_panel_transposed(const std::uint64_t* const* rows,
   }
 }
 
+void PanelSource::stage_transposed(std::int64_t w0, std::int64_t words,
+                                   std::uint64_t* panel,
+                                   std::uint64_t* scratch) const {
+  const std::int64_t n = rows();
+  stage(w0, words, scratch);
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::uint64_t* src = scratch + j * words;
+    for (std::int64_t w = 0; w < words; ++w) {
+      panel[w * n + j] = src[w];
+    }
+  }
+}
+
 namespace {
 
 #if defined(__AVX512BW__)
@@ -137,21 +150,25 @@ constexpr bool kUseTransposedB = false;
 
 template <tcsim::BitOp Op>
 void block_bitgemm_impl(const std::uint64_t* const* a_rows, std::int64_t rows8,
-                        const std::uint64_t* const* b_rows, std::int64_t cols8,
-                        std::int64_t row_words, std::int32_t* acc,
-                        parallel::ScratchArena& arena) {
+                        const PanelSource& b, std::int64_t row_words,
+                        std::int32_t* acc, parallel::ScratchArena& arena) {
+  const std::int64_t cols8 = b.rows();
   const std::int64_t strip = std::min<std::int64_t>(kStripWords, row_words);
   std::uint64_t* a_panel = arena.get<std::uint64_t>(rows8 * strip);
   std::uint64_t* b_panel = arena.get<std::uint64_t>(cols8 * strip);
+  std::uint64_t* b_scratch =
+      kUseTransposedB && !b.direct_transpose()
+          ? arena.get<std::uint64_t>(cols8 * strip)
+          : nullptr;
 
   for (std::int64_t w0 = 0; w0 < row_words; w0 += strip) {
     const std::int64_t wc = std::min<std::int64_t>(strip, row_words - w0);
     stage_panel(a_rows, rows8, w0, wc, a_panel);
     if constexpr (kUseTransposedB) {
-      stage_panel_transposed(b_rows, cols8, w0, wc, b_panel);
+      b.stage_transposed(w0, wc, b_panel, b_scratch);
       rowblock_strip<Op>(a_panel, rows8, b_panel, cols8, wc, acc);
     } else {
-      stage_panel(b_rows, cols8, w0, wc, b_panel);
+      b.stage(w0, wc, b_panel);
       for (std::int64_t ii = 0; ii < rows8; ii += 8) {
         const std::uint64_t* a_tile = a_panel + ii * wc;
         std::int32_t* acc_row = acc + ii * cols8;
@@ -167,19 +184,27 @@ void block_bitgemm_impl(const std::uint64_t* const* a_rows, std::int64_t rows8,
 }  // namespace
 
 void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
+                   std::int64_t rows8, const PanelSource& b,
+                   std::int64_t row_words, std::int32_t* acc,
+                   parallel::ScratchArena& arena) {
+  APNN_DCHECK(rows8 % 8 == 0 && b.rows() % 8 == 0)
+      << "tile dims must be multiples of 8: " << rows8 << "x" << b.rows();
+  if (rows8 == 0 || b.rows() == 0 || row_words == 0) return;
+  if (op == tcsim::BitOp::kXor) {
+    block_bitgemm_impl<tcsim::BitOp::kXor>(a_rows, rows8, b, row_words, acc,
+                                           arena);
+  } else {
+    block_bitgemm_impl<tcsim::BitOp::kAnd>(a_rows, rows8, b, row_words, acc,
+                                           arena);
+  }
+}
+
+void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
                    std::int64_t rows8, const std::uint64_t* const* b_rows,
                    std::int64_t cols8, std::int64_t row_words,
                    std::int32_t* acc, parallel::ScratchArena& arena) {
-  APNN_DCHECK(rows8 % 8 == 0 && cols8 % 8 == 0)
-      << "tile dims must be multiples of 8: " << rows8 << "x" << cols8;
-  if (rows8 == 0 || cols8 == 0 || row_words == 0) return;
-  if (op == tcsim::BitOp::kXor) {
-    block_bitgemm_impl<tcsim::BitOp::kXor>(a_rows, rows8, b_rows, cols8,
-                                           row_words, acc, arena);
-  } else {
-    block_bitgemm_impl<tcsim::BitOp::kAnd>(a_rows, rows8, b_rows, cols8,
-                                           row_words, acc, arena);
-  }
+  block_bitgemm(op, a_rows, rows8, RowPointerSource(b_rows, cols8), row_words,
+                acc, arena);
 }
 
 }  // namespace apnn::core::microkernel

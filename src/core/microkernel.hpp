@@ -335,13 +335,76 @@ void stage_panel_transposed(const std::uint64_t* const* rows,
                             std::int64_t nrows, std::int64_t w0,
                             std::int64_t words, std::uint64_t* panel);
 
-/// Block-level driver: for a block's plane-interleaved row-pointer tables
-/// (a_rows: rows8 entries, b_rows: cols8 entries; rows8/cols8 multiples of
-/// 8; nullptr = zero row), accumulates
-///   acc[i * cols8 + j] += sum_{w < row_words} popc(op(a_i[w], b_j[w]))
+/// Where block_bitgemm's B-panel k-strips come from. The staging pass is
+/// the only place the microkernel touches operand storage, so abstracting
+/// it lets the same GEMM sweep run over operands that are never
+/// materialized as row-major matrices: RowPointerSource wraps precomputed
+/// row-pointer tables (contiguous BitPlanes — the APMM case), and
+/// layout::WindowGatherSource assembles convolution patch rows on the fly
+/// from the packed feature-map planes (im2col-free APConv, §4.2).
+class PanelSource {
+ public:
+  virtual ~PanelSource() = default;
+
+  /// Number of virtual rows this source stages (a multiple of 8).
+  virtual std::int64_t rows() const = 0;
+
+  /// Row-major staging: words [w0, w0 + words) of every virtual row into
+  /// panel (row j at panel + j * words). Out-of-range virtual rows stage as
+  /// zeros.
+  virtual void stage(std::int64_t w0, std::int64_t words,
+                     std::uint64_t* panel) const = 0;
+
+  /// Word-interleaved staging: panel[w * rows() + j] = row j's word w0 + w.
+  /// The default assembles row-major into `scratch` (rows() * words words,
+  /// provided by the caller) and interleaves; sources with contiguous rows
+  /// override and ignore `scratch`.
+  virtual void stage_transposed(std::int64_t w0, std::int64_t words,
+                                std::uint64_t* panel,
+                                std::uint64_t* scratch) const;
+
+  /// True when stage_transposed never touches `scratch` (the caller then
+  /// skips allocating it).
+  virtual bool direct_transpose() const { return false; }
+};
+
+/// PanelSource over a plane-interleaved row-pointer table (nullptr = zero
+/// row): the staging scheme of the contiguous-operand (APMM) path.
+class RowPointerSource final : public PanelSource {
+ public:
+  RowPointerSource(const std::uint64_t* const* rows, std::int64_t nrows)
+      : rows_(rows), nrows_(nrows) {}
+
+  std::int64_t rows() const override { return nrows_; }
+  void stage(std::int64_t w0, std::int64_t words,
+             std::uint64_t* panel) const override {
+    stage_panel(rows_, nrows_, w0, words, panel);
+  }
+  void stage_transposed(std::int64_t w0, std::int64_t words,
+                        std::uint64_t* panel,
+                        std::uint64_t* /*scratch*/) const override {
+    stage_panel_transposed(rows_, nrows_, w0, words, panel);
+  }
+  bool direct_transpose() const override { return true; }
+
+ private:
+  const std::uint64_t* const* rows_;
+  std::int64_t nrows_;
+};
+
+/// Block-level driver: for a block's plane-interleaved A row-pointer table
+/// (rows8 entries, a multiple of 8; nullptr = zero row) and B panel source
+/// (rows() a multiple of 8), accumulates
+///   acc[i * b.rows() + j] += sum_{w < row_words} popc(op(a_i[w], b_j[w]))
 /// walking k in kStripWords strips, staging each strip once, and invoking
 /// the 8x8 microkernel per output tile. All temporaries come from `arena`
 /// (valid until the caller's next reset()).
+void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
+                   std::int64_t rows8, const PanelSource& b,
+                   std::int64_t row_words, std::int32_t* acc,
+                   parallel::ScratchArena& arena);
+
+/// Row-pointer-table convenience overload (wraps RowPointerSource).
 void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
                    std::int64_t rows8, const std::uint64_t* const* b_rows,
                    std::int64_t cols8, std::int64_t row_words,

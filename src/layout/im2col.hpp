@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "src/bitops/bit_matrix.hpp"
+#include "src/core/microkernel.hpp"
 #include "src/layout/packed_activations.hpp"
 #include "src/layout/tensor.hpp"
 
@@ -42,6 +43,61 @@ struct ConvGeometry {
 /// bit written at out-of-image taps (input-aware padding).
 bitops::BitMatrix im2col_bits(const bitops::BitMatrix& plane,
                               const ConvGeometry& g, bool pad_value);
+
+/// An output position of the lowered convolution.
+struct OutPos {
+  std::int64_t n = 0, oy = 0, ox = 0;
+};
+
+/// Maps GEMM column `col` to its output position. `pool_win` selects the
+/// column enumeration order: 1 is the natural (n, oy, ox) row-major order;
+/// win > 1 enumerates pool-window-major — each run of win*win consecutive
+/// columns is one complete win x win pooling window (window index
+/// col / win², i.e. the pooled output position), which is what lets the
+/// fused conv tail reduce a pooling window entirely inside one block.
+/// Requires out_h % win == 0 and out_w % win == 0.
+OutPos conv_col_position(const ConvGeometry& g, std::int64_t col,
+                         int pool_win);
+
+/// PanelSource assembling convolution patch rows on the fly from the packed
+/// channel-major feature-map planes — the im2col-free staging of §4.2: no
+/// gemm_n x gemm_k patch matrix ever exists; each k-strip of each virtual B
+/// row is gathered directly into the staged panel (stride/pad window walk,
+/// §4.2b input-aware padding included).
+///
+/// Virtual row j covers plane (j % q) of GEMM column col0 + j / q under the
+/// `pool_win` column order; rows >= nvalid and columns >= gemm_n stage as
+/// zeros (the virtual padding of non-tile-aligned block edges).
+class WindowGatherSource final : public core::microkernel::PanelSource {
+ public:
+  WindowGatherSource(const PackedActivations& x, const ConvGeometry& g,
+                     bool pad_one, int pool_win, std::int64_t col0,
+                     std::int64_t nrows8, std::int64_t nvalid);
+
+  std::int64_t rows() const override { return nrows8_; }
+  void stage(std::int64_t w0, std::int64_t words,
+             std::uint64_t* panel) const override;
+  /// Word-interleaved staging without the row-major scratch round trip:
+  /// each patch row is gathered into a strip-sized local buffer and
+  /// scattered straight into the interleaved panel.
+  void stage_transposed(std::int64_t w0, std::int64_t words,
+                        std::uint64_t* panel,
+                        std::uint64_t* scratch) const override;
+  bool direct_transpose() const override { return true; }
+
+ private:
+  /// Assembles bits [w0*64, w0*64 + words*64) of column `col`'s patch row
+  /// for plane `t` into dst (pre-zeroed).
+  void gather_row(std::int64_t col, int t, std::int64_t w0,
+                  std::int64_t words, std::uint64_t* dst) const;
+
+  const PackedActivations* x_;
+  const ConvGeometry* g_;
+  bool pad_one_;
+  int win_;
+  std::int64_t col0_, nrows8_, nvalid_;
+  std::int64_t gemm_n_, gemm_k_;
+};
 
 /// Dense im2col for baseline kernels: src is NHWC ({N, H, W, C}); output is
 /// {N*OH*OW, K*K*C}. Out-of-image taps read `pad_value`.

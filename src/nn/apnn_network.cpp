@@ -30,11 +30,18 @@ Tensor<std::int32_t> to_dense(const Value& v) {
   return layout::unpack_activations(*v.packed);
 }
 
-layout::PackedActivations to_packed(const Value& v, int bits) {
+/// Returns the packed view of a value without copying when it already is
+/// packed (the steady state of a conv stack: every fused conv tail emits
+/// packed planes that feed the next window-gather directly). `storage`
+/// holds the packed form only when a dense intermediate had to be packed.
+const layout::PackedActivations& to_packed(
+    const Value& v, int bits, layout::PackedActivations* storage) {
   APNN_CHECK(v.valid());
   if (v.packed) return *v.packed;
   APNN_CHECK(v.dense->rank() == 4) << "cannot pack feature vectors";
-  return layout::pack_activations(*v.dense, layout::DenseLayout::kNHWC, bits);
+  *storage =
+      layout::pack_activations(*v.dense, layout::DenseLayout::kNHWC, bits);
+  return *storage;
 }
 
 Tensor<std::int32_t> to_features(const Value& v, std::int64_t batch) {
@@ -392,7 +399,9 @@ Tensor<std::int32_t> ApnnNetwork::forward(
         const ApnnStage& st = *stage_at.at(li);
         const layout::ConvGeometry g =
             conv_geometry(spec_, shapes_, li, batch);
-        const layout::PackedActivations x = to_packed(in, st.in_bits);
+        layout::PackedActivations packed_storage;
+        const layout::PackedActivations& x =
+            to_packed(in, st.in_bits, &packed_storage);
         core::ApconvOptions opts;
         core::ApconvResult r = core::apconv(st.weights, x, st.in_enc, g, dev,
                                             opts, st.epilogue, st.pool);

@@ -42,6 +42,7 @@ std::byte* ScratchArena::raw(std::size_t bytes) {
         std::byte* p = c.data.get() + skew + offset_;
         offset_ += bytes;
         used_ += bytes;
+        high_water_ = std::max(high_water_, used_);
         return p;
       }
       // Active chunk exhausted: move on (leftover bytes are reclaimed by the

@@ -46,6 +46,11 @@ class ScratchArena {
   /// Bytes handed out since the last reset().
   std::size_t used_bytes() const { return used_; }
 
+  /// Largest used_bytes() ever observed — the steady-state footprint a
+  /// recurring workload settles at. The high-water stability tests pin that
+  /// this stops moving after the first pass over a given shape.
+  std::size_t high_water_bytes() const { return high_water_; }
+
   /// Current backing capacity across all chunks.
   std::size_t capacity_bytes() const { return capacity_; }
 
@@ -71,6 +76,7 @@ class ScratchArena {
   std::size_t active_ = 0;    ///< chunk currently being bumped
   std::size_t offset_ = 0;    ///< bump offset within the active chunk
   std::size_t used_ = 0;      ///< bytes handed out since reset()
+  std::size_t high_water_ = 0;  ///< max used_ over the arena's lifetime
   std::size_t capacity_ = 0;  ///< sum of chunk sizes
   std::int64_t heap_allocs_ = 0;
 };

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
+#include <vector>
 
+#include "src/baselines/conv.hpp"
 #include "src/core/apconv.hpp"
+#include "src/layout/im2col.hpp"
 #include "src/tcsim/cost_model.hpp"
 #include "test_util.hpp"
 
@@ -119,9 +123,150 @@ INSTANTIATE_TEST_SUITE_P(
         // Two's complement weights.
         ConvCase{Encoding::kTwosComplement, 3, Encoding::kUnsigned01, 2, 1,
                  8, 8, 6, 3, 1, 1},
+        // Wide activations (q > 8): regression for the fused-tail
+        // multiplier table bound.
+        ConvCase{Encoding::kUnsigned01, 2, Encoding::kUnsigned01, 9, 1, 4,
+                 6, 5, 3, 1, 1},
         // No padding at all (padding logic must be a no-op).
         ConvCase{Encoding::kSignedPM1, 1, Encoding::kSignedPM1, 1, 1, 8, 8,
                  4, 3, 1, 0}));
+
+// --- fused (im2col-free) lowering vs materialized goldens ------------------
+//
+// The fused path window-gathers patch-row k-strips straight from the packed
+// feature map; these tests pin it, across every emulation case x stride x
+// pad x pool on deliberately non-tile-aligned oh*ow, against two
+// independently materialized goldens: the direct convolution and the
+// im2col_dense patch-matrix GEMM (plus the int8 implicit-GEMM baseline
+// where the value range allows).
+
+using apnn::testing::conv_via_im2col_dense;
+
+/// Reference max pooling of an NHWC tensor (window == stride == size).
+Tensor<std::int32_t> maxpool_nhwc(const Tensor<std::int32_t>& x, int size) {
+  const std::int64_t b = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
+  Tensor<std::int32_t> y({b, h / size, w / size, c});
+  for (std::int64_t n = 0; n < b; ++n) {
+    for (std::int64_t py = 0; py < h / size; ++py) {
+      for (std::int64_t px = 0; px < w / size; ++px) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+          std::int32_t agg = INT32_MIN;
+          for (int dy = 0; dy < size; ++dy) {
+            for (int dx = 0; dx < size; ++dx) {
+              agg = std::max(agg,
+                             x(n, py * size + dy, px * size + dx, ch));
+            }
+          }
+          y(n, py, px, ch) = agg;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+struct FusedCase {
+  Encoding w_enc;
+  int p;
+  Encoding x_enc;
+  int q;
+  int stride;
+  int pad;
+  bool pool;
+};
+
+class ApconvFusedLowering : public ::testing::TestWithParam<FusedCase> {};
+
+TEST_P(ApconvFusedLowering, MatchesMaterializedGoldens) {
+  const FusedCase c = GetParam();
+  // hw chosen per (stride, pad) so oh = ow is even (poolable) while
+  // batch*oh*ow stays off every tile boundary.
+  std::int64_t hw = 0;
+  if (c.stride == 1) {
+    hw = c.pad == 1 ? 10 : 12;  // oh = 10
+  } else {
+    hw = c.pad == 1 ? 11 : 13;  // oh = 6
+  }
+  const layout::ConvGeometry g = geom(2, 5, hw, 9, 3, c.stride, c.pad);
+  ASSERT_EQ(g.out_h() % 2, 0);
+  const ConvSetup s = make_setup(
+      g, c.w_enc, c.p, c.x_enc, c.q,
+      static_cast<std::uint64_t>(c.p * 1000 + c.q * 100 + c.stride * 10 +
+                                 c.pad + (c.pool ? 7 : 0)));
+
+  // Two independent materialized goldens must agree with each other.
+  const Tensor<std::int32_t> ref = conv2d_reference(s.x_logical, s.w_ohwi, g);
+  ASSERT_EQ(conv_via_im2col_dense(s.x_logical, s.w_ohwi, g), ref);
+  if (c.p <= 7 && c.q <= 7) {
+    // Third, fully independent pin: the int8 implicit-GEMM baseline.
+    Tensor<std::int8_t> x8({g.batch, g.in_h, g.in_w, g.in_c});
+    Tensor<std::int8_t> w8({g.out_c, g.kernel, g.kernel, g.in_c});
+    for (std::int64_t i = 0; i < x8.numel(); ++i) {
+      x8[i] = static_cast<std::int8_t>(s.x_logical[i]);
+    }
+    for (std::int64_t i = 0; i < w8.numel(); ++i) {
+      w8[i] = static_cast<std::int8_t>(s.w_ohwi[i]);
+    }
+    ASSERT_EQ(baselines::conv_int8(x8, w8, g), ref);
+  }
+
+  PoolSpec pool;
+  if (c.pool) {
+    pool.kind = PoolSpec::Kind::kMax;
+    pool.size = 2;
+  }
+
+  // Plain fused conv vs the (optionally pooled) golden.
+  {
+    const ApconvResult r =
+        apconv(s.w, s.x, c.x_enc, g, dev(), {}, {}, pool);
+    const Tensor<std::int32_t> want = c.pool ? maxpool_nhwc(ref, 2) : ref;
+    ASSERT_EQ(r.y, want)
+        << "stride=" << c.stride << " pad=" << c.pad << " pool=" << c.pool;
+  }
+
+  // Fused BN -> ReLU tail (applied before pooling, §5.2 composition order).
+  {
+    Epilogue epi;
+    epi.has_bn = true;
+    epi.bn.scale.assign(static_cast<std::size_t>(g.out_c), 0.5f);
+    epi.bn.bias.assign(static_cast<std::size_t>(g.out_c), -1.0f);
+    epi.has_relu = true;
+    const ApconvResult r =
+        apconv(s.w, s.x, c.x_enc, g, dev(), {}, epi, pool);
+    Tensor<std::int32_t> want = ref;
+    for (std::int64_t i = 0; i < want.numel(); ++i) {
+      const float v = static_cast<float>(want[i]) * 0.5f - 1.0f;
+      want[i] = static_cast<std::int32_t>(std::max(v, 0.0f));
+    }
+    if (c.pool) want = maxpool_nhwc(want, 2);
+    ASSERT_EQ(r.y, want)
+        << "stride=" << c.stride << " pad=" << c.pad << " pool=" << c.pool;
+  }
+}
+
+std::vector<FusedCase> fused_cases() {
+  const std::tuple<Encoding, int, Encoding, int> encodings[] = {
+      {Encoding::kUnsigned01, 2, Encoding::kUnsigned01, 2},      // Case I
+      {Encoding::kSignedPM1, 1, Encoding::kSignedPM1, 1},        // Case II
+      {Encoding::kSignedPM1, 1, Encoding::kUnsigned01, 3},       // Case III
+      {Encoding::kTwosComplement, 3, Encoding::kUnsigned01, 2},  // 2's comp
+  };
+  std::vector<FusedCase> cases;
+  for (const auto& [we, p, xe, q] : encodings) {
+    for (int stride : {1, 2}) {
+      for (int pad : {0, 1}) {
+        for (bool pool : {false, true}) {
+          cases.push_back({we, p, xe, q, stride, pad, pool});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, ApconvFusedLowering,
+                         ::testing::ValuesIn(fused_cases()));
 
 // The Case-II padding amendment is the trickiest §4.2b path: verify border
 // vs interior positions explicitly.

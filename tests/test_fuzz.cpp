@@ -170,5 +170,193 @@ TEST_P(FuzzSeed, PackedOutputRoundTripsThroughNextLayer) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
                          ::testing::Range<std::uint64_t>(1, 33));
 
+// --- fused conv differential fuzzer ----------------------------------------
+//
+// Each seed draws one random conv problem across the full bit-width space
+// (w/a bits in 1..8), random geometry (kernel/stride/pad, non-aligned
+// shapes), random fused tail (BN / ReLU / pooling / quantization), and
+// asserts a three-way agreement:
+//   fused im2col-free apconv == dense im2col patch-GEMM == direct conv,
+// plus, when the tail quantizes, that the packed channel-major output feeds
+// a second conv layer with results identical to the dense pipeline.
+
+/// Encoding pair with conv-relevant bit widths up to 8.
+core::EncodingConfig conv_encodings(Rng& rng, int* p, int* q) {
+  switch (rng.uniform_int(0, 3)) {
+    case 0:  // Case I
+      *p = static_cast<int>(rng.uniform_int(1, 8));
+      *q = static_cast<int>(rng.uniform_int(1, 8));
+      return {Encoding::kUnsigned01, Encoding::kUnsigned01};
+    case 1:  // Case II
+      *p = 1;
+      *q = 1;
+      return {Encoding::kSignedPM1, Encoding::kSignedPM1};
+    case 2:  // Case III
+      *p = 1;
+      *q = static_cast<int>(rng.uniform_int(1, 8));
+      return {Encoding::kSignedPM1, Encoding::kUnsigned01};
+    default:  // two's complement extension
+      *p = static_cast<int>(rng.uniform_int(2, 8));
+      *q = static_cast<int>(rng.uniform_int(1, 8));
+      return {Encoding::kTwosComplement, Encoding::kUnsigned01};
+  }
+}
+
+using testing::conv_via_im2col_dense;
+
+class ConvFuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvFuzzSeed, FusedConvMatchesIm2colAndDensePipelines) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 0xabcdef);
+  int p = 1, q = 1;
+  const core::EncodingConfig enc = conv_encodings(rng, &p, &q);
+  layout::ConvGeometry g;
+  g.batch = rng.uniform_int(1, 2);
+  g.in_c = rng.uniform_int(1, 10);
+  g.in_h = rng.uniform_int(4, 9);
+  g.in_w = rng.uniform_int(4, 9);
+  g.out_c = rng.uniform_int(1, 8);
+  g.kernel = static_cast<int>(rng.uniform_int(0, 1)) * 2 + 1;  // 1 or 3
+  g.stride = static_cast<int>(rng.uniform_int(1, 2));
+  g.pad = static_cast<int>(rng.uniform_int(0, g.kernel / 2));
+  if (g.out_h() <= 0 || g.out_w() <= 0) GTEST_SKIP();
+  const std::int64_t oh = g.out_h(), ow = g.out_w();
+
+  // Random fused tail.
+  core::PoolSpec pool;
+  if (oh % 2 == 0 && ow % 2 == 0 && rng.bernoulli(0.5)) {
+    pool.kind = rng.bernoulli(0.5) ? core::PoolSpec::Kind::kMax
+                                   : core::PoolSpec::Kind::kAvg;
+    pool.size = 2;
+  }
+  core::Epilogue epi;
+  if (rng.bernoulli(0.4)) {
+    epi.has_bn = true;
+    epi.bn.scale.resize(static_cast<std::size_t>(g.out_c));
+    epi.bn.bias.resize(static_cast<std::size_t>(g.out_c));
+    for (std::int64_t c = 0; c < g.out_c; ++c) {
+      epi.bn.scale[static_cast<std::size_t>(c)] =
+          static_cast<float>(rng.uniform(0.25, 2.0));
+      epi.bn.bias[static_cast<std::size_t>(c)] =
+          static_cast<float>(rng.uniform(-8.0, 8.0));
+    }
+  }
+  epi.has_relu = rng.bernoulli(0.4);
+  const bool quantize = rng.bernoulli(0.5);
+  if (quantize) {
+    epi.has_quant = true;
+    epi.quant.bits = static_cast<int>(rng.uniform_int(1, 4));
+    epi.quant.scale = std::max<double>(
+        1.0, static_cast<double>(g.gemm_k()) * ((1 << q) - 1) /
+                 ((1 << epi.quant.bits) - 1) / 4.0);
+    epi.quant.zero_point = 0.0;
+  }
+
+  // Logical operands + packed/decomposed forms.
+  Tensor<std::int32_t> x_logical({g.batch, g.in_h, g.in_w, g.in_c});
+  Tensor<std::int32_t> codes(x_logical.shape());
+  const core::ValueRange xr = core::encoding_range(enc.x, q);
+  for (std::int64_t i = 0; i < x_logical.numel(); ++i) {
+    x_logical[i] = enc.x == Encoding::kSignedPM1
+                       ? (rng.bernoulli(0.5) ? 1 : -1)
+                       : static_cast<std::int32_t>(
+                             rng.uniform_int(xr.lo, xr.hi));
+    codes[i] = core::encode_value(enc.x, q, x_logical[i]);
+  }
+  Tensor<std::int32_t> w_ohwi({g.out_c, g.kernel, g.kernel, g.in_c});
+  const core::ValueRange wr = core::encoding_range(enc.w, p);
+  for (std::int64_t i = 0; i < w_ohwi.numel(); ++i) {
+    w_ohwi[i] = enc.w == Encoding::kSignedPM1
+                    ? (rng.bernoulli(0.5) ? 1 : -1)
+                    : static_cast<std::int32_t>(
+                          rng.uniform_int(wr.lo, wr.hi));
+  }
+  const ApOperand w = core::make_conv_weights(w_ohwi, enc.w, p);
+  const auto x =
+      layout::pack_activations(codes, layout::DenseLayout::kNHWC, q);
+
+  // Dense reference pipeline (direct conv), cross-checked against the
+  // materialized im2col lowering.
+  Tensor<std::int32_t> ref = core::conv2d_reference(x_logical, w_ohwi, g);
+  ASSERT_EQ(conv_via_im2col_dense(x_logical, w_ohwi, g), ref)
+      << "im2col lowering diverged, seed " << GetParam();
+  if (epi.has_bn || epi.has_relu) {
+    core::Epilogue pre = epi;
+    pre.has_quant = false;
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      ref[i] = pre.apply(ref[i], i % g.out_c);
+    }
+  }
+  std::int64_t ph = oh, pw = ow;
+  if (pool.active()) {
+    ph = oh / 2;
+    pw = ow / 2;
+    Tensor<std::int32_t> pooled({g.batch, ph, pw, g.out_c});
+    for (std::int64_t n = 0; n < g.batch; ++n) {
+      for (std::int64_t py = 0; py < ph; ++py) {
+        for (std::int64_t px = 0; px < pw; ++px) {
+          for (std::int64_t c = 0; c < g.out_c; ++c) {
+            std::int64_t agg =
+                pool.kind == core::PoolSpec::Kind::kMax ? INT64_MIN : 0;
+            for (int dy = 0; dy < 2; ++dy) {
+              for (int dx = 0; dx < 2; ++dx) {
+                const std::int32_t v = ref(n, py * 2 + dy, px * 2 + dx, c);
+                if (pool.kind == core::PoolSpec::Kind::kMax) {
+                  agg = std::max<std::int64_t>(agg, v);
+                } else {
+                  agg += v;
+                }
+              }
+            }
+            if (pool.kind == core::PoolSpec::Kind::kAvg) agg /= 4;
+            pooled(n, py, px, c) = static_cast<std::int32_t>(agg);
+          }
+        }
+      }
+    }
+    ref = pooled;
+  }
+
+  const core::ApconvResult r = core::apconv(w, x, enc.x, g, dev(), {}, epi,
+                                            pool);
+  const std::string ctx = "seed " + std::to_string(GetParam());
+  if (!quantize) {
+    ASSERT_EQ(r.y, ref) << ctx;
+    return;
+  }
+
+  // Quantized tail: codes must match the dense pipeline...
+  Tensor<std::int32_t> ref_codes = ref;
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    ref_codes[i] =
+        quant::quantize_value(static_cast<float>(ref[i]), epi.quant);
+  }
+  ASSERT_EQ(layout::unpack_activations(r.packed), ref_codes) << ctx;
+
+  // ...and the packed output must repack correctly for the next layer:
+  // run a 1x1 conv over it and over the dense codes and compare.
+  layout::ConvGeometry g2;
+  g2.batch = g.batch;
+  g2.in_c = g.out_c;
+  g2.in_h = ph;
+  g2.in_w = pw;
+  g2.out_c = 3;
+  g2.kernel = 1;
+  g2.stride = 1;
+  g2.pad = 0;
+  Tensor<std::int32_t> w2({g2.out_c, 1, 1, g2.in_c});
+  for (std::int64_t i = 0; i < w2.numel(); ++i) {
+    w2[i] = rng.bernoulli(0.5) ? 1 : -1;
+  }
+  const ApOperand w2op =
+      core::make_conv_weights(w2, Encoding::kSignedPM1, 1);
+  const core::ApconvResult r2 = core::apconv(
+      w2op, r.packed, Encoding::kUnsigned01, g2, dev());
+  ASSERT_EQ(r2.y, core::conv2d_reference(ref_codes, w2, g2)) << ctx;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvFuzzSeed,
+                         ::testing::Range<std::uint64_t>(1, 201));
+
 }  // namespace
 }  // namespace apnn

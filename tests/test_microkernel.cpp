@@ -10,6 +10,8 @@
 #include "src/core/apmm.hpp"
 #include "src/core/apmm_internal.hpp"
 #include "src/core/microkernel.hpp"
+#include "src/layout/im2col.hpp"
+#include "src/layout/packed_activations.hpp"
 #include "src/parallel/scratch.hpp"
 #include "src/quant/quantizer.hpp"
 #include "src/tcsim/device_spec.hpp"
@@ -226,6 +228,110 @@ TEST(PackedOutputRace, NonWordAlignedBlocksMergeExactly) {
   }
 }
 
+// --- window-gather staging source (im2col-free conv B panels) -------------
+
+namespace {
+
+layout::ConvGeometry gather_geom() {
+  layout::ConvGeometry g;
+  g.batch = 2;
+  g.in_c = 7;  // deliberately not word-aligned: exercises the shifting copy
+  g.in_h = 6;
+  g.in_w = 6;
+  g.out_c = 4;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  return g;
+}
+
+layout::PackedActivations random_packed(Rng& rng,
+                                        const layout::ConvGeometry& g,
+                                        int q) {
+  Tensor<std::int32_t> codes({g.batch, g.in_h, g.in_w, g.in_c});
+  codes.randomize(rng, 0, (1 << q) - 1);
+  return layout::pack_activations(codes, layout::DenseLayout::kNHWC, q);
+}
+
+}  // namespace
+
+TEST(WindowGather, StagesExactlyTheIm2colPatchRows) {
+  const layout::ConvGeometry g = gather_geom();
+  Rng rng(555);
+  const int q = 2;
+  const layout::PackedActivations x = random_packed(rng, g, q);
+  const std::int64_t words = bitops::padded_words(g.gemm_k());
+
+  for (const bool pad_one : {false, true}) {
+    // Materialized golden: the full patch matrix per plane.
+    std::vector<bitops::BitMatrix> patches;
+    for (int t = 0; t < q; ++t) {
+      patches.push_back(layout::im2col_bits(x.planes[t], g, pad_one));
+    }
+    for (const int win : {1, 2}) {  // natural and pool-window-major orders
+      const std::int64_t nvalid = 16 * q;
+      const std::int64_t nrows8 = 16 * q;  // multiple of 8 for q in {1,2}
+      for (const std::int64_t col0 : {std::int64_t{0}, std::int64_t{32}}) {
+        layout::WindowGatherSource src(x, g, pad_one, win, col0, nrows8,
+                                       nvalid);
+        std::vector<std::uint64_t> panel(
+            static_cast<std::size_t>(nrows8 * words));
+        // Stage in two k-strips to exercise the strip clipping.
+        const std::int64_t w0s[] = {0, words / 2};
+        for (int strip = 0; strip < 2; ++strip) {
+          const std::int64_t w0 = w0s[strip];
+          const std::int64_t wc = strip == 0 ? words / 2 : words - words / 2;
+          std::vector<std::uint64_t> part(
+              static_cast<std::size_t>(nrows8 * wc));
+          src.stage(w0, wc, part.data());
+          for (std::int64_t j = 0; j < nrows8; ++j) {
+            for (std::int64_t w = 0; w < wc; ++w) {
+              panel[static_cast<std::size_t>(j * words + w0 + w)] =
+                  part[static_cast<std::size_t>(j * wc + w)];
+            }
+          }
+        }
+        for (std::int64_t j = 0; j < nrows8; ++j) {
+          const std::int64_t col = col0 + j / q;
+          const layout::OutPos pos = layout::conv_col_position(g, col, win);
+          const std::int64_t patch_row =
+              (pos.n * g.out_h() + pos.oy) * g.out_w() + pos.ox;
+          const std::uint64_t* want =
+              patches[static_cast<std::size_t>(j % q)].row(patch_row);
+          for (std::int64_t w = 0; w < words; ++w) {
+            ASSERT_EQ(panel[static_cast<std::size_t>(j * words + w)],
+                      want[w])
+                << "pad_one=" << pad_one << " win=" << win << " col0="
+                << col0 << " row " << j << " word " << w;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WindowGather, TransposedStagingMatchesRowMajor) {
+  const layout::ConvGeometry g = gather_geom();
+  Rng rng(556);
+  const layout::PackedActivations x = random_packed(rng, g, 1);
+  const std::int64_t words = bitops::padded_words(g.gemm_k());
+  const std::int64_t nrows8 = 24;
+  layout::WindowGatherSource src(x, g, false, 1, 5, nrows8, 19);
+  std::vector<std::uint64_t> rowmajor(
+      static_cast<std::size_t>(nrows8 * words));
+  std::vector<std::uint64_t> interleaved(
+      static_cast<std::size_t>(nrows8 * words));
+  src.stage(0, words, rowmajor.data());
+  src.stage_transposed(0, words, interleaved.data(), nullptr);
+  for (std::int64_t j = 0; j < nrows8; ++j) {
+    for (std::int64_t w = 0; w < words; ++w) {
+      ASSERT_EQ(interleaved[static_cast<std::size_t>(w * nrows8 + j)],
+                rowmajor[static_cast<std::size_t>(j * words + w)])
+          << j << "," << w;
+    }
+  }
+}
+
 // --- steady-state allocation behavior -------------------------------------
 
 TEST(ScratchSteadyState, BlockBitgemmAllocatesOnlyOnFirstUse) {
@@ -258,6 +364,78 @@ TEST(ScratchSteadyState, BlockBitgemmAllocatesOnlyOnFirstUse) {
   }
   EXPECT_EQ(arena.heap_alloc_count(), settled)
       << "hot path heap-allocated in steady state";
+}
+
+TEST(ScratchSteadyState, WindowGatherConvPathAllocatesOnlyOnFirstUse) {
+  // The im2col-free conv staging must keep the zero-steady-state-allocation
+  // invariant: repeated block sweeps through a WindowGatherSource neither
+  // heap-allocate nor move the arena high-water mark after the first pass.
+  layout::ConvGeometry g;
+  g.batch = 1;
+  g.in_c = 64;
+  g.in_h = g.in_w = 8;
+  g.out_c = 16;
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+  Rng rng(31338);
+  Tensor<std::int32_t> codes({g.batch, g.in_h, g.in_w, g.in_c});
+  codes.randomize(rng, 0, 3);
+  const layout::PackedActivations x =
+      layout::pack_activations(codes, layout::DenseLayout::kNHWC, 2);
+  const std::int64_t words = bitops::padded_words(g.gemm_k());
+
+  BitMatrix a(16, g.gemm_k());
+  a.randomize(rng);
+  std::vector<const std::uint64_t*> a_rows(16);
+  for (int i = 0; i < 16; ++i) {
+    a_rows[static_cast<std::size_t>(i)] = a.row(i);
+  }
+  const std::int64_t cols8 = 32;  // 16 columns x q=2 planes
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(16 * cols8), 0);
+  layout::WindowGatherSource src(x, g, false, 1, 0, cols8, cols8);
+
+  parallel::ScratchArena arena;
+  arena.reset();
+  microkernel::block_bitgemm(tcsim::BitOp::kAnd, a_rows.data(), 16, src,
+                             words, acc.data(), arena);
+  arena.reset();  // coalesces if the first pass spilled
+  microkernel::block_bitgemm(tcsim::BitOp::kAnd, a_rows.data(), 16, src,
+                             words, acc.data(), arena);
+  const std::int64_t settled = arena.heap_alloc_count();
+  const std::size_t high_water = arena.high_water_bytes();
+  for (int rep = 0; rep < 10; ++rep) {
+    arena.reset();
+    microkernel::block_bitgemm(tcsim::BitOp::kAnd, a_rows.data(), 16, src,
+                               words, acc.data(), arena);
+  }
+  EXPECT_EQ(arena.heap_alloc_count(), settled)
+      << "window-gather conv path heap-allocated in steady state";
+  EXPECT_EQ(arena.high_water_bytes(), high_water)
+      << "window-gather arena footprint crept between cycles";
+
+  // The gathered sweep must also be bit-identical to the same sweep over
+  // the materialized patch matrix.
+  std::vector<std::int32_t> acc_mat(static_cast<std::size_t>(16 * cols8), 0);
+  std::vector<bitops::BitMatrix> patches;
+  for (int t = 0; t < 2; ++t) {
+    patches.push_back(layout::im2col_bits(x.planes[t], g, false));
+  }
+  std::vector<const std::uint64_t*> b_rows(static_cast<std::size_t>(cols8));
+  for (std::int64_t j = 0; j < cols8; ++j) {
+    b_rows[static_cast<std::size_t>(j)] =
+        patches[static_cast<std::size_t>(j % 2)].row(j / 2);
+  }
+  arena.reset();
+  microkernel::block_bitgemm(tcsim::BitOp::kAnd, a_rows.data(), 16,
+                             b_rows.data(), cols8, words, acc_mat.data(),
+                             arena);
+  std::vector<std::int32_t> acc_once(static_cast<std::size_t>(16 * cols8),
+                                     0);
+  arena.reset();
+  microkernel::block_bitgemm(tcsim::BitOp::kAnd, a_rows.data(), 16, src,
+                             words, acc_once.data(), arena);
+  EXPECT_EQ(acc_once, acc_mat);
 }
 
 }  // namespace

@@ -55,6 +55,22 @@ TEST(ScratchArena, GrowsThenCoalescesToSteadyState) {
   EXPECT_EQ(arena.heap_alloc_count(), settled);
 }
 
+TEST(ScratchArena, HighWaterTracksLifetimePeak) {
+  ScratchArena arena;
+  arena.get<std::byte>(1000);
+  arena.get<std::byte>(2000);
+  const std::size_t peak = arena.used_bytes();
+  EXPECT_EQ(arena.high_water_bytes(), peak);
+  arena.reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.high_water_bytes(), peak);  // survives reset
+  arena.get<std::byte>(100);
+  EXPECT_EQ(arena.high_water_bytes(), peak);  // smaller cycles don't move it
+  arena.reset();
+  arena.get<std::byte>(10000);
+  EXPECT_GT(arena.high_water_bytes(), peak);  // bigger cycles do
+}
+
 TEST(ScratchArena, UsedBytesTracksRequests) {
   ScratchArena arena;
   arena.get<std::byte>(1);

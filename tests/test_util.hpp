@@ -6,6 +6,7 @@
 
 #include "src/common/rng.hpp"
 #include "src/core/ap_bit.hpp"
+#include "src/layout/im2col.hpp"
 #include "src/layout/tensor.hpp"
 
 namespace apnn::testing {
@@ -49,6 +50,27 @@ inline core::ApOperand random_operand(Rng& rng, std::int64_t rows,
                                       int bits) {
   return core::make_operand(random_logical(rng, rows, cols, enc, bits), enc,
                             bits);
+}
+
+/// Materialized convolution golden: dense im2col patch matrix x flattened
+/// OHWI weights, reshaped to NHWC. An independent lowering the fused
+/// im2col-free path is differentially tested against.
+inline Tensor<std::int32_t> conv_via_im2col_dense(
+    const Tensor<std::int32_t>& x_nhwc, const Tensor<std::int32_t>& w_ohwi,
+    const layout::ConvGeometry& g) {
+  const Tensor<std::int32_t> patches = layout::im2col_dense(x_nhwc, g, 0);
+  const Tensor<std::int32_t> w_flat = w_ohwi.reshaped({g.out_c, g.gemm_k()});
+  Tensor<std::int32_t> y({g.batch, g.out_h(), g.out_w(), g.out_c});
+  for (std::int64_t row = 0; row < patches.dim(0); ++row) {
+    for (std::int64_t m = 0; m < g.out_c; ++m) {
+      std::int64_t acc = 0;
+      for (std::int64_t k = 0; k < g.gemm_k(); ++k) {
+        acc += static_cast<std::int64_t>(patches(row, k)) * w_flat(m, k);
+      }
+      y[row * g.out_c + m] = static_cast<std::int32_t>(acc);
+    }
+  }
+  return y;
 }
 
 }  // namespace apnn::testing
