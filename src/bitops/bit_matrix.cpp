@@ -8,6 +8,24 @@ BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols)
   data_.assign(static_cast<std::size_t>(rows_ * row_words_), 0);
 }
 
+void BitMatrix::reset_shape(std::int64_t rows, std::int64_t cols,
+                            bool zero_fill) {
+  APNN_CHECK(rows >= 0 && cols >= 0) << "rows=" << rows << " cols=" << cols;
+  rows_ = rows;
+  cols_ = cols;
+  row_words_ = padded_words(cols);
+  const auto words = static_cast<std::size_t>(rows_ * row_words_);
+  if (zero_fill) {
+    // assign() reuses capacity when it suffices; the zero fill restores the
+    // padding invariant and the all-zero state the OR-merge kernels assume.
+    data_.assign(words, 0);
+  } else {
+    // resize() leaves existing words untouched (only growth zero-fills);
+    // the caller overwrites every word of every padded row.
+    data_.resize(words);
+  }
+}
+
 BitMatrix BitMatrix::from_dense01(const std::int32_t* vals, std::int64_t rows,
                                   std::int64_t cols) {
   BitMatrix m(rows, cols);

@@ -34,6 +34,19 @@ class BitMatrix {
   /// R x C all-zero matrix.
   BitMatrix(std::int64_t rows, std::int64_t cols);
 
+  /// Reshapes in place to an R x C matrix, reusing the existing heap buffer
+  /// whenever its capacity suffices (the session slab relies on this for
+  /// zero steady-state allocations). With `zero_fill` (the default) every
+  /// word is cleared — required by OR-merge writers and the padding
+  /// invariant. Writers that overwrite every word of every padded row
+  /// (e.g. the session's word-wise packers) pass false to skip the extra
+  /// pass; payload words then hold stale values until written.
+  void reset_shape(std::int64_t rows, std::int64_t cols,
+                   bool zero_fill = true);
+
+  /// Bytes of backing storage currently reserved (>= storage_bytes()).
+  std::size_t capacity_bytes() const { return data_.capacity() * 8; }
+
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
   /// Words per (padded) row.

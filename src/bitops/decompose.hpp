@@ -22,11 +22,31 @@ struct BitPlanes {
 
   const BitMatrix& plane(int s) const { return planes[static_cast<std::size_t>(s)]; }
 
-  /// Payload bytes of all planes (what moves over the simulated bus).
+  /// Payload bytes of the active planes (what moves over the simulated
+  /// bus). Slab-recycled operands may retain spare planes beyond `bits`.
   std::int64_t payload_bytes() const {
     std::int64_t total = 0;
-    for (const auto& p : planes) total += p.payload_bytes();
+    for (int t = 0; t < bits; ++t) {
+      total += planes[static_cast<std::size_t>(t)].payload_bytes();
+    }
     return total;
+  }
+
+  /// Reshapes in place to `bits` rows x cols planes, reusing existing plane
+  /// storage whenever capacity suffices. The planes vector never shrinks
+  /// (spare matrices keep their buffers). `zero_fill` as in
+  /// BitMatrix::reset_shape.
+  void reset_shape(std::int64_t rows_, std::int64_t cols_, int bits_,
+                   bool zero_fill = true) {
+    rows = rows_;
+    cols = cols_;
+    bits = bits_;
+    if (static_cast<int>(planes.size()) < bits) {
+      planes.resize(static_cast<std::size_t>(bits));
+    }
+    for (int t = 0; t < bits; ++t) {
+      planes[static_cast<std::size_t>(t)].reset_shape(rows, cols, zero_fill);
+    }
   }
 };
 

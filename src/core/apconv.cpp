@@ -272,7 +272,7 @@ ApconvResult apconv(const ApOperand& w, const layout::PackedActivations& x,
   const bool pad_one = sel.kind == EmulationCase::kCaseII;
 
   // --- Launch records -------------------------------------------------
-  {
+  if (opts.collect_profile) {
     ApconvOptions resolved = opts;
     resolved.autotune = false;
     resolved.tile = tile;
@@ -316,23 +316,24 @@ ApconvResult apconv(const ApOperand& w, const layout::PackedActivations& x,
 
     const std::int64_t pooled_cols = g.batch * pooled_h * pooled_w;
     if (epi.has_quant) {
-      res.packed.n = g.batch;
-      res.packed.h = pooled_h;
-      res.packed.w = pooled_w;
-      res.packed.c = geom.m;
-      res.packed.bits = epi.quant.bits;
+      layout::PackedActivations* dst =
+          opts.packed_out != nullptr ? opts.packed_out : &res.packed;
+      dst->reset_shape(g.batch, pooled_h, pooled_w, geom.m, epi.quant.bits);
+      // run_batched_compute's packed sink is a BitPlanes; lend it the
+      // destination's plane storage (vector moves, no data copies).
       bitops::BitPlanes planes;
       planes.rows = pooled_cols;
       planes.cols = geom.m;
       planes.bits = epi.quant.bits;
-      planes.planes.assign(static_cast<std::size_t>(epi.quant.bits),
-                           bitops::BitMatrix(pooled_cols, geom.m));
+      planes.planes = std::move(dst->planes);
       internal::run_batched_compute(w, src, sel, fgeom, epi, tail, nullptr,
                                     &planes);
-      res.packed.planes = std::move(planes.planes);
+      dst->planes = std::move(planes.planes);
     } else {
-      res.y = Tensor<std::int32_t>({g.batch, pooled_h, pooled_w, geom.m});
-      internal::run_batched_compute(w, src, sel, fgeom, epi, tail, &res.y,
+      Tensor<std::int32_t>* dst =
+          opts.y_out != nullptr ? opts.y_out : &res.y;
+      dst->reset_shape({g.batch, pooled_h, pooled_w, geom.m});
+      internal::run_batched_compute(w, src, sel, fgeom, epi, tail, dst,
                                     nullptr);
     }
   }

@@ -47,6 +47,19 @@ struct ApconvOptions {
   bool fuse_epilogue = true;
 
   ExecMode mode = ExecMode::kFull;
+
+  /// Caller-provided output storage (e.g. an InferenceSession slab slot):
+  /// when set, the corresponding result is written here — the buffer is
+  /// reshaped in place, reusing its capacity, so steady-state reuse performs
+  /// zero heap allocations — and the matching ApconvResult field stays
+  /// empty. y_out receives the dense post-pool NHWC output (non-quantizing
+  /// epilogue); packed_out the channel-major planes of a quantizing one.
+  Tensor<std::int32_t>* y_out = nullptr;
+  layout::PackedActivations* packed_out = nullptr;
+
+  /// Build launch records in the result (true) or leave the profile empty —
+  /// the steady-state serving path skips the per-call record churn.
+  bool collect_profile = true;
 };
 
 struct ApconvResult {

@@ -42,24 +42,27 @@ ApmmResult apmm(const ApOperand& w, const ApOperand& x,
   const BatchedGeometry g = internal::make_geometry(w, x, tile);
 
   // --- Launch records -------------------------------------------------
-  ApmmOptions resolved = opts;
-  resolved.autotune = false;
-  resolved.tile = tile;
-  res.profile = apmm_profile(w.rows(), x.rows(), w.cols(), w.bits(), x.bits(),
-                             {w.encoding, x.encoding}, dev, resolved, epi);
+  if (opts.collect_profile) {
+    ApmmOptions resolved = opts;
+    resolved.autotune = false;
+    resolved.tile = tile;
+    res.profile = apmm_profile(w.rows(), x.rows(), w.cols(), w.bits(),
+                               x.bits(), {w.encoding, x.encoding}, dev,
+                               resolved, epi);
+  }
 
   // --- Functional execution -------------------------------------------
   if (opts.mode == ExecMode::kFull) {
+    Tensor<std::int32_t>* y = &res.y;
+    bitops::BitPlanes* packed = &res.packed;
     if (epi.has_quant) {
-      res.packed.rows = g.n;
-      res.packed.cols = g.m;
-      res.packed.bits = epi.quant.bits;
-      res.packed.planes.assign(static_cast<std::size_t>(epi.quant.bits),
-                               bitops::BitMatrix(g.n, g.m));
+      if (opts.packed_out != nullptr) packed = opts.packed_out;
+      packed->reset_shape(g.n, g.m, epi.quant.bits);
     } else {
-      res.y = Tensor<std::int32_t>({g.m, g.n});
+      if (opts.y_out != nullptr) y = opts.y_out;
+      y->reset_shape({g.m, g.n});
     }
-    internal::run_batched_compute(w, x, sel, g, epi, &res.y, &res.packed);
+    internal::run_batched_compute(w, x, sel, g, epi, y, packed);
   }
   return res;
 }

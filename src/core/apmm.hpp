@@ -61,6 +61,19 @@ struct ApmmOptions {
   bool semantic_aware = true;
 
   ExecMode mode = ExecMode::kFull;
+
+  /// Caller-provided output storage (e.g. an InferenceSession slab slot):
+  /// when set, the corresponding result is written here — the buffer is
+  /// reshaped in place, reusing its capacity, so steady-state reuse performs
+  /// zero heap allocations — and the matching ApmmResult field stays empty.
+  /// y_out receives the M x N int32 output (identity/non-quantizing
+  /// epilogue); packed_out receives the N x M planes of a quantizing one.
+  Tensor<std::int32_t>* y_out = nullptr;
+  bitops::BitPlanes* packed_out = nullptr;
+
+  /// Build launch records in the result (true) or leave the profile empty —
+  /// the steady-state serving path skips the per-call record churn.
+  bool collect_profile = true;
 };
 
 struct ApmmResult {

@@ -29,11 +29,36 @@ struct PackedActivations {
   std::int64_t spatial_rows() const { return n * h * w; }
 
   /// Bytes that cross the simulated bus when this tensor moves (the
-  /// minimal-traffic dataflow of §5.1 moves exactly these).
+  /// minimal-traffic dataflow of §5.1 moves exactly these). Only the active
+  /// `bits` planes count: a slab-recycled tensor may retain spare trailing
+  /// matrices from a wider previous occupant (see reset_shape).
   std::int64_t payload_bytes() const {
     std::int64_t total = 0;
-    for (const auto& p : planes) total += p.payload_bytes();
+    for (int t = 0; t < bits; ++t) {
+      total += planes[static_cast<std::size_t>(t)].payload_bytes();
+    }
     return total;
+  }
+
+  /// Reshapes in place, reusing existing plane storage whenever capacity
+  /// suffices (zero steady-state allocations in the session slab). The
+  /// planes vector never shrinks — planes beyond `bits` keep their buffers
+  /// for a future wider occupant. `zero_fill` as in BitMatrix::reset_shape:
+  /// pass false only when every padded word will be overwritten.
+  void reset_shape(std::int64_t n_, std::int64_t h_, std::int64_t w_,
+                   std::int64_t c_, int bits_, bool zero_fill = true) {
+    n = n_;
+    h = h_;
+    w = w_;
+    c = c_;
+    bits = bits_;
+    if (static_cast<int>(planes.size()) < bits) {
+      planes.resize(static_cast<std::size_t>(bits));
+    }
+    for (int t = 0; t < bits; ++t) {
+      planes[static_cast<std::size_t>(t)].reset_shape(spatial_rows(), c,
+                                                      zero_fill);
+    }
   }
 };
 

@@ -70,6 +70,23 @@ class Tensor {
     return t;
   }
 
+  /// Reshapes in place to an arbitrary new shape, reusing the existing heap
+  /// buffers (data and shape vector) whenever capacity suffices — the
+  /// session slab relies on this for zero steady-state allocations. Element
+  /// values are unspecified afterwards unless the element count is
+  /// unchanged.
+  void reset_shape(std::initializer_list<std::int64_t> shape) {
+    shape_.assign(shape);
+    finish_reset();
+  }
+  void reset_shape(const std::vector<std::int64_t>& shape) {
+    shape_.assign(shape.begin(), shape.end());
+    finish_reset();
+  }
+
+  /// Bytes of backing storage currently reserved (>= numel() * sizeof(T)).
+  std::size_t capacity_bytes() const { return data_.capacity() * sizeof(T); }
+
   void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
 
   /// Uniform fill: integers in [lo, hi], or reals in [lo, hi).
@@ -105,6 +122,15 @@ class Tensor {
   }
 
  private:
+  void finish_reset() {
+    std::int64_t n = 1;
+    for (auto d : shape_) {
+      APNN_CHECK(d >= 0) << "negative dim";
+      n *= d;
+    }
+    data_.resize(static_cast<std::size_t>(n));
+  }
+
   std::vector<std::int64_t> shape_;
   std::vector<T> data_;
 };

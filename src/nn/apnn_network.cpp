@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/common/check.hpp"
+#include "src/nn/session.hpp"
 #include "src/quant/quantizer.hpp"
 
 namespace apnn::nn {
@@ -13,41 +14,6 @@ namespace {
 using core::Encoding;
 using core::Epilogue;
 using core::PoolSpec;
-
-/// Intermediate value flowing between layers: either packed q-bit planes
-/// (the minimal-traffic representation) or a dense int32 tensor (NHWC
-/// {B,H,W,C} or features {B,F}).
-struct Value {
-  std::optional<layout::PackedActivations> packed;
-  std::optional<Tensor<std::int32_t>> dense;
-
-  bool valid() const { return packed.has_value() || dense.has_value(); }
-};
-
-Tensor<std::int32_t> to_dense(const Value& v) {
-  APNN_CHECK(v.valid());
-  if (v.dense) return *v.dense;
-  return layout::unpack_activations(*v.packed);
-}
-
-/// Returns the packed view of a value without copying when it already is
-/// packed (the steady state of a conv stack: every fused conv tail emits
-/// packed planes that feed the next window-gather directly). `storage`
-/// holds the packed form only when a dense intermediate had to be packed.
-const layout::PackedActivations& to_packed(
-    const Value& v, int bits, layout::PackedActivations* storage) {
-  APNN_CHECK(v.valid());
-  if (v.packed) return *v.packed;
-  APNN_CHECK(v.dense->rank() == 4) << "cannot pack feature vectors";
-  *storage =
-      layout::pack_activations(*v.dense, layout::DenseLayout::kNHWC, bits);
-  return *storage;
-}
-
-Tensor<std::int32_t> to_features(const Value& v, std::int64_t batch) {
-  Tensor<std::int32_t> d = to_dense(v);
-  return d.reshaped({batch, d.numel() / batch});
-}
 
 /// Integer max/avg pooling on a dense NHWC tensor.
 Tensor<std::int32_t> pool_dense(const Tensor<std::int32_t>& x,
@@ -298,7 +264,15 @@ struct ReferenceWalker {
           break;
         }
         case LayerKind::kBatchNorm:
-          vals[li] = in;  // standalone BN never occurs in the zoo models
+          // A BN that did not fuse into a conv/linear tail has no
+          // parameters anywhere — treating it as identity would silently
+          // produce wrong numbers on non-zoo specs.
+          APNN_CHECK(false)
+              << "standalone BatchNorm layer '" << l.name
+              << "' is not executable: it has no parameters outside a "
+                 "conv/linear epilogue — restructure the spec so the BN "
+                 "directly follows a conv/linear (where it fuses into the "
+                 "stage tail)";
           break;
         case LayerKind::kReLU: {
           Tensor<std::int32_t> y = in;
@@ -367,148 +341,11 @@ Tensor<std::int32_t> ApnnNetwork::forward(
     const Tensor<std::int32_t>& input_u8, const tcsim::DeviceSpec& dev,
     tcsim::SequenceProfile* prof) const {
   APNN_CHECK(calibrated_) << "call calibrate() first";
-  const std::int64_t batch = input_u8.dim(0);
-  std::map<std::size_t, const ApnnStage*> stage_at;
-  for (const auto& st : stages_) stage_at[st.layer_index] = &st;
-
-  std::vector<Value> vals(spec_.layers.size());
-  Value input_val;
-  input_val.packed = layout::pack_activations(
-      quantize_input(input_u8), layout::DenseLayout::kNHWC, 8);
-  if (prof) {
-    prof->add(core::decompose_profile(batch * spec_.input.h * spec_.input.w,
-                                      spec_.input.c, 8, 1.0));
-  }
-
-  std::vector<bool> consumed(spec_.layers.size(), false);
-  Tensor<std::int32_t> logits;
-
-  auto input_value = [&](std::size_t li) -> const Value& {
-    const int src = spec_.layers[li].input;
-    if (src < 0) return li == 0 ? input_val : vals[li - 1];
-    return vals[static_cast<std::size_t>(src)];
-  };
-
-  for (std::size_t li = 0; li < spec_.layers.size(); ++li) {
-    if (consumed[li]) continue;
-    const LayerSpec& l = spec_.layers[li];
-    const Value& in = input_value(li);
-
-    switch (l.kind) {
-      case LayerKind::kConv: {
-        const ApnnStage& st = *stage_at.at(li);
-        const layout::ConvGeometry g =
-            conv_geometry(spec_, shapes_, li, batch);
-        layout::PackedActivations packed_storage;
-        const layout::PackedActivations& x =
-            to_packed(in, st.in_bits, &packed_storage);
-        core::ApconvOptions opts;
-        core::ApconvResult r = core::apconv(st.weights, x, st.in_enc, g, dev,
-                                            opts, st.epilogue, st.pool);
-        if (prof) prof->add(r.profile);
-        Value out;
-        if (st.epilogue.has_quant) {
-          out.packed = std::move(r.packed);
-        } else {
-          out.dense = std::move(r.y);
-        }
-        vals[li] = out;
-        for (std::size_t j : st.absorbed) {
-          vals[j] = out;
-          consumed[j] = true;
-        }
-        break;
-      }
-      case LayerKind::kLinear: {
-        const ApnnStage& st = *stage_at.at(li);
-        Tensor<std::int32_t> xf = to_features(in, batch);  // codes
-        if (st.in_enc == Encoding::kSignedPM1) {
-          for (std::int64_t i = 0; i < xf.numel(); ++i) {
-            xf[i] = 2 * xf[i] - 1;  // decode to the ±1 logical values
-          }
-        }
-        const core::ApOperand xop =
-            core::make_operand(xf, st.in_enc, st.in_bits);
-        core::ApmmOptions opts;
-        core::ApmmResult r = core::apmm(st.weights, xop, dev, opts,
-                                        st.epilogue);
-        if (prof) prof->add(r.profile);
-        Value out;
-        if (st.epilogue.has_quant) {
-          // Unpack the N x M planes back to dense {B, F} codes.
-          Tensor<std::int32_t> d({batch, st.weights.rows()});
-          const std::vector<std::int32_t> codes =
-              bitops::recompose(r.packed);
-          for (std::int64_t i = 0; i < d.numel(); ++i) {
-            d[i] = codes[static_cast<std::size_t>(i)];
-          }
-          out.dense = std::move(d);
-        } else {
-          // r.y is M x N; logits are {B, F}.
-          Tensor<std::int32_t> d({batch, st.weights.rows()});
-          for (std::int64_t b = 0; b < batch; ++b) {
-            for (std::int64_t o = 0; o < st.weights.rows(); ++o) {
-              d(b, o) = r.y(o, b);
-            }
-          }
-          out.dense = std::move(d);
-        }
-        vals[li] = out;
-        logits = *out.dense;
-        for (std::size_t j : st.absorbed) {
-          vals[j] = out;
-          consumed[j] = true;
-        }
-        break;
-      }
-      case LayerKind::kBatchNorm:
-        vals[li] = in;
-        break;
-      case LayerKind::kReLU: {
-        Tensor<std::int32_t> y = to_dense(in);
-        for (std::int64_t i = 0; i < y.numel(); ++i) y[i] = std::max(y[i], 0);
-        Value v;
-        v.dense = std::move(y);
-        vals[li] = std::move(v);
-        break;
-      }
-      case LayerKind::kPool: {
-        Value v;
-        v.dense = pool_dense(to_dense(in), l.pool);
-        vals[li] = std::move(v);
-        break;
-      }
-      case LayerKind::kQuantize: {
-        const auto it = standalone_quant_.find(li);
-        APNN_CHECK(it != standalone_quant_.end())
-            << "standalone quantize layer " << l.name << " not calibrated";
-        Tensor<std::int32_t> y = to_dense(in);
-        for (std::int64_t i = 0; i < y.numel(); ++i) {
-          y[i] = quant::quantize_value(static_cast<float>(y[i]), it->second);
-        }
-        Value v;
-        v.dense = std::move(y);
-        vals[li] = std::move(v);
-        break;
-      }
-      case LayerKind::kResidualAdd: {
-        Tensor<std::int32_t> a = to_dense(in);
-        const Tensor<std::int32_t> b =
-            to_dense(vals[static_cast<std::size_t>(l.residual)]);
-        APNN_CHECK(a.numel() == b.numel());
-        for (std::int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
-        Value v;
-        v.dense = std::move(a);
-        vals[li] = std::move(v);
-        break;
-      }
-      case LayerKind::kSoftmax:
-        vals[li] = in;
-        break;
-    }
-  }
-  APNN_CHECK(logits.numel() > 0) << "network has no linear head";
-  return logits;
+  // One-shot convenience: compile a session and run it once. The compiled
+  // plan (slot assignment, glue kernels, slab) lives in InferenceSession;
+  // hold one of those to amortize compilation over repeated traffic.
+  InferenceSession session(*this, dev);
+  return session.run(input_u8, prof);  // the pack step range-checks codes
 }
 
 }  // namespace apnn::nn

@@ -62,6 +62,11 @@ class ApnnNetwork {
   /// Runs the packed-dataflow APNN forward pass through apconv()/apmm().
   /// `input_u8` is NHWC uint8 codes {B, H, W, C}; returns int32 logits
   /// {B, classes}. Appends kernel launch records to `prof` when given.
+  ///
+  /// This is a convenience wrapper that compiles an nn::InferenceSession
+  /// and runs it once; callers with repeated traffic should hold a session
+  /// (src/nn/session.hpp) so the compiled plan and activation slab are
+  /// reused across calls.
   Tensor<std::int32_t> forward(const Tensor<std::int32_t>& input_u8,
                                const tcsim::DeviceSpec& dev,
                                tcsim::SequenceProfile* prof = nullptr) const;
@@ -74,6 +79,15 @@ class ApnnNetwork {
   int wbits() const { return wbits_; }
   int abits() const { return abits_; }
   const std::vector<ApnnStage>& stages() const { return stages_; }
+  const std::vector<ActShape>& shapes() const { return shapes_; }
+  /// Quantization parameters of quantize layers that are not fused into a
+  /// conv/linear epilogue, keyed by layer index (set by calibrate()).
+  const std::map<std::size_t, quant::QuantParams>& standalone_quant() const {
+    return standalone_quant_;
+  }
+  bool calibrated() const { return calibrated_; }
+  /// Binary (±1 activation) network: quantized codes decode to -1/+1.
+  bool is_binary() const { return binary_; }
 
  private:
   // Serialization (nn/serialize.hpp) reads/writes the private state.

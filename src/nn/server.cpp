@@ -1,0 +1,126 @@
+#include "src/nn/server.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace apnn::nn {
+
+InferenceServer::InferenceServer(const ApnnNetwork& net,
+                                 const tcsim::DeviceSpec& dev,
+                                 ServerOptions opts)
+    : session_(net, dev), input_shape_(net.spec().input), opts_(opts) {
+  APNN_CHECK(opts_.max_batch >= 1);
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+InferenceServer::~InferenceServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+}
+
+Tensor<std::int32_t> InferenceServer::infer(
+    const Tensor<std::int32_t>& sample_u8) {
+  const bool batched_rank = sample_u8.rank() == 4;
+  APNN_CHECK((sample_u8.rank() == 3 || batched_rank) &&
+             (!batched_rank || sample_u8.dim(0) == 1))
+      << "infer() takes one sample: {H, W, C} or {1, H, W, C}";
+  const int off = batched_rank ? 1 : 0;
+  APNN_CHECK(sample_u8.dim(off) == input_shape_.h &&
+             sample_u8.dim(off + 1) == input_shape_.w &&
+             sample_u8.dim(off + 2) == input_shape_.c)
+      << "sample must be {" << input_shape_.h << ", " << input_shape_.w
+      << ", " << input_shape_.c << "}";
+
+  Request req;
+  req.sample = &sample_u8;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    APNN_CHECK(!stop_) << "server is shutting down";
+    queue_.push_back(&req);
+    queue_cv_.notify_one();
+    done_cv_.wait(lock, [&] { return req.done; });
+  }
+  if (req.error) std::rethrow_exception(req.error);
+  return std::move(req.logits);
+}
+
+void InferenceServer::dispatch_loop() {
+  std::vector<Request*> batch;
+  batch.reserve(static_cast<std::size_t>(opts_.max_batch));
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and fully drained
+      // Hold the batch open up to batch_window for more requests (unless
+      // shutdown wants the queue drained as fast as possible).
+      const auto deadline =
+          std::chrono::steady_clock::now() + opts_.batch_window;
+      while (!stop_ &&
+             static_cast<std::int64_t>(queue_.size()) < opts_.max_batch) {
+        if (queue_cv_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      const std::int64_t take = std::min<std::int64_t>(
+          opts_.max_batch, static_cast<std::int64_t>(queue_.size()));
+      batch.clear();
+      for (std::int64_t i = 0; i < take; ++i) {
+        batch.push_back(queue_.front());
+        queue_.pop_front();
+      }
+    }
+
+    const std::int64_t b = static_cast<std::int64_t>(batch.size());
+    const std::int64_t sample_elems = input_shape_.numel();
+    std::exception_ptr failure;
+    try {
+      // Gather: each sample's HWC block is contiguous in the NHWC batch.
+      batch_input_.reset_shape(
+          {b, input_shape_.h, input_shape_.w, input_shape_.c});
+      for (std::int64_t i = 0; i < b; ++i) {
+        std::memcpy(batch_input_.data() + i * sample_elems,
+                    batch[static_cast<std::size_t>(i)]->sample->data(),
+                    sizeof(std::int32_t) *
+                        static_cast<std::size_t>(sample_elems));
+      }
+      session_.run(batch_input_, &batch_logits_);
+      const std::int64_t classes = batch_logits_.dim(1);
+      for (std::int64_t i = 0; i < b; ++i) {
+        Request* r = batch[static_cast<std::size_t>(i)];
+        r->logits.reset_shape({classes});
+        std::memcpy(r->logits.data(), batch_logits_.data() + i * classes,
+                    sizeof(std::int32_t) * static_cast<std::size_t>(classes));
+      }
+    } catch (...) {
+      failure = std::current_exception();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Request* r : batch) {
+        r->error = failure;
+        r->done = true;
+      }
+      stats_.requests += b;
+      stats_.batches += 1;
+      stats_.max_batch = std::max(stats_.max_batch, b);
+    }
+    done_cv_.notify_all();
+  }
+}
+
+InferenceServer::Stats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace apnn::nn

@@ -1,0 +1,89 @@
+// Dynamic-batching serving front-end over an InferenceSession.
+//
+// An InferenceServer accepts concurrent single-sample requests (blocking
+// infer() calls from any number of client threads) and micro-batches them
+// into session runs: a dispatcher thread takes the first queued request,
+// waits up to `batch_window` for more to arrive (up to `max_batch`), gathers
+// the samples into one batch tensor, runs the compiled session once, and
+// scatters the logits back to the waiting clients. Because one batched
+// forward amortizes kernel launches, operand staging, and the packed-domain
+// glue across requests, throughput under concurrent load approaches the
+// session's batch throughput while isolated requests still see at most one
+// batch-window of added latency.
+//
+// Batching is exact: the session's logits are bit-identical whether a
+// sample runs alone or inside a batch, so serving results never depend on
+// traffic (tests/test_session.cpp pins this).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "src/nn/session.hpp"
+
+namespace apnn::nn {
+
+struct ServerOptions {
+  /// Largest batch one session run may serve.
+  std::int64_t max_batch = 8;
+  /// How long the dispatcher holds an open batch waiting for more requests.
+  std::chrono::microseconds batch_window{500};
+};
+
+class InferenceServer {
+ public:
+  /// Compiles a session for `net` (must be calibrated and outlive the
+  /// server) and starts the dispatcher thread.
+  InferenceServer(const ApnnNetwork& net, const tcsim::DeviceSpec& dev,
+                  ServerOptions opts = {});
+  /// Drains queued requests, then stops the dispatcher.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Serves one sample — HWC uint8 codes {H, W, C} (or {1, H, W, C}) —
+  /// blocking until its micro-batch has run. Returns the logits {classes}.
+  /// Thread-safe; any number of callers may be in flight.
+  Tensor<std::int32_t> infer(const Tensor<std::int32_t>& sample_u8);
+
+  struct Stats {
+    std::int64_t requests = 0;  ///< samples served
+    std::int64_t batches = 0;   ///< session runs dispatched
+    std::int64_t max_batch = 0; ///< largest micro-batch formed
+  };
+  Stats stats() const;
+
+ private:
+  struct Request {
+    const Tensor<std::int32_t>* sample = nullptr;
+    Tensor<std::int32_t> logits;
+    std::exception_ptr error;
+    bool done = false;
+  };
+
+  void dispatch_loop();
+
+  InferenceSession session_;
+  const ActShape input_shape_;
+  const ServerOptions opts_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< dispatcher wakeups
+  std::condition_variable done_cv_;   ///< client wakeups
+  std::deque<Request*> queue_;
+  bool stop_ = false;
+  Stats stats_;
+
+  // Dispatcher-owned, reused across batches (steady-state zero allocation).
+  Tensor<std::int32_t> batch_input_;
+  Tensor<std::int32_t> batch_logits_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace apnn::nn

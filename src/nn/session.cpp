@@ -1,0 +1,1007 @@
+#include "src/nn/session.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "src/bitops/bitcopy.hpp"
+#include "src/common/check.hpp"
+#include "src/core/perf_model.hpp"
+#include "src/parallel/thread_pool.hpp"
+#include "src/quant/quantizer.hpp"
+
+namespace apnn::nn {
+
+namespace {
+
+using core::Encoding;
+using core::PoolSpec;
+
+constexpr std::size_t kNoLayer = std::numeric_limits<std::size_t>::max();
+
+/// How a plan value is materialized in its slab slot.
+enum class ValueFormat {
+  kDense,         ///< SlabSlot::dense — NHWC {B,H,W,C} or features {B,F}
+  kPackedConv,    ///< SlabSlot::packed — channel-major packed activations
+  kPackedLinear,  ///< SlabSlot::planes — N x M planes from a quantizing apmm
+};
+
+enum class StepKind {
+  kPackInput,     ///< dense uint8 image -> 8-bit packed planes
+  kConv,          ///< apconv stage (fused tail)
+  kLinear,        ///< apmm stage (operand assembly fused in)
+  kResidualAdd,   ///< dense/packed + dense/packed -> dense
+  kRelu,          ///< dense -> dense
+  kPool,          ///< dense -> dense
+  kQuantize,      ///< dense -> dense codes or packed planes (fused repack)
+  kPack,          ///< dense codes -> packed conv planes
+  kUnpack,        ///< packed conv planes -> dense codes
+  kUnpackLinear,  ///< N x M feature planes -> dense {B, F} codes
+};
+
+// --- glue kernels -----------------------------------------------------------
+//
+// The word-granular blocked bodies of the plan's glue ops. Each parallel_for
+// task owns whole packed rows (or disjoint dense ranges), so tasks never
+// share a 64-bit word and the kernels are race-free by construction.
+
+constexpr int kMaxBits = 16;  // plane-count ceiling of pack_activations
+constexpr std::int64_t kRowGrain = 64;
+
+/// Shared word-granular bit-plane transpose: for each of `rows` rows of `c`
+/// elements, `code_of(v)` yields the code whose bits land in the planes.
+/// Every word of every padded row is written (zeros beyond column c), so
+/// destinations may skip the reset_shape zero fill — the bit-packed output
+/// needs no second pass.
+template <typename CodeFn>
+void pack_rows(const std::int32_t* src, std::int64_t rows, std::int64_t c,
+               int bits, std::vector<bitops::BitMatrix>& planes,
+               std::int64_t grain, CodeFn&& code_of) {
+  APNN_CHECK(bits >= 1 && bits <= kMaxBits);
+  const std::int64_t row_words = planes[0].row_words();
+  parallel_for(0, rows, [&](std::int64_t r) {
+    const std::int32_t* s = src + r * c;
+    for (std::int64_t w = 0; w < row_words; ++w) {
+      const std::int64_t w0 = w * 64;
+      const int jmax = static_cast<int>(
+          std::clamp<std::int64_t>(c - w0, 0, 64));
+      std::uint64_t acc[kMaxBits] = {};
+      for (int j = 0; j < jmax; ++j) {
+        const std::int32_t code = code_of(s[w0 + j]);
+        for (int t = 0; t < bits; ++t) {
+          acc[t] |= static_cast<std::uint64_t>((code >> t) & 1) << j;
+        }
+      }
+      for (int t = 0; t < bits; ++t) {
+        planes[static_cast<std::size_t>(t)].row(r)[w] = acc[t];
+      }
+    }
+  }, grain);
+}
+
+/// Packs `rows` x `c` non-negative codes (row-major, values < 2^bits).
+/// Throws on out-of-range values.
+void pack_codes(const std::int32_t* src, std::int64_t rows, std::int64_t c,
+                int bits, std::vector<bitops::BitMatrix>& planes,
+                std::int64_t grain = kRowGrain) {
+  const std::int32_t hi = static_cast<std::int32_t>(1u << bits);
+  pack_rows(src, rows, c, bits, planes, grain, [&](std::int32_t v) {
+    APNN_CHECK(v >= 0 && v < hi)
+        << "activation " << v << " out of range for " << bits << " bits";
+    return v;
+  });
+}
+
+/// Decodes packed planes back to dense codes; `accumulate` adds instead of
+/// overwriting (the packed-input side of a residual add).
+void decode_planes(const std::vector<bitops::BitMatrix>& planes, int bits,
+                   std::int64_t rows, std::int64_t c, std::int32_t* dst,
+                   bool accumulate) {
+  parallel_for(0, rows, [&](std::int64_t r) {
+    std::int32_t* d = dst + r * c;
+    for (std::int64_t w0 = 0; w0 < c; w0 += 64) {
+      const int jmax = static_cast<int>(std::min<std::int64_t>(64, c - w0));
+      std::uint64_t wt[kMaxBits];
+      for (int t = 0; t < bits; ++t) {
+        wt[t] = planes[static_cast<std::size_t>(t)].row(r)[w0 / 64];
+      }
+      for (int j = 0; j < jmax; ++j) {
+        std::int32_t v = 0;
+        for (int t = 0; t < bits; ++t) {
+          v |= static_cast<std::int32_t>((wt[t] >> j) & 1) << t;
+        }
+        if (accumulate) {
+          d[w0 + j] += v;
+        } else {
+          d[w0 + j] = v;
+        }
+      }
+    }
+  }, kRowGrain);
+}
+
+void add_dense(const std::int32_t* src, std::int32_t* dst, std::int64_t n) {
+  parallel_for(0, (n + 4095) / 4096, [&](std::int64_t blk) {
+    const std::int64_t lo = blk * 4096;
+    const std::int64_t hi = std::min(n, lo + 4096);
+    for (std::int64_t i = lo; i < hi; ++i) dst[i] += src[i];
+  });
+}
+
+void relu_dense(const std::int32_t* src, std::int32_t* dst, std::int64_t n) {
+  parallel_for(0, (n + 4095) / 4096, [&](std::int64_t blk) {
+    const std::int64_t lo = blk * 4096;
+    const std::int64_t hi = std::min(n, lo + 4096);
+    for (std::int64_t i = lo; i < hi; ++i) dst[i] = std::max(src[i], 0);
+  });
+}
+
+void quantize_dense(const std::int32_t* src, std::int32_t* dst,
+                    std::int64_t n, const quant::QuantParams& p) {
+  parallel_for(0, (n + 4095) / 4096, [&](std::int64_t blk) {
+    const std::int64_t lo = blk * 4096;
+    const std::int64_t hi = std::min(n, lo + 4096);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      dst[i] = quant::quantize_value(static_cast<float>(src[i]), p);
+    }
+  });
+}
+
+/// Fused standalone quantize + bit repack: dense pre-quant values straight
+/// into packed planes — the dense code tensor never exists.
+void quantize_pack(const std::int32_t* src, std::int64_t rows, std::int64_t c,
+                   const quant::QuantParams& p,
+                   std::vector<bitops::BitMatrix>& planes) {
+  pack_rows(src, rows, c, p.bits, planes, kRowGrain, [&](std::int32_t v) {
+    return quant::quantize_value(static_cast<float>(v), p);
+  });
+}
+
+/// Integer max/avg pooling, NHWC, identical arithmetic to the reference
+/// walker's pool_dense (int64 aggregate, truncating average).
+void pool_nhwc(const std::int32_t* src, std::int64_t b, std::int64_t h,
+               std::int64_t w, std::int64_t c, const PoolSpec& pool,
+               std::int32_t* dst) {
+  const std::int64_t ph = h / pool.size, pw = w / pool.size;
+  parallel_for(0, b * ph, [&](std::int64_t row) {
+    const std::int64_t n = row / ph, py = row % ph;
+    for (std::int64_t px = 0; px < pw; ++px) {
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        std::int64_t agg = pool.kind == PoolSpec::Kind::kMax ? INT64_MIN : 0;
+        for (int dy = 0; dy < pool.size; ++dy) {
+          for (int dx = 0; dx < pool.size; ++dx) {
+            const std::int32_t v =
+                src[(((n * h) + py * pool.size + dy) * w + px * pool.size +
+                     dx) * c + ch];
+            if (pool.kind == PoolSpec::Kind::kMax) {
+              agg = std::max<std::int64_t>(agg, v);
+            } else {
+              agg += v;
+            }
+          }
+        }
+        if (pool.kind == PoolSpec::Kind::kAvg) {
+          agg /= static_cast<std::int64_t>(pool.size) * pool.size;
+        }
+        dst[((n * ph + py) * pw + px) * c + ch] =
+            static_cast<std::int32_t>(agg);
+      }
+    }
+  });
+}
+
+/// Assembles the linear-stage feature operand straight from packed
+/// channel-major activations: sample b's operand row is the concatenation
+/// of its h*w C-bit channel slabs, copied at word granularity — the packed
+/// planes never round-trip through dense codes.
+void gather_linear_operand(const layout::PackedActivations& x,
+                           bitops::BitPlanes& dst) {
+  const std::int64_t per_sample = x.h * x.w;
+  parallel_for(0, x.n * x.bits, [&](std::int64_t task) {
+    const std::int64_t b = task / x.bits;
+    const int t = static_cast<int>(task % x.bits);
+    const bitops::BitMatrix& plane = x.planes[static_cast<std::size_t>(t)];
+    std::uint64_t* out = dst.planes[static_cast<std::size_t>(t)].row(b);
+    for (std::int64_t r = 0; r < per_sample; ++r) {
+      bitops::copy_bits(out, r * x.c, plane.row(b * per_sample + r), 0, x.c);
+    }
+  });
+}
+
+/// Decomposes dense codes ({B, F} row-major) into operand planes. The
+/// range check mirrors what make_operand/encode_value enforced on the old
+/// linear path: an un-quantized value reaching a narrow operand must fail
+/// loudly, not truncate to its low bits.
+void decompose_linear_operand(const std::int32_t* src, std::int64_t batch,
+                              std::int64_t feat, int bits,
+                              bitops::BitPlanes& dst) {
+  pack_codes(src, batch, feat, bits, dst.planes, /*grain=*/1);
+}
+
+/// M x N -> {N, M} transpose (apmm emits out_features x batch).
+void transpose_mn(const std::int32_t* src, std::int64_t m, std::int64_t n,
+                  std::int32_t* dst) {
+  parallel_for(0, n, [&](std::int64_t j) {
+    for (std::int64_t i = 0; i < m; ++i) dst[j * m + i] = src[i * n + j];
+  }, kRowGrain);
+}
+
+}  // namespace
+
+// --- the compiled plan ------------------------------------------------------
+
+struct InferenceSession::Plan {
+  struct Value {
+    ValueFormat format = ValueFormat::kDense;
+    std::int64_t c = 0, h = 1, w = 1;  ///< per-sample dims (features in c)
+    bool spatial = false;              ///< dense values: NHWC vs {B, F}
+    int bits = 0;                      ///< code bits of packed formats
+    std::size_t last_use = 0;          ///< step index of the last read
+    int slot = -1;
+
+    std::int64_t per_sample() const { return c * h * w; }
+  };
+
+  struct Step {
+    StepKind kind;
+    std::size_t layer = kNoLayer;  ///< spec layer (diagnostics)
+    std::size_t stage = kNoLayer;  ///< index into net.stages()
+    int in = -1, in2 = -1, out = -1;
+    quant::QuantParams quant;  ///< kQuantize
+    PoolSpec pool;             ///< kPool
+    int operand_slot = -1, scratch_slot = -1;  ///< kLinear temporaries
+  };
+
+  /// Batch-dependent step state, resolved once per distinct batch size and
+  /// cached (the dynamic-batching server alternates sizes every run; a
+  /// single-entry cache would re-run autotune — and allocate — each time).
+  struct ResolvedBatch {
+    std::vector<layout::ConvGeometry> geom;  ///< per step (kConv only)
+    std::vector<core::TileConfig> tile;      ///< per step (kConv/kLinear)
+  };
+
+  std::vector<Value> values;
+  std::vector<Step> steps;
+  int input_value = -1;
+  int logits_value = -1;
+  std::size_t num_slots = 0;
+  std::map<std::int64_t, ResolvedBatch> resolved;  ///< keyed by batch
+
+  parallel::ActivationSlab slab;
+  // Reads of compile-time network state (stages are referenced by index so
+  // the plan stays valid if the stage vector reallocates).
+};
+
+namespace {
+
+/// Plan builder: mirrors the old interpreter's layer walk once, at compile
+/// time, producing the step list, value formats, and slot assignment.
+class Compiler {
+ public:
+  Compiler(const ApnnNetwork& net, InferenceSession::Plan& plan)
+      : net_(net), spec_(net.spec()), plan_(plan) {}
+
+  void compile() {
+    index_stages();
+    scan_consumers();
+    build_steps();
+    assign_slots();
+  }
+
+ private:
+  using Value = InferenceSession::Plan::Value;
+  using Step = InferenceSession::Plan::Step;
+
+  void index_stages() {
+    consumed_.assign(spec_.layers.size(), false);
+    stage_of_.assign(spec_.layers.size(), kNoLayer);
+    for (std::size_t si = 0; si < net_.stages().size(); ++si) {
+      const ApnnStage& st = net_.stages()[si];
+      stage_of_[st.layer_index] = si;
+      for (std::size_t j : st.absorbed) consumed_[j] = true;
+    }
+  }
+
+  /// Canonical producer layer of the value layer `li` outputs (resolves
+  /// stage absorption and pass-through layers). spec_.layers.size() denotes
+  /// the network input.
+  std::size_t canon(std::size_t li) const { return canon_[li]; }
+
+  std::size_t input_layer_of(std::size_t li) const {
+    const int src = spec_.layers[li].input;
+    if (src >= 0) return static_cast<std::size_t>(src);
+    return li == 0 ? spec_.layers.size() : li - 1;
+  }
+
+  /// Pass 1: which executed layer kinds read each canonical producer.
+  void scan_consumers() {
+    const std::size_t n = spec_.layers.size();
+    canon_.assign(n + 1, n);
+    canon_[n] = n;  // network input
+    consumers_.assign(n + 1, std::vector<LayerKind>{});
+    auto resolve = [&](std::size_t li) {
+      return li == n ? n : canon_[li];
+    };
+    for (std::size_t li = 0; li < n; ++li) {
+      const LayerSpec& l = spec_.layers[li];
+      if (consumed_[li]) {
+        // Absorbed tail layers alias their stage's output.
+        canon_[li] = canon_[input_layer_of(li)];
+        continue;
+      }
+      switch (l.kind) {
+        case LayerKind::kConv:
+        case LayerKind::kLinear:
+          consumers_[resolve(input_layer_of(li))].push_back(l.kind);
+          canon_[li] = li;
+          break;
+        case LayerKind::kResidualAdd:
+          consumers_[resolve(input_layer_of(li))].push_back(l.kind);
+          consumers_[resolve(static_cast<std::size_t>(l.residual))].push_back(
+              l.kind);
+          canon_[li] = li;
+          break;
+        case LayerKind::kSoftmax:
+          canon_[li] = canon_[input_layer_of(li)];
+          break;
+        case LayerKind::kBatchNorm:
+          APNN_CHECK(false)
+              << "standalone BatchNorm layer '" << l.name
+              << "' is not executable: it has no parameters outside a "
+                 "conv/linear epilogue — restructure the spec so the BN "
+                 "directly follows a conv/linear (where it fuses into the "
+                 "stage tail)";
+          break;
+        default:
+          consumers_[resolve(input_layer_of(li))].push_back(l.kind);
+          canon_[li] = li;
+          break;
+      }
+    }
+  }
+
+  bool all_conv_consumers(std::size_t li) const {
+    const auto& cs = consumers_[li];
+    if (cs.empty()) return false;
+    for (LayerKind k : cs) {
+      if (k != LayerKind::kConv) return false;
+    }
+    return true;
+  }
+
+  int new_value(ValueFormat fmt, std::int64_t c, std::int64_t h,
+                std::int64_t w, bool spatial, int bits) {
+    Value v;
+    v.format = fmt;
+    v.c = c;
+    v.h = h;
+    v.w = w;
+    v.spatial = spatial;
+    v.bits = bits;
+    plan_.values.push_back(v);
+    return static_cast<int>(plan_.values.size() - 1);
+  }
+
+  Step& add_step(StepKind kind, std::size_t layer) {
+    Step s;
+    s.kind = kind;
+    s.layer = layer;
+    plan_.steps.push_back(s);
+    return plan_.steps.back();
+  }
+
+  /// Value id holding layer `li`'s output (network input for li == size).
+  int value_of(std::size_t li) {
+    const std::size_t producer = li == spec_.layers.size()
+                                     ? spec_.layers.size()
+                                     : canon_[li];
+    if (producer == spec_.layers.size()) return plan_.input_value;
+    const int v = val_of_layer_[producer];
+    APNN_CHECK(v >= 0) << "layer " << spec_.layers[producer].name
+                       << " has no materialized value";
+    return v;
+  }
+
+  /// Dense view of `vid`, inserting a decode step at most once per value.
+  int ensure_dense(int vid) {
+    Value& v = plan_.values[static_cast<std::size_t>(vid)];
+    if (v.format == ValueFormat::kDense) return vid;
+    if (dense_shadow_.count(vid) != 0) return dense_shadow_[vid];
+    const bool spatial = v.format == ValueFormat::kPackedConv;
+    const int dv = new_value(ValueFormat::kDense, v.c, v.h, v.w, spatial, 0);
+    Step& s = add_step(v.format == ValueFormat::kPackedConv
+                           ? StepKind::kUnpack
+                           : StepKind::kUnpackLinear,
+                       kNoLayer);
+    s.in = vid;
+    s.out = dv;
+    dense_shadow_[vid] = dv;
+    return dv;
+  }
+
+  /// Packed channel-major view of `vid` with `bits` code planes, inserting
+  /// a pack step at most once per value.
+  int ensure_packed(int vid, int bits) {
+    Value& v = plan_.values[static_cast<std::size_t>(vid)];
+    if (v.format == ValueFormat::kPackedConv) {
+      APNN_CHECK(v.bits == bits)
+          << "packed value carries " << v.bits << " bits, stage wants "
+          << bits;
+      return vid;
+    }
+    if (v.format == ValueFormat::kPackedLinear) vid = ensure_dense(vid);
+    if (packed_shadow_.count(vid) != 0) return packed_shadow_[vid];
+    Value& dv = plan_.values[static_cast<std::size_t>(vid)];
+    APNN_CHECK(dv.spatial) << "cannot pack feature vectors";
+    const int pv =
+        new_value(ValueFormat::kPackedConv, dv.c, dv.h, dv.w, true, bits);
+    Step& s = add_step(StepKind::kPack, kNoLayer);
+    s.in = vid;
+    s.out = pv;
+    packed_shadow_[vid] = pv;
+    return pv;
+  }
+
+  /// Pass 2: the step list.
+  void build_steps() {
+    const std::size_t n = spec_.layers.size();
+    val_of_layer_.assign(n, -1);
+
+    // Input image: 8-bit packed planes (§5.1 — the uint8 codes are the
+    // first stage's activations).
+    plan_.input_value =
+        new_value(ValueFormat::kPackedConv, spec_.input.c, spec_.input.h,
+                  spec_.input.w, true, 8);
+    Step& pack_in = add_step(StepKind::kPackInput, kNoLayer);
+    pack_in.out = plan_.input_value;
+
+    const auto& shapes = net_.shapes();
+    for (std::size_t li = 0; li < n; ++li) {
+      if (consumed_[li]) continue;
+      const LayerSpec& l = spec_.layers[li];
+      switch (l.kind) {
+        case LayerKind::kConv: {
+          const std::size_t si = stage_of_[li];
+          const ApnnStage& st = net_.stages()[si];
+          const int in_v = ensure_packed(value_of(input_layer_of(li)),
+                                         st.in_bits);
+          const std::size_t out_layer =
+              st.absorbed.empty() ? li : st.absorbed.back();
+          const ActShape& os = shapes[out_layer];
+          const int out_v =
+              st.epilogue.has_quant
+                  ? new_value(ValueFormat::kPackedConv, os.c, os.h, os.w,
+                              true, st.epilogue.quant.bits)
+                  : new_value(ValueFormat::kDense, os.c, os.h, os.w, true, 0);
+          Step& s = add_step(StepKind::kConv, li);
+          s.stage = si;
+          s.in = in_v;
+          s.out = out_v;
+          val_of_layer_[li] = out_v;
+          break;
+        }
+        case LayerKind::kLinear: {
+          const std::size_t si = stage_of_[li];
+          const ApnnStage& st = net_.stages()[si];
+          int in_v = value_of(input_layer_of(li));
+          {
+            const Value& v = plan_.values[static_cast<std::size_t>(in_v)];
+            if (v.format == ValueFormat::kPackedConv ||
+                v.format == ValueFormat::kPackedLinear) {
+              APNN_CHECK(v.bits == st.in_bits)
+                  << "linear stage wants " << st.in_bits
+                  << "-bit features, producer emits " << v.bits;
+            }
+          }
+          const std::size_t out_layer =
+              st.absorbed.empty() ? li : st.absorbed.back();
+          const std::int64_t out_f = shapes[out_layer].c;
+          const int out_v =
+              st.epilogue.has_quant
+                  ? new_value(ValueFormat::kPackedLinear, out_f, 1, 1, false,
+                              st.epilogue.quant.bits)
+                  : new_value(ValueFormat::kDense, out_f, 1, 1, false, 0);
+          Step& s = add_step(StepKind::kLinear, li);
+          s.stage = si;
+          s.in = in_v;
+          s.out = out_v;
+          val_of_layer_[li] = out_v;
+          plan_.logits_value = out_v;
+          break;
+        }
+        case LayerKind::kResidualAdd: {
+          int a = value_of(input_layer_of(li));
+          int b = value_of(static_cast<std::size_t>(l.residual));
+          // Feature planes can't be decoded row-wise in NHWC space; take the
+          // dense shadow. Channel-major packed inputs decode inline.
+          if (plan_.values[static_cast<std::size_t>(a)].format ==
+              ValueFormat::kPackedLinear) {
+            a = ensure_dense(a);
+          }
+          if (plan_.values[static_cast<std::size_t>(b)].format ==
+              ValueFormat::kPackedLinear) {
+            b = ensure_dense(b);
+          }
+          const Value& av = plan_.values[static_cast<std::size_t>(a)];
+          const int out_v = new_value(ValueFormat::kDense, av.c, av.h, av.w,
+                                      av.spatial, 0);
+          Step& s = add_step(StepKind::kResidualAdd, li);
+          s.in = a;
+          s.in2 = b;
+          s.out = out_v;
+          val_of_layer_[li] = out_v;
+          break;
+        }
+        case LayerKind::kReLU: {
+          const int in_v = ensure_dense(value_of(input_layer_of(li)));
+          const Value& iv = plan_.values[static_cast<std::size_t>(in_v)];
+          const int out_v = new_value(ValueFormat::kDense, iv.c, iv.h, iv.w,
+                                      iv.spatial, 0);
+          Step& s = add_step(StepKind::kRelu, li);
+          s.in = in_v;
+          s.out = out_v;
+          val_of_layer_[li] = out_v;
+          break;
+        }
+        case LayerKind::kPool: {
+          const int in_v = ensure_dense(value_of(input_layer_of(li)));
+          const Value& iv = plan_.values[static_cast<std::size_t>(in_v)];
+          APNN_CHECK(iv.spatial) << "pool needs a spatial input";
+          const int out_v =
+              new_value(ValueFormat::kDense, iv.c, iv.h / l.pool.size,
+                        iv.w / l.pool.size, true, 0);
+          Step& s = add_step(StepKind::kPool, li);
+          s.in = in_v;
+          s.out = out_v;
+          s.pool = l.pool;
+          val_of_layer_[li] = out_v;
+          break;
+        }
+        case LayerKind::kQuantize: {
+          const auto it = net_.standalone_quant().find(li);
+          APNN_CHECK(it != net_.standalone_quant().end())
+              << "standalone quantize layer " << l.name << " not calibrated";
+          const int in_v = ensure_dense(value_of(input_layer_of(li)));
+          const Value& iv = plan_.values[static_cast<std::size_t>(in_v)];
+          // When every consumer is a conv the quantize emits packed planes
+          // directly (fused repack — the dense code tensor never exists).
+          const bool to_packed = iv.spatial && all_conv_consumers(li);
+          const int out_v =
+              to_packed ? new_value(ValueFormat::kPackedConv, iv.c, iv.h,
+                                    iv.w, true, it->second.bits)
+                        : new_value(ValueFormat::kDense, iv.c, iv.h, iv.w,
+                                    iv.spatial, it->second.bits);
+          Step& s = add_step(StepKind::kQuantize, li);
+          s.in = in_v;
+          s.out = out_v;
+          s.quant = it->second;
+          val_of_layer_[li] = out_v;
+          break;
+        }
+        case LayerKind::kSoftmax:
+          // Logits are returned raw (softmax is monotonic); the value
+          // aliases through canon_.
+          break;
+        case LayerKind::kBatchNorm:
+          break;  // scan_consumers() already hard-errored
+      }
+    }
+    APNN_CHECK(plan_.logits_value >= 0) << "network has no linear head";
+
+    // The returned logits must be dense codes; recompose feature planes
+    // straight into the destination tensor (no intermediate code vector).
+    if (plan_.values[static_cast<std::size_t>(plan_.logits_value)].format !=
+        ValueFormat::kDense) {
+      plan_.logits_value = ensure_dense(plan_.logits_value);
+    }
+  }
+
+  /// Pass 3: liveness + greedy slot reuse. Values with disjoint live ranges
+  /// share a slot; the logits value survives the whole plan.
+  void assign_slots() {
+    const std::size_t nsteps = plan_.steps.size();
+    for (auto& v : plan_.values) v.last_use = 0;
+    for (std::size_t s = 0; s < nsteps; ++s) {
+      const Step& st = plan_.steps[s];
+      for (int vid : {st.in, st.in2}) {
+        if (vid >= 0) plan_.values[static_cast<std::size_t>(vid)].last_use = s;
+      }
+    }
+    plan_.values[static_cast<std::size_t>(plan_.logits_value)].last_use =
+        nsteps;  // survives
+
+    std::vector<int> free;
+    int next = 0;
+    auto acquire = [&]() {
+      if (!free.empty()) {
+        const int s = free.back();
+        free.pop_back();
+        return s;
+      }
+      return next++;
+    };
+    auto release_inputs = [&](const Step& st, std::size_t s) {
+      // A step reading the same value twice (x + x) must free it once.
+      for (int vid : {st.in, st.in2 == st.in ? -1 : st.in2}) {
+        if (vid < 0) continue;
+        Value& v = plan_.values[static_cast<std::size_t>(vid)];
+        // v.slot stays recorded — the step executing at v.last_use still
+        // reads through it; only *later* outputs may take the slot over.
+        if (v.last_use == s && v.slot >= 0) free.push_back(v.slot);
+      }
+    };
+
+    for (std::size_t s = 0; s < nsteps; ++s) {
+      Step& st = plan_.steps[s];
+      const bool elementwise = st.kind == StepKind::kRelu ||
+                               st.kind == StepKind::kQuantize ||
+                               st.kind == StepKind::kResidualAdd;
+      if (elementwise) {
+        // Same-index reads and writes (and packed/dense buffers of one slot
+        // are distinct), so an input slot freed here can carry the output —
+        // the in-place steady state of a residual/ReLU/quantize chain.
+        release_inputs(st, s);
+        plan_.values[static_cast<std::size_t>(st.out)].slot = acquire();
+      } else {
+        plan_.values[static_cast<std::size_t>(st.out)].slot = acquire();
+        if (st.kind == StepKind::kLinear) {
+          const Value& in = plan_.values[static_cast<std::size_t>(st.in)];
+          if (in.format != ValueFormat::kPackedLinear) {
+            st.operand_slot = acquire();
+          }
+          const ApnnStage& stage = net_.stages()[st.stage];
+          if (!stage.epilogue.has_quant) st.scratch_slot = acquire();
+        }
+        release_inputs(st, s);
+        if (st.operand_slot >= 0) free.push_back(st.operand_slot);
+        if (st.scratch_slot >= 0) free.push_back(st.scratch_slot);
+      }
+    }
+    plan_.num_slots = static_cast<std::size_t>(next);
+  }
+
+  const ApnnNetwork& net_;
+  const ModelSpec& spec_;
+  InferenceSession::Plan& plan_;
+
+  std::vector<bool> consumed_;
+  std::vector<std::size_t> stage_of_;
+  std::vector<std::size_t> canon_;
+  std::vector<std::vector<LayerKind>> consumers_;
+  std::vector<int> val_of_layer_;
+  std::map<int, int> dense_shadow_;
+  std::map<int, int> packed_shadow_;
+};
+
+}  // namespace
+
+// --- session ---------------------------------------------------------------
+
+InferenceSession::InferenceSession(const ApnnNetwork& net,
+                                   const tcsim::DeviceSpec& dev)
+    : net_(net), dev_(dev), plan_(std::make_unique<Plan>()) {
+  APNN_CHECK(net.calibrated()) << "call calibrate() before compiling";
+  Compiler(net, *plan_).compile();
+  plan_->slab.require(plan_->num_slots);
+}
+
+InferenceSession::~InferenceSession() = default;
+
+const parallel::ActivationSlab& InferenceSession::slab() const {
+  return plan_->slab;
+}
+std::size_t InferenceSession::step_count() const {
+  return plan_->steps.size();
+}
+std::size_t InferenceSession::slot_count() const { return plan_->num_slots; }
+
+namespace {
+
+/// Plan-time tile refinement. The §4.3.2 heuristic optimizes the modeled
+/// GPU occupancy (TLP/CI); on the host microkernel an over-tall bm on a
+/// short-M stage (e.g. the 8-channel stem, a small classifier head) only
+/// stages padded zero A-rows and zero-filled accumulator rows in every
+/// block. Clamping bm to the stage's virtual row count removes that waste —
+/// a compile-step decision the per-call interpreter never made; the kernel
+/// result is bit-exact for any tile.
+core::TileConfig refine_tile(core::TileConfig t, std::int64_t m, int p) {
+  const std::int64_t vrows = m * p;
+  const auto cap =
+      static_cast<int>(std::max<std::int64_t>(16, (vrows + 15) / 16 * 16));
+  t.bm = std::min(t.bm, cap);
+  return t;
+}
+
+/// Resolves the batch-dependent step state (conv geometries, tiles) once
+/// per distinct batch size; later runs at an already-seen batch are pure
+/// map lookups (no autotune, no allocations).
+const InferenceSession::Plan::ResolvedBatch& resolve_batch(
+    const ApnnNetwork& net, const tcsim::DeviceSpec& dev,
+    InferenceSession::Plan& plan, std::int64_t batch) {
+  const auto it = plan.resolved.find(batch);
+  if (it != plan.resolved.end()) return it->second;
+
+  InferenceSession::Plan::ResolvedBatch rb;
+  rb.geom.resize(plan.steps.size());
+  rb.tile.resize(plan.steps.size());
+  for (std::size_t si = 0; si < plan.steps.size(); ++si) {
+    const auto& s = plan.steps[si];
+    if (s.kind == StepKind::kConv) {
+      const ApnnStage& st = net.stages()[s.stage];
+      rb.geom[si] = conv_geometry(net.spec(), net.shapes(), s.layer, batch);
+      rb.tile[si] = refine_tile(
+          core::autotune_tile(rb.geom[si].gemm_m(), rb.geom[si].gemm_n(),
+                              rb.geom[si].gemm_k(), st.weights.bits(),
+                              st.in_bits, dev)
+              .tile,
+          rb.geom[si].gemm_m(), st.weights.bits());
+    } else if (s.kind == StepKind::kLinear) {
+      const ApnnStage& st = net.stages()[s.stage];
+      rb.tile[si] = refine_tile(
+          core::autotune_tile(st.weights.rows(), batch, st.weights.cols(),
+                              st.weights.bits(), st.in_bits, dev)
+              .tile,
+          st.weights.rows(), st.weights.bits());
+    }
+  }
+  return plan.resolved.emplace(batch, std::move(rb)).first->second;
+}
+
+}  // namespace
+
+void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
+                           Tensor<std::int32_t>* logits,
+                           tcsim::SequenceProfile* prof) {
+  const ModelSpec& spec = net_.spec();
+  APNN_CHECK(input_u8.rank() == 4 && input_u8.dim(1) == spec.input.h &&
+             input_u8.dim(2) == spec.input.w &&
+             input_u8.dim(3) == spec.input.c)
+      << "input must be NHWC {B, " << spec.input.h << ", " << spec.input.w
+      << ", " << spec.input.c << "}";
+  const std::int64_t batch = input_u8.dim(0);
+  APNN_CHECK(batch >= 1);
+  Plan& plan = *plan_;
+  const Plan::ResolvedBatch& rb = resolve_batch(net_, dev_, plan, batch);
+
+  auto slot_of = [&](int vid) -> parallel::SlabSlot& {
+    const auto& v = plan.values[static_cast<std::size_t>(vid)];
+    APNN_DCHECK(v.slot >= 0);
+    return plan.slab.slot(static_cast<std::size_t>(v.slot));
+  };
+  auto value = [&](int vid) -> const Plan::Value& {
+    return plan.values[static_cast<std::size_t>(vid)];
+  };
+
+  for (std::size_t si = 0; si < plan.steps.size(); ++si) {
+    const auto& step = plan.steps[si];
+    switch (step.kind) {
+      case StepKind::kPackInput: {
+        const Plan::Value& out = value(step.out);
+        parallel::SlabSlot& dst = slot_of(step.out);
+        // pack_rows overwrites every padded word — no zero-fill pass.
+        dst.packed.reset_shape(batch, out.h, out.w, out.c, 8,
+                               /*zero_fill=*/false);
+        pack_codes(input_u8.data(), batch * out.h * out.w, out.c, 8,
+                   dst.packed.planes);
+        if (prof != nullptr) {
+          prof->add(core::decompose_profile(batch * out.h * out.w, out.c, 8,
+                                            1.0));
+        }
+        break;
+      }
+      case StepKind::kConv: {
+        const ApnnStage& st = net_.stages()[step.stage];
+        core::ApconvOptions o;
+        o.autotune = false;
+        o.tile = rb.tile[si];
+        o.collect_profile = prof != nullptr;
+        parallel::SlabSlot& dst = slot_of(step.out);
+        if (st.epilogue.has_quant) {
+          o.packed_out = &dst.packed;
+        } else {
+          o.y_out = &dst.dense;
+        }
+        core::ApconvResult r =
+            core::apconv(st.weights, slot_of(step.in).packed, st.in_enc,
+                         rb.geom[si], dev_, o, st.epilogue, st.pool);
+        if (prof != nullptr) prof->add(r.profile);
+        break;
+      }
+      case StepKind::kLinear: {
+        const ApnnStage& st = net_.stages()[step.stage];
+        const Plan::Value& in = value(step.in);
+        const std::int64_t feat = st.weights.cols();
+
+        // Feature operand: lend the kernel existing plane storage — either
+        // the producer's own planes (a quantizing apmm upstream) or the
+        // step's operand slot filled by the word-granular gather/decompose.
+        core::ApOperand xop;
+        xop.encoding = st.in_enc;
+        bitops::BitPlanes* lender = nullptr;
+        if (in.format == ValueFormat::kPackedLinear) {
+          APNN_CHECK(in.per_sample() == feat) << "feature count mismatch";
+          lender = &slot_of(step.in).planes;
+        } else {
+          lender = &plan.slab.slot(static_cast<std::size_t>(step.operand_slot))
+                        .planes;
+          // The gather writes C-bit slabs into otherwise-untouched rows and
+          // needs the zeroed padding; the decompose overwrites every word.
+          const bool gather = in.format == ValueFormat::kPackedConv;
+          lender->reset_shape(batch, feat, st.in_bits, /*zero_fill=*/gather);
+          if (gather) {
+            const layout::PackedActivations& x = slot_of(step.in).packed;
+            APNN_CHECK(x.h * x.w * x.c == feat) << "feature count mismatch";
+            gather_linear_operand(x, *lender);
+          } else {
+            APNN_CHECK(in.per_sample() == feat) << "feature count mismatch";
+            decompose_linear_operand(slot_of(step.in).dense.data(), batch,
+                                     feat, st.in_bits, *lender);
+          }
+        }
+        xop.planes = std::move(*lender);
+
+        core::ApmmOptions o;
+        o.autotune = false;
+        o.tile = rb.tile[si];
+        o.collect_profile = prof != nullptr;
+        parallel::SlabSlot& dst = slot_of(step.out);
+        Tensor<std::int32_t>* raw = nullptr;
+        if (st.epilogue.has_quant) {
+          o.packed_out = &dst.planes;
+        } else {
+          raw = &plan.slab.slot(static_cast<std::size_t>(step.scratch_slot))
+                     .dense;
+          o.y_out = raw;
+        }
+        core::ApmmResult r = core::apmm(st.weights, xop, dev_, o,
+                                        st.epilogue);
+        if (prof != nullptr) prof->add(r.profile);
+        *lender = std::move(xop.planes);
+
+        if (!st.epilogue.has_quant) {
+          // apmm emits M x N; the dense value is {B, F}.
+          const Plan::Value& out = value(step.out);
+          dst.dense.reset_shape({batch, out.c});
+          transpose_mn(raw->data(), out.c, batch, dst.dense.data());
+        }
+        break;
+      }
+      case StepKind::kResidualAdd: {
+        const Plan::Value& out = value(step.out);
+        const std::int64_t rows = batch * out.h * out.w;
+        const std::int64_t n = rows * out.c;
+        parallel::SlabSlot& ds = slot_of(step.out);
+        struct Side {
+          const std::int32_t* dense;               // null when packed
+          const layout::PackedActivations* packed;
+        };
+        auto side = [&](int vid) -> Side {
+          if (value(vid).format == ValueFormat::kDense) {
+            return {slot_of(vid).dense.data(), nullptr};
+          }
+          return {nullptr, &slot_of(vid).packed};
+        };
+        // Reshape the destination before capturing input pointers: when the
+        // output slot aliases an input (same shape) this is a no-op, and
+        // otherwise a first-run growth must not invalidate captured data().
+        ds.dense.reset_shape({batch, out.h, out.w, out.c});
+        Side a = side(step.in), b = side(step.in2);
+        std::int32_t* d = ds.dense.data();
+        // The output slot may alias either dense input (elementwise slot
+        // reuse); materialize the aliasing side first so nothing is
+        // clobbered, then accumulate the other (packed sides decode
+        // word-wise on the fly — no to_dense copy ever happens).
+        if (b.dense == d && b.dense != nullptr) std::swap(a, b);
+        if (a.dense != nullptr) {
+          if (a.dense != d) {
+            std::memcpy(d, a.dense,
+                        sizeof(std::int32_t) * static_cast<std::size_t>(n));
+          }
+        } else {
+          decode_planes(a.packed->planes, a.packed->bits, rows, out.c, d,
+                        false);
+        }
+        if (b.dense != nullptr) {
+          add_dense(b.dense, d, n);
+        } else {
+          decode_planes(b.packed->planes, b.packed->bits, rows, out.c, d,
+                        true);
+        }
+        break;
+      }
+      case StepKind::kRelu: {
+        const Plan::Value& out = value(step.out);
+        const std::int64_t n = batch * out.per_sample();
+        const Tensor<std::int32_t>& src = slot_of(step.in).dense;
+        parallel::SlabSlot& ds = slot_of(step.out);
+        const std::int32_t* s = src.data();
+        if (&ds.dense != &src) {  // in-place when the slot was reused
+          if (out.spatial) {
+            ds.dense.reset_shape({batch, out.h, out.w, out.c});
+          } else {
+            ds.dense.reset_shape({batch, out.c});
+          }
+        }
+        relu_dense(s, ds.dense.data(), n);
+        break;
+      }
+      case StepKind::kPool: {
+        const Plan::Value& in = value(step.in);
+        const Plan::Value& out = value(step.out);
+        parallel::SlabSlot& ds = slot_of(step.out);
+        ds.dense.reset_shape({batch, out.h, out.w, out.c});
+        pool_nhwc(slot_of(step.in).dense.data(), batch, in.h, in.w, in.c,
+                  step.pool, ds.dense.data());
+        break;
+      }
+      case StepKind::kQuantize: {
+        const Plan::Value& out = value(step.out);
+        const std::int64_t rows = batch * out.h * out.w;
+        const Tensor<std::int32_t>& src = slot_of(step.in).dense;
+        parallel::SlabSlot& ds = slot_of(step.out);
+        if (out.format == ValueFormat::kPackedConv) {
+          ds.packed.reset_shape(batch, out.h, out.w, out.c, out.bits,
+                                /*zero_fill=*/false);
+          quantize_pack(src.data(), rows, out.c, step.quant,
+                        ds.packed.planes);
+        } else {
+          const std::int32_t* s = src.data();
+          if (&ds.dense != &src) {  // in-place when the slot was reused
+            if (out.spatial) {
+              ds.dense.reset_shape({batch, out.h, out.w, out.c});
+            } else {
+              ds.dense.reset_shape({batch, out.c});
+            }
+          }
+          quantize_dense(s, ds.dense.data(), rows * out.c, step.quant);
+        }
+        break;
+      }
+      case StepKind::kPack: {
+        const Plan::Value& out = value(step.out);
+        parallel::SlabSlot& ds = slot_of(step.out);
+        ds.packed.reset_shape(batch, out.h, out.w, out.c, out.bits,
+                              /*zero_fill=*/false);
+        pack_codes(slot_of(step.in).dense.data(), batch * out.h * out.w,
+                   out.c, out.bits, ds.packed.planes);
+        break;
+      }
+      case StepKind::kUnpack: {
+        const Plan::Value& out = value(step.out);
+        const layout::PackedActivations& src = slot_of(step.in).packed;
+        parallel::SlabSlot& ds = slot_of(step.out);
+        ds.dense.reset_shape({batch, out.h, out.w, out.c});
+        decode_planes(src.planes, src.bits, batch * out.h * out.w, out.c,
+                      ds.dense.data(), false);
+        break;
+      }
+      case StepKind::kUnpackLinear: {
+        const Plan::Value& out = value(step.out);
+        const bitops::BitPlanes& src = slot_of(step.in).planes;
+        parallel::SlabSlot& ds = slot_of(step.out);
+        ds.dense.reset_shape({batch, out.c});
+        decode_planes(src.planes, src.bits, batch, out.c, ds.dense.data(),
+                      false);
+        break;
+      }
+    }
+  }
+
+  // Copy the logits out (the slab keeps ownership of every intermediate).
+  const Plan::Value& lv = value(plan.logits_value);
+  const Tensor<std::int32_t>& ld = slot_of(plan.logits_value).dense;
+  logits->reset_shape({batch, lv.c});
+  std::memcpy(logits->data(), ld.data(),
+              sizeof(std::int32_t) * static_cast<std::size_t>(batch * lv.c));
+  plan.slab.note_high_water();
+}
+
+Tensor<std::int32_t> InferenceSession::run(const Tensor<std::int32_t>& input_u8,
+                                           tcsim::SequenceProfile* prof) {
+  Tensor<std::int32_t> logits;
+  run(input_u8, &logits, prof);
+  return logits;
+}
+
+}  // namespace apnn::nn

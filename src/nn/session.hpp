@@ -1,0 +1,79 @@
+// Compiled network execution: InferenceSession (§5 network-level designs as
+// a compile-once / run-many pipeline).
+//
+// ApnnNetwork::forward() used to interpret the layer list on every call:
+// rebuild the stage map, keep every layer's activation alive for the whole
+// pass, run residual adds / standalone ReLU / pool / quantize as serial
+// dense scalar loops, and round-trip packed planes through dense codes on
+// the linear path. An InferenceSession compiles the network once into an
+// ExecutionPlan:
+//
+//  * resolved stage/tail structure — one step list, no per-call spec walk;
+//  * buffer-lifetime analysis — every intermediate value gets a slot in a
+//    reusable parallel::ActivationSlab (liveness-based slot reuse), and the
+//    apconv/apmm kernels write straight into the slab (y_out / packed_out),
+//    so steady-state forward passes perform zero heap allocations;
+//  * pre-resolved glue ops — residual add, standalone ReLU / pool /
+//    quantize, packing and linear-operand assembly run as word-granular
+//    blocked kernels farmed over the thread pool, operating directly on the
+//    packed/dense slab buffers (no to_dense copy churn, no packed -> dense
+//    recompose round trip on the linear path).
+//
+// The plan is batch-agnostic: per-batch conv geometries and tiles are
+// resolved lazily and cached, so one session serves any request size (the
+// dynamic-batching nn::InferenceServer relies on this). Results are
+// bit-exact with ApnnNetwork::forward_reference().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/nn/apnn_network.hpp"
+#include "src/parallel/slab.hpp"
+#include "src/tcsim/device_spec.hpp"
+#include "src/tcsim/trace.hpp"
+
+namespace apnn::nn {
+
+class InferenceSession {
+ public:
+  /// Compiles `net` (must be calibrated) for `dev`. The network must
+  /// outlive the session; recompile after re-calibrating.
+  InferenceSession(const ApnnNetwork& net, const tcsim::DeviceSpec& dev);
+  ~InferenceSession();
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  /// Runs one forward pass. `input_u8` is NHWC uint8 codes {B, H, W, C};
+  /// logits land in `*logits` ({B, classes}), which is reshaped in place so
+  /// a reused tensor costs no allocation. Appends kernel launch records to
+  /// `prof` when given (the steady-state path skips record-keeping
+  /// entirely when it is null). Not thread-safe: one run at a time.
+  void run(const Tensor<std::int32_t>& input_u8, Tensor<std::int32_t>* logits,
+           tcsim::SequenceProfile* prof = nullptr);
+
+  /// Convenience overload returning the logits by value.
+  Tensor<std::int32_t> run(const Tensor<std::int32_t>& input_u8,
+                           tcsim::SequenceProfile* prof = nullptr);
+
+  const ApnnNetwork& network() const { return net_; }
+
+  /// Opaque compiled plan (defined in session.cpp).
+  struct Plan;
+
+  /// The session-owned activation slab (footprint inspection).
+  const parallel::ActivationSlab& slab() const;
+
+  /// Compiled plan shape: executable steps and distinct slab slots. The
+  /// slot count is below the value count whenever liveness found reuse.
+  std::size_t step_count() const;
+  std::size_t slot_count() const;
+
+ private:
+  const ApnnNetwork& net_;
+  tcsim::DeviceSpec dev_;
+  std::unique_ptr<Plan> plan_;
+};
+
+}  // namespace apnn::nn

@@ -1,0 +1,24 @@
+#include "src/parallel/slab.hpp"
+
+#include <algorithm>
+
+namespace apnn::parallel {
+
+std::size_t SlabSlot::capacity_bytes() const {
+  std::size_t total = dense.capacity_bytes();
+  for (const auto& p : packed.planes) total += p.capacity_bytes();
+  for (const auto& p : planes.planes) total += p.capacity_bytes();
+  return total;
+}
+
+std::size_t ActivationSlab::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const auto& s : slots_) total += s.capacity_bytes();
+  return total;
+}
+
+void ActivationSlab::note_high_water() {
+  high_water_ = std::max(high_water_, capacity_bytes());
+}
+
+}  // namespace apnn::parallel

@@ -1,0 +1,345 @@
+// InferenceSession / InferenceServer gates:
+//   * session forward bit-exact vs forward_reference (residual dataflow,
+//     standalone-quantize path, multi-bit, binary, varying batch);
+//   * steady-state memory discipline: the slab footprint settles at its
+//     high-water mark and per-run heap allocation counts stop changing;
+//   * concurrent InferenceServer requests produce the same logits as
+//     sequential batch-1 session runs, and micro-batching actually forms
+//     batches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "src/nn/apnn_network.hpp"
+#include "src/nn/model.hpp"
+#include "src/nn/server.hpp"
+#include "src/nn/session.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+// --- global allocation counter ----------------------------------------------
+// Counts every operator-new in the binary. The steady-state test pins that
+// the number of allocations a run() performs stops changing once the slab
+// and the scratch arenas have reached their high-water marks (the remaining
+// per-run count is the constant std::function / kernel-internal churn, not
+// growth). Overriding new/delete is per-binary, so this affects only
+// test_session.
+namespace {
+std::atomic<std::int64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t sz) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(sz ? sz : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace apnn::nn {
+namespace {
+
+const tcsim::DeviceSpec& dev() { return tcsim::rtx3090(); }
+
+Tensor<std::int32_t> random_input(std::int64_t b, const ModelSpec& m,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor<std::int32_t> in({b, m.input.h, m.input.w, m.input.c});
+  in.randomize(rng, 0, 255);
+  return in;
+}
+
+// --- bit-exactness ----------------------------------------------------------
+
+TEST(Session, MatchesReferenceMiniResNet) {
+  // Residual dataflow: packed + dense residual adds, standalone ReLU and
+  // quantize after the adds, final average pool, linear head.
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 301);
+  const auto input = random_input(2, m, 302);
+  net.calibrate(input);
+  InferenceSession session(net, dev());
+  const auto ref = net.forward_reference(input);
+  EXPECT_EQ(session.run(input), ref);
+  EXPECT_EQ(session.run(input), ref);  // slab reuse changes nothing
+}
+
+TEST(Session, MatchesReferenceMiniResNetMultiBit) {
+  const ModelSpec m = mini_resnet(3, 8, 4);
+  ApnnNetwork net = ApnnNetwork::random(m, 2, 3, 303);
+  const auto input = random_input(2, m, 304);
+  net.calibrate(input);
+  InferenceSession session(net, dev());
+  EXPECT_EQ(session.run(input), net.forward_reference(input));
+}
+
+TEST(Session, MatchesReferenceVggLite) {
+  // Conv stack with fully fused tails, then the two-linear head: fc1's
+  // quantized feature planes feed fc2 without any dense round trip.
+  const ModelSpec m = vgg_lite(16, 6);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 305);
+  const auto input = random_input(2, m, 306);
+  net.calibrate(input);
+  InferenceSession session(net, dev());
+  EXPECT_EQ(session.run(input), net.forward_reference(input));
+}
+
+TEST(Session, MatchesReferenceBinaryVggLite) {
+  // ±1 activations: the linear stage consumes packed codes through the
+  // word-granular gather with kSignedPM1 encoding.
+  const ModelSpec m = vgg_lite(16, 5);
+  ApnnNetwork net = ApnnNetwork::random_binary(m, 307);
+  const auto input = random_input(1, m, 308);
+  net.calibrate(input);
+  InferenceSession session(net, dev());
+  EXPECT_EQ(session.run(input), net.forward_reference(input));
+}
+
+TEST(Session, VaryingBatchReusesPlan) {
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 309);
+  net.calibrate(random_input(2, m, 310));
+  InferenceSession session(net, dev());
+  for (std::int64_t b : {1, 3, 2, 3}) {
+    const auto input = random_input(b, m, 311 + static_cast<unsigned>(b));
+    EXPECT_EQ(session.run(input), net.forward_reference(input))
+        << "batch " << b;
+  }
+}
+
+TEST(Session, CollectsProfilesLikeForward) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 312);
+  const auto input = random_input(1, m, 313);
+  net.calibrate(input);
+  InferenceSession session(net, dev());
+  tcsim::SequenceProfile prof;
+  Tensor<std::int32_t> logits;
+  session.run(input, &logits, &prof);
+  // decompose + 2 convs + 1 linear at least, with real MMA counters.
+  EXPECT_GE(prof.kernels.size(), 4u);
+  EXPECT_GT(prof.total_counters().bmma_b1, 0);
+}
+
+TEST(Session, LivenessSharesSlots) {
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 314);
+  net.calibrate(random_input(1, m, 315));
+  InferenceSession session(net, dev());
+  EXPECT_GT(session.step_count(), 0u);
+  // Liveness-based reuse keeps the slab far smaller than one-slot-per-step.
+  EXPECT_LT(session.slot_count(), session.step_count());
+}
+
+TEST(Session, RequiresCalibration) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 316);
+  EXPECT_THROW(InferenceSession(net, dev()), apnn::Error);
+}
+
+// --- standalone BatchNorm is a hard error -----------------------------------
+
+TEST(Session, StandaloneBatchNormHardErrors) {
+  // A BN separated from its conv (here by the quantize: tails fuse at most
+  // BN -> ReLU -> pool -> quantize, quantize last) has no parameters to
+  // apply; it must fail loudly instead of silently acting as identity.
+  ModelSpec m;
+  m.name = "bn-after-quant";
+  m.input = {4, 8, 8};
+  LayerSpec conv;
+  conv.kind = LayerKind::kConv;
+  conv.name = "conv";
+  conv.conv = {8, 3, 1, 1};
+  m.layers.push_back(conv);
+  LayerSpec q;
+  q.kind = LayerKind::kQuantize;
+  q.name = "conv.quant";
+  m.layers.push_back(q);
+  LayerSpec bn;
+  bn.kind = LayerKind::kBatchNorm;
+  bn.name = "stray.bn";
+  m.layers.push_back(bn);
+  LayerSpec fc;
+  fc.kind = LayerKind::kLinear;
+  fc.name = "fc";
+  fc.out_features = 3;
+  m.layers.push_back(fc);
+
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 317);
+  const auto input = random_input(1, m, 318);
+  // The reference walker (calibration) refuses the spec outright.
+  EXPECT_THROW(net.calibrate(input), apnn::Error);
+}
+
+// --- steady-state memory discipline -----------------------------------------
+
+TEST(Session, SteadyStateFootprintAndAllocationsStable) {
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 320);
+  const auto input = random_input(4, m, 321);
+  net.calibrate(input);
+  InferenceSession session(net, dev());
+  Tensor<std::int32_t> logits;
+
+  // Warm up: slab buffers, scratch arenas, and worker threads reach their
+  // high-water marks.
+  for (int i = 0; i < 3; ++i) session.run(input, &logits);
+
+  const std::size_t settled_capacity = session.slab().capacity_bytes();
+  const std::size_t settled_high_water = session.slab().high_water_bytes();
+  EXPECT_GT(settled_capacity, 0u);
+  EXPECT_EQ(settled_capacity, settled_high_water);
+
+  auto allocs_of_one_run = [&] {
+    const std::int64_t before = g_allocs.load(std::memory_order_relaxed);
+    session.run(input, &logits);
+    return g_allocs.load(std::memory_order_relaxed) - before;
+  };
+  const std::int64_t run_a = allocs_of_one_run();
+  const std::int64_t run_b = allocs_of_one_run();
+
+  // The slab stopped growing: the pass runs entirely out of recycled slots
+  // (every kernel writes into caller-provided storage), and the per-run
+  // allocation count is flat — no buffer churn, no accumulation.
+  EXPECT_EQ(session.slab().capacity_bytes(), settled_capacity);
+  EXPECT_EQ(session.slab().high_water_bytes(), settled_high_water);
+  EXPECT_EQ(run_a, run_b);
+}
+
+TEST(Session, SlabGrowsOnlyForLargerBatches) {
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 322);
+  net.calibrate(random_input(1, m, 323));
+  InferenceSession session(net, dev());
+  Tensor<std::int32_t> logits;
+
+  session.run(random_input(4, m, 324), &logits);
+  session.run(random_input(4, m, 325), &logits);
+  const std::size_t cap4 = session.slab().capacity_bytes();
+  // Smaller batches live inside the batch-4 footprint.
+  session.run(random_input(2, m, 326), &logits);
+  session.run(random_input(1, m, 327), &logits);
+  EXPECT_EQ(session.slab().capacity_bytes(), cap4);
+  // A larger batch may grow it — once.
+  session.run(random_input(6, m, 328), &logits);
+  const std::size_t cap6 = session.slab().capacity_bytes();
+  EXPECT_GE(cap6, cap4);
+  session.run(random_input(6, m, 329), &logits);
+  EXPECT_EQ(session.slab().capacity_bytes(), cap6);
+}
+
+TEST(Session, AlternatingSeenBatchesStayAllocationFlat) {
+  // The serving pattern: micro-batch sizes vary run to run. Batch-resolved
+  // state (geometries, tiles) is cached per size, so alternating between
+  // already-seen sizes must not re-run autotune or grow anything.
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 350);
+  net.calibrate(random_input(1, m, 351));
+  InferenceSession session(net, dev());
+  Tensor<std::int32_t> logits;
+  const auto in4 = random_input(4, m, 352);
+  const auto in2 = random_input(2, m, 353);
+  for (int i = 0; i < 2; ++i) {  // warm both sizes
+    session.run(in4, &logits);
+    session.run(in2, &logits);
+  }
+  const std::size_t cap = session.slab().capacity_bytes();
+  auto allocs_of = [&](const Tensor<std::int32_t>& in) {
+    const std::int64_t before = g_allocs.load(std::memory_order_relaxed);
+    session.run(in, &logits);
+    return g_allocs.load(std::memory_order_relaxed) - before;
+  };
+  const std::int64_t a4 = allocs_of(in4);
+  const std::int64_t a2 = allocs_of(in2);
+  EXPECT_EQ(a4, allocs_of(in4));  // alternation changed nothing
+  EXPECT_EQ(a2, allocs_of(in2));
+  EXPECT_EQ(session.slab().capacity_bytes(), cap);
+}
+
+// --- serving front-end ------------------------------------------------------
+
+TEST(Server, ConcurrentRequestsMatchSequentialRuns) {
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 330);
+  net.calibrate(random_input(2, m, 331));
+
+  constexpr int kClients = 6;
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> expected;
+  {
+    InferenceSession session(net, dev());
+    for (int i = 0; i < kClients; ++i) {
+      samples.push_back(random_input(1, m, 332 + static_cast<unsigned>(i)));
+      expected.push_back(session.run(samples.back()));
+    }
+  }
+
+  ServerOptions opts;
+  opts.max_batch = 4;
+  // Generous window: client threads must only *start* within it for a
+  // micro-batch to form, even under sanitizer slowdowns on a loaded runner.
+  opts.batch_window = std::chrono::microseconds(1000 * 1000);
+  InferenceServer server(net, dev(), opts);
+  std::vector<Tensor<std::int32_t>> got(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back(
+          [&, i] { got[static_cast<std::size_t>(i)] = server.infer(
+                       samples[static_cast<std::size_t>(i)]); });
+    }
+    for (auto& t : clients) t.join();
+  }
+
+  for (int i = 0; i < kClients; ++i) {
+    // Server logits are {classes}; the sequential run's are {1, classes}.
+    const auto& e = expected[static_cast<std::size_t>(i)];
+    const auto& g = got[static_cast<std::size_t>(i)];
+    ASSERT_EQ(g.numel(), e.numel()) << "client " << i;
+    for (std::int64_t j = 0; j < g.numel(); ++j) {
+      EXPECT_EQ(g[j], e[j]) << "client " << i << " logit " << j;
+    }
+  }
+
+  const InferenceServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests, kClients);
+  EXPECT_GE(stats.batches, (kClients + opts.max_batch - 1) / opts.max_batch);
+  EXPECT_LE(stats.batches, kClients);
+  // With a 200 ms window and six concurrent clients, at least one
+  // micro-batch must have formed.
+  EXPECT_GE(stats.max_batch, 2);
+}
+
+TEST(Server, SingleRequestServedWithinWindow) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 340);
+  net.calibrate(random_input(1, m, 341));
+  InferenceServer server(net, dev(), {});
+  const auto sample = random_input(1, m, 342);
+  const auto logits = server.infer(sample);
+  EXPECT_EQ(logits.numel(), 5);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.batches, 1);
+}
+
+TEST(Server, RejectsWrongSampleShape) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 343);
+  net.calibrate(random_input(1, m, 344));
+  InferenceServer server(net, dev(), {});
+  Tensor<std::int32_t> bad({2, 8, 8, 4});  // a batch, not a sample
+  EXPECT_THROW(server.infer(bad), apnn::Error);
+  Tensor<std::int32_t> wrong_hw({1, 4, 4, 4});
+  EXPECT_THROW(server.infer(wrong_hw), apnn::Error);
+}
+
+}  // namespace
+}  // namespace apnn::nn

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Builds (if needed) and runs the wall-clock benchmarks:
-#   * bench/micro_host_kernels  (google-benchmark host primitives)
-#   * bench/apmm_hotpath        (seed loop vs microkernel pipeline)
-#   * bench/apconv_hotpath      (materialized-im2col vs fused APConv)
-# and writes BENCH_apmm_hotpath.json / BENCH_apconv_hotpath.json at the
-# repo root so the hot-path speedups are tracked across PRs.
+#   * bench/micro_host_kernels     (google-benchmark host primitives)
+#   * bench/apmm_hotpath           (seed loop vs microkernel pipeline)
+#   * bench/apconv_hotpath         (materialized-im2col vs fused APConv)
+#   * bench/apnn_forward_hotpath   (interpreter forward vs InferenceSession)
+# and writes the BENCH_*.json files at the repo root so the hot-path
+# speedups are tracked across PRs.
 #
 # Usage: tools/run_bench.sh [build_dir]
 set -euo pipefail
@@ -13,7 +14,8 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${1:-build}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target apmm_hotpath apconv_hotpath
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target apmm_hotpath apconv_hotpath apnn_forward_hotpath
 if cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_host_kernels \
     2>/dev/null; then
   "$BUILD_DIR/micro_host_kernels" --benchmark_min_time=0.05s || \
@@ -29,3 +31,7 @@ cat BENCH_apmm_hotpath.json
 "$BUILD_DIR/apconv_hotpath" BENCH_apconv_hotpath.json
 echo "BENCH_apconv_hotpath.json:"
 cat BENCH_apconv_hotpath.json
+
+"$BUILD_DIR/apnn_forward_hotpath" BENCH_apnn_forward_hotpath.json
+echo "BENCH_apnn_forward_hotpath.json:"
+cat BENCH_apnn_forward_hotpath.json
