@@ -21,6 +21,8 @@ std::string kernel_name(int p, int q) {
 ApmmOptions as_apmm_options(const ApconvOptions& o) {
   ApmmOptions a;
   a.autotune = false;  // tile already resolved by apconv
+  a.micro = o.micro;
+  a.combine_fast = o.combine_fast;
   a.batch_planes = o.batch_planes;
   a.double_caching = o.double_caching;
   a.fragment_caching = o.fragment_caching;
@@ -292,9 +294,11 @@ ApconvResult apconv(const ApOperand& w, const layout::PackedActivations& x,
     // does not alter the launch records above, which model the nominal
     // tiling.
     const std::int64_t win = pool.active() ? pool.size : 1;
-    const internal::BatchedGeometry fgeom = internal::make_geometry(
+    internal::BatchedGeometry fgeom = internal::make_geometry(
         g.gemm_m(), g.gemm_n(), g.gemm_k(), w.bits(), x.bits, tile,
         win * win);
+    fgeom.micro = opts.micro;
+    fgeom.combine_fast = opts.combine_fast;
 
     std::vector<std::int32_t> corr;
     if (sel.kind == EmulationCase::kCaseII && g.pad > 0) {

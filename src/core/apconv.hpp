@@ -37,6 +37,10 @@ struct ApconvOptions {
   TileConfig tile;
   double tlp_threshold = 64.0;
 
+  /// Host-microkernel execution knobs; see ApmmOptions::micro.
+  microkernel::MicroConfig micro;
+  bool combine_fast = true;
+
   bool batch_planes = true;
   bool double_caching = true;
   bool fragment_caching = true;

@@ -39,7 +39,9 @@ ApmmResult apmm(const ApOperand& w, const ApOperand& x,
     assign_warp_grid(tile);
   }
   res.tile = tile;
-  const BatchedGeometry g = internal::make_geometry(w, x, tile);
+  BatchedGeometry g = internal::make_geometry(w, x, tile);
+  g.micro = opts.micro;
+  g.combine_fast = opts.combine_fast;
 
   // --- Launch records -------------------------------------------------
   if (opts.collect_profile) {

@@ -24,6 +24,7 @@
 
 #include "src/core/ap_bit.hpp"
 #include "src/core/fusion.hpp"
+#include "src/core/microkernel.hpp"
 #include "src/core/perf_model.hpp"
 #include "src/tcsim/cost_model.hpp"
 #include "src/tcsim/device_spec.hpp"
@@ -42,6 +43,13 @@ struct ApmmOptions {
   bool autotune = true;
   TileConfig tile;
   double tlp_threshold = 64.0;
+
+  /// Host-microkernel execution knobs (k-strip depth, staging variant) and
+  /// the p=q=1 identity combine fast path. Results are bit-identical for
+  /// every setting; core::Autotuner measures candidates per stage and bakes
+  /// the fastest into the session plan.
+  microkernel::MicroConfig micro;
+  bool combine_fast = true;
 
   /// §4.1a batch strategy: one virtually batched BMMA vs p*q independent
   /// BMMA launches (the "existing BMMA kernels" baseline).

@@ -295,7 +295,7 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
     std::int32_t* raw = arena.get<std::int32_t>(g.vtm8 * g.vtn8);
     std::fill_n(raw, g.vtm8 * g.vtn8, 0);
     microkernel::block_bitgemm(sel.bit_op, wrows, g.vtm8, bsrc, g.row_words,
-                               raw, arena);
+                               raw, arena, g.micro);
 
     // Fused conv tail: correction -> BN/ReLU -> pool -> quantize/store, all
     // inside the block (no full-output pass exists downstream). The walk is
@@ -527,7 +527,8 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
 
     // Bit combination + epilogue for the block's output elements.
     if (!epi.has_quant) {
-      const bool fast = g.p == 1 && g.q == 1 && epi.identity();
+      const bool fast =
+          g.combine_fast && g.p == 1 && g.q == 1 && epi.identity();
       const std::int64_t cols = n_end - n0;
       for (std::int64_t mo = 0; mo < m_end - m0; ++mo) {
         const std::int64_t m = m0 + mo;

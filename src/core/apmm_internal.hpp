@@ -14,6 +14,7 @@
 #include "src/bitops/bit_matrix.hpp"
 #include "src/core/apconv.hpp"
 #include "src/core/apmm.hpp"
+#include "src/core/microkernel.hpp"
 #include "src/parallel/thread_pool.hpp"
 
 namespace apnn::core::internal {
@@ -36,6 +37,11 @@ struct BatchedGeometry {
   std::int64_t grid_m, grid_n, blocks;
   std::int64_t ktiles;    ///< 128-bit k-slabs
   std::int64_t row_words;
+
+  /// Host-microkernel execution knobs (autotuner candidates). Neither field
+  /// changes results or launch records — only where bytes move.
+  microkernel::MicroConfig micro;
+  bool combine_fast = true;  ///< allow the p=q=1 identity combine fast path
 };
 
 BatchedGeometry make_geometry(const ApOperand& w, const ApOperand& x,

@@ -87,7 +87,10 @@ void rowblock_strip(const std::uint64_t* a_panel, std::int64_t rows8,
                                  _mm512_sad_epu8(bytes, _mm512_setzero_si512()));
       }
       std::int32_t* dst = raw + i * cols8 + j;
-      const __m256i lanes = _mm512_cvtepi64_epi32(acc64);
+      // maskz form: the plain _mm512_cvtepi64_epi32 seeds its destination
+      // with _mm256_undefined_si256, which trips gcc's -Wmaybe-uninitialized
+      // at -O3 (GCC PR105593); the zero seed emits the same vpmovqd.
+      const __m256i lanes = _mm512_maskz_cvtepi64_epi32(0xff, acc64);
       _mm256_storeu_si256(
           reinterpret_cast<__m256i*>(dst),
           _mm256_add_epi32(
@@ -151,31 +154,41 @@ constexpr bool kUseTransposedB = false;
 template <tcsim::BitOp Op>
 void block_bitgemm_impl(const std::uint64_t* const* a_rows, std::int64_t rows8,
                         const PanelSource& b, std::int64_t row_words,
-                        std::int32_t* acc, parallel::ScratchArena& arena) {
+                        std::int32_t* acc, parallel::ScratchArena& arena,
+                        const MicroConfig& micro) {
   const std::int64_t cols8 = b.rows();
-  const std::int64_t strip = std::min<std::int64_t>(kStripWords, row_words);
+  const std::int64_t strip =
+      std::min<std::int64_t>(micro.effective_strip(), row_words);
+  // The transposed row-block kernel only exists on SIMD builds; kRowMajor
+  // forces the 8x8 tile path there (a tuning candidate — it wins when the
+  // per-column psadbw lanes are wasted on tiny column counts).
+  bool transposed = false;
+  if constexpr (kUseTransposedB) {
+    transposed = micro.staging != MicroConfig::Staging::kRowMajor;
+  }
   std::uint64_t* a_panel = arena.get<std::uint64_t>(rows8 * strip);
   std::uint64_t* b_panel = arena.get<std::uint64_t>(cols8 * strip);
-  std::uint64_t* b_scratch =
-      kUseTransposedB && !b.direct_transpose()
-          ? arena.get<std::uint64_t>(cols8 * strip)
-          : nullptr;
+  std::uint64_t* b_scratch = transposed && !b.direct_transpose()
+                                 ? arena.get<std::uint64_t>(cols8 * strip)
+                                 : nullptr;
 
   for (std::int64_t w0 = 0; w0 < row_words; w0 += strip) {
     const std::int64_t wc = std::min<std::int64_t>(strip, row_words - w0);
     stage_panel(a_rows, rows8, w0, wc, a_panel);
     if constexpr (kUseTransposedB) {
-      b.stage_transposed(w0, wc, b_panel, b_scratch);
-      rowblock_strip<Op>(a_panel, rows8, b_panel, cols8, wc, acc);
-    } else {
-      b.stage(w0, wc, b_panel);
-      for (std::int64_t ii = 0; ii < rows8; ii += 8) {
-        const std::uint64_t* a_tile = a_panel + ii * wc;
-        std::int32_t* acc_row = acc + ii * cols8;
-        for (std::int64_t jj = 0; jj < cols8; jj += 8) {
-          tile_8x8_strip<Op>(a_tile, wc, b_panel + jj * wc, wc, wc,
-                             acc_row + jj, cols8);
-        }
+      if (transposed) {
+        b.stage_transposed(w0, wc, b_panel, b_scratch);
+        rowblock_strip<Op>(a_panel, rows8, b_panel, cols8, wc, acc);
+        continue;
+      }
+    }
+    b.stage(w0, wc, b_panel);
+    for (std::int64_t ii = 0; ii < rows8; ii += 8) {
+      const std::uint64_t* a_tile = a_panel + ii * wc;
+      std::int32_t* acc_row = acc + ii * cols8;
+      for (std::int64_t jj = 0; jj < cols8; jj += 8) {
+        tile_8x8_strip<Op>(a_tile, wc, b_panel + jj * wc, wc, wc,
+                           acc_row + jj, cols8);
       }
     }
   }
@@ -186,25 +199,27 @@ void block_bitgemm_impl(const std::uint64_t* const* a_rows, std::int64_t rows8,
 void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
                    std::int64_t rows8, const PanelSource& b,
                    std::int64_t row_words, std::int32_t* acc,
-                   parallel::ScratchArena& arena) {
+                   parallel::ScratchArena& arena, const MicroConfig& micro) {
   APNN_DCHECK(rows8 % 8 == 0 && b.rows() % 8 == 0)
       << "tile dims must be multiples of 8: " << rows8 << "x" << b.rows();
+  APNN_DCHECK(micro.effective_strip() >= 1);
   if (rows8 == 0 || b.rows() == 0 || row_words == 0) return;
   if (op == tcsim::BitOp::kXor) {
     block_bitgemm_impl<tcsim::BitOp::kXor>(a_rows, rows8, b, row_words, acc,
-                                           arena);
+                                           arena, micro);
   } else {
     block_bitgemm_impl<tcsim::BitOp::kAnd>(a_rows, rows8, b, row_words, acc,
-                                           arena);
+                                           arena, micro);
   }
 }
 
 void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
                    std::int64_t rows8, const std::uint64_t* const* b_rows,
                    std::int64_t cols8, std::int64_t row_words,
-                   std::int32_t* acc, parallel::ScratchArena& arena) {
+                   std::int32_t* acc, parallel::ScratchArena& arena,
+                   const MicroConfig& micro) {
   block_bitgemm(op, a_rows, rows8, RowPointerSource(b_rows, cols8), row_words,
-                acc, arena);
+                acc, arena, micro);
 }
 
 }  // namespace apnn::core::microkernel

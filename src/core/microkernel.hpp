@@ -46,6 +46,20 @@ namespace apnn::core::microkernel {
 /// tiles.
 inline constexpr std::int64_t kStripWords = 32;
 
+/// Compile-time SIMD flavor of the popcount kernels — part of the tuning
+/// cache's hardware fingerprint (measurements from one flavor must never be
+/// replayed under another).
+#if defined(__AVX512BW__)
+inline constexpr const char* kSimdFlavor = "avx512bw";
+inline constexpr bool kHasRowBlockKernel = true;
+#elif defined(__AVX2__)
+inline constexpr const char* kSimdFlavor = "avx2";
+inline constexpr bool kHasRowBlockKernel = true;
+#else
+inline constexpr const char* kSimdFlavor = "scalar";
+inline constexpr bool kHasRowBlockKernel = false;
+#endif
+
 /// One 64-bit lane of the 1-bit dot product: popc(a XOR b) or popc(a AND b),
 /// selected at compile time.
 template <tcsim::BitOp Op>
@@ -62,10 +76,18 @@ inline std::int32_t bit_dot_word(std::uint64_t a, std::uint64_t b) {
 namespace detail {
 
 /// Per-byte popcount of a 512-bit vector via the 4-bit pshufb lookup
-/// (Muła's technique): two table shuffles + an add per 64 bytes.
+/// (Muła's technique): two table shuffles + an add per 64 bytes. The table
+/// is spelled as a full _mm512_set_epi8 constant (high byte first, the
+/// 16-byte nibble table repeated per 128-bit lane) rather than
+/// _mm512_broadcast_i32x4, whose _mm512_undefined_epi32 seed trips gcc's
+/// -Wmaybe-uninitialized at -O3 (GCC PR105593); the constant loads
+/// identically.
 inline __m512i popcount_bytes512(__m512i v) {
-  const __m512i lookup = _mm512_broadcast_i32x4(_mm_setr_epi8(
-      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+  const __m512i lookup = _mm512_set_epi8(
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0,
+      4, 3, 3, 2, 3, 2, 2, 1, 3, 2, 2, 1, 2, 1, 1, 0);
   const __m512i low_mask = _mm512_set1_epi8(0x0f);
   const __m512i lo = _mm512_and_si512(v, low_mask);
   const __m512i hi = _mm512_and_si512(_mm512_srli_epi16(v, 4), low_mask);
@@ -80,6 +102,21 @@ inline __m512i bit_op512(__m512i a, __m512i b) {
   } else {
     return _mm512_and_si512(a, b);
   }
+}
+
+/// Horizontal sum of the eight 64-bit lanes. Open-coded instead of
+/// _mm512_reduce_add_epi64: gcc lowers that (and even the plain 512→256
+/// cast) through extracts seeded with _mm256_undefined_*, which trips
+/// -Wmaybe-uninitialized at -O3 (GCC PR105593); the maskz extracts seed
+/// with zeros and generate the same instructions.
+inline std::int64_t hsum_epi64_512(__m512i v) {
+  const __m256i lo = _mm512_maskz_extracti64x4_epi64(0xff, v, 0);
+  const __m256i hi = _mm512_maskz_extracti64x4_epi64(0xff, v, 1);
+  const __m256i s = _mm256_add_epi64(lo, hi);
+  const __m128i lo128 = _mm256_castsi256_si128(s);
+  const __m128i hi128 = _mm256_extracti128_si256(s, 1);
+  const __m128i s2 = _mm_add_epi64(lo128, hi128);
+  return _mm_cvtsi128_si64(s2) + _mm_extract_epi64(s2, 1);
 }
 
 }  // namespace detail
@@ -127,14 +164,14 @@ inline void tile_8x8_strip(const std::uint64_t* a, std::int64_t lda,
                 detail::bit_op512<Op>(av, _mm512_loadu_si512(bp[7] + w))));
       }
       const __m512i zero = _mm512_setzero_si512();
-      c[0] += _mm512_reduce_add_epi64(_mm512_sad_epu8(b0, zero));
-      c[1] += _mm512_reduce_add_epi64(_mm512_sad_epu8(b1, zero));
-      c[2] += _mm512_reduce_add_epi64(_mm512_sad_epu8(b2, zero));
-      c[3] += _mm512_reduce_add_epi64(_mm512_sad_epu8(b3, zero));
-      c[4] += _mm512_reduce_add_epi64(_mm512_sad_epu8(b4, zero));
-      c[5] += _mm512_reduce_add_epi64(_mm512_sad_epu8(b5, zero));
-      c[6] += _mm512_reduce_add_epi64(_mm512_sad_epu8(b6, zero));
-      c[7] += _mm512_reduce_add_epi64(_mm512_sad_epu8(b7, zero));
+      c[0] += detail::hsum_epi64_512(_mm512_sad_epu8(b0, zero));
+      c[1] += detail::hsum_epi64_512(_mm512_sad_epu8(b1, zero));
+      c[2] += detail::hsum_epi64_512(_mm512_sad_epu8(b2, zero));
+      c[3] += detail::hsum_epi64_512(_mm512_sad_epu8(b3, zero));
+      c[4] += detail::hsum_epi64_512(_mm512_sad_epu8(b4, zero));
+      c[5] += detail::hsum_epi64_512(_mm512_sad_epu8(b5, zero));
+      c[6] += detail::hsum_epi64_512(_mm512_sad_epu8(b6, zero));
+      c[7] += detail::hsum_epi64_512(_mm512_sad_epu8(b7, zero));
     }
     for (; w < words; ++w) {  // scalar tail (< 8 words)
       const std::uint64_t av = ap[w];
@@ -320,6 +357,35 @@ inline void tile_8x8_strip(tcsim::BitOp op, const std::uint64_t* a,
   }
 }
 
+/// Runtime-tunable execution knobs of block_bitgemm — the host analogue of
+/// the §4.3 device tiling parameters the paper tunes per layer. The defaults
+/// reproduce the historical fixed behavior; core::Autotuner measures
+/// alternatives per stage on the real operands and bakes the winner into the
+/// session's ExecutionPlan.
+struct MicroConfig {
+  /// k-strip depth in 64-bit words (cache-blocking granularity); 0 selects
+  /// the kStripWords default. Small strips trade staging amortization for a
+  /// smaller cache footprint — which side wins depends on the stage's K and
+  /// on how many virtual rows a block stages.
+  std::int64_t strip_words = 0;
+
+  /// Which staging layout + inner-kernel pair runs the k-sweep.
+  enum class Staging {
+    kAuto,        ///< transposed row-block kernel when the build has SIMD
+    kTransposed,  ///< force the word-interleaved row-block kernel
+    kRowMajor,    ///< force row-major staging + the 8x8 tile kernel
+  };
+  Staging staging = Staging::kAuto;
+
+  std::int64_t effective_strip() const {
+    return strip_words > 0 ? strip_words : kStripWords;
+  }
+
+  bool operator==(const MicroConfig& o) const {
+    return strip_words == o.strip_words && staging == o.staging;
+  }
+};
+
 /// Copies words [w0, w0 + words) of each row into a contiguous panel
 /// (row i at panel + i * words). A nullptr row stands for virtual zero
 /// padding (out-of-range rows of the plane-interleaved tile) and stages as
@@ -396,18 +462,22 @@ class RowPointerSource final : public PanelSource {
 /// (rows8 entries, a multiple of 8; nullptr = zero row) and B panel source
 /// (rows() a multiple of 8), accumulates
 ///   acc[i * b.rows() + j] += sum_{w < row_words} popc(op(a_i[w], b_j[w]))
-/// walking k in kStripWords strips, staging each strip once, and invoking
-/// the 8x8 microkernel per output tile. All temporaries come from `arena`
-/// (valid until the caller's next reset()).
+/// walking k in micro.effective_strip() strips, staging each strip once,
+/// and invoking the inner kernel micro selects per output tile. All
+/// temporaries come from `arena` (valid until the caller's next reset()).
+/// The result is bit-identical for every MicroConfig — the knobs only move
+/// bytes.
 void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
                    std::int64_t rows8, const PanelSource& b,
                    std::int64_t row_words, std::int32_t* acc,
-                   parallel::ScratchArena& arena);
+                   parallel::ScratchArena& arena,
+                   const MicroConfig& micro = {});
 
 /// Row-pointer-table convenience overload (wraps RowPointerSource).
 void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
                    std::int64_t rows8, const std::uint64_t* const* b_rows,
                    std::int64_t cols8, std::int64_t row_words,
-                   std::int32_t* acc, parallel::ScratchArena& arena);
+                   std::int32_t* acc, parallel::ScratchArena& arena,
+                   const MicroConfig& micro = {});
 
 }  // namespace apnn::core::microkernel

@@ -258,7 +258,7 @@ struct InferenceSession::Plan {
   /// single-entry cache would re-run autotune — and allocate — each time).
   struct ResolvedBatch {
     std::vector<layout::ConvGeometry> geom;  ///< per step (kConv only)
-    std::vector<core::TileConfig> tile;      ///< per step (kConv/kLinear)
+    std::vector<core::TunedKernel> kern;     ///< per step (kConv/kLinear)
   };
 
   std::vector<Value> values;
@@ -678,14 +678,6 @@ class Compiler {
 
 // --- session ---------------------------------------------------------------
 
-InferenceSession::InferenceSession(const ApnnNetwork& net,
-                                   const tcsim::DeviceSpec& dev)
-    : net_(net), dev_(dev), plan_(std::make_unique<Plan>()) {
-  APNN_CHECK(net.calibrated()) << "call calibrate() before compiling";
-  Compiler(net, *plan_).compile();
-  plan_->slab.require(plan_->num_slots);
-}
-
 InferenceSession::~InferenceSession() = default;
 
 const parallel::ActivationSlab& InferenceSession::slab() const {
@@ -698,57 +690,91 @@ std::size_t InferenceSession::slot_count() const { return plan_->num_slots; }
 
 namespace {
 
-/// Plan-time tile refinement. The §4.3.2 heuristic optimizes the modeled
-/// GPU occupancy (TLP/CI); on the host microkernel an over-tall bm on a
-/// short-M stage (e.g. the 8-channel stem, a small classifier head) only
-/// stages padded zero A-rows and zero-filled accumulator rows in every
-/// block. Clamping bm to the stage's virtual row count removes that waste —
-/// a compile-step decision the per-call interpreter never made; the kernel
-/// result is bit-exact for any tile.
-core::TileConfig refine_tile(core::TileConfig t, std::int64_t m, int p) {
-  const std::int64_t vrows = m * p;
-  const auto cap =
-      static_cast<int>(std::max<std::int64_t>(16, (vrows + 15) / 16 * 16));
-  t.bm = std::min(t.bm, cap);
-  return t;
-}
-
-/// Resolves the batch-dependent step state (conv geometries, tiles) once
-/// per distinct batch size; later runs at an already-seen batch are pure
-/// map lookups (no autotune, no allocations).
+/// Resolves the batch-dependent step state (conv geometries, per-stage
+/// kernel configs) once per distinct batch size; later runs at an
+/// already-seen batch are pure map lookups (no tuning, no allocations).
+///
+/// With `tuner` set, each stage's config comes from an empirical
+/// measurement sweep (core::Autotuner) — or straight from its TuningCache
+/// when the stage signature was measured before. Without a tuner this is
+/// the heuristic plan: the §4.3.2 pick with bm clamped to the stage's
+/// virtual row count (short-M stages stop staging padded zero A-rows —
+/// e.g. the 8-channel stem, a small classifier head; the kernel result is
+/// bit-exact for any tile).
 const InferenceSession::Plan::ResolvedBatch& resolve_batch(
     const ApnnNetwork& net, const tcsim::DeviceSpec& dev,
-    InferenceSession::Plan& plan, std::int64_t batch) {
+    InferenceSession::Plan& plan, std::int64_t batch,
+    core::Autotuner* tuner) {
   const auto it = plan.resolved.find(batch);
   if (it != plan.resolved.end()) return it->second;
 
   InferenceSession::Plan::ResolvedBatch rb;
   rb.geom.resize(plan.steps.size());
-  rb.tile.resize(plan.steps.size());
+  rb.kern.resize(plan.steps.size());
   for (std::size_t si = 0; si < plan.steps.size(); ++si) {
     const auto& s = plan.steps[si];
     if (s.kind == StepKind::kConv) {
       const ApnnStage& st = net.stages()[s.stage];
       rb.geom[si] = conv_geometry(net.spec(), net.shapes(), s.layer, batch);
-      rb.tile[si] = refine_tile(
-          core::autotune_tile(rb.geom[si].gemm_m(), rb.geom[si].gemm_n(),
-                              rb.geom[si].gemm_k(), st.weights.bits(),
-                              st.in_bits, dev)
-              .tile,
-          rb.geom[si].gemm_m(), st.weights.bits());
+      if (tuner != nullptr) {
+        rb.kern[si] =
+            tuner->tune_apconv(st.weights, rb.geom[si], st.in_bits,
+                               st.in_enc, st.epilogue, st.pool);
+      } else {
+        rb.kern[si].tile = core::clamp_tile_rows(
+            core::autotune_tile(rb.geom[si].gemm_m(), rb.geom[si].gemm_n(),
+                                rb.geom[si].gemm_k(), st.weights.bits(),
+                                st.in_bits, dev)
+                .tile,
+            rb.geom[si].gemm_m(), st.weights.bits());
+      }
     } else if (s.kind == StepKind::kLinear) {
       const ApnnStage& st = net.stages()[s.stage];
-      rb.tile[si] = refine_tile(
-          core::autotune_tile(st.weights.rows(), batch, st.weights.cols(),
-                              st.weights.bits(), st.in_bits, dev)
-              .tile,
-          st.weights.rows(), st.weights.bits());
+      if (tuner != nullptr) {
+        rb.kern[si] = tuner->tune_apmm(st.weights, batch, st.in_bits,
+                                       st.in_enc, st.epilogue);
+      } else {
+        rb.kern[si].tile = core::clamp_tile_rows(
+            core::autotune_tile(st.weights.rows(), batch, st.weights.cols(),
+                                st.weights.bits(), st.in_bits, dev)
+                .tile,
+            st.weights.rows(), st.weights.bits());
+      }
     }
   }
   return plan.resolved.emplace(batch, std::move(rb)).first->second;
 }
 
 }  // namespace
+
+InferenceSession::InferenceSession(const ApnnNetwork& net,
+                                   const tcsim::DeviceSpec& dev,
+                                   const SessionOptions& opts)
+    : net_(net), dev_(dev), opts_(opts), plan_(std::make_unique<Plan>()) {
+  APNN_CHECK(net.calibrated()) << "call calibrate() before compiling";
+  Compiler(net, *plan_).compile();
+  plan_->slab.require(plan_->num_slots);
+  if (opts_.autotune) {
+    core::TuningCache* cache = opts_.cache;
+    if (cache == nullptr) {
+      owned_cache_ = std::make_unique<core::TuningCache>();
+      cache = owned_cache_.get();
+    }
+    tuner_ = std::make_unique<core::Autotuner>(dev_, cache, opts_.tuner);
+    if (opts_.tune_batch > 0) {
+      resolve_batch(net_, dev_, *plan_, opts_.tune_batch, tuner_.get());
+    }
+  }
+}
+
+std::int64_t InferenceSession::tuning_measurements() const {
+  return tuner_ != nullptr ? tuner_->measurement_runs() : 0;
+}
+
+std::vector<core::TunedKernel> InferenceSession::stage_kernels(
+    std::int64_t batch) {
+  return resolve_batch(net_, dev_, *plan_, batch, tuner_.get()).kern;
+}
 
 void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
                            Tensor<std::int32_t>* logits,
@@ -762,7 +788,8 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
   const std::int64_t batch = input_u8.dim(0);
   APNN_CHECK(batch >= 1);
   Plan& plan = *plan_;
-  const Plan::ResolvedBatch& rb = resolve_batch(net_, dev_, plan, batch);
+  const Plan::ResolvedBatch& rb =
+      resolve_batch(net_, dev_, plan, batch, tuner_.get());
 
   auto slot_of = [&](int vid) -> parallel::SlabSlot& {
     const auto& v = plan.values[static_cast<std::size_t>(vid)];
@@ -794,7 +821,9 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         const ApnnStage& st = net_.stages()[step.stage];
         core::ApconvOptions o;
         o.autotune = false;
-        o.tile = rb.tile[si];
+        o.tile = rb.kern[si].tile;
+        o.micro = rb.kern[si].micro;
+        o.combine_fast = rb.kern[si].combine_fast;
         o.collect_profile = prof != nullptr;
         parallel::SlabSlot& dst = slot_of(step.out);
         if (st.epilogue.has_quant) {
@@ -843,7 +872,9 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
 
         core::ApmmOptions o;
         o.autotune = false;
-        o.tile = rb.tile[si];
+        o.tile = rb.kern[si].tile;
+        o.micro = rb.kern[si].micro;
+        o.combine_fast = rb.kern[si].combine_fast;
         o.collect_profile = prof != nullptr;
         parallel::SlabSlot& dst = slot_of(step.out);
         Tensor<std::int32_t>* raw = nullptr;

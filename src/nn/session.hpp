@@ -27,7 +27,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "src/core/autotune.hpp"
 #include "src/nn/apnn_network.hpp"
 #include "src/parallel/slab.hpp"
 #include "src/tcsim/device_spec.hpp"
@@ -35,11 +37,35 @@
 
 namespace apnn::nn {
 
+/// Compile-time behavior of an InferenceSession.
+struct SessionOptions {
+  /// Empirical plan-time autotuning (core::Autotuner): per-stage kernel
+  /// geometries are measured on the real operand shapes instead of trusting
+  /// the §4.3.2 heuristic. Off by default — tuning costs a burst of
+  /// measurement runs per (stage, batch) unless `cache` already holds the
+  /// winners.
+  bool autotune = false;
+
+  /// Optional persistent tuning cache, shared across sessions/processes via
+  /// TuningCache::{load,save}_file. Non-owning; must outlive the session.
+  /// When null and autotune is on, the session keeps a private cache (warm
+  /// within the session only).
+  core::TuningCache* cache = nullptr;
+
+  /// When > 0 (and autotune is on), the constructor eagerly resolves — and
+  /// tunes — this batch size, so the first run() at that size pays no
+  /// tuning latency. Other batch sizes tune lazily on first use.
+  std::int64_t tune_batch = 0;
+
+  core::AutotuneOptions tuner;
+};
+
 class InferenceSession {
  public:
   /// Compiles `net` (must be calibrated) for `dev`. The network must
   /// outlive the session; recompile after re-calibrating.
-  InferenceSession(const ApnnNetwork& net, const tcsim::DeviceSpec& dev);
+  InferenceSession(const ApnnNetwork& net, const tcsim::DeviceSpec& dev,
+                   const SessionOptions& opts = {});
   ~InferenceSession();
 
   InferenceSession(const InferenceSession&) = delete;
@@ -70,9 +96,22 @@ class InferenceSession {
   std::size_t step_count() const;
   std::size_t slot_count() const;
 
+  /// Candidate measurement executions this session's autotuner has
+  /// performed (0 with autotuning off, or when every stage resolution hit
+  /// the TuningCache — the warm-cache fast path the tests pin).
+  std::int64_t tuning_measurements() const;
+
+  /// Resolved per-step kernel choices for `batch` (tuning it first if that
+  /// batch has not been seen): one entry per plan step; steps that are not
+  /// conv/linear stages carry default-constructed entries.
+  std::vector<core::TunedKernel> stage_kernels(std::int64_t batch);
+
  private:
   const ApnnNetwork& net_;
   tcsim::DeviceSpec dev_;
+  SessionOptions opts_;
+  std::unique_ptr<core::TuningCache> owned_cache_;
+  std::unique_ptr<core::Autotuner> tuner_;
   std::unique_ptr<Plan> plan_;
 };
 

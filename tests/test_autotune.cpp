@@ -1,0 +1,277 @@
+// Empirical autotuner + TuningCache gates:
+//   * cache serialize/deserialize round-trips every field;
+//   * a stale hardware fingerprint (or schema) invalidates the whole cache;
+//   * a warm cache makes a second InferenceSession compile skip every
+//     measurement run and pick geometrically identical kernels;
+//   * a tuned session stays bit-exact vs forward_reference on mini_resnet;
+//   * perf_model::ranked_tiles fronts the heuristic's own pick, so a tuned
+//     plan can always degrade to exactly the heuristic plan.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/autotune.hpp"
+#include "src/core/perf_model.hpp"
+#include "src/nn/apnn_network.hpp"
+#include "src/nn/model.hpp"
+#include "src/nn/session.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+namespace apnn {
+namespace {
+
+using core::AutotuneOptions;
+using core::StageKey;
+using core::TunedKernel;
+using core::TuningCache;
+
+const tcsim::DeviceSpec& dev() { return tcsim::rtx3090(); }
+
+StageKey sample_key(std::int64_t n) {
+  StageKey key;
+  key.kind = "mm";
+  key.m = 128;
+  key.n = n;
+  key.k = 512;
+  key.p = 1;
+  key.q = 2;
+  key.ecase = core::EmulationCase::kCaseIII;
+  key.has_relu = true;
+  key.qbits = 2;
+  return key;
+}
+
+TunedKernel sample_kernel() {
+  TunedKernel c;
+  c.tile.bm = 32;
+  c.tile.bn = 128;
+  c.micro.strip_words = 16;
+  c.micro.staging = core::microkernel::MicroConfig::Staging::kRowMajor;
+  c.combine_fast = false;
+  c.measured_ms = 1.25;
+  c.measured = true;
+  return c;
+}
+
+// --- TuningCache ------------------------------------------------------------
+
+TEST(TuningCache, SerializeRoundTrip) {
+  TuningCache cache;
+  const TunedKernel a = sample_kernel();
+  TunedKernel b;  // defaults (heuristic-shaped entry)
+  b.tile.bm = 64;
+  b.tile.bn = 64;
+  b.measured = true;
+  b.measured_ms = 0.5;
+  cache.insert(sample_key(8), a);
+  cache.insert(sample_key(16), b);
+  ASSERT_EQ(cache.size(), 2u);
+
+  TuningCache loaded;
+  ASSERT_TRUE(loaded.deserialize(cache.serialize()));
+  ASSERT_EQ(loaded.size(), 2u);
+
+  TunedKernel got;
+  ASSERT_TRUE(loaded.lookup(sample_key(8), &got));
+  EXPECT_TRUE(got.same_config(a));
+  EXPECT_TRUE(got.measured);
+  EXPECT_DOUBLE_EQ(got.measured_ms, 1.25);
+  ASSERT_TRUE(loaded.lookup(sample_key(16), &got));
+  EXPECT_TRUE(got.same_config(b));
+  EXPECT_FALSE(loaded.lookup(sample_key(32), &got));
+}
+
+TEST(TuningCache, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "apnn_tuning_cache_test";
+  TuningCache cache;
+  cache.insert(sample_key(8), sample_kernel());
+  ASSERT_TRUE(cache.save_file(path));
+
+  TuningCache loaded;
+  ASSERT_TRUE(loaded.load_file(path));
+  EXPECT_EQ(loaded.size(), 1u);
+  TunedKernel got;
+  EXPECT_TRUE(loaded.lookup(sample_key(8), &got));
+  std::remove(path.c_str());
+
+  TuningCache missing;
+  EXPECT_FALSE(missing.load_file(path));
+  EXPECT_EQ(missing.size(), 0u);
+}
+
+TEST(TuningCache, StaleFingerprintInvalidates) {
+  TuningCache cache;
+  cache.insert(sample_key(8), sample_kernel());
+  std::string text = cache.serialize();
+
+  // Rewrite the fingerprint line to a foreign machine shape.
+  const std::string fp = TuningCache::hardware_fingerprint();
+  const auto pos = text.find(fp);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, fp.size(), "v1:neon:t64");
+
+  TuningCache stale;
+  EXPECT_FALSE(stale.deserialize(text));
+  EXPECT_EQ(stale.size(), 0u);
+
+  // Inspection mode loads it anyway and reports the foreign fingerprint.
+  TuningCache inspect;
+  EXPECT_TRUE(inspect.deserialize(text, /*any_fingerprint=*/true));
+  EXPECT_EQ(inspect.size(), 1u);
+  EXPECT_EQ(inspect.fingerprint(), "v1:neon:t64");
+}
+
+TEST(TuningCache, MalformedInputRejected) {
+  TuningCache cache;
+  EXPECT_FALSE(cache.deserialize("not-a-cache 1\nfingerprint x\n"));
+  EXPECT_FALSE(cache.deserialize(""));
+  // Wrong schema version.
+  std::string text = TuningCache().serialize();
+  const auto pos = text.find(" 1\n");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 3, " 999\n");
+  EXPECT_FALSE(cache.deserialize(text));
+}
+
+// --- candidate pruner -------------------------------------------------------
+
+TEST(RankedTiles, HeuristicPickLeads) {
+  for (const auto& [m, n, k, p, q] :
+       {std::tuple<std::int64_t, std::int64_t, std::int64_t, int, int>{
+            64, 512, 512, 1, 2},
+        {128, 2048, 576, 1, 2},
+        {10, 8, 1024, 1, 2},
+        {1024, 1024, 1024, 1, 1}}) {
+    const core::TileConfig want = core::clamp_tile_rows(
+        core::autotune_tile(m, n, k, p, q, dev()).tile, m, p);
+    const std::vector<core::TileConfig> tiles =
+        core::ranked_tiles(m, n, k, p, q, dev(), 4);
+    ASSERT_FALSE(tiles.empty());
+    EXPECT_LE(tiles.size(), 4u);
+    EXPECT_EQ(tiles.front().bm, want.bm);
+    EXPECT_EQ(tiles.front().bn, want.bn);
+    // No duplicate geometries survive pruning.
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+      for (std::size_t j = i + 1; j < tiles.size(); ++j) {
+        EXPECT_FALSE(tiles[i].bm == tiles[j].bm &&
+                     tiles[i].bn == tiles[j].bn);
+      }
+    }
+  }
+}
+
+// --- session integration ----------------------------------------------------
+
+nn::ApnnNetwork tuned_net(const nn::ModelSpec& m, std::uint64_t seed,
+                          Tensor<std::int32_t>* input, std::int64_t batch) {
+  nn::ApnnNetwork net = nn::ApnnNetwork::random(m, 1, 2, seed);
+  Rng rng(seed + 1);
+  input->reset_shape({batch, m.input.h, m.input.w, m.input.c});
+  input->randomize(rng, 0, 255);
+  net.calibrate(*input);
+  return net;
+}
+
+AutotuneOptions fast_tuner() {
+  AutotuneOptions t;
+  t.reps = 1;  // keep the suite quick; determinism comes from the cache
+  t.max_tile_candidates = 2;
+  return t;
+}
+
+TEST(SessionAutotune, WarmCacheSkipsMeasurementAndIsDeterministic) {
+  const nn::ModelSpec m = nn::mini_resnet(3, 8, 5);
+  const std::int64_t batch = 4;
+  Tensor<std::int32_t> input;
+  nn::ApnnNetwork net = tuned_net(m, 401, &input, batch);
+
+  TuningCache cache;
+  nn::SessionOptions opts;
+  opts.autotune = true;
+  opts.cache = &cache;
+  opts.tune_batch = batch;
+  opts.tuner = fast_tuner();
+
+  nn::InferenceSession first(net, dev(), opts);
+  EXPECT_GT(first.tuning_measurements(), 0);
+  EXPECT_GT(cache.size(), 0u);
+  const std::vector<TunedKernel> kern_a = first.stage_kernels(batch);
+
+  // Second compile against the warm cache: zero measurement runs, identical
+  // kernel geometry for every step.
+  nn::InferenceSession second(net, dev(), opts);
+  EXPECT_EQ(second.tuning_measurements(), 0);
+  const std::vector<TunedKernel> kern_b = second.stage_kernels(batch);
+  EXPECT_EQ(second.tuning_measurements(), 0);
+
+  ASSERT_EQ(kern_a.size(), kern_b.size());
+  for (std::size_t i = 0; i < kern_a.size(); ++i) {
+    EXPECT_TRUE(kern_a[i].same_config(kern_b[i])) << "step " << i;
+  }
+
+  // The warm path also survives a serialize -> deserialize round trip (what
+  // the CLI/server cold start does with the cache file).
+  TuningCache reloaded;
+  ASSERT_TRUE(reloaded.deserialize(cache.serialize()));
+  nn::SessionOptions ropts = opts;
+  ropts.cache = &reloaded;
+  nn::InferenceSession third(net, dev(), ropts);
+  EXPECT_EQ(third.tuning_measurements(), 0);
+}
+
+TEST(SessionAutotune, TunedSessionBitExact) {
+  const nn::ModelSpec m = nn::mini_resnet(3, 8, 5);
+  const std::int64_t batch = 3;
+  Tensor<std::int32_t> input;
+  nn::ApnnNetwork net = tuned_net(m, 402, &input, batch);
+  const Tensor<std::int32_t> ref = net.forward_reference(input);
+
+  TuningCache cache;
+  nn::SessionOptions opts;
+  opts.autotune = true;
+  opts.cache = &cache;
+  opts.tune_batch = batch;
+  opts.tuner = fast_tuner();
+  nn::InferenceSession session(net, dev(), opts);
+
+  Tensor<std::int32_t> logits;
+  session.run(input, &logits);
+  EXPECT_TRUE(logits == ref);
+  // Repeat runs (steady state, tuned kernels) stay exact.
+  session.run(input, &logits);
+  EXPECT_TRUE(logits == ref);
+
+  // A lazily tuned batch size (not the eager tune_batch) is exact too.
+  Rng rng(4021);
+  Tensor<std::int32_t> one({1, m.input.h, m.input.w, m.input.c});
+  one.randomize(rng, 0, 255);
+  const Tensor<std::int32_t> ref_one = net.forward_reference(one);
+  session.run(one, &logits);
+  EXPECT_TRUE(logits == ref_one);
+}
+
+TEST(SessionAutotune, PrivateCacheWarmWithinSession) {
+  const nn::ModelSpec m = nn::mini_resnet(3, 8, 4);
+  const std::int64_t batch = 2;
+  Tensor<std::int32_t> input;
+  nn::ApnnNetwork net = tuned_net(m, 403, &input, batch);
+
+  nn::SessionOptions opts;
+  opts.autotune = true;  // no external cache: session-private
+  opts.tuner = fast_tuner();
+  nn::InferenceSession session(net, dev(), opts);
+  EXPECT_EQ(session.tuning_measurements(), 0);  // lazy: nothing tuned yet
+
+  Tensor<std::int32_t> logits;
+  session.run(input, &logits);
+  const std::int64_t after_first = session.tuning_measurements();
+  EXPECT_GT(after_first, 0);
+  // Same batch again: resolved state is cached, no re-measurement.
+  session.run(input, &logits);
+  EXPECT_EQ(session.tuning_measurements(), after_first);
+}
+
+}  // namespace
+}  // namespace apnn

@@ -118,7 +118,7 @@ TEST(Strings, FormatBytes) {
 TEST(Timer, MeasuresElapsed) {
   WallTimer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(t.seconds(), 0.0);
   EXPECT_GE(t.micros(), t.millis());
 }

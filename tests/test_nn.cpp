@@ -135,7 +135,9 @@ TEST(Engine, FusedLayersMarked) {
   for (const auto& lp : p.layers) fused += lp.fused_away ? 1 : 0;
   EXPECT_GT(fused, 0);
   for (const auto& lp : p.layers) {
-    if (lp.fused_away) EXPECT_EQ(lp.latency.total_us, 0.0);
+    if (lp.fused_away) {
+      EXPECT_EQ(lp.latency.total_us, 0.0);
+    }
   }
 }
 

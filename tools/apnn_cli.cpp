@@ -5,6 +5,9 @@
 //   apnn_cli conv  C HW Cout k s    [--wbits p] [--abits q] [--device ...]
 //   apnn_cli model alexnet|vgg|resnet18 [--scheme fp32|fp16|int8|bnn|wXaY]
 //                                   [--batch N] [--device ...] [--no-fuse]
+//   apnn_cli tune  mini_resnet|vgg_lite [--scheme wXaY] [--batch N]
+//                                   [--cache path] [--device ...]
+//   apnn_cli inspect --cache path
 //   apnn_cli devices
 #include <cstdio>
 #include <cstdlib>
@@ -15,9 +18,13 @@
 #include "src/baselines/conv.hpp"
 #include "src/baselines/gemm.hpp"
 #include "src/common/strings.hpp"
+#include "src/common/timer.hpp"
 #include "src/core/apconv.hpp"
 #include "src/core/apmm.hpp"
+#include "src/core/autotune.hpp"
+#include "src/nn/apnn_network.hpp"
 #include "src/nn/engine.hpp"
+#include "src/nn/session.hpp"
 #include "src/tcsim/cost_model.hpp"
 #include "src/tcsim/trace.hpp"
 
@@ -30,8 +37,10 @@ struct Args {
   std::string device = "3090";
   std::string scheme = "w1a2";
   std::string trace_path;
+  std::string cache_path;
   std::int64_t batch = 8;
   int wbits = 1, abits = 2;
+  int reps = 2;
   bool fuse = true;
 };
 
@@ -52,6 +61,10 @@ Args parse(int argc, char** argv) {
       a.scheme = next("--scheme");
     } else if (s == "--trace") {
       a.trace_path = next("--trace");
+    } else if (s == "--cache") {
+      a.cache_path = next("--cache");
+    } else if (s == "--reps") {
+      a.reps = std::atoi(next("--reps").c_str());
     } else if (s == "--batch") {
       a.batch = std::atoll(next("--batch").c_str());
     } else if (s == "--wbits") {
@@ -219,6 +232,123 @@ int cmd_model(const Args& a) {
   return 0;
 }
 
+std::string kernel_desc(const core::TunedKernel& k) {
+  std::string s = strf(
+      "bm=%-3d bn=%-3d strip=%-2lld staging=%d fast=%d", k.tile.bm, k.tile.bn,
+      static_cast<long long>(k.micro.effective_strip()),
+      static_cast<int>(k.micro.staging), k.combine_fast ? 1 : 0);
+  if (k.measured) s += strf("  %8.3f ms", k.measured_ms);
+  return s;
+}
+
+int cmd_tune(const Args& a) {
+  if (a.positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: apnn_cli tune mini_resnet|vgg_lite [--scheme wXaY] "
+                 "[--batch N] [--cache path] [--reps R] [--device ...]\n");
+    return 2;
+  }
+  const std::string& name = a.positional[1];
+  nn::ModelSpec spec;
+  if (name == "mini_resnet") {
+    spec = nn::mini_resnet(8, 32, 10);  // the serving-size bench workload
+  } else if (name == "vgg_lite") {
+    spec = nn::vgg_lite();
+  } else {
+    std::fprintf(stderr,
+                 "tune runs real kernels and supports the executable zoo "
+                 "specs: mini_resnet, vgg_lite\n");
+    return 2;
+  }
+  int p = 1, q = 2;
+  if (std::sscanf(a.scheme.c_str(), "w%da%d", &p, &q) != 2) {
+    std::fprintf(stderr, "tune needs a wXaY scheme, got '%s'\n",
+                 a.scheme.c_str());
+    return 2;
+  }
+  if (a.reps < 1 || a.batch < 1) {
+    std::fprintf(stderr, "--reps and --batch must be >= 1\n");
+    return 2;
+  }
+  const auto& dev = device_for(a.device);
+
+  core::TuningCache cache;
+  if (!a.cache_path.empty()) {
+    if (cache.load_file(a.cache_path)) {
+      std::printf("cache %s: %zu entries loaded (fingerprint %s)\n",
+                  a.cache_path.c_str(), cache.size(),
+                  cache.fingerprint().c_str());
+    } else {
+      std::printf("cache %s: starting fresh (missing, malformed, or stale "
+                  "fingerprint)\n",
+                  a.cache_path.c_str());
+    }
+  }
+
+  nn::ApnnNetwork net = nn::ApnnNetwork::random(spec, p, q, 42);
+  Rng rng(43);
+  Tensor<std::int32_t> input(
+      {a.batch, spec.input.h, spec.input.w, spec.input.c});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+
+  nn::SessionOptions opts;
+  opts.autotune = true;
+  opts.cache = &cache;
+  opts.tune_batch = a.batch;
+  opts.tuner.reps = a.reps;
+  WallTimer timer;
+  nn::InferenceSession session(net, dev, opts);
+  const double tune_ms = timer.millis();
+
+  std::printf("%s w%da%d, batch %lld, device %s\n", spec.name.c_str(), p, q,
+              static_cast<long long>(a.batch), dev.name.c_str());
+  const std::vector<core::TunedKernel> kernels =
+      session.stage_kernels(a.batch);
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    if (!kernels[i].measured) continue;  // glue steps carry no kernel
+    std::printf("  step %2zu : %s\n", i, kernel_desc(kernels[i]).c_str());
+  }
+  std::printf("  tuned in %.1f ms (%lld measurement runs; cache now holds "
+              "%zu entries)\n",
+              tune_ms, static_cast<long long>(session.tuning_measurements()),
+              cache.size());
+
+  if (!a.cache_path.empty()) {
+    if (!cache.save_file(a.cache_path)) {
+      std::fprintf(stderr, "cannot write %s\n", a.cache_path.c_str());
+      return 1;
+    }
+    std::printf("  cache saved to %s (%zu entries)\n", a.cache_path.c_str(),
+                cache.size());
+  }
+  return 0;
+}
+
+int cmd_inspect(const Args& a) {
+  if (a.cache_path.empty()) {
+    std::fprintf(stderr, "usage: apnn_cli inspect --cache path\n");
+    return 2;
+  }
+  core::TuningCache cache;
+  if (!cache.load_file(a.cache_path, /*any_fingerprint=*/true)) {
+    std::fprintf(stderr, "%s: unreadable or malformed tuning cache\n",
+                 a.cache_path.c_str());
+    return 1;
+  }
+  const std::string current = core::TuningCache::hardware_fingerprint();
+  const bool stale = cache.fingerprint() != current;
+  std::printf("tuning cache %s: %zu entries\n", a.cache_path.c_str(),
+              cache.size());
+  std::printf("  fingerprint : %s%s\n", cache.fingerprint().c_str(),
+              stale ? "  [STALE — this binary would ignore it]" : "");
+  if (stale) std::printf("  this binary : %s\n", current.c_str());
+  for (const auto& [key, k] : cache.entries()) {
+    std::printf("  %-60s %s\n", key.c_str(), kernel_desc(k).c_str());
+  }
+  return 0;
+}
+
 int cmd_devices() {
   for (const auto* d : {&tcsim::rtx3090(), &tcsim::a100()}) {
     std::printf("%s: %d SMs @ %.2f GHz, %.0f GB/s, peaks int1/int4/int8/"
@@ -238,11 +368,14 @@ int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
   if (a.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: apnn_cli gemm|conv|model|devices ...\n"
+                 "usage: apnn_cli gemm|conv|model|tune|inspect|devices ...\n"
                  "  gemm M N K p q\n"
                  "  conv Cin HW Cout k s [--wbits p --abits q --batch N]\n"
                  "  model alexnet|vgg|resnet18|vgg_lite [--scheme wXaY|fp32|"
                  "fp16|int8|bnn] [--batch N] [--no-fuse]\n"
+                 "  tune mini_resnet|vgg_lite [--scheme wXaY] [--batch N] "
+                 "[--cache path] [--reps R]\n"
+                 "  inspect --cache path\n"
                  "  common: [--device 3090|a100] [--trace out.json]\n");
     return 2;
   }
@@ -250,6 +383,8 @@ int main(int argc, char** argv) {
   if (cmd == "gemm") return cmd_gemm(a);
   if (cmd == "conv") return cmd_conv(a);
   if (cmd == "model") return cmd_model(a);
+  if (cmd == "tune") return cmd_tune(a);
+  if (cmd == "inspect") return cmd_inspect(a);
   if (cmd == "devices") return cmd_devices();
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the BENCH_*.json hot-path results.
+
+Compares freshly produced benchmark JSONs against the checked-in baselines
+and fails (exit 1) on a regression:
+
+  * ``bit_exact`` present in the baseline must be true in the fresh run —
+    a wrong result is a hard failure regardless of speed;
+  * every ``*speedup*`` key (machine-relative ratios: interpreter/session,
+    tuned/heuristic, ...) must not drop below baseline by more than
+    ``--ratio-tol`` (these are the primary, hardware-independent gates);
+  * every ``*_ms`` key (absolute wall time) must not exceed baseline by more
+    than ``--ms-tol``. Baselines are recorded on the reference container,
+    so the default tolerance leaves headroom for different CI hardware —
+    the ratio gates are the tight ones;
+  * every numeric baseline key must exist in the fresh output (schema drift
+    is a failure: a silently dropped metric would un-gate it).
+
+Usage:
+  check_bench.py --baseline-dir . --fresh-dir bench-out [names...]
+  check_bench.py --baseline-dir . --fresh-dir bench-out --ms-tol -1 ...
+      (inverted tolerance: forces a failure — used to verify the gate fires)
+
+With no names, every BENCH_*.json found in the baseline dir is checked.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: pathlib.Path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL {path}: cannot read ({e})")
+        return None
+
+
+def check_file(name: str, base: dict, fresh: dict, ms_tol: float,
+               ratio_tol: float) -> list[str]:
+    errors = []
+    if base.get("bit_exact") is True and fresh.get("bit_exact") is not True:
+        errors.append("bit_exact is not true in the fresh run")
+
+    for key, bval in base.items():
+        if not isinstance(bval, (int, float)) or isinstance(bval, bool):
+            continue
+        fval = fresh.get(key)
+        if not isinstance(fval, (int, float)) or isinstance(fval, bool):
+            errors.append(f"metric '{key}' missing from fresh output")
+            continue
+        if "speedup" in key:
+            floor = bval * (1.0 - ratio_tol)
+            if fval < floor:
+                errors.append(
+                    f"{key}: {fval:.3f} < {floor:.3f} "
+                    f"(baseline {bval:.3f}, ratio-tol {ratio_tol:.2f})")
+        elif key.endswith("_ms"):
+            ceiling = bval * (1.0 + ms_tol)
+            if fval > ceiling:
+                errors.append(
+                    f"{key}: {fval:.3f} ms > {ceiling:.3f} ms "
+                    f"(baseline {bval:.3f}, ms-tol {ms_tol:.2f})")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default=".", type=pathlib.Path)
+    ap.add_argument("--fresh-dir", required=True, type=pathlib.Path)
+    ap.add_argument("--ms-tol", type=float, default=0.60,
+                    help="allowed relative slowdown of *_ms keys "
+                         "(default 0.60: cross-machine headroom)")
+    ap.add_argument("--ratio-tol", type=float, default=0.10,
+                    help="allowed relative drop of *speedup* keys "
+                         "(default 0.10: wall-clock noise)")
+    ap.add_argument("names", nargs="*",
+                    help="benchmark file names (default: BENCH_*.json in "
+                         "the baseline dir)")
+    args = ap.parse_args()
+
+    names = args.names or sorted(
+        p.name for p in args.baseline_dir.glob("BENCH_*.json"))
+    if not names:
+        print(f"FAIL: no BENCH_*.json baselines under {args.baseline_dir}")
+        return 1
+
+    failed = False
+    for name in names:
+        base = load(args.baseline_dir / name)
+        fresh = load(args.fresh_dir / name)
+        if base is None or fresh is None:
+            failed = True
+            continue
+        errors = check_file(name, base, fresh, args.ms_tol, args.ratio_tol)
+        if errors:
+            failed = True
+            print(f"FAIL {name}:")
+            for e in errors:
+                print(f"  - {e}")
+        else:
+            print(f"OK   {name}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

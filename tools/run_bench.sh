@@ -3,9 +3,12 @@
 #   * bench/micro_host_kernels     (google-benchmark host primitives)
 #   * bench/apmm_hotpath           (seed loop vs microkernel pipeline)
 #   * bench/apconv_hotpath         (materialized-im2col vs fused APConv)
-#   * bench/apnn_forward_hotpath   (interpreter forward vs InferenceSession)
-# and writes the BENCH_*.json files at the repo root so the hot-path
-# speedups are tracked across PRs.
+#   * bench/apnn_forward_hotpath   (interpreter vs InferenceSession vs the
+#                                   autotuned session plan)
+# and writes the BENCH_*.json files at the repo root — these are the
+# checked-in baselines the CI perf gate (tools/check_bench.py) compares
+# fresh runs against, so refresh them deliberately and on an otherwise idle
+# machine.
 #
 # Usage: tools/run_bench.sh [build_dir]
 set -euo pipefail
