@@ -1,0 +1,64 @@
+// Shared closed-loop serving load driver for the serving bench and
+// `apnn_cli serve`: N client threads hammer an InferenceServer round-robin
+// over a sample set, each firing its next request as soon as the previous
+// response lands, and every response is bit-compared against golden batch-1
+// session logits — so anything that reports a throughput number has also
+// proven exactness under whatever batch mix the traffic produced.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/timer.hpp"
+#include "src/nn/server.hpp"
+
+namespace apnn::bench {
+
+struct LoadResult {
+  double wall_ms = 0.0;
+  std::int64_t mismatches = 0;
+  nn::InferenceServer::Stats stats;
+};
+
+/// Issues `total` single-sample requests from `clients` threads (request i
+/// goes to client i % clients and uses sample i % samples.size()). Returns
+/// the wall time, the number of responses that differed from `golden`, and
+/// the server's stats snapshot after the load.
+inline LoadResult serve_load(nn::InferenceServer& server,
+                             const std::vector<Tensor<std::int32_t>>& samples,
+                             const std::vector<Tensor<std::int32_t>>& golden,
+                             int clients, int total) {
+  std::atomic<std::int64_t> mismatches{0};
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = c; i < total; i += clients) {
+        const std::size_t s = static_cast<std::size_t>(i) % samples.size();
+        const Tensor<std::int32_t> logits = server.infer(samples[s]);
+        const Tensor<std::int32_t>& want = golden[s];
+        if (logits.numel() != want.numel()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (std::int64_t j = 0; j < logits.numel(); ++j) {
+          if (logits[j] != want[j]) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  LoadResult r;
+  r.wall_ms = timer.millis();
+  r.mismatches = mismatches.load();
+  r.stats = server.stats();
+  return r;
+}
+
+}  // namespace apnn::bench

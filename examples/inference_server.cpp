@@ -1,11 +1,21 @@
-// Serving demo: dynamic micro-batching over a compiled InferenceSession.
+// Serving demo: a replicated session pool with dynamic micro-batching.
 //
 // Spins up an nn::InferenceServer on a small VGG-Lite APNN and fires
-// concurrent single-sample requests at it from client threads — the first
-// real serving scenario of the repo. The server forms micro-batches inside
-// a short batch window, runs the compiled session once per batch, and
-// scatters logits back; the demo prints the batching statistics and
-// verifies every response against a sequential batch-1 session run.
+// concurrent single-sample requests at it from client threads. Requests
+// pass a bounded admission queue and are drained by two dispatcher
+// replicas, each owning a compiled InferenceSession (its own activation
+// slab and gather/scatter buffers — the replicas share only the const
+// weights and the admission queue). Each replica forms micro-batches inside
+// a short batch window, runs its session once per batch, and scatters the
+// logits back; the demo prints the batching, per-replica, and latency
+// statistics and verifies every response against a sequential batch-1
+// session run — serving is bit-exact no matter which replica served which
+// batch mix.
+//
+// Autotuned serving (SessionOptions{autotune, cache} inside ServerOptions,
+// shared TuningCache across replicas, warm cold-starts from a cache file)
+// is exercised by `apnn_cli serve --autotune --cache plan.cache` and gated
+// in bench/serving_throughput.
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -41,6 +51,7 @@ int main() {
   for (const auto& s : samples) expected.push_back(session.run(s));
 
   nn::ServerOptions opts;
+  opts.replicas = 2;  // the default derives from hardware width
   opts.max_batch = 8;
   opts.batch_window = std::chrono::microseconds(2000);
   nn::InferenceServer server(net, dev, opts);
@@ -67,12 +78,26 @@ int main() {
   int bad = 0;
   for (int v : mismatches) bad += v;
   const auto stats = server.stats();
-  std::printf("served %lld requests in %.1f ms (%.1f req/s)\n",
+  std::printf("served %lld requests in %.1f ms (%.1f req/s) on %d replicas\n",
               static_cast<long long>(stats.requests), ms,
-              1000.0 * static_cast<double>(stats.requests) / ms);
-  std::printf("  batches: %lld (largest micro-batch %lld)\n",
+              1000.0 * static_cast<double>(stats.requests) / ms,
+              server.replicas());
+  std::printf("  batches: %lld (largest micro-batch %lld, peak queue %lld)\n",
               static_cast<long long>(stats.batches),
-              static_cast<long long>(stats.max_batch));
+              static_cast<long long>(stats.max_batch),
+              static_cast<long long>(stats.peak_queue_depth));
+  std::printf("  per replica:");
+  for (std::size_t r = 0; r < stats.replica_batches.size(); ++r) {
+    std::printf(" #%zu=%lld batches/%lld requests", r,
+                static_cast<long long>(stats.replica_batches[r]),
+                static_cast<long long>(stats.replica_requests[r]));
+  }
+  std::printf("\n");
+  std::printf("  latency: mean %.2f ms, max %.2f ms\n",
+              stats.requests > 0 ? stats.total_latency_ms /
+                                       static_cast<double>(stats.requests)
+                                 : 0.0,
+              stats.max_latency_ms);
   std::printf("  responses vs sequential session runs: %s\n",
               bad == 0 ? "bit-exact" : "MISMATCH");
   return bad == 0 ? 0 : 1;

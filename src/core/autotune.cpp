@@ -85,6 +85,7 @@ std::string TuningCache::hardware_fingerprint() {
 }
 
 bool TuningCache::lookup(const StageKey& key, TunedKernel* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(key.canonical());
   if (it == entries_.end()) return false;
   *out = it->second;
@@ -92,10 +93,12 @@ bool TuningCache::lookup(const StageKey& key, TunedKernel* out) const {
 }
 
 void TuningCache::insert(const StageKey& key, const TunedKernel& cfg) {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_[key.canonical()] = cfg;
 }
 
 std::string TuningCache::serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << kMagic << " " << kSchemaVersion << "\n";
   os << "fingerprint " << fingerprint_ << "\n";
@@ -110,6 +113,7 @@ std::string TuningCache::serialize() const {
 }
 
 bool TuningCache::deserialize(const std::string& text, bool any_fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   fingerprint_ = hardware_fingerprint();
   std::istringstream is(text);

@@ -20,8 +20,10 @@
 // hardware (or an incompatible schema) invalidates wholesale.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -83,6 +85,13 @@ StageKey make_conv_key(const ApOperand& w, const layout::ConvGeometry& g,
 /// not match the running binary drops every entry (stale-cache
 /// invalidation) rather than replaying measurements from a different
 /// machine shape.
+///
+/// Thread-safe: lookup/insert/size/serialize/deserialize take an internal
+/// mutex, so one cache may back any number of concurrently tuning sessions
+/// (the replicated InferenceServer shares one cache across its replicas —
+/// the first replica's measurements are every later replica's cache hits).
+/// entries() is the exception: it hands out a reference for offline
+/// inspection (CLI `inspect`, tests) and must not race concurrent inserts.
 class TuningCache {
  public:
   TuningCache();
@@ -92,13 +101,21 @@ class TuningCache {
 
   bool lookup(const StageKey& key, TunedKernel* out) const;
   void insert(const StageKey& key, const TunedKernel& cfg);
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  /// Inspection-only view; requires no concurrent writers (see class doc).
   const std::map<std::string, TunedKernel>& entries() const {
     return entries_;
   }
   /// Fingerprint this cache carries (the running binary's, unless
   /// deserialize(any_fingerprint=true) loaded a foreign one for inspection).
-  const std::string& fingerprint() const { return fingerprint_; }
+  /// By value: deserialize() may reassign it concurrently.
+  std::string fingerprint() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return fingerprint_;
+  }
 
   std::string serialize() const;
   /// Replaces the contents from serialized text. Returns false (and leaves
@@ -111,6 +128,7 @@ class TuningCache {
   bool save_file(const std::string& path) const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, TunedKernel> entries_;
   std::string fingerprint_;
 };
@@ -155,9 +173,10 @@ class Autotuner {
                           std::vector<Candidate>* trace = nullptr);
 
   /// Candidate kernel executions performed so far (warm-ups included).
-  /// Zero after a compile whose every stage hit the TuningCache.
-  std::int64_t measurement_runs() const { return measurement_runs_; }
-  std::int64_t cache_hits() const { return cache_hits_; }
+  /// Zero after a compile whose every stage hit the TuningCache. Atomic so
+  /// the serving tier may poll these counters while a replica tunes lazily.
+  std::int64_t measurement_runs() const { return measurement_runs_.load(); }
+  std::int64_t cache_hits() const { return cache_hits_.load(); }
 
   const tcsim::DeviceSpec& device() const { return dev_; }
 
@@ -176,8 +195,8 @@ class Autotuner {
   tcsim::DeviceSpec dev_;
   TuningCache* cache_;
   AutotuneOptions opts_;
-  std::int64_t measurement_runs_ = 0;
-  std::int64_t cache_hits_ = 0;
+  std::atomic<std::int64_t> measurement_runs_{0};
+  std::atomic<std::int64_t> cache_hits_{0};
 
   // Reusable measurement sinks (grow once, then steady-state).
   Tensor<std::int32_t> scratch_y_;

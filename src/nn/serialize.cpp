@@ -10,9 +10,26 @@ namespace apnn::nn {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'P', 'N', 'N'};
-constexpr std::uint32_t kVersion = 1;
+// v2: explicit byte-order marker after the version word; tensor dims are
+// bounds-checked on load (a corrupt file must fail, not allocate wild).
+// v1 files (identical layout, no marker word) still load.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kOldestReadableVersion = 1;
 
-// --- primitive writers/readers (little-endian host assumed) -----------------
+// Written in host byte order; a reader whose endianness differs sees the
+// byte-reversed value and fails loudly instead of decoding garbage weights.
+constexpr std::uint32_t kEndianMark = 0x01020304u;
+constexpr std::uint32_t kEndianMarkSwapped = 0x04030201u;
+
+// Bounds for read_tensor: no single dim nor total element count from a
+// corrupt or hostile file may drive an unbounded Tensor allocation. The
+// largest legitimate payload (a linear stage's logical weights) is
+// out_features x features; 2^24 per dim / 2^28 elements (1 GiB of int32)
+// leaves generous headroom over every zoo model.
+constexpr std::int64_t kMaxTensorDim = std::int64_t{1} << 24;
+constexpr std::int64_t kMaxTensorElems = std::int64_t{1} << 28;
+
+// --- primitive writers/readers (host byte order, marker-checked) ------------
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -54,7 +71,15 @@ Tensor<T> read_tensor(std::istream& is) {
   const auto rank = read_pod<std::uint32_t>(is);
   APNN_CHECK(rank <= 8) << "implausible tensor rank";
   std::vector<std::int64_t> shape(rank);
-  for (auto& d : shape) d = read_pod<std::int64_t>(is);
+  std::int64_t numel = 1;
+  for (auto& d : shape) {
+    d = read_pod<std::int64_t>(is);
+    APNN_CHECK(d >= 0 && d <= kMaxTensorDim)
+        << "implausible tensor dim " << d;
+    numel *= d;  // bounded: each factor <= 2^24, running product <= 2^28
+    APNN_CHECK(numel <= kMaxTensorElems)
+        << "implausible tensor element count";
+  }
   Tensor<T> t(shape);
   is.read(reinterpret_cast<char*>(t.data()),
           static_cast<std::streamsize>(t.numel() * sizeof(T)));
@@ -145,6 +170,7 @@ bool save_network(const ApnnNetwork& net, const std::string& path) {
   if (!os) return false;
   os.write(kMagic, 4);
   write_pod<std::uint32_t>(os, kVersion);
+  write_pod<std::uint32_t>(os, kEndianMark);
   write_spec(os, net.spec_);
   write_pod<std::int32_t>(os, net.wbits_);
   write_pod<std::int32_t>(os, net.abits_);
@@ -182,8 +208,24 @@ ApnnNetwork load_network(const std::string& path) {
   APNN_CHECK(is && std::memcmp(magic, kMagic, 4) == 0)
       << path << " is not an APNN network file";
   const auto version = read_pod<std::uint32_t>(is);
-  APNN_CHECK(version == kVersion)
+  // A genuinely foreign-endian file byte-swaps every word, the version
+  // included — diagnose it here, before the version check would report a
+  // nonsense version number.
+  constexpr std::uint32_t kVersionSwapped =
+      ((kVersion & 0xffu) << 24) | ((kVersion & 0xff00u) << 8) |
+      ((kVersion >> 8) & 0xff00u) | (kVersion >> 24);
+  APNN_CHECK(version != kVersionSwapped)
+      << path << " was written on a host of opposite byte order — refusing "
+      << "to decode byte-reversed weights";
+  APNN_CHECK(version >= kOldestReadableVersion && version <= kVersion)
       << "unsupported network file version " << version;
+  if (version >= 2) {  // v1 predates the byte-order marker
+    const auto mark = read_pod<std::uint32_t>(is);
+    APNN_CHECK(mark != kEndianMarkSwapped)
+        << path << " was written on a host of opposite byte order — "
+        << "refusing to decode byte-reversed weights";
+    APNN_CHECK(mark == kEndianMark) << path << " has a corrupt header";
+  }
 
   ApnnNetwork net;
   net.spec_ = read_spec(is);

@@ -1,10 +1,15 @@
 // Binary serialization of instantiated APNN networks.
 //
-// Format (little-endian, versioned): the model spec (layer list), the
+// Format (versioned, host byte order with an explicit byte-order marker in
+// the header — a reader of opposite endianness fails loudly instead of
+// decoding byte-reversed weights): the model spec (layer list), the
 // quantized logical weights of every stage, the epilogue parameters (BN
 // scale/bias, quantization scale/zero-point) and the standalone-quantize
 // calibration — everything needed to reload a calibrated network and get
-// bit-identical logits.
+// bit-identical logits. Every variable-length field (strings, vectors,
+// tensor dims and element counts) is bounds-checked on load, so a corrupt
+// or truncated file throws apnn::Error rather than driving an unbounded
+// allocation.
 #pragma once
 
 #include <string>

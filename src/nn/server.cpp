@@ -2,48 +2,126 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
 #include "src/common/check.hpp"
 
 namespace apnn::nn {
 
+namespace {
+
+double elapsed_ms(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
 InferenceServer::InferenceServer(const ApnnNetwork& net,
                                  const tcsim::DeviceSpec& dev,
                                  ServerOptions opts)
-    : session_(net, dev), input_shape_(net.spec().input), opts_(opts) {
+    : input_shape_(net.spec().input), opts_(opts) {
   APNN_CHECK(opts_.max_batch >= 1);
-  dispatcher_ = std::thread([this] { dispatch_loop(); });
+  if (opts_.replicas <= 0) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    opts_.replicas = static_cast<int>(std::clamp(hw / 2, 1u, 8u));
+  }
+  if (opts_.max_queue <= 0) {
+    opts_.max_queue = opts_.replicas * opts_.max_batch * 4;
+  }
+  if (opts_.session.autotune) {
+    if (opts_.session.cache == nullptr) {
+      // One server-owned cache shared by every replica: without it each
+      // session would keep a private cache and re-measure the same stages.
+      owned_cache_ = std::make_unique<core::TuningCache>();
+      opts_.session.cache = owned_cache_.get();
+    }
+    if (opts_.session.tune_batch == 0) {
+      opts_.session.tune_batch = opts_.max_batch;
+    }
+  }
+
+  stats_.replica_batches.assign(static_cast<std::size_t>(opts_.replicas), 0);
+  stats_.replica_requests.assign(static_cast<std::size_t>(opts_.replicas), 0);
+
+  // Compile sequentially — with a shared TuningCache, replica 0's eager
+  // tune_batch measurements make replicas 1..N-1 compile warm — then start
+  // the dispatchers only once the replica vector is final.
+  replicas_.resize(static_cast<std::size_t>(opts_.replicas));
+  for (Replica& r : replicas_) {
+    r.session = std::make_unique<InferenceSession>(net, dev, opts_.session);
+  }
+  try {
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      replicas_[i].thread = std::thread([this, i] { dispatch_loop(i); });
+    }
+  } catch (...) {
+    // A failed std::thread spawn (e.g. EAGAIN) must not unwind past
+    // running dispatchers — destroying a joinable thread terminates the
+    // process. Stop and join what started, then let the caller see it.
+    shutdown();
+    throw;
+  }
 }
 
-InferenceServer::~InferenceServer() {
+void InferenceServer::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
-  queue_cv_.notify_all();
-  dispatcher_.join();
+  queue_cv_.notify_all();  // dispatchers: drain, then exit
+  space_cv_.notify_all();  // blocked admissions: fail with "shutting down"
+  for (Replica& r : replicas_) {
+    if (r.thread.joinable()) r.thread.join();
+  }
+}
+
+InferenceServer::~InferenceServer() {
+  shutdown();
+  // Every queued request has completed; wait for the last in-flight infer()
+  // to leave the monitor before the mutex and cvs are destroyed.
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return active_clients_ == 0; });
 }
 
 Tensor<std::int32_t> InferenceServer::infer(
     const Tensor<std::int32_t>& sample_u8) {
-  const bool batched_rank = sample_u8.rank() == 4;
-  APNN_CHECK((sample_u8.rank() == 3 || batched_rank) &&
-             (!batched_rank || sample_u8.dim(0) == 1))
-      << "infer() takes one sample: {H, W, C} or {1, H, W, C}";
-  const int off = batched_rank ? 1 : 0;
-  APNN_CHECK(sample_u8.dim(off) == input_shape_.h &&
-             sample_u8.dim(off + 1) == input_shape_.w &&
-             sample_u8.dim(off + 2) == input_shape_.c)
-      << "sample must be {" << input_shape_.h << ", " << input_shape_.w
-      << ", " << input_shape_.c << "}";
+  // Admission validation: a malformed sample (wrong shape, out-of-range
+  // code) throws here, in its own caller, and never joins a micro-batch.
+  InferenceSession::validate_sample(input_shape_, sample_u8);
 
   Request req;
   req.sample = &sample_u8;
   {
     std::unique_lock<std::mutex> lock(mu_);
+    ++active_clients_;
+    struct ClientGuard {  // leaves the monitor on every path, throws included
+      InferenceServer* s;
+      ~ClientGuard() {
+        if (--s->active_clients_ == 0 && s->stop_) s->idle_cv_.notify_all();
+      }
+    } guard{this};
     APNN_CHECK(!stop_) << "server is shutting down";
+    // Latency accounting starts at admission — backpressure time spent
+    // waiting for queue space below is part of the latency the bound
+    // creates, not overhead to hide.
+    req.enqueued = std::chrono::steady_clock::now();
+    if (static_cast<std::int64_t>(queue_.size()) >= opts_.max_queue) {
+      if (opts_.admission == ServerOptions::Admission::kReject) {
+        ++stats_.rejected;
+        APNN_CHECK(false) << "admission queue full (" << opts_.max_queue
+                          << " requests queued)";
+      }
+      space_cv_.wait(lock, [&] {
+        return stop_ ||
+               static_cast<std::int64_t>(queue_.size()) < opts_.max_queue;
+      });
+      APNN_CHECK(!stop_) << "server is shutting down";
+    }
     queue_.push_back(&req);
+    // stats().queue_depth is computed live from queue_.size(); only the
+    // peak needs recording here.
+    stats_.peak_queue_depth = std::max(
+        stats_.peak_queue_depth, static_cast<std::int64_t>(queue_.size()));
     queue_cv_.notify_one();
     done_cv_.wait(lock, [&] { return req.done; });
   }
@@ -51,7 +129,8 @@ Tensor<std::int32_t> InferenceServer::infer(
   return std::move(req.logits);
 }
 
-void InferenceServer::dispatch_loop() {
+void InferenceServer::dispatch_loop(std::size_t replica_index) {
+  Replica& rep = replicas_[replica_index];
   std::vector<Request*> batch;
   batch.reserve(static_cast<std::size_t>(opts_.max_batch));
   for (;;) {
@@ -60,59 +139,79 @@ void InferenceServer::dispatch_loop() {
       queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and fully drained
       // Hold the batch open up to batch_window for more requests (unless
-      // shutdown wants the queue drained as fast as possible).
-      const auto deadline =
-          std::chrono::steady_clock::now() + opts_.batch_window;
-      while (!stop_ &&
-             static_cast<std::int64_t>(queue_.size()) < opts_.max_batch) {
-        if (queue_cv_.wait_until(lock, deadline) ==
-            std::cv_status::timeout) {
-          break;
+      // shutdown wants the queue drained as fast as possible). Requests
+      // stay queued during the window, so another replica may legitimately
+      // take them — a zero take just re-enters the outer wait.
+      if (!stop_ &&
+          static_cast<std::int64_t>(queue_.size()) < opts_.max_batch) {
+        const auto deadline =
+            std::chrono::steady_clock::now() + opts_.batch_window;
+        while (!stop_ &&
+               static_cast<std::int64_t>(queue_.size()) < opts_.max_batch) {
+          if (queue_cv_.wait_until(lock, deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
         }
       }
       const std::int64_t take = std::min<std::int64_t>(
           opts_.max_batch, static_cast<std::int64_t>(queue_.size()));
+      if (take == 0) continue;
       batch.clear();
       for (std::int64_t i = 0; i < take; ++i) {
         batch.push_back(queue_.front());
         queue_.pop_front();
       }
+      // The queue may still hold a batch's worth for an idle replica, and
+      // admission backpressure has space again.
+      if (!queue_.empty()) queue_cv_.notify_one();
+      space_cv_.notify_all();
     }
 
+    const auto batch_start = std::chrono::steady_clock::now();
     const std::int64_t b = static_cast<std::int64_t>(batch.size());
     const std::int64_t sample_elems = input_shape_.numel();
     std::exception_ptr failure;
     try {
       // Gather: each sample's HWC block is contiguous in the NHWC batch.
-      batch_input_.reset_shape(
+      rep.batch_input.reset_shape(
           {b, input_shape_.h, input_shape_.w, input_shape_.c});
       for (std::int64_t i = 0; i < b; ++i) {
-        std::memcpy(batch_input_.data() + i * sample_elems,
+        std::memcpy(rep.batch_input.data() + i * sample_elems,
                     batch[static_cast<std::size_t>(i)]->sample->data(),
                     sizeof(std::int32_t) *
                         static_cast<std::size_t>(sample_elems));
       }
-      session_.run(batch_input_, &batch_logits_);
-      const std::int64_t classes = batch_logits_.dim(1);
+      rep.session->run(rep.batch_input, &rep.batch_logits);
+      const std::int64_t classes = rep.batch_logits.dim(1);
       for (std::int64_t i = 0; i < b; ++i) {
         Request* r = batch[static_cast<std::size_t>(i)];
         r->logits.reset_shape({classes});
-        std::memcpy(r->logits.data(), batch_logits_.data() + i * classes,
+        std::memcpy(r->logits.data(), rep.batch_logits.data() + i * classes,
                     sizeof(std::int32_t) * static_cast<std::size_t>(classes));
       }
     } catch (...) {
+      // Samples are validated at admission, so this is a systemic failure
+      // (not one bad sample); report it to the batch and keep dispatching.
       failure = std::current_exception();
     }
+    const auto batch_end = std::chrono::steady_clock::now();
 
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (Request* r : batch) {
         r->error = failure;
         r->done = true;
+        const double latency = elapsed_ms(r->enqueued, batch_end);
+        stats_.total_latency_ms += latency;
+        stats_.max_latency_ms = std::max(stats_.max_latency_ms, latency);
       }
       stats_.requests += b;
       stats_.batches += 1;
       stats_.max_batch = std::max(stats_.max_batch, b);
+      stats_.total_batch_ms += elapsed_ms(batch_start, batch_end);
+      stats_.replica_batches[replica_index] += 1;
+      stats_.replica_requests[replica_index] += b;
     }
     done_cv_.notify_all();
   }
@@ -120,7 +219,21 @@ void InferenceServer::dispatch_loop() {
 
 InferenceServer::Stats InferenceServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s = stats_;
+  s.queue_depth = static_cast<std::int64_t>(queue_.size());
+  return s;
+}
+
+std::int64_t InferenceServer::tuning_measurements() const {
+  std::int64_t total = 0;
+  for (const Replica& r : replicas_) total += r.session->tuning_measurements();
+  return total;
+}
+
+std::int64_t InferenceServer::replica_tuning_measurements(int replica) const {
+  APNN_CHECK(replica >= 0 && replica < replicas());
+  return replicas_[static_cast<std::size_t>(replica)]
+      .session->tuning_measurements();
 }
 
 }  // namespace apnn::nn

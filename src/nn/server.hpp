@@ -1,27 +1,48 @@
-// Dynamic-batching serving front-end over an InferenceSession.
+// Replicated dynamic-batching serving front-end over compiled
+// InferenceSessions.
 //
 // An InferenceServer accepts concurrent single-sample requests (blocking
 // infer() calls from any number of client threads) and micro-batches them
-// into session runs: a dispatcher thread takes the first queued request,
-// waits up to `batch_window` for more to arrive (up to `max_batch`), gathers
-// the samples into one batch tensor, runs the compiled session once, and
-// scatters the logits back to the waiting clients. Because one batched
-// forward amortizes kernel launches, operand staging, and the packed-domain
-// glue across requests, throughput under concurrent load approaches the
-// session's batch throughput while isolated requests still see at most one
-// batch-window of added latency.
+// into session runs. Requests pass a bounded admission queue (backpressure:
+// block until space frees, or reject immediately — ServerOptions::admission)
+// and are drained by N dispatcher replicas. Each replica owns a compiled
+// InferenceSession — its own ActivationSlab and batch gather/scatter
+// tensors, so replicas never share mutable kernel state — and runs batches
+// concurrently with the others; the only cross-replica state is the
+// admission queue, the (thread-safe) TuningCache when autotuning is on, and
+// the const network weights. One replica's dispatch cycle: take the first
+// queued request, hold the batch open up to `batch_window` for more to
+// arrive (up to `max_batch`), gather the samples into one batch tensor, run
+// the session once, and scatter the logits back to the waiting clients.
 //
-// Batching is exact: the session's logits are bit-identical whether a
-// sample runs alone or inside a batch, so serving results never depend on
-// traffic (tests/test_session.cpp pins this).
+// Replication raises aggregate throughput past the single-session ceiling:
+// one dispatcher serializes [gather -> run -> scatter] cycles, leaving the
+// machine idle during the serial sections of each cycle (client wakeups,
+// admission handoff, short glue steps that cannot fill every core), while N
+// replicas overlap whole cycles. With a shared TuningCache only the first
+// replica pays measurement runs — every later replica compiles warm
+// (bench/serving_throughput gates this and the scaling curve).
+//
+// Samples are validated per-request at admission (shape and 8-bit code
+// range), so a malformed sample throws in its own infer() call and can
+// never poison the micro-batch it would have joined. Batching is exact: the
+// session's logits are bit-identical whether a sample runs alone or inside
+// any batch on any replica, so serving results never depend on traffic
+// (tests/test_server.cpp pins this).
+//
+// Shutdown drains: ~InferenceServer stops admission (late infer() callers
+// get a "shutting down" error), lets the replicas finish every queued
+// request, then joins them and waits for the last in-flight client to leave.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "src/nn/session.hpp"
 
@@ -30,33 +51,93 @@ namespace apnn::nn {
 struct ServerOptions {
   /// Largest batch one session run may serve.
   std::int64_t max_batch = 8;
-  /// How long the dispatcher holds an open batch waiting for more requests.
+  /// How long a dispatcher holds an open batch waiting for more requests.
   std::chrono::microseconds batch_window{500};
+
+  /// Dispatcher replicas, each owning a compiled InferenceSession. 0 derives
+  /// from hardware width: half the hardware threads, clamped to [1, 8] —
+  /// enough replicas to overlap the serial sections of a dispatch cycle
+  /// without drowning the shared kernel thread pool.
+  int replicas = 0;
+
+  /// Admission-queue bound (queued requests, not counting the batches
+  /// already inside the replicas). 0 derives as replicas * max_batch * 4.
+  std::int64_t max_queue = 0;
+
+  /// What infer() does when the admission queue is full.
+  enum class Admission {
+    kBlock,   ///< wait until a dispatcher frees space (backpressure)
+    kReject,  ///< throw "admission queue full" immediately (load shedding)
+  };
+  Admission admission = Admission::kBlock;
+
+  /// Compile options applied to every replica's session. When
+  /// `session.autotune` is set and `session.cache` is null the server owns
+  /// one TuningCache shared across replicas (first replica measures, the
+  /// rest compile warm); when `session.tune_batch` is 0 it defaults to
+  /// max_batch so the full-batch plan is tuned before serving starts.
+  SessionOptions session;
 };
 
 class InferenceServer {
  public:
-  /// Compiles a session for `net` (must be calibrated and outlive the
-  /// server) and starts the dispatcher thread.
+  /// Compiles one session per replica for `net` (must be calibrated and
+  /// outlive the server) and starts the dispatcher threads. Replicas are
+  /// compiled sequentially so a shared TuningCache is warm from the second
+  /// replica on.
   InferenceServer(const ApnnNetwork& net, const tcsim::DeviceSpec& dev,
                   ServerOptions opts = {});
-  /// Drains queued requests, then stops the dispatcher.
+  /// Stops admission, drains queued requests, then stops the dispatchers.
   ~InferenceServer();
+
+  /// Graceful drain: stops admission (every later infer() call throws
+  /// "shutting down"), lets the replicas finish all queued requests, and
+  /// joins the dispatcher threads. Returns once the queue is empty.
+  /// Idempotent; the destructor calls it. Must not race itself — call from
+  /// one controlling thread (concurrent infer() calls are fine).
+  void shutdown();
 
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Serves one sample — HWC uint8 codes {H, W, C} (or {1, H, W, C}) —
   /// blocking until its micro-batch has run. Returns the logits {classes}.
-  /// Thread-safe; any number of callers may be in flight.
+  /// Thread-safe; any number of callers may be in flight. Throws on a
+  /// malformed sample (validated before admission — co-batched requests
+  /// are unaffected), on a full queue under Admission::kReject, and after
+  /// shutdown has begun.
   Tensor<std::int32_t> infer(const Tensor<std::int32_t>& sample_u8);
 
   struct Stats {
-    std::int64_t requests = 0;  ///< samples served
-    std::int64_t batches = 0;   ///< session runs dispatched
-    std::int64_t max_batch = 0; ///< largest micro-batch formed
+    std::int64_t requests = 0;   ///< samples served (failures included)
+    std::int64_t batches = 0;    ///< session runs dispatched (all replicas)
+    std::int64_t max_batch = 0;  ///< largest micro-batch formed
+    std::int64_t rejected = 0;   ///< admissions refused (kReject only)
+
+    std::int64_t queue_depth = 0;       ///< queued right now
+    std::int64_t peak_queue_depth = 0;  ///< high-water of queue_depth
+
+    /// Latency accounting over completed requests (admission to response).
+    double total_latency_ms = 0.0;  ///< sum; mean = total / requests
+    double max_latency_ms = 0.0;
+    /// Wall time spent inside dispatch cycles (gather + run + scatter),
+    /// summed across replicas; batches/total_batch_ms is the service rate.
+    double total_batch_ms = 0.0;
+
+    /// Per-replica dispatch counts (index = replica); the spread shows
+    /// whether load actually fans out across the pool.
+    std::vector<std::int64_t> replica_batches;
+    std::vector<std::int64_t> replica_requests;
   };
   Stats stats() const;
+
+  /// Resolved replica count (after the hardware-width derivation).
+  int replicas() const { return static_cast<int>(replicas_.size()); }
+
+  /// Measurement runs the pool performed, total and per replica. With a
+  /// warm shared cache every entry is 0; cold, only replica 0's is not.
+  std::int64_t tuning_measurements() const;
+  std::int64_t replica_tuning_measurements(int replica) const;
 
  private:
   struct Request {
@@ -64,26 +145,34 @@ class InferenceServer {
     Tensor<std::int32_t> logits;
     std::exception_ptr error;
     bool done = false;
+    std::chrono::steady_clock::time_point enqueued;
   };
 
-  void dispatch_loop();
+  /// One dispatcher worker: session + reusable gather/scatter tensors
+  /// (steady-state zero allocation, per replica).
+  struct Replica {
+    std::unique_ptr<InferenceSession> session;
+    Tensor<std::int32_t> batch_input;
+    Tensor<std::int32_t> batch_logits;
+    std::thread thread;
+  };
 
-  InferenceSession session_;
+  void dispatch_loop(std::size_t replica_index);
+
   const ActShape input_shape_;
-  const ServerOptions opts_;
+  ServerOptions opts_;  ///< resolved: replicas/max_queue/tune_batch filled in
+  std::unique_ptr<core::TuningCache> owned_cache_;  ///< see ServerOptions
+  std::vector<Replica> replicas_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;  ///< dispatcher wakeups
   std::condition_variable done_cv_;   ///< client wakeups
+  std::condition_variable space_cv_;  ///< admission backpressure wakeups
+  std::condition_variable idle_cv_;   ///< destructor waits for clients
   std::deque<Request*> queue_;
   bool stop_ = false;
+  std::int64_t active_clients_ = 0;  ///< infer() calls inside the monitor
   Stats stats_;
-
-  // Dispatcher-owned, reused across batches (steady-state zero allocation).
-  Tensor<std::int32_t> batch_input_;
-  Tensor<std::int32_t> batch_logits_;
-
-  std::thread dispatcher_;
 };
 
 }  // namespace apnn::nn

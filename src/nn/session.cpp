@@ -776,6 +776,26 @@ std::vector<core::TunedKernel> InferenceSession::stage_kernels(
   return resolve_batch(net_, dev_, *plan_, batch, tuner_.get()).kern;
 }
 
+void InferenceSession::validate_sample(const ActShape& shape,
+                                       const Tensor<std::int32_t>& sample) {
+  const bool batched_rank = sample.rank() == 4;
+  APNN_CHECK((sample.rank() == 3 || batched_rank) &&
+             (!batched_rank || sample.dim(0) == 1))
+      << "sample must be one image: {H, W, C} or {1, H, W, C}";
+  const int off = batched_rank ? 1 : 0;
+  APNN_CHECK(sample.dim(off) == shape.h && sample.dim(off + 1) == shape.w &&
+             sample.dim(off + 2) == shape.c)
+      << "sample must be {" << shape.h << ", " << shape.w << ", " << shape.c
+      << "}, got {" << sample.dim(off) << ", " << sample.dim(off + 1) << ", "
+      << sample.dim(off + 2) << "}";
+  const std::int32_t* s = sample.data();
+  for (std::int64_t i = 0; i < sample.numel(); ++i) {
+    APNN_CHECK(s[i] >= 0 && s[i] <= 255)
+        << "sample value " << s[i] << " at index " << i
+        << " is not an 8-bit input code";
+  }
+}
+
 void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
                            Tensor<std::int32_t>* logits,
                            tcsim::SequenceProfile* prof) {

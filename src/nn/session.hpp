@@ -75,7 +75,11 @@ class InferenceSession {
   /// logits land in `*logits` ({B, classes}), which is reshaped in place so
   /// a reused tensor costs no allocation. Appends kernel launch records to
   /// `prof` when given (the steady-state path skips record-keeping
-  /// entirely when it is null). Not thread-safe: one run at a time.
+  /// entirely when it is null). Not thread-safe: one run at a time per
+  /// session. Distinct sessions over the same (const) network may run
+  /// concurrently — they share only the global thread pool and, when
+  /// configured, a TuningCache, both of which tolerate concurrent callers;
+  /// the replicated InferenceServer relies on this.
   void run(const Tensor<std::int32_t>& input_u8, Tensor<std::int32_t>* logits,
            tcsim::SequenceProfile* prof = nullptr);
 
@@ -84,6 +88,15 @@ class InferenceSession {
                            tcsim::SequenceProfile* prof = nullptr);
 
   const ApnnNetwork& network() const { return net_; }
+
+  /// Per-sample admission check for serving front-ends: `sample` must be
+  /// {H, W, C} or {1, H, W, C} matching `shape`, with every value a valid
+  /// 8-bit input code in [0, 255]. Throws apnn::Error naming the offending
+  /// dimension or value. Validating at admission keeps one bad sample from
+  /// poisoning the micro-batch it would have joined: the error surfaces in
+  /// the offending caller's infer(), never inside a shared batched run.
+  static void validate_sample(const ActShape& shape,
+                              const Tensor<std::int32_t>& sample);
 
   /// Opaque compiled plan (defined in session.cpp).
   struct Plan;

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "src/nn/apnn_network.hpp"
 #include "src/nn/engine.hpp"
@@ -389,6 +391,190 @@ TEST(Serialize, RejectsGarbageFile) {
   EXPECT_THROW(load_network(path), apnn::Error);
   EXPECT_THROW(load_network(::testing::TempDir() + "/does_not_exist.bin"),
                apnn::Error);
+}
+
+// --- corrupt / hostile file hardening ----------------------------------------
+// Hand-assembled network files that are valid up to a poisoned field: the
+// loader must throw apnn::Error at the validation, not act on the bad value
+// (an unbounded Tensor allocation, byte-reversed weights, a hang on a
+// truncated stream).
+
+namespace corrupt {
+
+template <typename T>
+void put(std::ofstream& f, const T& v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void put_string(std::ofstream& f, const std::string& s) {
+  put<std::uint64_t>(f, s.size());
+  f.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+// Serialized header: magic, version 2, byte-order marker.
+void put_header(std::ofstream& f, std::uint32_t mark = 0x01020304u) {
+  f.write("APNN", 4);
+  put<std::uint32_t>(f, 2);
+  put<std::uint32_t>(f, mark);
+}
+
+// A syntactically valid single-linear-layer spec plus the stage preamble,
+// stopping right where the stage's weight tensor begins — the next bytes a
+// loader reads are the tensor rank and dims under test.
+void put_up_to_weight_tensor(std::ofstream& f) {
+  put_string(f, "corrupt-test");               // spec.name
+  put<std::int64_t>(f, 4);                     // input c
+  put<std::int64_t>(f, 8);                     // input h
+  put<std::int64_t>(f, 8);                     // input w
+  put<std::uint64_t>(f, 1);                    // one layer
+  put<std::int32_t>(f, static_cast<std::int32_t>(LayerKind::kLinear));
+  put_string(f, "fc");                         // layer name
+  put<std::int64_t>(f, 0);                     // conv.out_c
+  put<std::int32_t>(f, 3);                     // conv.kernel
+  put<std::int32_t>(f, 1);                     // conv.stride
+  put<std::int32_t>(f, 1);                     // conv.pad
+  put<std::int64_t>(f, 5);                     // out_features
+  put<std::int32_t>(f,
+                    static_cast<std::int32_t>(core::PoolSpec::Kind::kMax));
+  put<std::int32_t>(f, 2);                     // pool.size
+  put<std::int32_t>(f, -1);                    // input
+  put<std::int32_t>(f, -1);                    // residual
+  put<std::int32_t>(f, 1);                     // wbits
+  put<std::int32_t>(f, 2);                     // abits
+  put<std::uint8_t>(f, 1);                     // calibrated
+  put<std::uint8_t>(f, 0);                     // binary
+  put<std::uint64_t>(f, 1);                    // one stage
+  put<std::uint64_t>(f, 0);                    // stage.layer_index
+  put<std::int32_t>(f, 2);                     // stage.in_bits
+}
+
+}  // namespace corrupt
+
+TEST(Serialize, RejectsHugeTensorDims) {
+  // A corrupt dim must fail the plausibility check instead of sizing a
+  // Tensor at petabyte scale (or overflowing the element count).
+  const std::string path = ::testing::TempDir() + "/apnn_huge_dims.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    corrupt::put_header(f);
+    corrupt::put_up_to_weight_tensor(f);
+    corrupt::put<std::uint32_t>(f, 2);                      // rank
+    corrupt::put<std::int64_t>(f, std::int64_t{1} << 40);   // dim 0
+    corrupt::put<std::int64_t>(f, std::int64_t{1} << 40);   // dim 1
+  }
+  EXPECT_THROW(load_network(path), apnn::Error);
+}
+
+TEST(Serialize, RejectsNegativeTensorDims) {
+  const std::string path = ::testing::TempDir() + "/apnn_neg_dims.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    corrupt::put_header(f);
+    corrupt::put_up_to_weight_tensor(f);
+    corrupt::put<std::uint32_t>(f, 2);        // rank
+    corrupt::put<std::int64_t>(f, -1);        // dim 0: negative
+    corrupt::put<std::int64_t>(f, 16);        // dim 1
+  }
+  EXPECT_THROW(load_network(path), apnn::Error);
+}
+
+TEST(Serialize, RejectsOverflowingElementCount) {
+  // Each dim passes the per-dim cap but their product does not: the
+  // running-numel check must fire before any allocation.
+  const std::string path = ::testing::TempDir() + "/apnn_numel.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    corrupt::put_header(f);
+    corrupt::put_up_to_weight_tensor(f);
+    corrupt::put<std::uint32_t>(f, 3);  // rank
+    for (int d = 0; d < 3; ++d) {
+      corrupt::put<std::int64_t>(f, std::int64_t{1} << 20);
+    }
+  }
+  EXPECT_THROW(load_network(path), apnn::Error);
+}
+
+TEST(Serialize, RejectsForeignByteOrder) {
+  // The header carries the marker byte-for-byte; a reader of opposite
+  // endianness sees it reversed and must refuse the file outright.
+  const std::string path = ::testing::TempDir() + "/apnn_endian.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    corrupt::put_header(f, 0x04030201u);  // swapped marker, native version
+  }
+  EXPECT_THROW(load_network(path), apnn::Error);
+
+  // A genuinely foreign file swaps the version word too — it must be
+  // refused there (as a byte-order error, not a nonsense version number).
+  const std::string path2 = ::testing::TempDir() + "/apnn_endian2.bin";
+  {
+    std::ofstream f(path2, std::ios::binary);
+    f.write("APNN", 4);
+    corrupt::put<std::uint32_t>(f, 0x02000000u);  // version 2, byte-swapped
+    corrupt::put<std::uint32_t>(f, 0x04030201u);
+  }
+  EXPECT_THROW(load_network(path2), apnn::Error);
+}
+
+TEST(Serialize, ReadsVersion1Files) {
+  // v1 is byte-identical to v2 minus the endian-marker word; files saved by
+  // older builds must keep loading bit-exactly.
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 83);
+  Rng rng(84);
+  Tensor<std::int32_t> input({1, 8, 8, 4});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  const std::string v2_path = ::testing::TempDir() + "/apnn_v2.bin";
+  ASSERT_TRUE(save_network(net, v2_path));
+
+  std::ifstream in(v2_path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string bytes = buf.str();
+  ASSERT_GT(bytes.size(), 12u);
+  bytes.erase(8, 4);                 // drop the marker word
+  const std::uint32_t v1 = 1;
+  std::memcpy(bytes.data() + 4, &v1, sizeof(v1));  // patch the version
+
+  const std::string v1_path = ::testing::TempDir() + "/apnn_v1.bin";
+  {
+    std::ofstream f(v1_path, std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(load_network(v1_path).forward(input, dev()),
+            net.forward(input, dev()));
+}
+
+TEST(Serialize, RejectsTruncatedFiles) {
+  // Every strict prefix of a valid file must throw (truncated stream), not
+  // hang, crash, or return a half-initialized network.
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 81);
+  Rng rng(82);
+  Tensor<std::int32_t> input({1, 8, 8, 4});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  const std::string path = ::testing::TempDir() + "/apnn_full.bin";
+  ASSERT_TRUE(save_network(net, path));
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string full = buf.str();
+  ASSERT_GT(full.size(), 64u);
+
+  const std::string cut_path = ::testing::TempDir() + "/apnn_cut.bin";
+  for (double frac : {0.05, 0.3, 0.6, 0.9, 0.999}) {
+    const auto n = static_cast<std::size_t>(
+        static_cast<double>(full.size()) * frac);
+    {
+      std::ofstream f(cut_path, std::ios::binary);
+      f.write(full.data(), static_cast<std::streamsize>(n));
+    }
+    EXPECT_THROW(load_network(cut_path), apnn::Error)
+        << "prefix of " << n << " bytes was accepted";
+  }
 }
 
 TEST(ApnnNetwork, RequiresCalibration) {

@@ -1,0 +1,513 @@
+// Replicated InferenceServer gates:
+//   * concurrent requests across any number of client threads and replicas
+//     produce logits bit-identical to sequential batch-1 session runs, and
+//     micro-batching actually forms batches;
+//   * per-sample admission validation: one malformed sample fails in its
+//     own infer() call and never poisons the micro-batch it would have
+//     joined — co-batched healthy requests still succeed and the
+//     dispatchers stay alive;
+//   * admission control: the bounded queue rejects (kReject) or
+//     backpressures (kBlock) when full, and the stats account for it;
+//   * shutdown: queued requests are drained, late callers get the
+//     "shutting down" error, destruction never hangs — including with
+//     clients still in flight (the done_cv_ thundering-herd path);
+//   * a shared TuningCache warms across replicas: only the first replica
+//     pays measurement runs, a second server with the same cache pays none.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/core/autotune.hpp"
+#include "src/nn/apnn_network.hpp"
+#include "src/nn/model.hpp"
+#include "src/nn/server.hpp"
+#include "src/nn/session.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+namespace apnn::nn {
+namespace {
+
+const tcsim::DeviceSpec& dev() { return tcsim::rtx3090(); }
+
+Tensor<std::int32_t> random_input(std::int64_t b, const ModelSpec& m,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor<std::int32_t> in({b, m.input.h, m.input.w, m.input.c});
+  in.randomize(rng, 0, 255);
+  return in;
+}
+
+void expect_same_logits(const Tensor<std::int32_t>& got,
+                        const Tensor<std::int32_t>& want, int client) {
+  // Server logits are {classes}; the sequential run's are {1, classes}.
+  ASSERT_EQ(got.numel(), want.numel()) << "client " << client;
+  for (std::int64_t j = 0; j < got.numel(); ++j) {
+    EXPECT_EQ(got[j], want[j]) << "client " << client << " logit " << j;
+  }
+}
+
+// --- batching correctness ---------------------------------------------------
+
+TEST(Server, ConcurrentRequestsMatchSequentialRuns) {
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 330);
+  net.calibrate(random_input(2, m, 331));
+
+  constexpr int kClients = 6;
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> expected;
+  {
+    InferenceSession session(net, dev());
+    for (int i = 0; i < kClients; ++i) {
+      samples.push_back(random_input(1, m, 332 + static_cast<unsigned>(i)));
+      expected.push_back(session.run(samples.back()));
+    }
+  }
+
+  ServerOptions opts;
+  opts.max_batch = 4;
+  opts.replicas = 1;  // a lone replica must still batch correctly
+  // Generous window: client threads must only *start* within it for a
+  // micro-batch to form, even under sanitizer slowdowns on a loaded runner.
+  opts.batch_window = std::chrono::microseconds(1000 * 1000);
+  InferenceServer server(net, dev(), opts);
+  std::vector<Tensor<std::int32_t>> got(kClients);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back(
+          [&, i] { got[static_cast<std::size_t>(i)] = server.infer(
+                       samples[static_cast<std::size_t>(i)]); });
+    }
+    for (auto& t : clients) t.join();
+  }
+
+  for (int i = 0; i < kClients; ++i) {
+    expect_same_logits(got[static_cast<std::size_t>(i)],
+                       expected[static_cast<std::size_t>(i)], i);
+  }
+
+  const InferenceServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests, kClients);
+  EXPECT_GE(stats.batches, (kClients + opts.max_batch - 1) / opts.max_batch);
+  EXPECT_LE(stats.batches, kClients);
+  // With a one-second window and six concurrent clients, at least one
+  // micro-batch must have formed.
+  EXPECT_GE(stats.max_batch, 2);
+}
+
+TEST(Server, ReplicatedPoolServesBitExactAndAccountsPerReplica) {
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 360);
+  net.calibrate(random_input(2, m, 361));
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 3;
+  constexpr int kTotal = kClients * kRequestsPerClient;
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> expected;
+  {
+    InferenceSession session(net, dev());
+    for (int i = 0; i < kTotal; ++i) {
+      samples.push_back(random_input(1, m, 362 + static_cast<unsigned>(i)));
+      expected.push_back(session.run(samples.back()));
+    }
+  }
+
+  ServerOptions opts;
+  opts.replicas = 3;
+  opts.max_batch = 4;
+  opts.batch_window = std::chrono::microseconds(200);
+  InferenceServer server(net, dev(), opts);
+  ASSERT_EQ(server.replicas(), 3);
+
+  std::vector<Tensor<std::int32_t>> got(kTotal);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int r = 0; r < kRequestsPerClient; ++r) {
+          const int i = c * kRequestsPerClient + r;
+          got[static_cast<std::size_t>(i)] =
+              server.infer(samples[static_cast<std::size_t>(i)]);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  for (int i = 0; i < kTotal; ++i) {
+    expect_same_logits(got[static_cast<std::size_t>(i)],
+                       expected[static_cast<std::size_t>(i)], i);
+  }
+
+  // Per-replica accounting must tie out with the totals.
+  const InferenceServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.requests, kTotal);
+  ASSERT_EQ(stats.replica_batches.size(), 3u);
+  ASSERT_EQ(stats.replica_requests.size(), 3u);
+  std::int64_t batches = 0, requests = 0;
+  for (int r = 0; r < 3; ++r) {
+    batches += stats.replica_batches[static_cast<std::size_t>(r)];
+    requests += stats.replica_requests[static_cast<std::size_t>(r)];
+  }
+  EXPECT_EQ(batches, stats.batches);
+  EXPECT_EQ(requests, stats.requests);
+  EXPECT_EQ(stats.queue_depth, 0);
+  EXPECT_GE(stats.peak_queue_depth, 1);
+  EXPECT_GT(stats.total_batch_ms, 0.0);
+  EXPECT_GT(stats.total_latency_ms, 0.0);
+  EXPECT_GE(stats.max_latency_ms,
+            stats.total_latency_ms / static_cast<double>(stats.requests));
+}
+
+TEST(Server, SingleRequestServedWithinWindow) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 340);
+  net.calibrate(random_input(1, m, 341));
+  InferenceServer server(net, dev(), {});
+  EXPECT_GE(server.replicas(), 1);  // hardware-width derivation resolved
+  const auto sample = random_input(1, m, 342);
+  const auto logits = server.infer(sample);
+  EXPECT_EQ(logits.numel(), 5);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 1);
+  EXPECT_EQ(stats.batches, 1);
+}
+
+// --- per-sample admission validation ----------------------------------------
+
+TEST(Server, RejectsWrongSampleShape) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 343);
+  net.calibrate(random_input(1, m, 344));
+  InferenceServer server(net, dev(), {});
+  Tensor<std::int32_t> bad({2, 8, 8, 4});  // a batch, not a sample
+  EXPECT_THROW(server.infer(bad), apnn::Error);
+  Tensor<std::int32_t> wrong_hw({1, 4, 4, 4});
+  EXPECT_THROW(server.infer(wrong_hw), apnn::Error);
+}
+
+TEST(Server, PoisonSampleDoesNotPoisonItsBatch) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 345);
+  net.calibrate(random_input(1, m, 346));
+
+  constexpr int kHealthy = 3;
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> expected;
+  {
+    InferenceSession session(net, dev());
+    for (int i = 0; i < kHealthy; ++i) {
+      samples.push_back(random_input(1, m, 347 + static_cast<unsigned>(i)));
+      expected.push_back(session.run(samples.back()));
+    }
+  }
+  Tensor<std::int32_t> poisoned = random_input(1, m, 350);
+  poisoned[7] = 999;  // not an 8-bit code — used to fail the whole batch
+  Tensor<std::int32_t> negative = random_input(1, m, 351);
+  negative[3] = -1;
+
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.max_batch = 8;
+  // A wide-open window co-batches everything below, so a poisoned sample
+  // reaching the batch would corrupt every healthy response.
+  opts.batch_window = std::chrono::microseconds(1000 * 1000);
+  InferenceServer server(net, dev(), opts);
+
+  std::vector<Tensor<std::int32_t>> got(kHealthy);
+  std::atomic<int> poison_errors{0};
+  {
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kHealthy; ++i) {
+      clients.emplace_back([&, i] {
+        got[static_cast<std::size_t>(i)] =
+            server.infer(samples[static_cast<std::size_t>(i)]);
+      });
+    }
+    clients.emplace_back([&] {
+      EXPECT_THROW(server.infer(poisoned), apnn::Error);
+      EXPECT_THROW(server.infer(negative), apnn::Error);
+      poison_errors.fetch_add(1);
+    });
+    for (auto& t : clients) t.join();
+  }
+  EXPECT_EQ(poison_errors.load(), 1);
+  for (int i = 0; i < kHealthy; ++i) {
+    expect_same_logits(got[static_cast<std::size_t>(i)],
+                       expected[static_cast<std::size_t>(i)], i);
+  }
+
+  // The dispatcher survived and the server still serves.
+  const auto again = server.infer(samples[0]);
+  expect_same_logits(again, expected[0], 0);
+  EXPECT_EQ(server.stats().requests, kHealthy + 1);  // poison never admitted
+}
+
+// --- admission control ------------------------------------------------------
+
+TEST(Server, RejectPolicyShedsLoadWhenQueueIsFull) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 352);
+  net.calibrate(random_input(1, m, 353));
+
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.max_batch = 2;
+  opts.max_queue = 1;
+  opts.admission = ServerOptions::Admission::kReject;
+  // The first request sits in the queue for the whole window (requests stay
+  // queued while a dispatcher holds its batch open), keeping the queue full
+  // long enough to observe a deterministic rejection — generous so even a
+  // sanitizer-slowed runner cannot blow past it between the depth poll and
+  // the rejecting infer(). shutdown() below skips the window's tail, so
+  // the test never actually waits this long.
+  opts.batch_window = std::chrono::microseconds(10 * 1000 * 1000);
+  InferenceServer server(net, dev(), opts);
+
+  const auto sample = random_input(1, m, 354);
+  Tensor<std::int32_t> first_logits;
+  std::thread first([&] { first_logits = server.infer(sample); });
+  while (server.stats().queue_depth < 1) std::this_thread::yield();
+
+  EXPECT_THROW(server.infer(sample), apnn::Error);  // queue full -> shed
+  {
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.rejected, 1);
+    EXPECT_EQ(stats.requests, 0);  // the first request is still queued
+  }
+
+  // Drain: the queued request is served (the rejection shed load, it did
+  // not poison the queue), and the shed caller's slot was never admitted.
+  server.shutdown();
+  first.join();
+  EXPECT_EQ(first_logits.numel(), 5);
+  EXPECT_EQ(server.stats().requests, 1);
+}
+
+TEST(Server, BlockPolicyAppliesBackpressureAndLosesNothing) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 355);
+  net.calibrate(random_input(1, m, 356));
+
+  constexpr int kClients = 6;
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> expected;
+  {
+    InferenceSession session(net, dev());
+    for (int i = 0; i < kClients; ++i) {
+      samples.push_back(random_input(1, m, 357 + static_cast<unsigned>(i)));
+      expected.push_back(session.run(samples.back()));
+    }
+  }
+
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.max_batch = 2;
+  opts.max_queue = 1;  // almost every admission must wait for space
+  opts.admission = ServerOptions::Admission::kBlock;
+  opts.batch_window = std::chrono::microseconds(100);
+  InferenceServer server(net, dev(), opts);
+
+  std::vector<Tensor<std::int32_t>> got(kClients);
+  {
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        got[static_cast<std::size_t>(i)] =
+            server.infer(samples[static_cast<std::size_t>(i)]);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+  for (int i = 0; i < kClients; ++i) {
+    expect_same_logits(got[static_cast<std::size_t>(i)],
+                       expected[static_cast<std::size_t>(i)], i);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, kClients);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_LE(stats.peak_queue_depth, 1);
+}
+
+// --- shutdown ---------------------------------------------------------------
+
+TEST(Server, ShutdownDrainsQueuedRequestsThenRejectsLateCallers) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 370);
+  net.calibrate(random_input(1, m, 371));
+
+  constexpr int kClients = 4;
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> expected;
+  {
+    InferenceSession session(net, dev());
+    for (int i = 0; i < kClients; ++i) {
+      samples.push_back(random_input(1, m, 372 + static_cast<unsigned>(i)));
+      expected.push_back(session.run(samples.back()));
+    }
+  }
+
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.max_batch = 8;
+  // A very long window parks the queued requests; only shutdown's drain
+  // (which skips the window) releases them — if draining were broken this
+  // test would time out rather than pass by luck.
+  opts.batch_window = std::chrono::microseconds(60 * 1000 * 1000);
+  InferenceServer server(net, dev(), opts);
+
+  std::vector<Tensor<std::int32_t>> got(kClients);
+  std::vector<std::thread> clients;
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      got[static_cast<std::size_t>(i)] =
+          server.infer(samples[static_cast<std::size_t>(i)]);
+    });
+  }
+  while (server.stats().queue_depth < kClients) std::this_thread::yield();
+
+  server.shutdown();  // must serve all four queued requests, then return
+  for (auto& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    expect_same_logits(got[static_cast<std::size_t>(i)],
+                       expected[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(server.stats().requests, kClients);
+
+  // Late callers fail fast with the shutdown error instead of hanging.
+  EXPECT_THROW(server.infer(samples[0]), apnn::Error);
+  server.shutdown();  // idempotent
+}
+
+TEST(Server, DestructionWithConcurrentClientsNeverHangs) {
+  // The done_cv_ thundering-herd path: many clients block on the shared
+  // completion cv; every batch completion wakes all of them and each
+  // re-checks its own request. Destruction overlaps the tail of the herd.
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 380);
+  net.calibrate(random_input(1, m, 381));
+
+  constexpr int kClients = 16;
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> expected;
+  {
+    InferenceSession session(net, dev());
+    for (int i = 0; i < kClients; ++i) {
+      samples.push_back(random_input(1, m, 382 + static_cast<unsigned>(i)));
+      expected.push_back(session.run(samples.back()));
+    }
+  }
+
+  std::vector<Tensor<std::int32_t>> got(kClients);
+  {
+    ServerOptions opts;
+    opts.replicas = 2;
+    opts.max_batch = 4;
+    opts.batch_window = std::chrono::microseconds(500);
+    InferenceServer server(net, dev(), opts);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        got[static_cast<std::size_t>(i)] =
+            server.infer(samples[static_cast<std::size_t>(i)]);
+      });
+    }
+    // Join the herd, then let the server destruct with stats intact.
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(server.stats().requests, kClients);
+  }
+  for (int i = 0; i < kClients; ++i) {
+    expect_same_logits(got[static_cast<std::size_t>(i)],
+                       expected[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(Server, DestructionDrainsEnqueuedRequests) {
+  // infer() racing ~InferenceServer: requests enqueued before destruction
+  // begins are served, not dropped, and destruction does not hang.
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 390);
+  net.calibrate(random_input(1, m, 391));
+
+  constexpr int kClients = 3;
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> expected;
+  {
+    InferenceSession session(net, dev());
+    for (int i = 0; i < kClients; ++i) {
+      samples.push_back(random_input(1, m, 392 + static_cast<unsigned>(i)));
+      expected.push_back(session.run(samples.back()));
+    }
+  }
+
+  std::vector<Tensor<std::int32_t>> got(kClients);
+  std::vector<std::thread> clients;
+  {
+    ServerOptions opts;
+    opts.replicas = 1;
+    opts.max_batch = 8;
+    opts.batch_window = std::chrono::microseconds(60 * 1000 * 1000);
+    InferenceServer server(net, dev(), opts);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        got[static_cast<std::size_t>(i)] =
+            server.infer(samples[static_cast<std::size_t>(i)]);
+      });
+    }
+    while (server.stats().queue_depth < kClients) std::this_thread::yield();
+    // ~InferenceServer runs here with all three requests still queued.
+  }
+  for (auto& t : clients) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    expect_same_logits(got[static_cast<std::size_t>(i)],
+                       expected[static_cast<std::size_t>(i)], i);
+  }
+}
+
+// --- shared tuning cache across replicas ------------------------------------
+
+TEST(Server, SharedCacheOnlyFirstReplicaPaysMeasurementRuns) {
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 395);
+  const auto input = random_input(1, m, 396);
+  net.calibrate(input);
+
+  core::TuningCache cache;
+  ServerOptions opts;
+  opts.replicas = 2;
+  opts.max_batch = 4;
+  opts.session.autotune = true;
+  opts.session.cache = &cache;
+
+  InferenceServer cold(net, dev(), opts);
+  EXPECT_GT(cold.replica_tuning_measurements(0), 0);
+  EXPECT_EQ(cold.replica_tuning_measurements(1), 0)
+      << "second replica should compile warm off the shared cache";
+  EXPECT_EQ(cold.tuning_measurements(), cold.replica_tuning_measurements(0));
+
+  // Serving still works (and is bit-exact) under a tuned plan.
+  InferenceSession ref(net, dev());
+  const auto sample = random_input(1, m, 397);
+  expect_same_logits(cold.infer(sample), ref.run(sample), 0);
+
+  // A later server sharing the same cache starts fully warm.
+  InferenceServer warm(net, dev(), opts);
+  EXPECT_EQ(warm.tuning_measurements(), 0);
+
+  // A null cache with autotune on gets a server-owned shared cache with the
+  // same only-replica-0-measures behavior.
+  ServerOptions own = opts;
+  own.session.cache = nullptr;
+  InferenceServer owned(net, dev(), own);
+  EXPECT_GT(owned.replica_tuning_measurements(0), 0);
+  EXPECT_EQ(owned.replica_tuning_measurements(1), 0);
+}
+
+}  // namespace
+}  // namespace apnn::nn

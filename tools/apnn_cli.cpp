@@ -7,14 +7,19 @@
 //                                   [--batch N] [--device ...] [--no-fuse]
 //   apnn_cli tune  mini_resnet|vgg_lite [--scheme wXaY] [--batch N]
 //                                   [--cache path] [--device ...]
+//   apnn_cli serve mini_resnet|vgg_lite [--scheme wXaY] [--replicas N]
+//                                   [--clients N] [--requests N] [--autotune]
+//                                   [--cache path] [--max-batch B]
 //   apnn_cli inspect --cache path
 //   apnn_cli devices
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "bench/serve_load.hpp"
 #include "src/baselines/conv.hpp"
 #include "src/baselines/gemm.hpp"
 #include "src/common/strings.hpp"
@@ -24,6 +29,7 @@
 #include "src/core/autotune.hpp"
 #include "src/nn/apnn_network.hpp"
 #include "src/nn/engine.hpp"
+#include "src/nn/server.hpp"
 #include "src/nn/session.hpp"
 #include "src/tcsim/cost_model.hpp"
 #include "src/tcsim/trace.hpp"
@@ -42,6 +48,11 @@ struct Args {
   int wbits = 1, abits = 2;
   int reps = 2;
   bool fuse = true;
+  // serve
+  int replicas = 0;  // 0 = derive from hardware width
+  int clients = 8;
+  int requests = 64;
+  bool autotune = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -67,6 +78,16 @@ Args parse(int argc, char** argv) {
       a.reps = std::atoi(next("--reps").c_str());
     } else if (s == "--batch") {
       a.batch = std::atoll(next("--batch").c_str());
+    } else if (s == "--max-batch") {
+      a.batch = std::atoll(next("--max-batch").c_str());
+    } else if (s == "--replicas") {
+      a.replicas = std::atoi(next("--replicas").c_str());
+    } else if (s == "--clients") {
+      a.clients = std::atoi(next("--clients").c_str());
+    } else if (s == "--requests") {
+      a.requests = std::atoi(next("--requests").c_str());
+    } else if (s == "--autotune") {
+      a.autotune = true;
     } else if (s == "--wbits") {
       a.wbits = std::atoi(next("--wbits").c_str());
     } else if (s == "--abits") {
@@ -325,6 +346,142 @@ int cmd_tune(const Args& a) {
   return 0;
 }
 
+int cmd_serve(const Args& a) {
+  if (a.positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: apnn_cli serve mini_resnet|vgg_lite [--scheme wXaY] "
+                 "[--replicas N] [--clients N] [--requests N] [--autotune] "
+                 "[--cache path] [--max-batch B] [--device ...]\n");
+    return 2;
+  }
+  const std::string& name = a.positional[1];
+  nn::ModelSpec spec;
+  if (name == "mini_resnet") {
+    spec = nn::mini_resnet(8, 32, 10);  // the serving-size bench workload
+  } else if (name == "vgg_lite") {
+    spec = nn::vgg_lite();
+  } else {
+    std::fprintf(stderr,
+                 "serve runs real kernels and supports the executable zoo "
+                 "specs: mini_resnet, vgg_lite\n");
+    return 2;
+  }
+  int p = 1, q = 2;
+  if (std::sscanf(a.scheme.c_str(), "w%da%d", &p, &q) != 2) {
+    std::fprintf(stderr, "serve needs a wXaY scheme, got '%s'\n",
+                 a.scheme.c_str());
+    return 2;
+  }
+  if (a.clients < 1 || a.requests < 1 || a.batch < 1 || a.replicas < 0) {
+    std::fprintf(stderr,
+                 "--clients/--requests/--max-batch must be >= 1, "
+                 "--replicas >= 0 (0 derives from hardware width)\n");
+    return 2;
+  }
+  const auto& dev = device_for(a.device);
+
+  // A cache only means something to a tuned plan; honor --cache instead of
+  // silently serving untuned.
+  bool autotune = a.autotune;
+  if (!autotune && !a.cache_path.empty()) {
+    std::printf("--cache given: enabling --autotune\n");
+    autotune = true;
+  }
+
+  core::TuningCache cache;
+  if (autotune && !a.cache_path.empty()) {
+    if (cache.load_file(a.cache_path)) {
+      std::printf("cache %s: %zu entries loaded (fingerprint %s)\n",
+                  a.cache_path.c_str(), cache.size(),
+                  cache.fingerprint().c_str());
+    } else {
+      std::printf("cache %s: starting fresh (missing, malformed, or stale "
+                  "fingerprint)\n",
+                  a.cache_path.c_str());
+    }
+  }
+
+  nn::ApnnNetwork net = nn::ApnnNetwork::random(spec, p, q, 42);
+  Rng rng(43);
+  Tensor<std::int32_t> calib(
+      {a.batch, spec.input.h, spec.input.w, spec.input.c});
+  calib.randomize(rng, 0, 255);
+  net.calibrate(calib);
+
+  // Golden answers from sequential batch-1 session runs: every served
+  // response is bit-compared below, so a run that prints throughput has
+  // also proven exactness under whatever batch mix the traffic produced.
+  const int distinct = std::min(a.requests, 32);
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> golden;
+  {
+    nn::InferenceSession session(net, dev);
+    for (int i = 0; i < distinct; ++i) {
+      Tensor<std::int32_t> s({1, spec.input.h, spec.input.w, spec.input.c});
+      s.randomize(rng, 0, 255);
+      golden.push_back(session.run(s));
+      samples.push_back(std::move(s));
+    }
+  }
+
+  nn::ServerOptions opts;
+  opts.max_batch = a.batch;
+  opts.replicas = a.replicas;
+  opts.session.autotune = autotune;
+  if (autotune) opts.session.cache = &cache;
+
+  WallTimer start_timer;
+  nn::InferenceServer server(net, dev, opts);
+  const double start_ms = start_timer.millis();
+  std::printf("%s w%da%d on %s: %d replicas up in %.1f ms", spec.name.c_str(),
+              p, q, dev.name.c_str(), server.replicas(), start_ms);
+  if (autotune) {
+    std::printf(" (%lld tuning runs, cache %zu entries)",
+                static_cast<long long>(server.tuning_measurements()),
+                cache.size());
+  }
+  std::printf("\n");
+
+  const bench::LoadResult load =
+      bench::serve_load(server, samples, golden, a.clients, a.requests);
+  const double ms = load.wall_ms;
+  const std::int64_t bad = load.mismatches;
+  const nn::InferenceServer::Stats& st = load.stats;
+  std::printf("served %lld requests from %d clients in %.1f ms "
+              "(%.1f req/s)\n",
+              static_cast<long long>(st.requests), a.clients, ms,
+              1000.0 * static_cast<double>(st.requests) / ms);
+  std::printf("  batches   : %lld (largest %lld, peak queue %lld)\n",
+              static_cast<long long>(st.batches),
+              static_cast<long long>(st.max_batch),
+              static_cast<long long>(st.peak_queue_depth));
+  std::printf("  replicas  :");
+  for (std::size_t r = 0; r < st.replica_batches.size(); ++r) {
+    std::printf(" #%zu=%lldb/%lldr", r,
+                static_cast<long long>(st.replica_batches[r]),
+                static_cast<long long>(st.replica_requests[r]));
+  }
+  std::printf("\n");
+  std::printf("  latency   : mean %.2f ms, max %.2f ms\n",
+              st.requests > 0
+                  ? st.total_latency_ms / static_cast<double>(st.requests)
+                  : 0.0,
+              st.max_latency_ms);
+  std::printf("  responses : %s\n",
+              bad == 0 ? "bit-exact vs sequential batch-1 runs"
+                       : "MISMATCH vs sequential batch-1 runs");
+
+  if (autotune && !a.cache_path.empty()) {
+    if (!cache.save_file(a.cache_path)) {
+      std::fprintf(stderr, "cannot write %s\n", a.cache_path.c_str());
+      return 1;
+    }
+    std::printf("  cache saved to %s (%zu entries)\n", a.cache_path.c_str(),
+                cache.size());
+  }
+  return bad == 0 ? 0 : 1;
+}
+
 int cmd_inspect(const Args& a) {
   if (a.cache_path.empty()) {
     std::fprintf(stderr, "usage: apnn_cli inspect --cache path\n");
@@ -368,13 +525,18 @@ int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
   if (a.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: apnn_cli gemm|conv|model|tune|inspect|devices ...\n"
+                 "usage: apnn_cli gemm|conv|model|tune|serve|inspect|devices"
+                 " ...\n"
                  "  gemm M N K p q\n"
                  "  conv Cin HW Cout k s [--wbits p --abits q --batch N]\n"
                  "  model alexnet|vgg|resnet18|vgg_lite [--scheme wXaY|fp32|"
                  "fp16|int8|bnn] [--batch N] [--no-fuse]\n"
                  "  tune mini_resnet|vgg_lite [--scheme wXaY] [--batch N] "
                  "[--cache path] [--reps R]\n"
+                 "  serve mini_resnet|vgg_lite [--scheme wXaY] [--replicas N]"
+                 " [--clients N]\n"
+                 "        [--requests N] [--autotune] [--cache path] "
+                 "[--max-batch B]\n"
                  "  inspect --cache path\n"
                  "  common: [--device 3090|a100] [--trace out.json]\n");
     return 2;
@@ -384,6 +546,7 @@ int main(int argc, char** argv) {
   if (cmd == "conv") return cmd_conv(a);
   if (cmd == "model") return cmd_model(a);
   if (cmd == "tune") return cmd_tune(a);
+  if (cmd == "serve") return cmd_serve(a);
   if (cmd == "inspect") return cmd_inspect(a);
   if (cmd == "devices") return cmd_devices();
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());

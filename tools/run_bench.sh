@@ -5,6 +5,9 @@
 #   * bench/apconv_hotpath         (materialized-im2col vs fused APConv)
 #   * bench/apnn_forward_hotpath   (interpreter vs InferenceSession vs the
 #                                   autotuned session plan)
+#   * bench/serving_throughput     (replicated InferenceServer pool vs the
+#                                   single-replica server, shared-TuningCache
+#                                   cold/warm start)
 # and writes the BENCH_*.json files at the repo root — these are the
 # checked-in baselines the CI perf gate (tools/check_bench.py) compares
 # fresh runs against, so refresh them deliberately and on an otherwise idle
@@ -18,7 +21,8 @@ BUILD_DIR=${1:-build}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target apmm_hotpath apconv_hotpath apnn_forward_hotpath
+  --target apmm_hotpath apconv_hotpath apnn_forward_hotpath \
+  serving_throughput
 if cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_host_kernels \
     2>/dev/null; then
   "$BUILD_DIR/micro_host_kernels" --benchmark_min_time=0.05s || \
@@ -38,3 +42,7 @@ cat BENCH_apconv_hotpath.json
 "$BUILD_DIR/apnn_forward_hotpath" BENCH_apnn_forward_hotpath.json
 echo "BENCH_apnn_forward_hotpath.json:"
 cat BENCH_apnn_forward_hotpath.json
+
+"$BUILD_DIR/serving_throughput" BENCH_serving_throughput.json
+echo "BENCH_serving_throughput.json:"
+cat BENCH_serving_throughput.json
