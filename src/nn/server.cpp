@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/check.hpp"
+#include "src/common/faultinject.hpp"
 
 namespace apnn::nn {
 
@@ -168,9 +169,17 @@ void InferenceServer::dispatch_loop(std::size_t replica_index) {
       space_cv_.notify_all();
     }
 
+    // An exception escaping the rest of this cycle — anywhere outside the
+    // per-batch handler below — used to unwind out of the dispatcher thread
+    // with `batch` already dequeued: those clients waited on done_cv_
+    // forever. Fail them explicitly and retire the thread instead; the
+    // faultinject site drills exactly that path.
+    std::exception_ptr cycle_failure;
+    try {
     const auto batch_start = std::chrono::steady_clock::now();
     const std::int64_t b = static_cast<std::int64_t>(batch.size());
     const std::int64_t sample_elems = input_shape_.numel();
+    faultinject::point(faultinject::kReplicaDispatch);
     std::exception_ptr failure;
     try {
       // Gather: each sample's HWC block is contiguous in the NHWC batch.
@@ -214,6 +223,22 @@ void InferenceServer::dispatch_loop(std::size_t replica_index) {
       stats_.replica_requests[replica_index] += b;
     }
     done_cv_.notify_all();
+    } catch (...) {
+      cycle_failure = std::current_exception();
+    }
+    if (cycle_failure) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (Request* r : batch) {
+          if (!r->done) {
+            r->error = cycle_failure;
+            r->done = true;
+          }
+        }
+      }
+      done_cv_.notify_all();
+      return;  // this dispatcher is compromised; retire rather than guess
+    }
   }
 }
 

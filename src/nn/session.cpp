@@ -7,6 +7,7 @@
 
 #include "src/bitops/bitcopy.hpp"
 #include "src/common/check.hpp"
+#include "src/common/faultinject.hpp"
 #include "src/core/perf_model.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/quant/quantizer.hpp"
@@ -799,6 +800,10 @@ void InferenceSession::validate_sample(const ActShape& shape,
 void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
                            Tensor<std::int32_t>* logits,
                            tcsim::SequenceProfile* prof) {
+  // Chaos drill: an injected throw here exercises every caller's "the
+  // compiled forward pass itself failed" path (the server treats it as a
+  // replica failure).
+  faultinject::point(faultinject::kSessionRun);
   const ModelSpec& spec = net_.spec();
   APNN_CHECK(input_u8.rank() == 4 && input_u8.dim(1) == spec.input.h &&
              input_u8.dim(2) == spec.input.w &&

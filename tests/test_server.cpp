@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/faultinject.hpp"
 #include "src/core/autotune.hpp"
 #include "src/nn/apnn_network.hpp"
 #include "src/nn/model.hpp"
@@ -468,6 +469,55 @@ TEST(Server, DestructionDrainsEnqueuedRequests) {
     expect_same_logits(got[static_cast<std::size_t>(i)],
                        expected[static_cast<std::size_t>(i)], i);
   }
+}
+
+// --- dispatcher death must not strand dequeued clients ----------------------
+
+TEST(Server, DispatcherDeathFailsItsDequeuedRequestsInsteadOfStranding) {
+  // Regression: an exception escaping the dispatch cycle outside the
+  // per-batch handler (injected at replica.dispatch, right after dequeue)
+  // used to unwind out of the dispatcher thread with the dequeued requests
+  // still waiting on done_cv_ — every one of those clients hung forever.
+  // They must instead fail promptly, in their own infer() calls.
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 400);
+  net.calibrate(random_input(1, m, 401));
+
+  struct DisarmGuard {
+    ~DisarmGuard() { faultinject::disarm_all(); }
+  } guard;
+  faultinject::arm(faultinject::kReplicaDispatch, 1);
+
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.max_batch = 3;
+  // The dispatcher holds the batch open until all three clients are
+  // co-dequeued, so the injected death strands (or, fixed, fails) all of
+  // them at once.
+  opts.batch_window = std::chrono::microseconds(1000 * 1000);
+  InferenceServer server(net, dev(), opts);
+
+  constexpr int kClients = 3;
+  std::vector<Tensor<std::int32_t>> samples;
+  for (int i = 0; i < kClients; ++i) {
+    samples.push_back(random_input(1, m, 402 + static_cast<unsigned>(i)));
+  }
+  std::atomic<int> failed{0};
+  {
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        try {
+          server.infer(samples[static_cast<std::size_t>(i)]);
+        } catch (const faultinject::FaultInjected&) {
+          failed.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();  // used to hang here
+  }
+  EXPECT_EQ(failed.load(), kClients);
+  EXPECT_EQ(faultinject::fires(faultinject::kReplicaDispatch), 1);
 }
 
 // --- shared tuning cache across replicas ------------------------------------
