@@ -6,31 +6,53 @@
 // proven exactness under whatever batch mix the traffic produced.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
+#include "src/common/faultinject.hpp"
 #include "src/common/timer.hpp"
 #include "src/nn/server.hpp"
 
 namespace apnn::bench {
 
+struct LoadOptions {
+  /// Per-request deadline budget; 0 = no deadline.
+  std::chrono::milliseconds deadline{0};
+};
+
 struct LoadResult {
   double wall_ms = 0.0;
   std::int64_t mismatches = 0;
+  std::int64_t ok = 0;        ///< responses that came back (and were compared)
+  std::int64_t failed = 0;    ///< requests that ended in a ServerError
+  std::int64_t injected = 0;  ///< requests that died on a raw injected fault
+                              ///< (an armed admission site throws in-caller)
+  /// Client-side failure tally by ErrorKind. Only ServerError is absorbed;
+  /// anything else escapes the client thread — a non-typed failure is a
+  /// driver bug and should be loud.
+  std::array<std::int64_t, nn::kErrorKindCount> error_counts{};
   nn::InferenceServer::Stats stats;
 };
 
 /// Issues `total` single-sample requests from `clients` threads (request i
 /// goes to client i % clients and uses sample i % samples.size()). Returns
-/// the wall time, the number of responses that differed from `golden`, and
-/// the server's stats snapshot after the load.
+/// the wall time, the number of responses that differed from `golden`, the
+/// per-kind failure tally, and the server's stats snapshot after the load.
+/// Failed requests (deadline exceeded, load shed, replica died...) are
+/// counted, not propagated — a robustness drill must keep the load alive.
 inline LoadResult serve_load(nn::InferenceServer& server,
                              const std::vector<Tensor<std::int32_t>>& samples,
                              const std::vector<Tensor<std::int32_t>>& golden,
-                             int clients, int total) {
+                             int clients, int total,
+                             const LoadOptions& opts = {}) {
   std::atomic<std::int64_t> mismatches{0};
+  std::atomic<std::int64_t> ok{0};
+  std::atomic<std::int64_t> failed{0};
+  std::atomic<std::int64_t> injected{0};
+  std::array<std::atomic<std::int64_t>, nn::kErrorKindCount> kind_counts{};
   WallTimer timer;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
@@ -38,7 +60,20 @@ inline LoadResult serve_load(nn::InferenceServer& server,
     threads.emplace_back([&, c] {
       for (int i = c; i < total; i += clients) {
         const std::size_t s = static_cast<std::size_t>(i) % samples.size();
-        const Tensor<std::int32_t> logits = server.infer(samples[s]);
+        Tensor<std::int32_t> logits;
+        try {
+          logits = opts.deadline.count() > 0
+                       ? server.infer(samples[s], opts.deadline)
+                       : server.infer(samples[s]);
+        } catch (const faultinject::FaultInjected&) {
+          injected.fetch_add(1);
+          continue;
+        } catch (const nn::ServerError& e) {
+          failed.fetch_add(1);
+          kind_counts[static_cast<std::size_t>(e.kind())].fetch_add(1);
+          continue;
+        }
+        ok.fetch_add(1);
         const Tensor<std::int32_t>& want = golden[s];
         if (logits.numel() != want.numel()) {
           mismatches.fetch_add(1);
@@ -57,6 +92,12 @@ inline LoadResult serve_load(nn::InferenceServer& server,
   LoadResult r;
   r.wall_ms = timer.millis();
   r.mismatches = mismatches.load();
+  r.ok = ok.load();
+  r.failed = failed.load();
+  r.injected = injected.load();
+  for (std::size_t k = 0; k < nn::kErrorKindCount; ++k) {
+    r.error_counts[k] = kind_counts[k].load();
+  }
   r.stats = server.stats();
   return r;
 }

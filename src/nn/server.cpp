@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
 #include "src/common/check.hpp"
 #include "src/common/faultinject.hpp"
@@ -17,11 +18,33 @@ double elapsed_ms(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
+const char* error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorKind::kQueueFull: return "queue_full";
+    case ErrorKind::kShuttingDown: return "shutting_down";
+    case ErrorKind::kInvalidSample: return "invalid_sample";
+    case ErrorKind::kReplicaFailed: return "replica_failed";
+  }
+  return "unknown";
+}
+
+const char* replica_health_name(ReplicaHealth health) {
+  switch (health) {
+    case ReplicaHealth::kHealthy: return "healthy";
+    case ReplicaHealth::kRestarting: return "restarting";
+    case ReplicaHealth::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
 InferenceServer::InferenceServer(const ApnnNetwork& net,
                                  const tcsim::DeviceSpec& dev,
                                  ServerOptions opts)
-    : input_shape_(net.spec().input), opts_(opts) {
+    : net_(net), dev_(dev), input_shape_(net.spec().input), opts_(opts) {
   APNN_CHECK(opts_.max_batch >= 1);
+  APNN_CHECK(opts_.max_replica_restarts >= 0);
+  APNN_CHECK(opts_.stuck_threshold.count() > 0);
   if (opts_.replicas <= 0) {
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     opts_.replicas = static_cast<int>(std::clamp(hw / 2, 1u, 8u));
@@ -29,10 +52,16 @@ InferenceServer::InferenceServer(const ApnnNetwork& net,
   if (opts_.max_queue <= 0) {
     opts_.max_queue = opts_.replicas * opts_.max_batch * 4;
   }
+  if (opts_.degrade_high_water <= 0) {
+    opts_.degrade_high_water = std::max<std::int64_t>(1, opts_.max_queue / 2);
+  }
+  opts_.degrade_high_water =
+      std::min(opts_.degrade_high_water, opts_.max_queue);
   if (opts_.session.autotune) {
     if (opts_.session.cache == nullptr) {
       // One server-owned cache shared by every replica: without it each
-      // session would keep a private cache and re-measure the same stages.
+      // session would keep a private cache and re-measure the same stages —
+      // and every replica restart would re-tune from scratch.
       owned_cache_ = std::make_unique<core::TuningCache>();
       opts_.session.cache = owned_cache_.get();
     }
@@ -46,7 +75,7 @@ InferenceServer::InferenceServer(const ApnnNetwork& net,
 
   // Compile sequentially — with a shared TuningCache, replica 0's eager
   // tune_batch measurements make replicas 1..N-1 compile warm — then start
-  // the dispatchers only once the replica vector is final.
+  // the dispatchers and the monitor only once the replica vector is final.
   replicas_.resize(static_cast<std::size_t>(opts_.replicas));
   for (Replica& r : replicas_) {
     r.session = std::make_unique<InferenceSession>(net, dev, opts_.session);
@@ -55,6 +84,7 @@ InferenceServer::InferenceServer(const ApnnNetwork& net,
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
       replicas_[i].thread = std::thread([this, i] { dispatch_loop(i); });
     }
+    monitor_ = std::thread([this] { monitor_loop(); });
   } catch (...) {
     // A failed std::thread spawn (e.g. EAGAIN) must not unwind past
     // running dispatchers — destroying a joinable thread terminates the
@@ -69,11 +99,28 @@ void InferenceServer::shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
-  queue_cv_.notify_all();  // dispatchers: drain, then exit
-  space_cv_.notify_all();  // blocked admissions: fail with "shutting down"
+  queue_cv_.notify_all();    // dispatchers: drain, then exit
+  space_cv_.notify_all();    // blocked admissions: fail with kShuttingDown
+  monitor_cv_.notify_all();  // monitor: exit (no restarts during shutdown)
+  if (monitor_.joinable()) monitor_.join();
   for (Replica& r : replicas_) {
     if (r.thread.joinable()) r.thread.join();
   }
+  // The dispatchers drain the queue before exiting, so anything still
+  // queued here means no dispatcher survived shutdown (crashed or
+  // quarantined). Those clients must fail, not strand.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const RequestPtr& r : queue_) {
+      if (!r->done) {
+        complete_with_error_locked(
+            r, ErrorKind::kShuttingDown,
+            "server shut down before the request could be dispatched");
+      }
+    }
+    queue_.clear();
+  }
+  done_cv_.notify_all();
 }
 
 InferenceServer::~InferenceServer() {
@@ -84,14 +131,99 @@ InferenceServer::~InferenceServer() {
   idle_cv_.wait(lock, [&] { return active_clients_ == 0; });
 }
 
+void InferenceServer::fail_caller_locked(ErrorKind kind,
+                                         const std::string& msg) {
+  ++stats_.error_counts[static_cast<std::size_t>(kind)];
+  throw ServerError(kind, msg);
+}
+
+void InferenceServer::complete_with_error_locked(const RequestPtr& req,
+                                                 ErrorKind kind,
+                                                 const std::string& msg) {
+  req->failed = true;
+  req->error_kind = kind;
+  req->error_message = msg;
+  req->done = true;
+  ++stats_.error_counts[static_cast<std::size_t>(kind)];
+}
+
+void InferenceServer::expire_queued_locked(
+    std::chrono::steady_clock::time_point now) {
+  bool removed = false;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if ((*it)->deadline != kNoDeadline && now >= (*it)->deadline) {
+      complete_with_error_locked(
+          *it, ErrorKind::kDeadlineExceeded,
+          "deadline expired while queued (never occupied a batch slot)");
+      it = queue_.erase(it);
+      removed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (removed) {
+    done_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+}
+
+void InferenceServer::shed_oldest_locked() {
+  const RequestPtr oldest = queue_.front();
+  queue_.pop_front();
+  complete_with_error_locked(
+      oldest, ErrorKind::kQueueFull,
+      "shed by degraded admission (queue full; oldest request dropped)");
+  ++stats_.shed;
+  done_cv_.notify_all();
+}
+
+std::chrono::microseconds InferenceServer::effective_window_locked() const {
+  if (stop_) return std::chrono::microseconds(0);  // drain at full tilt
+  if (degraded_ && opts_.admission == ServerOptions::Admission::kDegrade) {
+    return opts_.degrade_window;
+  }
+  return opts_.batch_window;
+}
+
+InferenceServer::Deadline InferenceServer::earliest_queued_deadline_locked()
+    const {
+  Deadline earliest = kNoDeadline;
+  for (const RequestPtr& r : queue_) {
+    earliest = std::min(earliest, r->deadline);
+  }
+  return earliest;
+}
+
 Tensor<std::int32_t> InferenceServer::infer(
-    const Tensor<std::int32_t>& sample_u8) {
+    const Tensor<std::int32_t>& sample_u8, std::chrono::milliseconds budget) {
+  return infer(sample_u8, std::chrono::steady_clock::now() + budget);
+}
+
+Tensor<std::int32_t> InferenceServer::infer(
+    const Tensor<std::int32_t>& sample_u8, Deadline deadline) {
   // Admission validation: a malformed sample (wrong shape, out-of-range
   // code) throws here, in its own caller, and never joins a micro-batch.
-  InferenceSession::validate_sample(input_shape_, sample_u8);
+  try {
+    InferenceSession::validate_sample(input_shape_, sample_u8);
+  } catch (const Error& e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.error_counts[static_cast<std::size_t>(
+          ErrorKind::kInvalidSample)];
+    }
+    throw ServerError(ErrorKind::kInvalidSample, e.what());
+  }
+  faultinject::point(faultinject::kAdmission);
 
-  Request req;
-  req.sample = &sample_u8;
+  // Shared ownership: the queue, a dispatching replica and the monitor may
+  // all still hold the request after this caller has been failed out of it
+  // (deadline, stuck replica) — the control block keeps their pointers
+  // valid. The sample tensor itself stays caller-owned: it is only read
+  // under mu_ while the request is queued, and a queued request's client is
+  // by definition still parked below.
+  auto req = std::make_shared<Request>();
+  req->sample = &sample_u8;
+  req->deadline = deadline;
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++active_clients_;
@@ -101,151 +233,377 @@ Tensor<std::int32_t> InferenceServer::infer(
         if (--s->active_clients_ == 0 && s->stop_) s->idle_cv_.notify_all();
       }
     } guard{this};
-    APNN_CHECK(!stop_) << "server is shutting down";
+    if (stop_) {
+      fail_caller_locked(ErrorKind::kShuttingDown, "server is shutting down");
+    }
+    if (no_replicas_) {
+      fail_caller_locked(ErrorKind::kReplicaFailed,
+                         "every replica is quarantined");
+    }
     // Latency accounting starts at admission — backpressure time spent
     // waiting for queue space below is part of the latency the bound
     // creates, not overhead to hide.
-    req.enqueued = std::chrono::steady_clock::now();
-    if (static_cast<std::int64_t>(queue_.size()) >= opts_.max_queue) {
-      if (opts_.admission == ServerOptions::Admission::kReject) {
-        ++stats_.rejected;
-        APNN_CHECK(false) << "admission queue full (" << opts_.max_queue
-                          << " requests queued)";
-      }
-      space_cv_.wait(lock, [&] {
-        return stop_ ||
-               static_cast<std::int64_t>(queue_.size()) < opts_.max_queue;
-      });
-      APNN_CHECK(!stop_) << "server is shutting down";
+    req->enqueued = std::chrono::steady_clock::now();
+    if (deadline != kNoDeadline && req->enqueued >= deadline) {
+      fail_caller_locked(ErrorKind::kDeadlineExceeded,
+                         "deadline expired before admission");
     }
-    queue_.push_back(&req);
+    if (static_cast<std::int64_t>(queue_.size()) >= opts_.max_queue) {
+      switch (opts_.admission) {
+        case ServerOptions::Admission::kReject: {
+          ++stats_.rejected;
+          std::ostringstream os;
+          os << "admission queue full (" << opts_.max_queue
+             << " requests queued)";
+          fail_caller_locked(ErrorKind::kQueueFull, os.str());
+          break;
+        }
+        case ServerOptions::Admission::kDegrade:
+          // Never block the newest caller: drop-head the oldest queued
+          // request to free its slot.
+          shed_oldest_locked();
+          break;
+        case ServerOptions::Admission::kBlock: {
+          while (static_cast<std::int64_t>(queue_.size()) >=
+                 opts_.max_queue) {
+            if (stop_) {
+              fail_caller_locked(ErrorKind::kShuttingDown,
+                                 "server is shutting down");
+            }
+            if (no_replicas_) {
+              fail_caller_locked(ErrorKind::kReplicaFailed,
+                                 "every replica is quarantined");
+            }
+            if (deadline != kNoDeadline) {
+              if (std::chrono::steady_clock::now() >= deadline) {
+                fail_caller_locked(ErrorKind::kDeadlineExceeded,
+                                   "deadline expired while blocked on "
+                                   "admission backpressure");
+              }
+              space_cv_.wait_until(lock, deadline);
+            } else {
+              space_cv_.wait(lock);
+            }
+          }
+          if (stop_) {
+            fail_caller_locked(ErrorKind::kShuttingDown,
+                               "server is shutting down");
+          }
+          if (no_replicas_) {
+            fail_caller_locked(ErrorKind::kReplicaFailed,
+                               "every replica is quarantined");
+          }
+          break;
+        }
+      }
+    }
+    queue_.push_back(req);
     // stats().queue_depth is computed live from queue_.size(); only the
     // peak needs recording here.
     stats_.peak_queue_depth = std::max(
         stats_.peak_queue_depth, static_cast<std::int64_t>(queue_.size()));
+    if (opts_.admission == ServerOptions::Admission::kDegrade && !degraded_ &&
+        static_cast<std::int64_t>(queue_.size()) >= opts_.degrade_high_water) {
+      degraded_ = true;
+      ++stats_.degrade_entries;
+    }
     queue_cv_.notify_one();
-    done_cv_.wait(lock, [&] { return req.done; });
+    done_cv_.wait(lock, [&] { return req->done; });
   }
-  if (req.error) std::rethrow_exception(req.error);
-  return std::move(req.logits);
+  if (req->failed) throw ServerError(req->error_kind, req->error_message);
+  return std::move(req->logits);
 }
 
 void InferenceServer::dispatch_loop(std::size_t replica_index) {
-  Replica& rep = replicas_[replica_index];
-  std::vector<Request*> batch;
+  // An exception escaping the cycle below — the session run, the injected
+  // replica.dispatch fault, anything outside a per-request path — is a
+  // replica failure. Requests the replica holds are its responsibility:
+  // fail them explicitly (never strand a waiting client), then retire the
+  // thread and let the monitor decide between restart and quarantine.
+  std::vector<RequestPtr> batch;
   batch.reserve(static_cast<std::size_t>(opts_.max_batch));
   for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop requested and fully drained
-      // Hold the batch open up to batch_window for more requests (unless
-      // shutdown wants the queue drained as fast as possible). Requests
-      // stay queued during the window, so another replica may legitimately
-      // take them — a zero take just re-enters the outer wait.
-      if (!stop_ &&
-          static_cast<std::int64_t>(queue_.size()) < opts_.max_batch) {
-        const auto deadline =
-            std::chrono::steady_clock::now() + opts_.batch_window;
-        while (!stop_ &&
-               static_cast<std::int64_t>(queue_.size()) < opts_.max_batch) {
-          if (queue_cv_.wait_until(lock, deadline) ==
-              std::cv_status::timeout) {
-            break;
-          }
-        }
-      }
-      const std::int64_t take = std::min<std::int64_t>(
-          opts_.max_batch, static_cast<std::int64_t>(queue_.size()));
-      if (take == 0) continue;
-      batch.clear();
-      for (std::int64_t i = 0; i < take; ++i) {
-        batch.push_back(queue_.front());
-        queue_.pop_front();
-      }
-      // The queue may still hold a batch's worth for an idle replica, and
-      // admission backpressure has space again.
-      if (!queue_.empty()) queue_cv_.notify_one();
-      space_cv_.notify_all();
-    }
-
-    // An exception escaping the rest of this cycle — anywhere outside the
-    // per-batch handler below — used to unwind out of the dispatcher thread
-    // with `batch` already dequeued: those clients waited on done_cv_
-    // forever. Fail them explicitly and retire the thread instead; the
-    // faultinject site drills exactly that path.
-    std::exception_ptr cycle_failure;
+    batch.clear();
+    bool keep_going = false;
     try {
-    const auto batch_start = std::chrono::steady_clock::now();
-    const std::int64_t b = static_cast<std::int64_t>(batch.size());
-    const std::int64_t sample_elems = input_shape_.numel();
-    faultinject::point(faultinject::kReplicaDispatch);
-    std::exception_ptr failure;
-    try {
-      // Gather: each sample's HWC block is contiguous in the NHWC batch.
-      rep.batch_input.reset_shape(
-          {b, input_shape_.h, input_shape_.w, input_shape_.c});
-      for (std::int64_t i = 0; i < b; ++i) {
-        std::memcpy(rep.batch_input.data() + i * sample_elems,
-                    batch[static_cast<std::size_t>(i)]->sample->data(),
-                    sizeof(std::int32_t) *
-                        static_cast<std::size_t>(sample_elems));
-      }
-      rep.session->run(rep.batch_input, &rep.batch_logits);
-      const std::int64_t classes = rep.batch_logits.dim(1);
-      for (std::int64_t i = 0; i < b; ++i) {
-        Request* r = batch[static_cast<std::size_t>(i)];
-        r->logits.reset_shape({classes});
-        std::memcpy(r->logits.data(), rep.batch_logits.data() + i * classes,
-                    sizeof(std::int32_t) * static_cast<std::size_t>(classes));
-      }
+      keep_going = dispatch_cycle(replica_index, batch);
     } catch (...) {
-      // Samples are validated at admission, so this is a systemic failure
-      // (not one bad sample); report it to the batch and keep dispatching.
-      failure = std::current_exception();
-    }
-    const auto batch_end = std::chrono::steady_clock::now();
-
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (Request* r : batch) {
-        r->error = failure;
-        r->done = true;
-        const double latency = elapsed_ms(r->enqueued, batch_end);
-        stats_.total_latency_ms += latency;
-        stats_.max_latency_ms = std::max(stats_.max_latency_ms, latency);
+      std::string what = "unknown failure";
+      try {
+        throw;
+      } catch (const std::exception& e) {
+        what = e.what();
+      } catch (...) {
       }
-      stats_.requests += b;
-      stats_.batches += 1;
-      stats_.max_batch = std::max(stats_.max_batch, b);
-      stats_.total_batch_ms += elapsed_ms(batch_start, batch_end);
-      stats_.replica_batches[replica_index] += 1;
-      stats_.replica_requests[replica_index] += b;
-    }
-    done_cv_.notify_all();
-    } catch (...) {
-      cycle_failure = std::current_exception();
-    }
-    if (cycle_failure) {
       {
         std::lock_guard<std::mutex> lock(mu_);
-        for (Request* r : batch) {
+        Replica& rep = replicas_[replica_index];
+        for (const RequestPtr& r : batch) {
           if (!r->done) {
-            r->error = cycle_failure;
-            r->done = true;
+            complete_with_error_locked(
+                r, ErrorKind::kReplicaFailed,
+                "replica " + std::to_string(replica_index) +
+                    " failed mid-dispatch: " + what);
           }
         }
+        rep.in_flight.clear();
+        rep.in_cycle = false;
+        rep.declared_stuck = false;
+        rep.exited = true;  // monitor: join me, then restart or quarantine
       }
       done_cv_.notify_all();
-      return;  // this dispatcher is compromised; retire rather than guess
+      monitor_cv_.notify_all();
+      return;
+    }
+    if (!keep_going) return;
+  }
+}
+
+// One dispatch cycle: dequeue a batch (blocking), run it, respond. Leaves
+// the dequeued requests in `batch` so dispatch_loop can fail them if the
+// cycle throws between dequeue and response. Returns false when the thread
+// should exit: shutdown has drained the queue, or the monitor declared this
+// replica stuck while the cycle ran (the replica retires so a fresh thread
+// can take its slot).
+bool InferenceServer::dispatch_cycle(std::size_t replica_index,
+                                     std::vector<RequestPtr>& batch) {
+  Replica& rep = replicas_[replica_index];
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // stop requested and fully drained
+    // Expired requests fail at dequeue — before occupying a batch slot.
+    expire_queued_locked(std::chrono::steady_clock::now());
+    // Hold the batch open up to the effective window for more requests
+    // (unless shutdown wants the queue drained as fast as possible) — but
+    // never past the earliest deadline among the queued requests: the
+    // window is clipped to just short of that deadline so the batch forms
+    // while its most urgent member can still be served. Requests stay
+    // queued during the window, so another replica may legitimately take
+    // them — a zero take just re-enters the outer wait.
+    if (!stop_ && !queue_.empty() &&
+        static_cast<std::int64_t>(queue_.size()) < opts_.max_batch) {
+      const Deadline window_end =
+          std::chrono::steady_clock::now() + effective_window_locked();
+      while (!stop_ &&
+             static_cast<std::int64_t>(queue_.size()) < opts_.max_batch) {
+        Deadline limit = window_end;
+        const Deadline urgent = earliest_queued_deadline_locked();
+        if (urgent != kNoDeadline) {
+          limit = std::min(limit, urgent - std::chrono::milliseconds(1));
+        }
+        if (queue_cv_.wait_until(lock, limit) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      expire_queued_locked(std::chrono::steady_clock::now());
+    }
+    const std::int64_t take = std::min<std::int64_t>(
+        opts_.max_batch, static_cast<std::int64_t>(queue_.size()));
+    if (take == 0) return true;
+    // Dequeue and gather in one critical section: a queued request's
+    // client is parked in infer() (queued implies not done), so its
+    // caller-owned sample tensor is alive exactly here and only here.
+    const std::int64_t sample_elems = input_shape_.numel();
+    rep.batch_input.reset_shape(
+        {take, input_shape_.h, input_shape_.w, input_shape_.c});
+    for (std::int64_t i = 0; i < take; ++i) {
+      RequestPtr r = queue_.front();
+      queue_.pop_front();
+      std::memcpy(rep.batch_input.data() + i * sample_elems,
+                  r->sample->data(),
+                  sizeof(std::int32_t) *
+                      static_cast<std::size_t>(sample_elems));
+      batch.push_back(std::move(r));
+    }
+    rep.in_flight = batch;
+    rep.in_cycle = true;
+    rep.cycle_start = std::chrono::steady_clock::now();
+    if (degraded_ &&
+        static_cast<std::int64_t>(queue_.size()) * 2 <=
+            opts_.degrade_high_water) {
+      degraded_ = false;  // backlog drained below half the high-water mark
+    }
+    // The queue may still hold a batch's worth for an idle replica, and
+    // admission backpressure has space again.
+    if (!queue_.empty()) queue_cv_.notify_one();
+    space_cv_.notify_all();
+  }
+
+  // Chaos drill for the dequeued-then-died path: the requests in `batch`
+  // are no longer queued, so only the dispatch_loop catch can save them.
+  faultinject::point(faultinject::kReplicaDispatch);
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  const std::int64_t b = static_cast<std::int64_t>(batch.size());
+  // A throw from the session run escapes to dispatch_loop: the batch fails
+  // with kReplicaFailed and this replica retires. Per-sample validation at
+  // admission means a well-formed batch never organically throws here —
+  // anything that does is a replica-level defect, not a request-level one.
+  rep.session->run(rep.batch_input, &rep.batch_logits);
+  const auto batch_end = std::chrono::steady_clock::now();
+
+  bool retire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::int64_t classes = rep.batch_logits.dim(1);
+    std::int64_t served = 0;
+    for (std::int64_t i = 0; i < b; ++i) {
+      const RequestPtr& r = batch[static_cast<std::size_t>(i)];
+      if (r->done) continue;  // the monitor already failed it (stuck cycle)
+      r->logits.reset_shape({classes});
+      std::memcpy(r->logits.data(), rep.batch_logits.data() + i * classes,
+                  sizeof(std::int32_t) * static_cast<std::size_t>(classes));
+      r->done = true;
+      ++served;
+      const double latency = elapsed_ms(r->enqueued, batch_end);
+      stats_.total_latency_ms += latency;
+      stats_.max_latency_ms = std::max(stats_.max_latency_ms, latency);
+    }
+    stats_.requests += served;
+    stats_.batches += 1;
+    stats_.max_batch = std::max(stats_.max_batch, b);
+    stats_.total_batch_ms += elapsed_ms(batch_start, batch_end);
+    stats_.replica_batches[replica_index] += 1;
+    stats_.replica_requests[replica_index] += served;
+    rep.in_flight.clear();
+    rep.in_cycle = false;
+    if (rep.declared_stuck) {
+      // The monitor gave up on this cycle while it ran: its requests were
+      // already failed (skipped above). Retire so the monitor can join and
+      // restart this replica with a fresh session.
+      rep.declared_stuck = false;
+      rep.exited = true;
+      retire = true;
     }
   }
+  batch.clear();  // responded: nothing left for the dispatch_loop catch
+  done_cv_.notify_all();
+  if (retire) monitor_cv_.notify_all();
+  return !retire;
+}
+
+void InferenceServer::monitor_loop() {
+  // Poll often enough to catch a stuck cycle promptly but stay invisible
+  // next to real dispatch work; crash notifications arrive via monitor_cv_
+  // without waiting out the poll.
+  const auto poll = std::clamp(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          opts_.stuck_threshold / 4),
+      std::chrono::milliseconds(1), std::chrono::milliseconds(200));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    monitor_cv_.wait_for(lock, poll, [&] {
+      if (stop_) return true;
+      for (const Replica& r : replicas_) {
+        if (r.exited) return true;
+      }
+      return false;
+    });
+    if (stop_) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+      Replica& rep = replicas_[i];
+      if (rep.health == ReplicaHealth::kQuarantined) continue;
+
+      if (rep.exited) {
+        // The dispatcher retired (crash, or stuck-then-completed). Join it
+        // and recompile outside the lock — a restart must not stall
+        // admission or the other replicas. A shared warm TuningCache makes
+        // the recompile measurement-free.
+        rep.exited = false;
+        rep.health = ReplicaHealth::kRestarting;
+        ++rep.crashes;
+        std::thread dead = std::move(rep.thread);
+        const bool too_many = rep.crashes > opts_.max_replica_restarts;
+        lock.unlock();
+        if (dead.joinable()) dead.join();
+        std::unique_ptr<InferenceSession> fresh;
+        if (!too_many) {
+          try {
+            fresh = std::make_unique<InferenceSession>(net_, dev_,
+                                                       opts_.session);
+          } catch (...) {
+            // Recompile failed — quarantine below.
+          }
+        }
+        lock.lock();
+        bool started = false;
+        if (fresh != nullptr && !stop_) {
+          rep.session = std::move(fresh);
+          try {
+            rep.thread = std::thread([this, i] { dispatch_loop(i); });
+            started = true;
+          } catch (...) {
+            // Spawn failed — quarantine below.
+          }
+        }
+        if (started) {
+          rep.health = ReplicaHealth::kHealthy;
+          ++stats_.replica_restarts;
+        } else {
+          quarantine_locked(i);
+        }
+        continue;
+      }
+
+      if (rep.in_cycle && !rep.declared_stuck &&
+          now - rep.cycle_start > opts_.stuck_threshold) {
+        // The cycle has been running past the watchdog: fail its requests
+        // now — the waiting clients get kReplicaFailed immediately instead
+        // of riding out the stall — and let the thread retire itself when
+        // (if) the stalled cycle returns; the exited branch above then
+        // restarts it. A thread wedged forever cannot be restarted safely
+        // (killing it would corrupt shared kernel state), but its clients
+        // are never stranded.
+        rep.declared_stuck = true;
+        const auto stuck_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - rep.cycle_start)
+                .count();
+        for (const RequestPtr& r : rep.in_flight) {
+          if (!r->done) {
+            complete_with_error_locked(
+                r, ErrorKind::kReplicaFailed,
+                "replica " + std::to_string(i) + " stuck in dispatch for " +
+                    std::to_string(stuck_ms) + " ms; request abandoned");
+          }
+        }
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void InferenceServer::quarantine_locked(std::size_t replica_index) {
+  replicas_[replica_index].health = ReplicaHealth::kQuarantined;
+  for (const Replica& r : replicas_) {
+    if (r.health != ReplicaHealth::kQuarantined) return;
+  }
+  // The last replica just left rotation: nothing will ever drain the queue
+  // again. Fail everything queued and every future admission instead of
+  // stranding clients.
+  no_replicas_ = true;
+  for (const RequestPtr& r : queue_) {
+    if (!r->done) {
+      complete_with_error_locked(r, ErrorKind::kReplicaFailed,
+                                 "every replica is quarantined");
+    }
+  }
+  queue_.clear();
+  done_cv_.notify_all();
+  space_cv_.notify_all();
 }
 
 InferenceServer::Stats InferenceServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s = stats_;
   s.queue_depth = static_cast<std::int64_t>(queue_.size());
+  s.degraded = degraded_;
+  s.replica_health.reserve(replicas_.size());
+  for (const Replica& r : replicas_) {
+    s.replica_health.push_back(r.health);
+  }
   return s;
 }
 

@@ -1,46 +1,75 @@
 // Replicated dynamic-batching serving front-end over compiled
-// InferenceSessions.
+// InferenceSessions, with a deadline-aware request lifecycle and
+// self-healing replicas.
 //
 // An InferenceServer accepts concurrent single-sample requests (blocking
 // infer() calls from any number of client threads) and micro-batches them
 // into session runs. Requests pass a bounded admission queue (backpressure:
-// block until space frees, or reject immediately — ServerOptions::admission)
-// and are drained by N dispatcher replicas. Each replica owns a compiled
-// InferenceSession — its own ActivationSlab and batch gather/scatter
-// tensors, so replicas never share mutable kernel state — and runs batches
-// concurrently with the others; the only cross-replica state is the
-// admission queue, the (thread-safe) TuningCache when autotuning is on, and
-// the const network weights. One replica's dispatch cycle: take the first
-// queued request, hold the batch open up to `batch_window` for more to
-// arrive (up to `max_batch`), gather the samples into one batch tensor, run
-// the session once, and scatter the logits back to the waiting clients.
+// block until space frees, reject immediately, or degrade — see
+// ServerOptions::admission) and are drained by N dispatcher replicas. Each
+// replica owns a compiled InferenceSession — its own ActivationSlab and
+// batch gather/scatter tensors, so replicas never share mutable kernel
+// state — and runs batches concurrently with the others; the only
+// cross-replica state is the admission queue, the (thread-safe) TuningCache
+// when autotuning is on, and the const network weights.
 //
-// Replication raises aggregate throughput past the single-session ceiling:
-// one dispatcher serializes [gather -> run -> scatter] cycles, leaving the
-// machine idle during the serial sections of each cycle (client wakeups,
-// admission handoff, short glue steps that cannot fill every core), while N
-// replicas overlap whole cycles. With a shared TuningCache only the first
-// replica pays measurement runs — every later replica compiles warm
-// (bench/serving_throughput gates this and the scaling curve).
+// Request lifecycle (DESIGN.md §9 has the full state machine):
 //
-// Samples are validated per-request at admission (shape and 8-bit code
-// range), so a malformed sample throws in its own infer() call and can
-// never poison the micro-batch it would have joined. Batching is exact: the
-// session's logits are bit-identical whether a sample runs alone or inside
-// any batch on any replica, so serving results never depend on traffic
-// (tests/test_server.cpp pins this).
+//   admitted -> queued -> batched -> done(logits)
+//                              \-> done(ServerError)
+//
+// Every way a request can fail is a typed ServerError whose ErrorKind the
+// Stats count per kind: the sample is malformed (kInvalidSample, failed at
+// admission so it never joins a batch), the queue is full under kReject
+// (kQueueFull), the server is stopping (kShuttingDown), the request's
+// deadline expired (kDeadlineExceeded — checked at admission, while blocked
+// on backpressure, and at dequeue before the request occupies a batch
+// slot; batch formation is never held open past the earliest deadline in
+// the queue), or the replica holding the request died (kReplicaFailed — a
+// dispatcher never strands its dequeued clients).
+//
+// Replica self-healing: a monitor thread watches every dispatcher. A
+// replica whose cycle throws (any escaped exception) fails its in-flight
+// requests with kReplicaFailed and exits; a replica whose dispatch cycle
+// exceeds ServerOptions::stuck_threshold has its in-flight requests failed
+// immediately (clients unblock long before the stall resolves) and is
+// retired when the stalled cycle finally returns. Either way the monitor
+// joins the dead thread, recompiles the replica's session and restarts it —
+// until the replica has crashed more than max_replica_restarts times, at
+// which point it is quarantined. Per-replica health (kHealthy, kRestarting,
+// kQuarantined) is exported in Stats; when every replica is quarantined the
+// server fails queued and future requests with kReplicaFailed instead of
+// stranding them.
+//
+// Graceful degradation: Admission::kDegrade never blocks a new caller.
+// While the queue sits above a high-water mark the server is "degraded":
+// dispatchers shrink the batch window to degrade_window (default 0 — drain
+// at full tilt), and when the queue is hard-full the oldest queued request
+// is shed (failed kQueueFull) to admit the newest — drop-head, because the
+// oldest request is the one most likely already past its caller's patience.
+// Degradation exits once the queue falls back under half the high-water
+// mark.
+//
+// Batching is exact: the session's logits are bit-identical whether a
+// sample runs alone or inside any batch on any replica, so serving results
+// never depend on traffic (tests/test_server.cpp pins this; the fault
+// drills in tests/test_chaos.cpp pin that injected crashes never corrupt a
+// non-injected response).
 //
 // Shutdown drains: ~InferenceServer stops admission (late infer() callers
-// get a "shutting down" error), lets the replicas finish every queued
-// request, then joins them and waits for the last in-flight client to leave.
+// get kShuttingDown), lets the replicas finish every queued request, joins
+// the monitor and the dispatchers, fails any request left queued when no
+// dispatcher survived, then waits for the last in-flight client to leave.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -48,10 +77,44 @@
 
 namespace apnn::nn {
 
+/// Why a request failed. Every failure path out of InferenceServer::infer()
+/// carries exactly one of these (Stats::error_counts indexes by it).
+enum class ErrorKind {
+  kDeadlineExceeded = 0,  ///< the request's deadline passed before dispatch
+  kQueueFull,             ///< rejected or shed by admission control
+  kShuttingDown,          ///< admission after shutdown began
+  kInvalidSample,         ///< malformed sample (failed admission validation)
+  kReplicaFailed,         ///< the dispatcher holding the request died
+};
+inline constexpr std::size_t kErrorKindCount = 5;
+const char* error_kind_name(ErrorKind kind);
+
+/// Typed serving failure. Still an apnn::Error, so callers that only care
+/// that a request failed need no new catch; callers that route on the
+/// failure (retry vs shed vs alert) switch on kind().
+class ServerError : public Error {
+ public:
+  ServerError(ErrorKind kind, const std::string& what)
+      : Error(what), kind_(kind) {}
+  ErrorKind kind() const { return kind_; }
+
+ private:
+  ErrorKind kind_;
+};
+
+/// Dispatcher replica health as exported in Stats.
+enum class ReplicaHealth {
+  kHealthy = 0,  ///< dispatching (or idle, waiting for work)
+  kRestarting,   ///< crashed/stuck; the monitor is recompiling it
+  kQuarantined,  ///< crashed too often; permanently out of rotation
+};
+const char* replica_health_name(ReplicaHealth health);
+
 struct ServerOptions {
   /// Largest batch one session run may serve.
   std::int64_t max_batch = 8;
   /// How long a dispatcher holds an open batch waiting for more requests.
+  /// Never held past the earliest deadline among the queued requests.
   std::chrono::microseconds batch_window{500};
 
   /// Dispatcher replicas, each owning a compiled InferenceSession. 0 derives
@@ -66,35 +129,65 @@ struct ServerOptions {
 
   /// What infer() does when the admission queue is full.
   enum class Admission {
-    kBlock,   ///< wait until a dispatcher frees space (backpressure)
-    kReject,  ///< throw "admission queue full" immediately (load shedding)
+    kBlock,    ///< wait until a dispatcher frees space (backpressure)
+    kReject,   ///< throw kQueueFull immediately (load shedding)
+    kDegrade,  ///< shed the oldest queued request to admit the newest, and
+               ///< shrink the batch window while over the high-water mark
   };
   Admission admission = Admission::kBlock;
+
+  /// kDegrade: queue depth at/above which the server enters degraded mode
+  /// (shrunk batch window). 0 derives as max_queue / 2 (at least 1).
+  /// Degradation exits when the depth falls to high_water / 2.
+  std::int64_t degrade_high_water = 0;
+  /// kDegrade: the batch window used while degraded. The default (0) makes
+  /// dispatchers take whatever is queued immediately — larger effective
+  /// batches purely from backlog, no added waiting.
+  std::chrono::microseconds degrade_window{0};
+
+  /// Self-healing watchdog: a dispatch cycle still running after this long
+  /// is declared stuck — its requests fail with kReplicaFailed and the
+  /// replica is restarted once the stalled cycle returns. Generous default:
+  /// a healthy micro-batch runs in milliseconds even under sanitizers.
+  std::chrono::milliseconds stuck_threshold{10000};
+  /// Crashes (escaped dispatch exceptions or stuck declarations) a replica
+  /// may accumulate before it is quarantined instead of restarted.
+  int max_replica_restarts = 2;
 
   /// Compile options applied to every replica's session. When
   /// `session.autotune` is set and `session.cache` is null the server owns
   /// one TuningCache shared across replicas (first replica measures, the
   /// rest compile warm); when `session.tune_batch` is 0 it defaults to
   /// max_batch so the full-batch plan is tuned before serving starts.
+  /// Replica restarts recompile with the same options, so a restart with a
+  /// warm cache never re-measures.
   SessionOptions session;
 };
 
 class InferenceServer {
  public:
+  /// A request deadline: a steady-clock instant after which the server
+  /// stops spending resources on the request. kNoDeadline means "wait
+  /// however long serving takes".
+  using Deadline = std::chrono::steady_clock::time_point;
+  static constexpr Deadline kNoDeadline = Deadline::max();
+
   /// Compiles one session per replica for `net` (must be calibrated and
-  /// outlive the server) and starts the dispatcher threads. Replicas are
-  /// compiled sequentially so a shared TuningCache is warm from the second
-  /// replica on.
+  /// outlive the server) and starts the dispatcher threads plus the health
+  /// monitor. Replicas are compiled sequentially so a shared TuningCache is
+  /// warm from the second replica on.
   InferenceServer(const ApnnNetwork& net, const tcsim::DeviceSpec& dev,
                   ServerOptions opts = {});
   /// Stops admission, drains queued requests, then stops the dispatchers.
   ~InferenceServer();
 
   /// Graceful drain: stops admission (every later infer() call throws
-  /// "shutting down"), lets the replicas finish all queued requests, and
-  /// joins the dispatcher threads. Returns once the queue is empty.
-  /// Idempotent; the destructor calls it. Must not race itself — call from
-  /// one controlling thread (concurrent infer() calls are fine).
+  /// kShuttingDown), lets the replicas finish all queued requests, and
+  /// joins the monitor and dispatcher threads. Requests still queued after
+  /// the join (possible only when every dispatcher died) fail with
+  /// kShuttingDown rather than strand. Idempotent; the destructor calls it.
+  /// Must not race itself — call from one controlling thread (concurrent
+  /// infer() calls are fine).
   void shutdown();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -102,20 +195,39 @@ class InferenceServer {
 
   /// Serves one sample — HWC uint8 codes {H, W, C} (or {1, H, W, C}) —
   /// blocking until its micro-batch has run. Returns the logits {classes}.
-  /// Thread-safe; any number of callers may be in flight. Throws on a
-  /// malformed sample (validated before admission — co-batched requests
-  /// are unaffected), on a full queue under Admission::kReject, and after
-  /// shutdown has begun.
-  Tensor<std::int32_t> infer(const Tensor<std::int32_t>& sample_u8);
+  /// Thread-safe; any number of callers may be in flight. Throws ServerError
+  /// on every failure path (see ErrorKind); the optional deadline bounds
+  /// admission, backpressure waiting, and queue residency — a request that
+  /// reaches a batch slot before its deadline completes normally.
+  Tensor<std::int32_t> infer(const Tensor<std::int32_t>& sample_u8,
+                             Deadline deadline = kNoDeadline);
+  /// Deadline convenience: now() + budget.
+  Tensor<std::int32_t> infer(const Tensor<std::int32_t>& sample_u8,
+                             std::chrono::milliseconds budget);
 
   struct Stats {
-    std::int64_t requests = 0;   ///< samples served (failures included)
+    std::int64_t requests = 0;   ///< samples served successfully
     std::int64_t batches = 0;    ///< session runs dispatched (all replicas)
     std::int64_t max_batch = 0;  ///< largest micro-batch formed
     std::int64_t rejected = 0;   ///< admissions refused (kReject only)
 
     std::int64_t queue_depth = 0;       ///< queued right now
     std::int64_t peak_queue_depth = 0;  ///< high-water of queue_depth
+
+    /// Failed requests by ErrorKind (shed requests count under kQueueFull).
+    std::array<std::int64_t, kErrorKindCount> error_counts{};
+    std::int64_t errors(ErrorKind k) const {
+      return error_counts[static_cast<std::size_t>(k)];
+    }
+
+    /// Graceful degradation (Admission::kDegrade only).
+    bool degraded = false;            ///< over the high-water mark right now
+    std::int64_t degrade_entries = 0; ///< times degraded mode was entered
+    std::int64_t shed = 0;            ///< oldest-first drop-head victims
+
+    /// Self-healing.
+    std::int64_t replica_restarts = 0;  ///< successful monitor restarts
+    std::vector<ReplicaHealth> replica_health;  ///< index = replica
 
     /// Latency accounting over completed requests (admission to response).
     double total_latency_ms = 0.0;  ///< sum; mean = total / requests
@@ -140,37 +252,79 @@ class InferenceServer {
   std::int64_t replica_tuning_measurements(int replica) const;
 
  private:
+  /// One in-flight request. Shared between the admitting client, the queue,
+  /// the dispatching replica and the monitor: any of them may complete it
+  /// (under mu_, exactly once — `done` guards), and shared ownership means
+  /// a request failed early (deadline, stuck replica) cannot dangle under a
+  /// dispatcher that still holds it.
   struct Request {
-    const Tensor<std::int32_t>* sample = nullptr;
+    const Tensor<std::int32_t>* sample = nullptr;  ///< valid while queued
     Tensor<std::int32_t> logits;
-    std::exception_ptr error;
+    /// Failure outcome as plain data, not an exception_ptr: the ServerError
+    /// is constructed in the *caller's* thread at rethrow time. A shared
+    /// exception object's lifetime would otherwise end on whichever thread
+    /// drops the last Request reference — a cross-thread free that TSan
+    /// cannot see through libsupc++'s uninstrumented refcount.
+    bool failed = false;
+    ErrorKind error_kind = ErrorKind::kReplicaFailed;
+    std::string error_message;
     bool done = false;
+    Deadline deadline = kNoDeadline;
     std::chrono::steady_clock::time_point enqueued;
   };
+  using RequestPtr = std::shared_ptr<Request>;
 
   /// One dispatcher worker: session + reusable gather/scatter tensors
-  /// (steady-state zero allocation, per replica).
+  /// (steady-state zero allocation, per replica), plus the health state the
+  /// monitor drives (all guarded by mu_ except the running session).
   struct Replica {
     std::unique_ptr<InferenceSession> session;
     Tensor<std::int32_t> batch_input;
     Tensor<std::int32_t> batch_logits;
     std::thread thread;
+
+    ReplicaHealth health = ReplicaHealth::kHealthy;
+    std::vector<RequestPtr> in_flight;  ///< current batch (dequeued)
+    bool in_cycle = false;
+    std::chrono::steady_clock::time_point cycle_start;
+    bool declared_stuck = false;  ///< monitor verdict; thread must retire
+    bool exited = false;          ///< thread returned; monitor must join
+    int crashes = 0;
   };
 
   void dispatch_loop(std::size_t replica_index);
+  bool dispatch_cycle(std::size_t replica_index,
+                      std::vector<RequestPtr>& batch);
+  void monitor_loop();
 
+  // All helpers below require mu_ held.
+  [[noreturn]] void fail_caller_locked(ErrorKind kind, const std::string& msg);
+  void complete_with_error_locked(const RequestPtr& req, ErrorKind kind,
+                                  const std::string& msg);
+  void expire_queued_locked(std::chrono::steady_clock::time_point now);
+  void shed_oldest_locked();
+  std::chrono::microseconds effective_window_locked() const;
+  Deadline earliest_queued_deadline_locked() const;
+  void quarantine_locked(std::size_t replica_index);
+
+  const ApnnNetwork& net_;  ///< for replica recompiles on restart
+  const tcsim::DeviceSpec dev_;
   const ActShape input_shape_;
   ServerOptions opts_;  ///< resolved: replicas/max_queue/tune_batch filled in
   std::unique_ptr<core::TuningCache> owned_cache_;  ///< see ServerOptions
   std::vector<Replica> replicas_;
+  std::thread monitor_;
 
   mutable std::mutex mu_;
-  std::condition_variable queue_cv_;  ///< dispatcher wakeups
-  std::condition_variable done_cv_;   ///< client wakeups
-  std::condition_variable space_cv_;  ///< admission backpressure wakeups
-  std::condition_variable idle_cv_;   ///< destructor waits for clients
-  std::deque<Request*> queue_;
+  std::condition_variable queue_cv_;    ///< dispatcher wakeups
+  std::condition_variable done_cv_;     ///< client wakeups
+  std::condition_variable space_cv_;    ///< admission backpressure wakeups
+  std::condition_variable idle_cv_;     ///< destructor waits for clients
+  std::condition_variable monitor_cv_;  ///< monitor wakeups (exit, crash)
+  std::deque<RequestPtr> queue_;
   bool stop_ = false;
+  bool degraded_ = false;      ///< kDegrade: over the high-water mark
+  bool no_replicas_ = false;   ///< every replica quarantined
   std::int64_t active_clients_ = 0;  ///< infer() calls inside the monitor
   Stats stats_;
 };

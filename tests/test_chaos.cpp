@@ -1,0 +1,479 @@
+// Fault-injection drills for the deadline-aware request lifecycle and the
+// self-healing replica pool (runs in CI under TSan with every site armed):
+//   * every faultinject site is driven: session.run, replica.dispatch,
+//     server.admission, tuningcache.save;
+//   * an injected replica crash fails exactly the requests that replica
+//     held (typed kReplicaFailed), the monitor restarts the replica, and
+//     every non-injected request before/after is served bit-exact;
+//   * repeated crashes quarantine the replica; with no replicas left the
+//     server fails fast instead of stranding clients;
+//   * a stuck dispatch cycle unblocks its waiting clients long before the
+//     stall resolves, then the replica recovers;
+//   * deadlines fail fast at every lifecycle stage: admission, blocked on
+//     backpressure, and queued behind a stalled replica;
+//   * Admission::kDegrade sheds oldest-first instead of blocking and exits
+//     degraded mode once the backlog drains;
+//   * shutdown racing deadline expiry never strands or double-completes a
+//     request;
+//   * a TuningCache save that dies mid-persist never clobbers the previous
+//     cache file, and a corrupt cache file degrades to cold tuning.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/faultinject.hpp"
+#include "src/core/autotune.hpp"
+#include "src/nn/apnn_network.hpp"
+#include "src/nn/model.hpp"
+#include "src/nn/server.hpp"
+#include "src/nn/session.hpp"
+#include "src/tcsim/device_spec.hpp"
+
+namespace apnn::nn {
+namespace {
+
+const tcsim::DeviceSpec& dev() { return tcsim::rtx3090(); }
+
+Tensor<std::int32_t> random_input(std::int64_t b, const ModelSpec& m,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor<std::int32_t> in({b, m.input.h, m.input.w, m.input.c});
+  in.randomize(rng, 0, 255);
+  return in;
+}
+
+void expect_same_logits(const Tensor<std::int32_t>& got,
+                        const Tensor<std::int32_t>& want, int which) {
+  ASSERT_EQ(got.numel(), want.numel()) << "request " << which;
+  for (std::int64_t j = 0; j < got.numel(); ++j) {
+    EXPECT_EQ(got[j], want[j]) << "request " << which << " logit " << j;
+  }
+}
+
+// Every test arms sites; none may leak arming into the next test.
+struct ChaosTest : ::testing::Test {
+  ~ChaosTest() override { faultinject::disarm_all(); }
+};
+
+// Polls `pred` until it holds or `timeout` passes (sanitizer-friendly: no
+// fixed sleep long enough to matter when the condition is already true).
+bool eventually(const std::function<bool()>& pred,
+                std::chrono::milliseconds timeout =
+                    std::chrono::milliseconds(10000)) {
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= give_up) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+struct Fixture {
+  ModelSpec m;
+  ApnnNetwork net;
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> golden;
+
+  explicit Fixture(int n_samples, std::uint64_t seed = 500)
+      : m(mini_cnn(4, 8, 5)), net(ApnnNetwork::random(m, 1, 2, seed)) {
+    net.calibrate(random_input(1, m, seed + 1));
+    // Goldens run before any site is armed: unarmed sites count no
+    // traversals, so fault ordinals below start at the serving work.
+    InferenceSession session(net, dev());
+    for (int i = 0; i < n_samples; ++i) {
+      samples.push_back(random_input(1, m, seed + 2 + static_cast<unsigned>(i)));
+      golden.push_back(session.run(samples.back()));
+    }
+  }
+};
+
+ErrorKind infer_error_kind(InferenceServer& server,
+                           const Tensor<std::int32_t>& sample,
+                           InferenceServer::Deadline deadline =
+                               InferenceServer::kNoDeadline) {
+  try {
+    server.infer(sample, deadline);
+  } catch (const ServerError& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "infer() unexpectedly succeeded";
+  return ErrorKind::kReplicaFailed;
+}
+
+// --- replica crash + self-healing -------------------------------------------
+
+TEST_F(ChaosTest, ReplicaCrashFailsItsBatchRestartsAndStaysBitExact) {
+  Fixture f(4);
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.max_batch = 2;
+  InferenceServer server(f.net, dev(), opts);
+
+  // First dispatch dies right after dequeue: the request it held fails with
+  // the typed replica error, not the raw injected exception.
+  faultinject::arm(faultinject::kReplicaDispatch, 1);
+  EXPECT_EQ(infer_error_kind(server, f.samples[0]),
+            ErrorKind::kReplicaFailed);
+  EXPECT_EQ(faultinject::fires(faultinject::kReplicaDispatch), 1);
+
+  // The monitor joins the dead dispatcher and brings a fresh one up.
+  ASSERT_TRUE(eventually([&] {
+    const auto st = server.stats();
+    return st.replica_restarts >= 1 &&
+           st.replica_health[0] == ReplicaHealth::kHealthy;
+  }));
+
+  // Everything after the crash is served bit-exact by the restarted replica.
+  for (std::size_t i = 0; i < f.samples.size(); ++i) {
+    expect_same_logits(server.infer(f.samples[i]), f.golden[i],
+                       static_cast<int>(i));
+  }
+  const auto st = server.stats();
+  EXPECT_EQ(st.errors(ErrorKind::kReplicaFailed), 1);
+  EXPECT_EQ(st.requests, static_cast<std::int64_t>(f.samples.size()));
+}
+
+TEST_F(ChaosTest, SessionRunFaultEscalatesToReplicaFailureAndHeals) {
+  Fixture f(3);
+  ServerOptions opts;
+  opts.replicas = 1;
+  InferenceServer server(f.net, dev(), opts);
+
+  // The compiled forward pass itself throws: same contract as a dispatch
+  // crash — typed failure for the batch, restart, bit-exact afterwards.
+  faultinject::arm(faultinject::kSessionRun, 1);
+  EXPECT_EQ(infer_error_kind(server, f.samples[0]),
+            ErrorKind::kReplicaFailed);
+  ASSERT_TRUE(eventually([&] {
+    return server.stats().replica_restarts >= 1;
+  }));
+  for (std::size_t i = 0; i < f.samples.size(); ++i) {
+    expect_same_logits(server.infer(f.samples[i]), f.golden[i],
+                       static_cast<int>(i));
+  }
+}
+
+TEST_F(ChaosTest, RepeatedCrashesQuarantineAndThenFailFast) {
+  Fixture f(1);
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.max_replica_restarts = 0;  // first crash is one too many
+  InferenceServer server(f.net, dev(), opts);
+
+  faultinject::arm(faultinject::kReplicaDispatch, 1, /*repeat=*/-1);
+  EXPECT_EQ(infer_error_kind(server, f.samples[0]),
+            ErrorKind::kReplicaFailed);
+
+  // The monitor quarantines instead of restarting; with no replica left the
+  // server must fail admissions immediately, not strand them.
+  ASSERT_TRUE(eventually([&] {
+    return server.stats().replica_health[0] == ReplicaHealth::kQuarantined;
+  }));
+  EXPECT_EQ(infer_error_kind(server, f.samples[0]),
+            ErrorKind::kReplicaFailed);
+  const auto st = server.stats();
+  EXPECT_EQ(st.replica_restarts, 0);
+  EXPECT_EQ(st.requests, 0);
+}
+
+TEST_F(ChaosTest, StuckReplicaUnblocksClientsPromptlyThenRecovers) {
+  Fixture f(2);
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.stuck_threshold = std::chrono::milliseconds(50);
+  InferenceServer server(f.net, dev(), opts);
+
+  // The first dispatch stalls for 600 ms — far past the 50 ms watchdog. The
+  // waiting client must be failed by the monitor mid-stall, not ride out
+  // the sleep.
+  faultinject::arm(faultinject::kReplicaDispatch, 1, /*repeat=*/1,
+                   std::chrono::milliseconds(600));
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_EQ(infer_error_kind(server, f.samples[0]),
+            ErrorKind::kReplicaFailed);
+  const auto waited = std::chrono::steady_clock::now() - before;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            500)
+      << "client should unblock at the watchdog, not at the end of the stall";
+
+  // Once the stalled cycle returns the replica retires and is restarted.
+  ASSERT_TRUE(eventually([&] {
+    const auto st = server.stats();
+    return st.replica_restarts >= 1 &&
+           st.replica_health[0] == ReplicaHealth::kHealthy;
+  }));
+  for (std::size_t i = 0; i < f.samples.size(); ++i) {
+    expect_same_logits(server.infer(f.samples[i]), f.golden[i],
+                       static_cast<int>(i));
+  }
+}
+
+// --- admission fault ---------------------------------------------------------
+
+TEST_F(ChaosTest, AdmissionFaultHitsOnlyItsCaller) {
+  Fixture f(2);
+  ServerOptions opts;
+  opts.replicas = 1;
+  InferenceServer server(f.net, dev(), opts);
+
+  faultinject::arm(faultinject::kAdmission, 1);
+  EXPECT_THROW(server.infer(f.samples[0]), faultinject::FaultInjected);
+  // The fault fired before the request existed: no replica saw it, and the
+  // very next request sails through bit-exact.
+  expect_same_logits(server.infer(f.samples[1]), f.golden[1], 1);
+  const auto st = server.stats();
+  EXPECT_EQ(st.requests, 1);
+  EXPECT_EQ(st.replica_restarts, 0);
+}
+
+// --- deadlines at every lifecycle stage --------------------------------------
+
+TEST_F(ChaosTest, ExpiredDeadlineFailsAtAdmission) {
+  Fixture f(1);
+  ServerOptions opts;
+  opts.replicas = 1;
+  InferenceServer server(f.net, dev(), opts);
+
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  EXPECT_EQ(infer_error_kind(server, f.samples[0], past),
+            ErrorKind::kDeadlineExceeded);
+  const auto st = server.stats();
+  EXPECT_EQ(st.errors(ErrorKind::kDeadlineExceeded), 1);
+  EXPECT_EQ(st.requests, 0);
+
+  // A budget that cannot be met behaves identically via the convenience
+  // overload.
+  EXPECT_THROW(server.infer(f.samples[0], std::chrono::milliseconds(0)),
+               ServerError);
+}
+
+TEST_F(ChaosTest, DeadlineExpiresWhileQueuedBehindAStalledReplica) {
+  Fixture f(2);
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.max_batch = 1;  // the urgent request can never join the first batch
+  InferenceServer server(f.net, dev(), opts);
+
+  // Request A occupies the lone replica for 400 ms; request B's 50 ms
+  // deadline expires while it sits queued. It must fail at dequeue —
+  // before occupying a batch slot — and never reach a session run.
+  faultinject::arm(faultinject::kReplicaDispatch, 1, /*repeat=*/1,
+                   std::chrono::milliseconds(400));
+  std::thread a([&] {
+    expect_same_logits(server.infer(f.samples[0]), f.golden[0], 0);
+  });
+  // A is dequeued as soon as the dispatcher sees it; give it a beat.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(infer_error_kind(
+                server, f.samples[1],
+                std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(50)),
+            ErrorKind::kDeadlineExceeded);
+  a.join();
+  const auto st = server.stats();
+  EXPECT_EQ(st.requests, 1);  // only A produced logits
+  EXPECT_EQ(st.errors(ErrorKind::kDeadlineExceeded), 1);
+}
+
+TEST_F(ChaosTest, DeadlineExpiresWhileBlockedOnBackpressure) {
+  Fixture f(3);
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.max_batch = 1;
+  opts.max_queue = 1;
+  opts.admission = ServerOptions::Admission::kBlock;
+  InferenceServer server(f.net, dev(), opts);
+
+  // A stalls the replica, B fills the one-slot queue, so C blocks on
+  // admission. C's deadline must cut the wait short — well before the
+  // stall resolves.
+  faultinject::arm(faultinject::kReplicaDispatch, 1, /*repeat=*/1,
+                   std::chrono::milliseconds(500));
+  std::thread a([&] {
+    expect_same_logits(server.infer(f.samples[0]), f.golden[0], 0);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::thread b([&] {
+    expect_same_logits(server.infer(f.samples[1]), f.golden[1], 1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_EQ(infer_error_kind(server, f.samples[2],
+                             before + std::chrono::milliseconds(60)),
+            ErrorKind::kDeadlineExceeded);
+  const auto waited = std::chrono::steady_clock::now() - before;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            350)
+      << "backpressure wait must end at the deadline, not at queue space";
+  a.join();
+  b.join();
+  EXPECT_EQ(server.stats().errors(ErrorKind::kDeadlineExceeded), 1);
+}
+
+// --- graceful degradation ----------------------------------------------------
+
+TEST_F(ChaosTest, DegradeShedsOldestInsteadOfBlocking) {
+  Fixture f(5, /*seed=*/520);
+  ServerOptions opts;
+  opts.replicas = 1;
+  opts.max_batch = 1;
+  opts.max_queue = 2;
+  opts.admission = ServerOptions::Admission::kDegrade;
+  opts.degrade_high_water = 2;
+  InferenceServer server(f.net, dev(), opts);
+
+  // One request stalls the replica; the next four arrive in order into a
+  // two-slot queue. Each over-admission drop-heads the oldest queued
+  // request, so the newest callers win and nobody blocks.
+  faultinject::arm(faultinject::kReplicaDispatch, 1, /*repeat=*/1,
+                   std::chrono::milliseconds(300));
+  std::atomic<int> served{0};
+  std::atomic<int> shed{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 5; ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        expect_same_logits(server.infer(f.samples[static_cast<std::size_t>(i)]),
+                           f.golden[static_cast<std::size_t>(i)], i);
+        served.fetch_add(1);
+      } catch (const ServerError& e) {
+        EXPECT_EQ(e.kind(), ErrorKind::kQueueFull) << "client " << i;
+        shed.fetch_add(1);
+      }
+    });
+    // Strictly ordered arrivals so "oldest" is well defined.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  for (auto& t : clients) t.join();
+
+  const auto st = server.stats();
+  EXPECT_EQ(served.load() + shed.load(), 5);
+  EXPECT_GE(shed.load(), 1) << "overload must shed, not block";
+  EXPECT_EQ(st.shed, shed.load());
+  EXPECT_EQ(st.errors(ErrorKind::kQueueFull), shed.load());
+  EXPECT_GE(st.degrade_entries, 1);
+  EXPECT_FALSE(st.degraded) << "drained: degraded mode must have exited";
+}
+
+// --- shutdown races ----------------------------------------------------------
+
+TEST_F(ChaosTest, ShutdownRacingDeadlineExpiryNeverStrandsAClient) {
+  Fixture f(1);
+  for (int round = 0; round < 8; ++round) {
+    ServerOptions opts;
+    opts.replicas = 1;
+    opts.max_batch = 4;
+    InferenceServer server(f.net, dev(), opts);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+      clients.emplace_back([&] {
+        try {
+          server.infer(f.samples[0], std::chrono::milliseconds(1));
+        } catch (const ServerError& e) {
+          // Whichever wins the race, the failure is typed; anything else
+          // (or a hang, which the join below would become) is a bug.
+          EXPECT_TRUE(e.kind() == ErrorKind::kDeadlineExceeded ||
+                      e.kind() == ErrorKind::kShuttingDown)
+              << error_kind_name(e.kind());
+        }
+      });
+    }
+    if (round % 2 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    server.shutdown();  // drain races the 1 ms deadlines (and late arrivals)
+    for (auto& t : clients) t.join();
+  }
+}
+
+// --- TuningCache persistence -------------------------------------------------
+
+core::StageKey cache_key(std::int64_t n) {
+  core::StageKey key;
+  key.kind = "mm";
+  key.m = 128;
+  key.n = n;
+  key.k = 512;
+  key.p = 1;
+  key.q = 2;
+  key.ecase = core::EmulationCase::kCaseIII;
+  key.has_relu = true;
+  key.qbits = 2;
+  return key;
+}
+
+TEST_F(ChaosTest, CacheSaveFaultNeverClobbersThePreviousFile) {
+  const std::string path = ::testing::TempDir() + "apnn_chaos_cache";
+  std::remove(path.c_str());
+  const std::string tmp = path + ".tmp";
+
+  core::TuningCache cache;
+  core::TunedKernel k;
+  k.tile.bm = 32;
+  k.tile.bn = 128;
+  k.measured = true;
+  k.measured_ms = 1.0;
+  cache.insert(cache_key(8), k);
+  ASSERT_TRUE(cache.save_file(path));
+
+  // A save that dies mid-persist must leave the old file byte-for-byte
+  // usable and clean up its temp — a truncated cache would silently cost a
+  // full cold re-tune on the next load.
+  cache.insert(cache_key(16), k);
+  faultinject::arm(faultinject::kCacheSave, 1);
+  EXPECT_THROW(cache.save_file(path), faultinject::FaultInjected);
+  {
+    std::ifstream leftover(tmp);
+    EXPECT_FALSE(leftover.good()) << "temp file must not survive the fault";
+  }
+  core::TuningCache reloaded;
+  ASSERT_TRUE(reloaded.load_file(path));
+  EXPECT_EQ(reloaded.size(), 1u) << "old cache content must be intact";
+
+  // Disarmed, the same save lands atomically.
+  faultinject::disarm_all();
+  ASSERT_TRUE(cache.save_file(path));
+  core::TuningCache after;
+  ASSERT_TRUE(after.load_file(path));
+  EXPECT_EQ(after.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ChaosTest, CorruptCacheFileDegradesToColdTuning) {
+  const std::string path = ::testing::TempDir() + "apnn_chaos_corrupt_cache";
+  {
+    std::ofstream f(path);
+    f << "apnn-tuning-cache v1\nthis file was truncated mid-w";
+  }
+  core::TuningCache cache;
+  EXPECT_FALSE(cache.load_file(path));
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Cold tuning proceeds from the empty cache — degraded startup, not a
+  // crash — and the tuned session still serves bit-exact logits.
+  Fixture f(1, /*seed=*/540);
+  SessionOptions opts;
+  opts.autotune = true;
+  opts.cache = &cache;
+  opts.tuner.reps = 1;
+  opts.tune_batch = 1;  // tune eagerly so the cold measurements are visible
+  InferenceSession tuned(f.net, dev(), opts);
+  EXPECT_GT(tuned.tuning_measurements(), 0)
+      << "an unusable cache must fall back to measuring";
+  expect_same_logits(tuned.run(f.samples[0]), f.golden[0], 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace apnn::nn
