@@ -1,11 +1,13 @@
 #include "src/core/autotune.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
 #include <utility>
 
+#include "src/common/faultinject.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/timer.hpp"
 #include "src/parallel/thread_pool.hpp"
@@ -179,10 +181,32 @@ bool TuningCache::load_file(const std::string& path, bool any_fingerprint) {
 }
 
 bool TuningCache::save_file(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) return false;
-  f << serialize();
-  return static_cast<bool>(f);
+  // Write-temp-then-rename: a crash (or injected fault) mid-write can only
+  // ever leave a stray .tmp behind, never a truncated cache at `path` — and
+  // a truncated cache would silently cost a full cold re-tune on next load.
+  // rename(2) is atomic within a filesystem, and the temp lives next to the
+  // destination precisely so it is on the same filesystem.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp);
+    if (!f) return false;
+    f << serialize();
+    if (!f) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  try {
+    faultinject::point(faultinject::kCacheSave);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 // --- Autotuner --------------------------------------------------------------

@@ -124,7 +124,11 @@ class TuningCache {
   bool deserialize(const std::string& text, bool any_fingerprint = false);
 
   /// File convenience wrappers (false on I/O failure or stale content).
+  /// A corrupt or truncated file makes load_file return false with the
+  /// cache left empty — callers degrade to cold tuning, never crash.
   bool load_file(const std::string& path, bool any_fingerprint = false);
+  /// Crash-safe: writes `path + ".tmp"` then atomically renames over
+  /// `path`, so a failure mid-save never leaves a truncated cache behind.
   bool save_file(const std::string& path) const;
 
  private:
