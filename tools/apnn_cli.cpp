@@ -10,6 +10,7 @@
 //   apnn_cli serve mini_resnet|vgg_lite [--scheme wXaY] [--replicas N]
 //                                   [--clients N] [--requests N] [--autotune]
 //                                   [--cache path] [--max-batch B]
+//                                   [--deadline-ms D] [--fault site:n[:mod]]
 //   apnn_cli inspect --cache path
 //   apnn_cli devices
 #include <cstdio>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "bench/serve_load.hpp"
+#include "src/common/faultinject.hpp"
 #include "src/baselines/conv.hpp"
 #include "src/baselines/gemm.hpp"
 #include "src/common/strings.hpp"
@@ -53,6 +55,8 @@ struct Args {
   int clients = 8;
   int requests = 64;
   bool autotune = false;
+  std::int64_t deadline_ms = 0;           // 0 = no per-request deadline
+  std::vector<std::string> fault_specs;   // faultinject site:n[:xR|:delay=Dms]
 };
 
 Args parse(int argc, char** argv) {
@@ -88,6 +92,10 @@ Args parse(int argc, char** argv) {
       a.requests = std::atoi(next("--requests").c_str());
     } else if (s == "--autotune") {
       a.autotune = true;
+    } else if (s == "--deadline-ms") {
+      a.deadline_ms = std::atoll(next("--deadline-ms").c_str());
+    } else if (s == "--fault") {
+      a.fault_specs.push_back(next("--fault"));
     } else if (s == "--wbits") {
       a.wbits = std::atoi(next("--wbits").c_str());
     } else if (s == "--abits") {
@@ -104,6 +112,28 @@ Args parse(int argc, char** argv) {
 const tcsim::DeviceSpec& device_for(const std::string& name) {
   if (name == "a100" || name == "A100") return tcsim::a100();
   return tcsim::rtx3090();
+}
+
+// Loads a tuning cache, degrading to cold tuning on any failure. A missing
+// file is the normal first run (stdout note); an existing file that fails
+// to parse is data loss worth flagging (stderr warning), but never fatal —
+// the entries are re-measurable.
+bool load_cache_or_warn(core::TuningCache& cache, const std::string& path) {
+  if (cache.load_file(path)) {
+    std::printf("cache %s: %zu entries loaded (fingerprint %s)\n",
+                path.c_str(), cache.size(), cache.fingerprint().c_str());
+    return true;
+  }
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "warning: tuning cache %s exists but is corrupt, truncated, "
+                 "or has a stale fingerprint — ignoring it, tuning cold\n",
+                 path.c_str());
+  } else {
+    std::printf("cache %s: starting fresh (no existing file)\n", path.c_str());
+  }
+  return false;
 }
 
 nn::SchemeConfig scheme_for(const Args& a) {
@@ -295,15 +325,7 @@ int cmd_tune(const Args& a) {
 
   core::TuningCache cache;
   if (!a.cache_path.empty()) {
-    if (cache.load_file(a.cache_path)) {
-      std::printf("cache %s: %zu entries loaded (fingerprint %s)\n",
-                  a.cache_path.c_str(), cache.size(),
-                  cache.fingerprint().c_str());
-    } else {
-      std::printf("cache %s: starting fresh (missing, malformed, or stale "
-                  "fingerprint)\n",
-                  a.cache_path.c_str());
-    }
+    load_cache_or_warn(cache, a.cache_path);
   }
 
   nn::ApnnNetwork net = nn::ApnnNetwork::random(spec, p, q, 42);
@@ -338,7 +360,7 @@ int cmd_tune(const Args& a) {
   if (!a.cache_path.empty()) {
     if (!cache.save_file(a.cache_path)) {
       std::fprintf(stderr, "cannot write %s\n", a.cache_path.c_str());
-      return 1;
+      return 3;
     }
     std::printf("  cache saved to %s (%zu entries)\n", a.cache_path.c_str(),
                 cache.size());
@@ -351,7 +373,8 @@ int cmd_serve(const Args& a) {
     std::fprintf(stderr,
                  "usage: apnn_cli serve mini_resnet|vgg_lite [--scheme wXaY] "
                  "[--replicas N] [--clients N] [--requests N] [--autotune] "
-                 "[--cache path] [--max-batch B] [--device ...]\n");
+                 "[--cache path] [--max-batch B] [--deadline-ms D] "
+                 "[--fault site:n[:xR|:delay=Dms]] [--device ...]\n");
     return 2;
   }
   const std::string& name = a.positional[1];
@@ -378,6 +401,10 @@ int cmd_serve(const Args& a) {
                  "--replicas >= 0 (0 derives from hardware width)\n");
     return 2;
   }
+  if (a.deadline_ms < 0) {
+    std::fprintf(stderr, "--deadline-ms must be >= 0 (0 = no deadline)\n");
+    return 2;
+  }
   const auto& dev = device_for(a.device);
 
   // A cache only means something to a tuned plan; honor --cache instead of
@@ -390,15 +417,7 @@ int cmd_serve(const Args& a) {
 
   core::TuningCache cache;
   if (autotune && !a.cache_path.empty()) {
-    if (cache.load_file(a.cache_path)) {
-      std::printf("cache %s: %zu entries loaded (fingerprint %s)\n",
-                  a.cache_path.c_str(), cache.size(),
-                  cache.fingerprint().c_str());
-    } else {
-      std::printf("cache %s: starting fresh (missing, malformed, or stale "
-                  "fingerprint)\n",
-                  a.cache_path.c_str());
-    }
+    load_cache_or_warn(cache, a.cache_path);
   }
 
   nn::ApnnNetwork net = nn::ApnnNetwork::random(spec, p, q, 42);
@@ -424,6 +443,18 @@ int cmd_serve(const Args& a) {
     }
   }
 
+  // Faults arm only now — after the golden runs — so a --fault trigger
+  // ordinal counts traversals from server startup on, not from whatever the
+  // golden generation happened to execute.
+  for (const std::string& spec : a.fault_specs) {
+    std::string err;
+    if (!faultinject::parse_and_arm(spec, &err)) {
+      std::fprintf(stderr, "--fault %s: %s\n", spec.c_str(), err.c_str());
+      return 2;
+    }
+    std::printf("fault armed: %s\n", spec.c_str());
+  }
+
   nn::ServerOptions opts;
   opts.max_batch = a.batch;
   opts.replicas = a.replicas;
@@ -442,8 +473,14 @@ int cmd_serve(const Args& a) {
   }
   std::printf("\n");
 
+  bench::LoadOptions lopts;
+  lopts.deadline = std::chrono::milliseconds(a.deadline_ms);
+  if (a.deadline_ms > 0) {
+    std::printf("per-request deadline: %lld ms\n",
+                static_cast<long long>(a.deadline_ms));
+  }
   const bench::LoadResult load =
-      bench::serve_load(server, samples, golden, a.clients, a.requests);
+      bench::serve_load(server, samples, golden, a.clients, a.requests, lopts);
   const double ms = load.wall_ms;
   const std::int64_t bad = load.mismatches;
   const nn::InferenceServer::Stats& st = load.stats;
@@ -470,16 +507,51 @@ int cmd_serve(const Args& a) {
   std::printf("  responses : %s\n",
               bad == 0 ? "bit-exact vs sequential batch-1 runs"
                        : "MISMATCH vs sequential batch-1 runs");
+  if (load.failed > 0 || load.injected > 0) {
+    std::printf("  failed    : %lld typed",
+                static_cast<long long>(load.failed));
+    for (std::size_t k = 0; k < nn::kErrorKindCount; ++k) {
+      if (load.error_counts[k] == 0) continue;
+      std::printf(" %s=%lld",
+                  nn::error_kind_name(static_cast<nn::ErrorKind>(k)),
+                  static_cast<long long>(load.error_counts[k]));
+    }
+    if (load.injected > 0) {
+      std::printf(", %lld raw injected",
+                  static_cast<long long>(load.injected));
+    }
+    std::printf("\n");
+  }
+  if (st.replica_restarts > 0 || !a.fault_specs.empty()) {
+    std::printf("  health    : %lld restarts;",
+                static_cast<long long>(st.replica_restarts));
+    for (std::size_t r = 0; r < st.replica_health.size(); ++r) {
+      std::printf(" #%zu=%s", r,
+                  nn::replica_health_name(st.replica_health[r]));
+    }
+    std::printf("\n");
+  }
 
   if (autotune && !a.cache_path.empty()) {
     if (!cache.save_file(a.cache_path)) {
       std::fprintf(stderr, "cannot write %s\n", a.cache_path.c_str());
-      return 1;
+      return 3;
     }
     std::printf("  cache saved to %s (%zu entries)\n", a.cache_path.c_str(),
                 cache.size());
   }
-  return bad == 0 ? 0 : 1;
+
+  // Distinct exit codes so CI smoke runs can tell the failure modes apart:
+  //   0  drained, responses bit-exact (typed failures allowed only under an
+  //      armed fault or an explicit deadline — they are the drill)
+  //   1  a served response differed from the sequential golden run
+  //   2  usage error (bad flags, bad --fault spec)
+  //   3  tuning-cache write failure
+  //   4  requests failed with nothing armed to explain it
+  if (bad != 0) return 1;
+  const bool failures_expected = !a.fault_specs.empty() || a.deadline_ms > 0;
+  if ((load.failed > 0 || load.injected > 0) && !failures_expected) return 4;
+  return 0;
 }
 
 int cmd_inspect(const Args& a) {
@@ -537,6 +609,7 @@ int main(int argc, char** argv) {
                  " [--clients N]\n"
                  "        [--requests N] [--autotune] [--cache path] "
                  "[--max-batch B]\n"
+                 "        [--deadline-ms D] [--fault site:n[:xR|:delay=Dms]]\n"
                  "  inspect --cache path\n"
                  "  common: [--device 3090|a100] [--trace out.json]\n");
     return 2;
