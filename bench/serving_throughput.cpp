@@ -19,10 +19,14 @@
 //     spelled "speedup" so tools/check_bench.py also floors it (at an
 //     absolute 0.98 — the ratio's ideal is 1.0 by construction);
 //   * replica scaling — aggregate throughput of the N-replica pool vs the
-//     single-replica server under the same client load. Replication buys
-//     overlap of the serial sections of a dispatch cycle, so the speedup
-//     gate (>= 2x at >= 4 replicas) is enforced only where the hardware can
-//     host it (hardware_concurrency >= 2x replicas); on narrower hosts
+//     single-replica server under the same client load. The comparison is
+//     topology-fair: derive_topology gives the single server one hw-wide
+//     pool slice and the N-replica pool N slices of hw/N each, so both
+//     sides own the same total hardware and the ratio isolates what
+//     replication buys (overlap of the serial dispatch sections, no global
+//     pool contention). The speedup gate (>= 2x at >= 4 replicas) is
+//     enforced only where the hardware can host it
+//     (hardware_concurrency >= 2x replicas); on narrower hosts
 //     (e.g. a 1-core CI container, where the kernel thread pool already
 //     runs inline) a replica pool measures scheduler noise around 1.0x, so
 //     the scaling is recorded (replica_scaling_x, scaling_enforced=false)
@@ -111,8 +115,10 @@ int main(int argc, char** argv) {
   }
   nn::ServerOptions pool = base;
   pool.replicas = replicas;
+  int slice_threads = 0;  // resolved per-replica pool width (topology)
   for (int rep = 0; rep < kReps; ++rep) {
     nn::InferenceServer server(net, dev, pool);
+    slice_threads = server.slice_threads();
     const bench::LoadResult r =
         bench::serve_load(server, samples, golden, clients, requests);
     mismatches += r.mismatches;
@@ -260,9 +266,9 @@ int main(int argc, char** argv) {
               static_cast<long long>(in_c), requests, clients);
   std::printf("  single replica      : %8.1f req/s  (%.1f ms wall)\n",
               single_rps, single_ms);
-  std::printf("  %d replicas          : %8.1f req/s  (%.1f ms wall, "
+  std::printf("  %d replicas x %d wide: %8.1f req/s  (%.1f ms wall, "
               "%.2fx)%s\n",
-              replicas, replicated_rps, replicated_ms, speedup,
+              replicas, slice_threads, replicated_rps, replicated_ms, speedup,
               scaling_enforced ? "" : "  [scaling not enforced: narrow host]");
   std::printf("  batches             : %lld (largest %lld, peak queue %lld)\n",
               static_cast<long long>(st.batches),
@@ -293,6 +299,7 @@ int main(int argc, char** argv) {
                "  \"requests\": %d,\n"
                "  \"clients\": %d,\n"
                "  \"replicas\": %d,\n"
+               "  \"slice_threads\": %d,\n"
                "  \"hardware_threads\": %d,\n"
                "  \"bit_exact\": true,\n"
                "  \"single_rps\": %.1f,\n"
@@ -310,7 +317,8 @@ int main(int argc, char** argv) {
                "  \"cold_secondary_replica_runs\": %lld,\n"
                "  \"warm_start_tuning_runs\": %lld\n"
                "}\n",
-               requests, clients, replicas, hw_threads, single_rps,
+               requests, clients, replicas, slice_threads, hw_threads,
+               single_rps,
                replicated_rps, speedup, scaling_enforced ? "true" : "false",
                single_ms, replicated_ms, deadline_wall_ms,
                deadline_overhead_speedup, mean_latency_ms,

@@ -28,6 +28,7 @@ ApmmOptions as_apmm_options(const ApconvOptions& o) {
   a.fragment_caching = o.fragment_caching;
   a.semantic_aware = o.semantic_aware;
   a.mode = o.mode;
+  a.pool = o.pool;
   return a;
 }
 
@@ -81,13 +82,13 @@ tcsim::KernelProfile epilogue_kernel_profile(std::int64_t elems,
 /// and is zero at interior positions (most of it, so the build parallelizes
 /// over positions and skips the pad-free ones).
 std::vector<std::int32_t> build_case2_correction(
-    const ApOperand& w, const layout::ConvGeometry& g) {
+    const ApOperand& w, const layout::ConvGeometry& g, ThreadPool& tp) {
   const bitops::BitMatrix& w0 = w.planes.plane(0);
   const std::int64_t row_words = w0.row_words();
   const std::int64_t oh = g.out_h(), ow = g.out_w();
   std::vector<std::int32_t> corr(
       static_cast<std::size_t>(g.out_c * oh * ow), 0);
-  parallel_for(0, oh * ow, [&](std::int64_t pos) {
+  tp.parallel_for(0, oh * ow, [&](std::int64_t pos) {
     const std::int64_t oy = pos / ow, ox = pos % ow;
     // Mask scratch comes from the worker's arena (pointer bump, no heap
     // after the first position on each thread).
@@ -299,10 +300,12 @@ ApconvResult apconv(const ApOperand& w, const layout::PackedActivations& x,
         win * win);
     fgeom.micro = opts.micro;
     fgeom.combine_fast = opts.combine_fast;
+    fgeom.pool = opts.pool;
 
     std::vector<std::int32_t> corr;
     if (sel.kind == EmulationCase::kCaseII && g.pad > 0) {
-      corr = build_case2_correction(w, g);
+      corr = build_case2_correction(
+          w, g, opts.pool != nullptr ? *opts.pool : ThreadPool::global());
     }
 
     internal::FeatureSource src;

@@ -64,6 +64,10 @@ struct ApconvOptions {
   /// Build launch records in the result (true) or leave the profile empty —
   /// the steady-state serving path skips the per-call record churn.
   bool collect_profile = true;
+
+  /// Pool the block loops run on; nullptr = ThreadPool::global(). Non-owning
+  /// — must outlive the call. See ApmmOptions::pool.
+  ThreadPool* pool = nullptr;
 };
 
 struct ApconvResult {

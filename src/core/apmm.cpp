@@ -42,6 +42,7 @@ ApmmResult apmm(const ApOperand& w, const ApOperand& x,
   BatchedGeometry g = internal::make_geometry(w, x, tile);
   g.micro = opts.micro;
   g.combine_fast = opts.combine_fast;
+  g.pool = opts.pool;
 
   // --- Launch records -------------------------------------------------
   if (opts.collect_profile) {

@@ -30,6 +30,10 @@
 #include "src/tcsim/device_spec.hpp"
 #include "src/tcsim/kernel.hpp"
 
+namespace apnn {
+class ThreadPool;
+}  // namespace apnn
+
 namespace apnn::core {
 
 /// Full emulation computes results and counters; profile-only walks the same
@@ -82,6 +86,11 @@ struct ApmmOptions {
   /// Build launch records in the result (true) or leave the profile empty —
   /// the steady-state serving path skips the per-call record churn.
   bool collect_profile = true;
+
+  /// Pool the block loops run on; nullptr = ThreadPool::global(). Non-owning
+  /// — must outlive the call. InferenceServer replicas pass their private
+  /// slice so N replicas don't oversubscribe the global pool N×.
+  ThreadPool* pool = nullptr;
 };
 
 struct ApmmResult {

@@ -10,6 +10,15 @@
 
 namespace apnn::core::internal {
 
+namespace {
+
+/// Pool the geometry's block loops run on (nullptr = process-global).
+ThreadPool& geometry_pool(const BatchedGeometry& g) {
+  return g.pool != nullptr ? *g.pool : ThreadPool::global();
+}
+
+}  // namespace
+
 BatchedGeometry make_geometry(const ApOperand& w, const ApOperand& x,
                               const TileConfig& tile) {
   return make_geometry(w.rows(), x.rows(), w.cols(), w.bits(), x.bits(),
@@ -193,7 +202,7 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
       const std::int64_t spatial = cg.batch * cg.in_h * cg.in_w;
       std::vector<std::int32_t> slab_popc(
           static_cast<std::size_t>(spatial * g.q));
-      parallel_for(0, spatial, [&](std::int64_t r) {
+      geometry_pool(g).parallel_for(0, spatial, [&](std::int64_t r) {
         for (int t = 0; t < g.q; ++t) {
           slab_popc[static_cast<std::size_t>(r * g.q + t)] =
               static_cast<std::int32_t>(
@@ -201,7 +210,7 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
                       .row_popcount(r));
         }
       }, /*grain=*/256);
-      parallel_for(0, g.n, [&](std::int64_t j) {
+      geometry_pool(g).parallel_for(0, g.n, [&](std::int64_t j) {
         const layout::OutPos pos =
             layout::conv_col_position(cg, j, x.pool_win);
         std::int64_t* out = xpopc.data() + j * g.q;
@@ -220,7 +229,7 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
         }
       }, /*grain=*/256);
     } else {
-      parallel_for(0, g.n, [&](std::int64_t j) {
+      geometry_pool(g).parallel_for(0, g.n, [&](std::int64_t j) {
         for (int t = 0; t < g.q; ++t) {
           xpopc[static_cast<std::size_t>(j * g.q + t)] =
               x.planes->plane(t).row_popcount(j);
@@ -241,7 +250,7 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
 
   const int qbits = epi.has_quant ? epi.quant.bits : 0;
 
-  parallel_for(0, g.blocks, [&](std::int64_t b) {
+  geometry_pool(g).parallel_for(0, g.blocks, [&](std::int64_t b) {
     // Every temporary below is a pointer bump into the worker's private
     // arena; after the first block on each thread the hot path allocates
     // nothing.

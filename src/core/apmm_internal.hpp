@@ -42,6 +42,10 @@ struct BatchedGeometry {
   /// changes results or launch records — only where bytes move.
   microkernel::MicroConfig micro;
   bool combine_fast = true;  ///< allow the p=q=1 identity combine fast path
+
+  /// Pool the block loops run on; nullptr = ThreadPool::global(). Execution
+  /// knob only — results and launch records are identical for every pool.
+  ThreadPool* pool = nullptr;
 };
 
 BatchedGeometry make_geometry(const ApOperand& w, const ApOperand& x,

@@ -18,7 +18,10 @@ namespace {
 
 /// Bump whenever the serialized layout, the StageKey schema, or the meaning
 /// of any knob changes — a stale schema must drop entries, not misread them.
-constexpr int kSchemaVersion = 1;
+// v2: t<threads> became the logical pool width (workers + caller) of the
+// pool measurements run on — per-replica slices tune at their own width —
+// where v1 recorded the global pool's worker count.
+constexpr int kSchemaVersion = 2;
 
 constexpr const char* kMagic = "apnn-tuning-cache";
 
@@ -77,12 +80,16 @@ StageKey make_conv_key(const ApOperand& w, const layout::ConvGeometry& g,
 
 // --- TuningCache ------------------------------------------------------------
 
-TuningCache::TuningCache() : fingerprint_(hardware_fingerprint()) {}
+TuningCache::TuningCache(unsigned pool_threads)
+    : fingerprint_(hardware_fingerprint(pool_threads)),
+      pool_threads_(pool_threads) {}
 
-std::string TuningCache::hardware_fingerprint() {
+std::string TuningCache::hardware_fingerprint(unsigned pool_threads) {
+  const unsigned width =
+      pool_threads != 0 ? pool_threads : ThreadPool::global().size() + 1;
   std::ostringstream os;
   os << "v" << kSchemaVersion << ":" << microkernel::kSimdFlavor << ":t"
-     << ThreadPool::global().size();
+     << width;
   return os.str();
 }
 
@@ -117,7 +124,7 @@ std::string TuningCache::serialize() const {
 bool TuningCache::deserialize(const std::string& text, bool any_fingerprint) {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
-  fingerprint_ = hardware_fingerprint();
+  fingerprint_ = hardware_fingerprint(pool_threads_);
   std::istringstream is(text);
 
   std::string magic;
@@ -128,7 +135,9 @@ bool TuningCache::deserialize(const std::string& text, bool any_fingerprint) {
   }
   std::string tag, fp;
   if (!(is >> tag >> fp) || tag != "fingerprint") return false;
-  if (!any_fingerprint && fp != hardware_fingerprint()) return false;
+  if (!any_fingerprint && fp != hardware_fingerprint(pool_threads_)) {
+    return false;
+  }
   fingerprint_ = fp;
 
   std::map<std::string, TunedKernel> loaded;
@@ -212,8 +221,8 @@ bool TuningCache::save_file(const std::string& path) const {
 // --- Autotuner --------------------------------------------------------------
 
 Autotuner::Autotuner(const tcsim::DeviceSpec& dev, TuningCache* cache,
-                     const AutotuneOptions& opts)
-    : dev_(dev), cache_(cache), opts_(opts) {
+                     const AutotuneOptions& opts, ThreadPool* pool)
+    : dev_(dev), cache_(cache), opts_(opts), pool_(pool) {
   APNN_CHECK(opts_.reps >= 1);
   APNN_CHECK(opts_.max_tile_candidates >= 1);
 }
@@ -328,6 +337,7 @@ TunedKernel Autotuner::tune_apmm(const ApOperand& w, std::int64_t n,
         o.micro = c.micro;
         o.combine_fast = c.combine_fast;
         o.collect_profile = false;
+        o.pool = pool_;
         if (epi.has_quant) {
           o.packed_out = &scratch_planes_;
         } else {
@@ -371,6 +381,7 @@ TunedKernel Autotuner::tune_apconv(const ApOperand& w,
         o.micro = c.micro;
         o.combine_fast = c.combine_fast;
         o.collect_profile = false;
+        o.pool = pool_;
         if (epi.has_quant) {
           o.packed_out = &scratch_packed_;
         } else {

@@ -94,10 +94,16 @@ StageKey make_conv_key(const ApOperand& w, const layout::ConvGeometry& g,
 /// inspection (CLI `inspect`, tests) and must not race concurrent inserts.
 class TuningCache {
  public:
-  TuningCache();
+  /// `pool_threads` is the logical width (workers + participating caller) of
+  /// the pool the cached measurements run on; 0 means the process-global
+  /// pool. A server slicing hardware into per-replica pools passes the slice
+  /// width so `t<threads>` reflects what its sessions actually execute with
+  /// — measurements from a different width invalidate wholesale on load.
+  explicit TuningCache(unsigned pool_threads = 0);
 
-  /// What measurements depend on: "v<schema>:<simd>:t<threads>".
-  static std::string hardware_fingerprint();
+  /// What measurements depend on: "v<schema>:<simd>:t<threads>", where
+  /// <threads> is the logical pool width (0 = the global pool's width).
+  static std::string hardware_fingerprint(unsigned pool_threads = 0);
 
   bool lookup(const StageKey& key, TunedKernel* out) const;
   void insert(const StageKey& key, const TunedKernel& cfg);
@@ -135,6 +141,7 @@ class TuningCache {
   mutable std::mutex mu_;
   std::map<std::string, TunedKernel> entries_;
   std::string fingerprint_;
+  unsigned pool_threads_ = 0;  ///< width this cache is keyed to (0 = global)
 };
 
 struct AutotuneOptions {
@@ -152,9 +159,11 @@ struct AutotuneOptions {
 /// instance per InferenceSession (or per CLI tune run).
 class Autotuner {
  public:
-  /// `cache` may be null (measurements are then never reused).
+  /// `cache` may be null (measurements are then never reused). `pool` is the
+  /// pool measurement runs execute on (nullptr = global) — a session tuning
+  /// on a private slice measures at the slice width it will serve with.
   Autotuner(const tcsim::DeviceSpec& dev, TuningCache* cache,
-            const AutotuneOptions& opts = {});
+            const AutotuneOptions& opts = {}, ThreadPool* pool = nullptr);
 
   /// One measured candidate (introspection for the explorer/CLI).
   struct Candidate {
@@ -199,6 +208,7 @@ class Autotuner {
   tcsim::DeviceSpec dev_;
   TuningCache* cache_;
   AutotuneOptions opts_;
+  ThreadPool* pool_ = nullptr;
   std::atomic<std::int64_t> measurement_runs_{0};
   std::atomic<std::int64_t> cache_hits_{0};
 

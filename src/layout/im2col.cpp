@@ -9,7 +9,8 @@
 namespace apnn::layout {
 
 bitops::BitMatrix im2col_bits(const bitops::BitMatrix& plane,
-                              const ConvGeometry& g, bool pad_value) {
+                              const ConvGeometry& g, bool pad_value,
+                              ThreadPool* pool) {
   APNN_CHECK(plane.rows() == g.batch * g.in_h * g.in_w)
       << "plane rows " << plane.rows() << " vs geometry "
       << g.batch * g.in_h * g.in_w;
@@ -21,7 +22,8 @@ bitops::BitMatrix im2col_bits(const bitops::BitMatrix& plane,
   // `out`), so the lowering parallelizes over output positions. The grain
   // keeps one task per whole output row of the image to preserve the
   // sequential-slab access pattern within a task.
-  parallel_for(0, g.batch * oh * ow, [&](std::int64_t row) {
+  ThreadPool& tp = pool != nullptr ? *pool : ThreadPool::global();
+  tp.parallel_for(0, g.batch * oh * ow, [&](std::int64_t row) {
     const std::int64_t x = row % ow;
     const std::int64_t y = (row / ow) % oh;
     const std::int64_t n = row / (oh * ow);

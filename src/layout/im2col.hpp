@@ -15,6 +15,10 @@
 #include "src/layout/packed_activations.hpp"
 #include "src/layout/tensor.hpp"
 
+namespace apnn {
+class ThreadPool;
+}  // namespace apnn
+
 namespace apnn::layout {
 
 /// Static geometry of a 2D convolution.
@@ -40,9 +44,11 @@ struct ConvGeometry {
 
 /// Lowers one 1-bit activation plane (rows = N*H*W, cols = C, channel-major)
 /// to the patch matrix (rows = N*OH*OW, cols = K*K*C). `pad_value` is the
-/// bit written at out-of-image taps (input-aware padding).
+/// bit written at out-of-image taps (input-aware padding). `pool` is the
+/// pool the row loop runs on; nullptr = ThreadPool::global().
 bitops::BitMatrix im2col_bits(const bitops::BitMatrix& plane,
-                              const ConvGeometry& g, bool pad_value);
+                              const ConvGeometry& g, bool pad_value,
+                              ThreadPool* pool = nullptr);
 
 /// An output position of the lowered convolution.
 struct OutPos {

@@ -38,6 +38,26 @@ const char* replica_health_name(ReplicaHealth health) {
   return "unknown";
 }
 
+InferenceServer::Topology InferenceServer::derive_topology(
+    const ServerOptions& opts, unsigned hw_threads) {
+  const int hw = static_cast<int>(std::max(1u, hw_threads));
+  Topology t{opts.replicas, opts.slice_threads};
+  if (t.replicas <= 0 && t.slice_threads <= 0) {
+    // Half the hardware as replicas (clamped to [1, 8]) — enough to overlap
+    // the serial sections of a dispatch cycle — and the rest of the width
+    // split evenly among them. Total = replicas * slice <= hw, which the
+    // old derivation (hw/2 replicas, each on an hw-wide global pool,
+    // ~hw^2/2 runnable threads under load) badly violated.
+    t.replicas = std::clamp(hw / 2, 1, 8);
+    t.slice_threads = std::max(1, hw / t.replicas);
+  } else if (t.replicas > 0 && t.slice_threads <= 0) {
+    t.slice_threads = std::max(1, hw / t.replicas);
+  } else if (t.replicas <= 0) {
+    t.replicas = std::clamp(hw / t.slice_threads, 1, 8);
+  }
+  return t;
+}
+
 InferenceServer::InferenceServer(const ApnnNetwork& net,
                                  const tcsim::DeviceSpec& dev,
                                  ServerOptions opts)
@@ -45,10 +65,10 @@ InferenceServer::InferenceServer(const ApnnNetwork& net,
   APNN_CHECK(opts_.max_batch >= 1);
   APNN_CHECK(opts_.max_replica_restarts >= 0);
   APNN_CHECK(opts_.stuck_threshold.count() > 0);
-  if (opts_.replicas <= 0) {
-    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-    opts_.replicas = static_cast<int>(std::clamp(hw / 2, 1u, 8u));
-  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const Topology topo = derive_topology(opts_, hw);
+  opts_.replicas = topo.replicas;
+  opts_.slice_threads = topo.slice_threads;
   if (opts_.max_queue <= 0) {
     opts_.max_queue = opts_.replicas * opts_.max_batch * 4;
   }
@@ -61,8 +81,11 @@ InferenceServer::InferenceServer(const ApnnNetwork& net,
     if (opts_.session.cache == nullptr) {
       // One server-owned cache shared by every replica: without it each
       // session would keep a private cache and re-measure the same stages —
-      // and every replica restart would re-tune from scratch.
-      owned_cache_ = std::make_unique<core::TuningCache>();
+      // and every replica restart would re-tune from scratch. Keyed to the
+      // slice width: measurements run on slice-wide pools, so the cache
+      // fingerprint must say t<slice>, not the global pool's width.
+      owned_cache_ = std::make_unique<core::TuningCache>(
+          static_cast<unsigned>(opts_.slice_threads));
       opts_.session.cache = owned_cache_.get();
     }
     if (opts_.session.tune_batch == 0) {
@@ -73,12 +96,37 @@ InferenceServer::InferenceServer(const ApnnNetwork& net,
   stats_.replica_batches.assign(static_cast<std::size_t>(opts_.replicas), 0);
   stats_.replica_requests.assign(static_cast<std::size_t>(opts_.replicas), 0);
 
-  // Compile sequentially — with a shared TuningCache, replica 0's eager
-  // tune_batch measurements make replicas 1..N-1 compile warm — then start
-  // the dispatchers and the monitor only once the replica vector is final.
+  // Build each replica's private pool slice, then compile its session on
+  // that slice. Compilation is sequential — with a shared TuningCache,
+  // replica 0's eager tune_batch measurements make replicas 1..N-1 compile
+  // warm — and the dispatchers and monitor start only once the replica
+  // vector is final.
   replicas_.resize(static_cast<std::size_t>(opts_.replicas));
-  for (Replica& r : replicas_) {
-    r.session = std::make_unique<InferenceSession>(net, dev, opts_.session);
+  const int slice = opts_.slice_threads;
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    ThreadPoolOptions po;
+    po.num_threads = static_cast<unsigned>(slice);
+    // A dispatcher's nested wait must stay bounded by its own batch — no
+    // absorbing a sibling's chunks while a deadline clock runs (§10).
+    po.help_foreign = false;
+    po.pin_threads = opts_.pin_threads;
+    if (opts_.pin_threads) {
+      // Contiguous CPU ranges: replica r owns [r*slice, (r+1)*slice), slot
+      // 0 being the dispatcher itself (pinned in dispatch_loop). Modulo hw
+      // keeps explicit oversubscribed topologies legal.
+      po.cpus.resize(static_cast<std::size_t>(slice));
+      for (int t = 0; t < slice; ++t) {
+        po.cpus[static_cast<std::size_t>(t)] = static_cast<int>(
+            (r * static_cast<std::size_t>(slice) + static_cast<std::size_t>(t)) %
+            hw);
+      }
+    }
+    if (opts_.work_stealing && replicas_.size() > 1) {
+      po.steal_group = &steal_group_;
+    }
+    replicas_[r].pool = std::make_unique<ThreadPool>(po);
+    replicas_[r].session =
+        std::make_unique<InferenceSession>(net, dev, session_options_for(r));
   }
   try {
     for (std::size_t i = 0; i < replicas_.size(); ++i) {
@@ -314,7 +362,21 @@ Tensor<std::int32_t> InferenceServer::infer(
   return std::move(req->logits);
 }
 
+SessionOptions InferenceServer::session_options_for(
+    std::size_t replica_index) const {
+  SessionOptions so = opts_.session;
+  so.pool = replicas_[replica_index].pool.get();
+  return so;
+}
+
 void InferenceServer::dispatch_loop(std::size_t replica_index) {
+  if (opts_.pin_threads) {
+    // The dispatcher is its pool's participating caller — pin it to slot 0
+    // of the replica's CPU range (the pool's workers took slots 1..).
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    ThreadPool::pin_current_thread(static_cast<int>(
+        (replica_index * static_cast<std::size_t>(opts_.slice_threads)) % hw));
+  }
   // An exception escaping the cycle below — the session run, the injected
   // replica.dispatch fault, anything outside a per-request path — is a
   // replica failure. Requests the replica holds are its responsibility:
@@ -521,8 +583,11 @@ void InferenceServer::monitor_loop() {
         std::unique_ptr<InferenceSession> fresh;
         if (!too_many) {
           try {
-            fresh = std::make_unique<InferenceSession>(net_, dev_,
-                                                       opts_.session);
+            // session_options_for: the fresh session lands back on the
+            // replica's own pool slice (rep.pool is never reassigned, so
+            // reading it without the lock is safe).
+            fresh = std::make_unique<InferenceSession>(
+                net_, dev_, session_options_for(i));
           } catch (...) {
             // Recompile failed — quarantine below.
           }

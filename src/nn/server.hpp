@@ -7,11 +7,13 @@
 // into session runs. Requests pass a bounded admission queue (backpressure:
 // block until space frees, reject immediately, or degrade — see
 // ServerOptions::admission) and are drained by N dispatcher replicas. Each
-// replica owns a compiled InferenceSession — its own ActivationSlab and
-// batch gather/scatter tensors, so replicas never share mutable kernel
-// state — and runs batches concurrently with the others; the only
-// cross-replica state is the admission queue, the (thread-safe) TuningCache
-// when autotuning is on, and the const network weights.
+// replica owns a compiled InferenceSession — its own ActivationSlab, batch
+// gather/scatter tensors, and a private ThreadPool slice of the hardware
+// (DESIGN.md §10), so replicas never share mutable kernel state and never
+// oversubscribe a global pool N×; the only cross-replica state is the
+// admission queue, the WorkStealGroup that lets idle slices absorb a
+// sibling's queued loop chunks, the (thread-safe) TuningCache when
+// autotuning is on, and the const network weights.
 //
 // Request lifecycle (DESIGN.md §9 has the full state machine):
 //
@@ -74,6 +76,7 @@
 #include <vector>
 
 #include "src/nn/session.hpp"
+#include "src/parallel/thread_pool.hpp"
 
 namespace apnn::nn {
 
@@ -117,11 +120,30 @@ struct ServerOptions {
   /// Never held past the earliest deadline among the queued requests.
   std::chrono::microseconds batch_window{500};
 
-  /// Dispatcher replicas, each owning a compiled InferenceSession. 0 derives
-  /// from hardware width: half the hardware threads, clamped to [1, 8] —
-  /// enough replicas to overlap the serial sections of a dispatch cycle
-  /// without drowning the shared kernel thread pool.
+  /// Dispatcher replicas, each owning a compiled InferenceSession and a
+  /// private ThreadPool slice. 0 derives jointly with `slice_threads` (see
+  /// derive_topology) so replicas × slice never exceeds the hardware width.
   int replicas = 0;
+
+  /// Logical width (participating dispatcher + workers) of each replica's
+  /// private kernel pool. 0 derives jointly with `replicas` so the total
+  /// replicas × slice_threads stays within hardware_concurrency() — the fix
+  /// for the old topology where N replicas shared one hardware-wide global
+  /// pool and a busy server ran ~N× more runnable threads than cores.
+  int slice_threads = 0;
+
+  /// Pin each replica's slice (dispatcher + pool workers) to a distinct
+  /// contiguous CPU range via pthread_setaffinity (Linux; elsewhere the
+  /// flag is accepted and ignored). Off by default: pinning helps when the
+  /// server owns the machine and hurts when it shares it.
+  bool pin_threads = false;
+
+  /// Let idle slice workers steal queued loop chunks from sibling replicas
+  /// (bounded work stealing, DESIGN.md §10). Keeps the hardware busy when
+  /// load is imbalanced — one replica running a big batch while others sit
+  /// idle — without re-introducing oversubscription: a stolen chunk runs on
+  /// a thread that would otherwise sleep.
+  bool work_stealing = true;
 
   /// Admission-queue bound (queued requests, not counting the batches
   /// already inside the replicas). 0 derives as replicas * max_batch * 4.
@@ -245,6 +267,26 @@ class InferenceServer {
 
   /// Resolved replica count (after the hardware-width derivation).
   int replicas() const { return static_cast<int>(replicas_.size()); }
+  /// Resolved per-replica pool width (after derive_topology).
+  int slice_threads() const { return opts_.slice_threads; }
+
+  /// Resolved execution topology: how many replicas, each how wide.
+  struct Topology {
+    int replicas = 1;
+    int slice_threads = 1;
+  };
+  /// The joint replica-count / slice-width derivation, exposed for tests
+  /// and the CLI (which needs the slice width before constructing a
+  /// TuningCache). Rules, with hw = max(1, hw_threads):
+  ///   both 0        -> replicas = clamp(hw/2, 1, 8), slice = hw/replicas
+  ///   replicas set  -> slice = max(1, hw/replicas)
+  ///   slice set     -> replicas = clamp(hw/slice, 1, 8)
+  ///   both set      -> taken as given (the caller opted out of the guard)
+  /// Every derived combination satisfies replicas * slice <= hw (explicit
+  /// settings may exceed it — oversubscription becomes opt-in, not the
+  /// default).
+  static Topology derive_topology(const ServerOptions& opts,
+                                  unsigned hw_threads);
 
   /// Measurement runs the pool performed, total and per replica. With a
   /// warm shared cache every entry is 0; cold, only replica 0's is not.
@@ -278,6 +320,12 @@ class InferenceServer {
   /// (steady-state zero allocation, per replica), plus the health state the
   /// monitor drives (all guarded by mu_ except the running session).
   struct Replica {
+    /// Private kernel pool slice. Declared before `session` so the session
+    /// (which runs loops on the pool) is destroyed first; the pool itself
+    /// deregisters from steal_group_ (declared before replicas_) on
+    /// destruction. Never reassigned after construction, so the monitor may
+    /// read `pool.get()` for a restart recompile without the lock.
+    std::unique_ptr<ThreadPool> pool;
     std::unique_ptr<InferenceSession> session;
     Tensor<std::int32_t> batch_input;
     Tensor<std::int32_t> batch_logits;
@@ -291,6 +339,11 @@ class InferenceServer {
     bool exited = false;          ///< thread returned; monitor must join
     int crashes = 0;
   };
+
+  /// opts_.session with `pool` pointed at replica_index's private slice —
+  /// used for the initial compiles and every monitor restart recompile, so
+  /// a restarted replica always lands back on its own pool.
+  SessionOptions session_options_for(std::size_t replica_index) const;
 
   void dispatch_loop(std::size_t replica_index);
   bool dispatch_cycle(std::size_t replica_index,
@@ -312,6 +365,9 @@ class InferenceServer {
   const ActShape input_shape_;
   ServerOptions opts_;  ///< resolved: replicas/max_queue/tune_batch filled in
   std::unique_ptr<core::TuningCache> owned_cache_;  ///< see ServerOptions
+  /// Stealing membership for the replica pools. Declared before replicas_
+  /// so it outlives every pool (a destructing pool deregisters itself).
+  WorkStealGroup steal_group_;
   std::vector<Replica> replicas_;
   std::thread monitor_;
 

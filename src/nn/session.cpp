@@ -56,12 +56,13 @@ constexpr std::int64_t kRowGrain = 64;
 /// destinations may skip the reset_shape zero fill — the bit-packed output
 /// needs no second pass.
 template <typename CodeFn>
-void pack_rows(const std::int32_t* src, std::int64_t rows, std::int64_t c,
-               int bits, std::vector<bitops::BitMatrix>& planes,
-               std::int64_t grain, CodeFn&& code_of) {
+void pack_rows(ThreadPool& tp, const std::int32_t* src, std::int64_t rows,
+               std::int64_t c, int bits,
+               std::vector<bitops::BitMatrix>& planes, std::int64_t grain,
+               CodeFn&& code_of) {
   APNN_CHECK(bits >= 1 && bits <= kMaxBits);
   const std::int64_t row_words = planes[0].row_words();
-  parallel_for(0, rows, [&](std::int64_t r) {
+  tp.parallel_for(0, rows, [&](std::int64_t r) {
     const std::int32_t* s = src + r * c;
     for (std::int64_t w = 0; w < row_words; ++w) {
       const std::int64_t w0 = w * 64;
@@ -83,11 +84,12 @@ void pack_rows(const std::int32_t* src, std::int64_t rows, std::int64_t c,
 
 /// Packs `rows` x `c` non-negative codes (row-major, values < 2^bits).
 /// Throws on out-of-range values.
-void pack_codes(const std::int32_t* src, std::int64_t rows, std::int64_t c,
-                int bits, std::vector<bitops::BitMatrix>& planes,
+void pack_codes(ThreadPool& tp, const std::int32_t* src, std::int64_t rows,
+                std::int64_t c, int bits,
+                std::vector<bitops::BitMatrix>& planes,
                 std::int64_t grain = kRowGrain) {
   const std::int32_t hi = static_cast<std::int32_t>(1u << bits);
-  pack_rows(src, rows, c, bits, planes, grain, [&](std::int32_t v) {
+  pack_rows(tp, src, rows, c, bits, planes, grain, [&](std::int32_t v) {
     APNN_CHECK(v >= 0 && v < hi)
         << "activation " << v << " out of range for " << bits << " bits";
     return v;
@@ -96,10 +98,11 @@ void pack_codes(const std::int32_t* src, std::int64_t rows, std::int64_t c,
 
 /// Decodes packed planes back to dense codes; `accumulate` adds instead of
 /// overwriting (the packed-input side of a residual add).
-void decode_planes(const std::vector<bitops::BitMatrix>& planes, int bits,
+void decode_planes(ThreadPool& tp,
+                   const std::vector<bitops::BitMatrix>& planes, int bits,
                    std::int64_t rows, std::int64_t c, std::int32_t* dst,
                    bool accumulate) {
-  parallel_for(0, rows, [&](std::int64_t r) {
+  tp.parallel_for(0, rows, [&](std::int64_t r) {
     std::int32_t* d = dst + r * c;
     for (std::int64_t w0 = 0; w0 < c; w0 += 64) {
       const int jmax = static_cast<int>(std::min<std::int64_t>(64, c - w0));
@@ -122,25 +125,28 @@ void decode_planes(const std::vector<bitops::BitMatrix>& planes, int bits,
   }, kRowGrain);
 }
 
-void add_dense(const std::int32_t* src, std::int32_t* dst, std::int64_t n) {
-  parallel_for(0, (n + 4095) / 4096, [&](std::int64_t blk) {
+void add_dense(ThreadPool& tp, const std::int32_t* src, std::int32_t* dst,
+               std::int64_t n) {
+  tp.parallel_for(0, (n + 4095) / 4096, [&](std::int64_t blk) {
     const std::int64_t lo = blk * 4096;
     const std::int64_t hi = std::min(n, lo + 4096);
     for (std::int64_t i = lo; i < hi; ++i) dst[i] += src[i];
   });
 }
 
-void relu_dense(const std::int32_t* src, std::int32_t* dst, std::int64_t n) {
-  parallel_for(0, (n + 4095) / 4096, [&](std::int64_t blk) {
+void relu_dense(ThreadPool& tp, const std::int32_t* src, std::int32_t* dst,
+                std::int64_t n) {
+  tp.parallel_for(0, (n + 4095) / 4096, [&](std::int64_t blk) {
     const std::int64_t lo = blk * 4096;
     const std::int64_t hi = std::min(n, lo + 4096);
     for (std::int64_t i = lo; i < hi; ++i) dst[i] = std::max(src[i], 0);
   });
 }
 
-void quantize_dense(const std::int32_t* src, std::int32_t* dst,
-                    std::int64_t n, const quant::QuantParams& p) {
-  parallel_for(0, (n + 4095) / 4096, [&](std::int64_t blk) {
+void quantize_dense(ThreadPool& tp, const std::int32_t* src,
+                    std::int32_t* dst, std::int64_t n,
+                    const quant::QuantParams& p) {
+  tp.parallel_for(0, (n + 4095) / 4096, [&](std::int64_t blk) {
     const std::int64_t lo = blk * 4096;
     const std::int64_t hi = std::min(n, lo + 4096);
     for (std::int64_t i = lo; i < hi; ++i) {
@@ -151,21 +157,22 @@ void quantize_dense(const std::int32_t* src, std::int32_t* dst,
 
 /// Fused standalone quantize + bit repack: dense pre-quant values straight
 /// into packed planes — the dense code tensor never exists.
-void quantize_pack(const std::int32_t* src, std::int64_t rows, std::int64_t c,
+void quantize_pack(ThreadPool& tp, const std::int32_t* src,
+                   std::int64_t rows, std::int64_t c,
                    const quant::QuantParams& p,
                    std::vector<bitops::BitMatrix>& planes) {
-  pack_rows(src, rows, c, p.bits, planes, kRowGrain, [&](std::int32_t v) {
+  pack_rows(tp, src, rows, c, p.bits, planes, kRowGrain, [&](std::int32_t v) {
     return quant::quantize_value(static_cast<float>(v), p);
   });
 }
 
 /// Integer max/avg pooling, NHWC, identical arithmetic to the reference
 /// walker's pool_dense (int64 aggregate, truncating average).
-void pool_nhwc(const std::int32_t* src, std::int64_t b, std::int64_t h,
-               std::int64_t w, std::int64_t c, const PoolSpec& pool,
-               std::int32_t* dst) {
+void pool_nhwc(ThreadPool& tp, const std::int32_t* src, std::int64_t b,
+               std::int64_t h, std::int64_t w, std::int64_t c,
+               const PoolSpec& pool, std::int32_t* dst) {
   const std::int64_t ph = h / pool.size, pw = w / pool.size;
-  parallel_for(0, b * ph, [&](std::int64_t row) {
+  tp.parallel_for(0, b * ph, [&](std::int64_t row) {
     const std::int64_t n = row / ph, py = row % ph;
     for (std::int64_t px = 0; px < pw; ++px) {
       for (std::int64_t ch = 0; ch < c; ++ch) {
@@ -196,10 +203,11 @@ void pool_nhwc(const std::int32_t* src, std::int64_t b, std::int64_t h,
 /// channel-major activations: sample b's operand row is the concatenation
 /// of its h*w C-bit channel slabs, copied at word granularity — the packed
 /// planes never round-trip through dense codes.
-void gather_linear_operand(const layout::PackedActivations& x,
+void gather_linear_operand(ThreadPool& tp,
+                           const layout::PackedActivations& x,
                            bitops::BitPlanes& dst) {
   const std::int64_t per_sample = x.h * x.w;
-  parallel_for(0, x.n * x.bits, [&](std::int64_t task) {
+  tp.parallel_for(0, x.n * x.bits, [&](std::int64_t task) {
     const std::int64_t b = task / x.bits;
     const int t = static_cast<int>(task % x.bits);
     const bitops::BitMatrix& plane = x.planes[static_cast<std::size_t>(t)];
@@ -214,16 +222,16 @@ void gather_linear_operand(const layout::PackedActivations& x,
 /// range check mirrors what make_operand/encode_value enforced on the old
 /// linear path: an un-quantized value reaching a narrow operand must fail
 /// loudly, not truncate to its low bits.
-void decompose_linear_operand(const std::int32_t* src, std::int64_t batch,
-                              std::int64_t feat, int bits,
+void decompose_linear_operand(ThreadPool& tp, const std::int32_t* src,
+                              std::int64_t batch, std::int64_t feat, int bits,
                               bitops::BitPlanes& dst) {
-  pack_codes(src, batch, feat, bits, dst.planes, /*grain=*/1);
+  pack_codes(tp, src, batch, feat, bits, dst.planes, /*grain=*/1);
 }
 
 /// M x N -> {N, M} transpose (apmm emits out_features x batch).
-void transpose_mn(const std::int32_t* src, std::int64_t m, std::int64_t n,
-                  std::int32_t* dst) {
-  parallel_for(0, n, [&](std::int64_t j) {
+void transpose_mn(ThreadPool& tp, const std::int32_t* src, std::int64_t m,
+                  std::int64_t n, std::int32_t* dst) {
+  tp.parallel_for(0, n, [&](std::int64_t j) {
     for (std::int64_t i = 0; i < m; ++i) dst[j * m + i] = src[i * n + j];
   }, kRowGrain);
 }
@@ -761,7 +769,8 @@ InferenceSession::InferenceSession(const ApnnNetwork& net,
       owned_cache_ = std::make_unique<core::TuningCache>();
       cache = owned_cache_.get();
     }
-    tuner_ = std::make_unique<core::Autotuner>(dev_, cache, opts_.tuner);
+    tuner_ = std::make_unique<core::Autotuner>(dev_, cache, opts_.tuner,
+                                               opts_.pool);
     if (opts_.tune_batch > 0) {
       resolve_batch(net_, dev_, *plan_, opts_.tune_batch, tuner_.get());
     }
@@ -813,6 +822,9 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
   const std::int64_t batch = input_u8.dim(0);
   APNN_CHECK(batch >= 1);
   Plan& plan = *plan_;
+  // Every kernel and glue loop of this pass runs on the session's pool (a
+  // replica's private slice under the server; the global pool otherwise).
+  ThreadPool& tp = opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
   const Plan::ResolvedBatch& rb =
       resolve_batch(net_, dev_, plan, batch, tuner_.get());
 
@@ -834,7 +846,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         // pack_rows overwrites every padded word — no zero-fill pass.
         dst.packed.reset_shape(batch, out.h, out.w, out.c, 8,
                                /*zero_fill=*/false);
-        pack_codes(input_u8.data(), batch * out.h * out.w, out.c, 8,
+        pack_codes(tp, input_u8.data(), batch * out.h * out.w, out.c, 8,
                    dst.packed.planes);
         if (prof != nullptr) {
           prof->add(core::decompose_profile(batch * out.h * out.w, out.c, 8,
@@ -850,6 +862,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         o.micro = rb.kern[si].micro;
         o.combine_fast = rb.kern[si].combine_fast;
         o.collect_profile = prof != nullptr;
+        o.pool = opts_.pool;
         parallel::SlabSlot& dst = slot_of(step.out);
         if (st.epilogue.has_quant) {
           o.packed_out = &dst.packed;
@@ -886,11 +899,11 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
           if (gather) {
             const layout::PackedActivations& x = slot_of(step.in).packed;
             APNN_CHECK(x.h * x.w * x.c == feat) << "feature count mismatch";
-            gather_linear_operand(x, *lender);
+            gather_linear_operand(tp, x, *lender);
           } else {
             APNN_CHECK(in.per_sample() == feat) << "feature count mismatch";
-            decompose_linear_operand(slot_of(step.in).dense.data(), batch,
-                                     feat, st.in_bits, *lender);
+            decompose_linear_operand(tp, slot_of(step.in).dense.data(),
+                                     batch, feat, st.in_bits, *lender);
           }
         }
         xop.planes = std::move(*lender);
@@ -901,6 +914,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         o.micro = rb.kern[si].micro;
         o.combine_fast = rb.kern[si].combine_fast;
         o.collect_profile = prof != nullptr;
+        o.pool = opts_.pool;
         parallel::SlabSlot& dst = slot_of(step.out);
         Tensor<std::int32_t>* raw = nullptr;
         if (st.epilogue.has_quant) {
@@ -919,7 +933,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
           // apmm emits M x N; the dense value is {B, F}.
           const Plan::Value& out = value(step.out);
           dst.dense.reset_shape({batch, out.c});
-          transpose_mn(raw->data(), out.c, batch, dst.dense.data());
+          transpose_mn(tp, raw->data(), out.c, batch, dst.dense.data());
         }
         break;
       }
@@ -955,14 +969,14 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
                         sizeof(std::int32_t) * static_cast<std::size_t>(n));
           }
         } else {
-          decode_planes(a.packed->planes, a.packed->bits, rows, out.c, d,
-                        false);
+          decode_planes(tp, a.packed->planes, a.packed->bits, rows, out.c,
+                        d, false);
         }
         if (b.dense != nullptr) {
-          add_dense(b.dense, d, n);
+          add_dense(tp, b.dense, d, n);
         } else {
-          decode_planes(b.packed->planes, b.packed->bits, rows, out.c, d,
-                        true);
+          decode_planes(tp, b.packed->planes, b.packed->bits, rows, out.c,
+                        d, true);
         }
         break;
       }
@@ -979,7 +993,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
             ds.dense.reset_shape({batch, out.c});
           }
         }
-        relu_dense(s, ds.dense.data(), n);
+        relu_dense(tp, s, ds.dense.data(), n);
         break;
       }
       case StepKind::kPool: {
@@ -987,8 +1001,8 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         const Plan::Value& out = value(step.out);
         parallel::SlabSlot& ds = slot_of(step.out);
         ds.dense.reset_shape({batch, out.h, out.w, out.c});
-        pool_nhwc(slot_of(step.in).dense.data(), batch, in.h, in.w, in.c,
-                  step.pool, ds.dense.data());
+        pool_nhwc(tp, slot_of(step.in).dense.data(), batch, in.h, in.w,
+                  in.c, step.pool, ds.dense.data());
         break;
       }
       case StepKind::kQuantize: {
@@ -999,7 +1013,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         if (out.format == ValueFormat::kPackedConv) {
           ds.packed.reset_shape(batch, out.h, out.w, out.c, out.bits,
                                 /*zero_fill=*/false);
-          quantize_pack(src.data(), rows, out.c, step.quant,
+          quantize_pack(tp, src.data(), rows, out.c, step.quant,
                         ds.packed.planes);
         } else {
           const std::int32_t* s = src.data();
@@ -1010,7 +1024,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
               ds.dense.reset_shape({batch, out.c});
             }
           }
-          quantize_dense(s, ds.dense.data(), rows * out.c, step.quant);
+          quantize_dense(tp, s, ds.dense.data(), rows * out.c, step.quant);
         }
         break;
       }
@@ -1019,8 +1033,8 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         parallel::SlabSlot& ds = slot_of(step.out);
         ds.packed.reset_shape(batch, out.h, out.w, out.c, out.bits,
                               /*zero_fill=*/false);
-        pack_codes(slot_of(step.in).dense.data(), batch * out.h * out.w,
-                   out.c, out.bits, ds.packed.planes);
+        pack_codes(tp, slot_of(step.in).dense.data(),
+                   batch * out.h * out.w, out.c, out.bits, ds.packed.planes);
         break;
       }
       case StepKind::kUnpack: {
@@ -1028,8 +1042,8 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         const layout::PackedActivations& src = slot_of(step.in).packed;
         parallel::SlabSlot& ds = slot_of(step.out);
         ds.dense.reset_shape({batch, out.h, out.w, out.c});
-        decode_planes(src.planes, src.bits, batch * out.h * out.w, out.c,
-                      ds.dense.data(), false);
+        decode_planes(tp, src.planes, src.bits, batch * out.h * out.w,
+                      out.c, ds.dense.data(), false);
         break;
       }
       case StepKind::kUnpackLinear: {
@@ -1037,8 +1051,8 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         const bitops::BitPlanes& src = slot_of(step.in).planes;
         parallel::SlabSlot& ds = slot_of(step.out);
         ds.dense.reset_shape({batch, out.c});
-        decode_planes(src.planes, src.bits, batch, out.c, ds.dense.data(),
-                      false);
+        decode_planes(tp, src.planes, src.bits, batch, out.c,
+                      ds.dense.data(), false);
         break;
       }
     }

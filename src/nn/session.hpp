@@ -58,6 +58,14 @@ struct SessionOptions {
   std::int64_t tune_batch = 0;
 
   core::AutotuneOptions tuner;
+
+  /// Pool every kernel and glue loop of this session runs on; nullptr =
+  /// ThreadPool::global(). Non-owning — must outlive the session. The
+  /// replicated InferenceServer gives each replica's session a private pool
+  /// slice so N replicas never oversubscribe the global pool N×; autotune
+  /// measurements run on the same pool so tuned winners reflect the slice
+  /// width the session actually executes with.
+  ThreadPool* pool = nullptr;
 };
 
 class InferenceSession {
@@ -77,9 +85,10 @@ class InferenceSession {
   /// `prof` when given (the steady-state path skips record-keeping
   /// entirely when it is null). Not thread-safe: one run at a time per
   /// session. Distinct sessions over the same (const) network may run
-  /// concurrently — they share only the global thread pool and, when
-  /// configured, a TuningCache, both of which tolerate concurrent callers;
-  /// the replicated InferenceServer relies on this.
+  /// concurrently — they share only their execution pool (the global pool,
+  /// or per-session slices via SessionOptions::pool) and, when configured, a
+  /// TuningCache, both of which tolerate concurrent callers; the replicated
+  /// InferenceServer relies on this.
   void run(const Tensor<std::int32_t>& input_u8, Tensor<std::int32_t>* logits,
            tcsim::SequenceProfile* prof = nullptr);
 

@@ -1,6 +1,10 @@
 #include "src/parallel/scratch.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/parallel/thread_pool.hpp"
 
 namespace apnn::parallel {
 
@@ -73,8 +77,23 @@ void ScratchArena::reset() {
 }
 
 ScratchArena& ScratchArena::tls() {
-  static thread_local ScratchArena arena;
-  return arena;
+  // Keyed per (thread x pool identity), not per process-wide thread: a thread
+  // serving several pool slices (a work-stealing worker, or the global pool's
+  // caller later entering a slice) gets a distinct arena per slice, so a
+  // slice's slabs are touched only by the cores that consume its work. The
+  // key is opaque — compared, never dereferenced — so a dead pool's slot
+  // simply goes cold (bounded by the handful of pools a thread ever serves).
+  struct Slot {
+    const void* key;
+    std::unique_ptr<ScratchArena> arena;
+  };
+  static thread_local std::vector<Slot> slots;
+  const void* key = ThreadPool::current_key();
+  for (Slot& s : slots) {
+    if (s.key == key) return *s.arena;
+  }
+  slots.push_back(Slot{key, std::make_unique<ScratchArena>()});
+  return *slots.back().arena;
 }
 
 }  // namespace apnn::parallel

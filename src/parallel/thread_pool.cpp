@@ -1,13 +1,163 @@
 #include "src/parallel/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
+#include <memory>
 
 #include "src/common/check.hpp"
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace apnn {
 
-ThreadPool::ThreadPool(unsigned num_threads) {
+namespace {
+
+/// Pool whose task (or participating parallel_for) the thread is running.
+thread_local const ThreadPool* tls_current_pool = nullptr;
+
+/// RAII save/restore so nested loops and exceptions unwind the key correctly.
+struct CurrentPoolScope {
+  explicit CurrentPoolScope(const ThreadPool* pool)
+      : saved(tls_current_pool) {
+    tls_current_pool = pool;
+  }
+  ~CurrentPoolScope() { tls_current_pool = saved; }
+  const ThreadPool* saved;
+};
+
+/// Everything a queued chunk task needs, owned jointly by the caller and
+/// every helper via shared_ptr — a helper dequeued (or stolen) after
+/// parallel_for returned touches only this block, never the caller's frame.
+struct LoopShared {
+  std::function<void(std::int64_t)> fn;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::int64_t nchunks = 0;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex mu;  // guards error; completion waiters sleep on done_cv
+  std::condition_variable done_cv;
+};
+
+/// Drains the shared chunk counter. Safe to run on any thread at any time:
+/// once every chunk is claimed it returns without touching fn.
+void run_chunks(const std::shared_ptr<LoopShared>& s) {
+  for (;;) {
+    const std::int64_t c = s->next.fetch_add(1);
+    if (c >= s->nchunks) return;
+    const std::int64_t lo = s->begin + c * s->grain;
+    const std::int64_t hi = std::min<std::int64_t>(lo + s->grain, s->end);
+    if (!s->failed.load(std::memory_order_relaxed)) {
+      try {
+        for (std::int64_t i = lo; i < hi; ++i) s->fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(s->mu);
+        if (!s->failed.exchange(true)) {
+          s->error = std::current_exception();
+        }
+      }
+    }
+    if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->nchunks) {
+      // Empty critical section orders the notify after a waiter's predicate
+      // check, closing the missed-wakeup window.
+      { std::lock_guard<std::mutex> lock(s->mu); }
+      s->done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+int WorkStealGroup::pools() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(members_.size());
+}
+
+void WorkStealGroup::add(ThreadPool* pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  members_.push_back(pool);
+  total_workers_.fetch_add(static_cast<std::int64_t>(pool->workers_.size()),
+                           std::memory_order_relaxed);
+}
+
+void WorkStealGroup::remove(ThreadPool* pool) {
+  std::lock_guard<std::mutex> lock(mu_);
+  members_.erase(std::remove(members_.begin(), members_.end(), pool),
+                 members_.end());
+  total_workers_.fetch_sub(static_cast<std::int64_t>(pool->workers_.size()),
+                           std::memory_order_relaxed);
+}
+
+std::int64_t WorkStealGroup::workers_besides(const ThreadPool* self) const {
+  const std::int64_t own = static_cast<std::int64_t>(self->workers_.size());
+  const std::int64_t total = total_workers_.load(std::memory_order_relaxed);
+  return std::max<std::int64_t>(0, total - own);
+}
+
+void WorkStealGroup::note_enqueued(std::int64_t n, ThreadPool* owner) {
+  pending_.fetch_add(n, std::memory_order_acq_rel);
+  // Wake idle sibling workers so they can steal. Taking each sibling's mutex
+  // (empty critical section) before notifying orders the wake after its
+  // predicate check; the group lock keeps the member alive while we touch it.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (ThreadPool* p : members_) {
+    if (p == owner) continue;
+    { std::lock_guard<std::mutex> plock(p->mu_); }
+    p->cv_.notify_all();
+  }
+}
+
+bool WorkStealGroup::steal_and_run(ThreadPool* thief) {
+  ThreadPool::Task task;
+  bool have = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ThreadPool* p : members_) {
+      if (p == thief) continue;
+      std::lock_guard<std::mutex> plock(p->mu_);
+      if (p->queue_.empty()) continue;
+      task = std::move(p->queue_.front());
+      p->queue_.pop_front();
+      have = true;
+      break;
+    }
+    if (have) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!have) return false;
+  task.fn();  // outside all locks; the task owns its state via LoopShared
+  return true;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) { start(num_threads); }
+
+ThreadPool::ThreadPool(const ThreadPoolOptions& opts)
+    : help_foreign_(opts.help_foreign),
+      pin_threads_(opts.pin_threads),
+      cpus_(opts.cpus),
+      group_(opts.steal_group) {
+  unsigned num_threads = opts.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (pin_threads_ && cpus_.empty()) {
+    for (unsigned i = 0; i < num_threads; ++i) {
+      cpus_.push_back(static_cast<int>(i));
+    }
+  }
+  start(num_threads);
+  if (group_ != nullptr) group_->add(this);
+}
+
+void ThreadPool::start(unsigned num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -15,7 +165,7 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   const unsigned spawned = num_threads > 1 ? num_threads - 1 : 0;
   workers_.reserve(spawned);
   for (unsigned i = 0; i < spawned; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,19 +176,66 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  if (group_ != nullptr) {
+    // After remove() returns no sibling can reach this pool's queue; any
+    // leftover tasks (there should be none — loops erase their own stale
+    // helpers) are counted out of the group's pending total.
+    group_->remove(this);
+    if (!queue_.empty()) {
+      group_->note_dequeued(static_cast<std::int64_t>(queue_.size()));
+    }
+  }
 }
 
-void ThreadPool::worker_loop() {
+std::size_t ThreadPool::queued_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+const void* ThreadPool::current_key() { return tls_current_pool; }
+
+bool ThreadPool::pin_current_thread(int cpu) {
+#ifdef __linux__
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  if (pin_threads_ && index + 1 < cpus_.size()) {
+    pin_current_thread(cpus_[index + 1]);  // best-effort
+  }
+  CurrentPoolScope scope(this);
   for (;;) {
     Task task;
+    bool have = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      cv_.wait(lock, [this] {
+        return stop_ || !queue_.empty() ||
+               (group_ != nullptr && group_->pending() > 0);
+      });
       if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        have = true;
+      }
     }
-    task.fn();
+    if (have) {
+      if (group_ != nullptr) group_->note_dequeued(1);
+      task.fn();
+      continue;
+    }
+    // Own queue empty but the group has pending work: steal from a sibling.
+    if (group_ != nullptr && group_->steal_and_run(this)) continue;
+    std::this_thread::yield();  // lost the race; re-check the predicate
   }
 }
 
@@ -50,6 +247,7 @@ bool ThreadPool::run_one() {
     task = std::move(queue_.front());
     queue_.pop_front();
   }
+  if (group_ != nullptr) group_->note_dequeued(1);
   task.fn();
   return true;
 }
@@ -61,58 +259,79 @@ void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
   if (begin >= end) return;
   const std::int64_t n = end - begin;
   const std::int64_t nchunks = (n + grain - 1) / grain;
-  if (nchunks == 1 || workers_.empty()) {
+  // Helper budget: own workers plus, when grouped, idle siblings that could
+  // steal a queued drain task (a 1-wide slice in a group still fans out).
+  const std::int64_t budget =
+      static_cast<std::int64_t>(workers_.size()) +
+      (group_ != nullptr ? group_->workers_besides(this) : 0);
+  const std::int64_t helpers = std::min<std::int64_t>(budget, nchunks - 1);
+  if (helpers <= 0) {
+    CurrentPoolScope scope(this);
     for (std::int64_t i = begin; i < end; ++i) fn(i);
     return;
   }
 
-  struct Shared {
-    std::atomic<std::int64_t> next{0};
-    std::atomic<std::int64_t> done{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr error;
-    std::mutex error_mu;
-  };
-  auto shared = std::make_shared<Shared>();
+  auto shared = std::make_shared<LoopShared>();
+  shared->fn = fn;
+  shared->begin = begin;
+  shared->end = end;
+  shared->grain = grain;
+  shared->nchunks = nchunks;
 
-  auto run_chunk = [shared, begin, end, grain, &fn, nchunks]() {
-    for (;;) {
-      const std::int64_t c = shared->next.fetch_add(1);
-      if (c >= nchunks) return;
-      const std::int64_t lo = begin + c * grain;
-      const std::int64_t hi = std::min<std::int64_t>(lo + grain, end);
-      if (!shared->failed.load(std::memory_order_relaxed)) {
-        try {
-          for (std::int64_t i = lo; i < hi; ++i) fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(shared->error_mu);
-          if (!shared->failed.exchange(true)) {
-            shared->error = std::current_exception();
-          }
-        }
-      }
-      shared->done.fetch_add(1, std::memory_order_acq_rel);
-    }
-  };
-
-  // One queued task per worker; each drains the shared chunk counter.
-  const std::int64_t helpers = std::min<std::int64_t>(
-      static_cast<std::int64_t>(workers_.size()), nchunks - 1);
+  // One queued task per helper; each drains the shared chunk counter. Tasks
+  // are self-contained (own the loop state through `shared`) so a stale or
+  // stolen helper can never dangle into this frame.
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::int64_t i = 0; i < helpers; ++i) {
-      queue_.push_back(Task{run_chunk});
+      queue_.push_back(Task{[shared] { run_chunks(shared); }, shared.get()});
     }
   }
   cv_.notify_all();
+  if (group_ != nullptr) group_->note_enqueued(helpers, this);
 
-  run_chunk();  // caller participates
-
-  // Help drain any unrelated queued tasks while waiting (avoids deadlock if
-  // parallel_for is nested).
-  while (shared->done.load(std::memory_order_acquire) < nchunks) {
-    if (!run_one()) std::this_thread::yield();
+  {
+    CurrentPoolScope scope(this);
+    run_chunks(shared);  // caller participates
   }
+
+  if (help_foreign_) {
+    // Help drain any unrelated queued tasks while waiting (avoids idling if
+    // parallel_for is nested); park briefly on the completion signal when the
+    // queue is empty instead of spinning.
+    CurrentPoolScope scope(this);
+    while (shared->done.load(std::memory_order_acquire) < nchunks) {
+      if (!run_one()) {
+        std::unique_lock<std::mutex> lock(shared->mu);
+        shared->done_cv.wait_for(lock, std::chrono::microseconds(200), [&] {
+          return shared->done.load(std::memory_order_acquire) >= nchunks;
+        });
+      }
+    }
+  } else {
+    // Latency-bounded wait: only this loop's chunks can extend the caller's
+    // critical path — never an arbitrary foreign task.
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->done_cv.wait(lock, [&] {
+      return shared->done.load(std::memory_order_acquire) >= nchunks;
+    });
+  }
+
+  // Drop stale helpers: every chunk is claimed, so helpers still queued are
+  // pure no-ops — erase them instead of leaving them for a later dequeue.
+  std::int64_t removed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->tag == shared.get()) {
+        it = queue_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (removed > 0 && group_ != nullptr) group_->note_dequeued(removed);
 
   if (shared->failed.load()) std::rethrow_exception(shared->error);
 }

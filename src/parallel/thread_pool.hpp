@@ -3,8 +3,14 @@
 // The APNN-TC kernels are written as loops over thread blocks; on the host we
 // farm independent blocks across a pool. Exceptions thrown by tasks are
 // captured and rethrown on the caller's thread.
+//
+// Pools can be carved into disjoint slices: each InferenceServer replica owns
+// a private pool (optionally pinned to a CPU range) instead of all replicas
+// oversubscribing the process-global pool. Slices registered in one
+// WorkStealGroup steal queued chunk tasks from busy siblings when idle.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -16,16 +22,83 @@
 
 namespace apnn {
 
+class ThreadPool;
+
+/// Registry that lets idle member pools steal queued chunk tasks from busy
+/// siblings. Members register at construction and unregister at destruction;
+/// the group must outlive every member pool. All queued tasks are
+/// self-contained (they own their loop state via a shared block), so a task
+/// may safely run on any thread in the group.
+class WorkStealGroup {
+ public:
+  WorkStealGroup() = default;
+  WorkStealGroup(const WorkStealGroup&) = delete;
+  WorkStealGroup& operator=(const WorkStealGroup&) = delete;
+
+  /// Total tasks stolen across the group's lifetime.
+  std::int64_t steals() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// Number of currently registered pools.
+  int pools() const;
+
+ private:
+  friend class ThreadPool;
+
+  void add(ThreadPool* pool);
+  void remove(ThreadPool* pool);
+  /// Bumps the group-wide pending count and wakes idle siblings of `owner`.
+  void note_enqueued(std::int64_t n, ThreadPool* owner);
+  void note_dequeued(std::int64_t n) {
+    pending_.fetch_sub(n, std::memory_order_acq_rel);
+  }
+  std::int64_t pending() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+  /// Pops one task from a sibling of `thief` and runs it on this thread.
+  bool steal_and_run(ThreadPool* thief);
+  /// Worker threads owned by members other than `self` (helper budget).
+  std::int64_t workers_besides(const ThreadPool* self) const;
+
+  mutable std::mutex mu_;
+  std::vector<ThreadPool*> members_;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<std::int64_t> steals_{0};
+  std::atomic<std::int64_t> total_workers_{0};
+};
+
+/// Construction knobs for a pool slice. The plain ThreadPool(unsigned)
+/// constructor is equivalent to only setting num_threads.
+struct ThreadPoolOptions {
+  /// Logical width including the calling thread; 0 = hardware_concurrency().
+  unsigned num_threads = 0;
+  /// Pin worker threads to `cpus` (Linux; best-effort, ignored elsewhere).
+  bool pin_threads = false;
+  /// CPU ids for pinning: cpus[0] is reserved for the caller/dispatcher slot
+  /// (pin it yourself via pin_current_thread), workers take cpus[1..]. Empty
+  /// with pin_threads set derives the identity mapping 0..num_threads-1.
+  std::vector<int> cpus;
+  /// When false, a blocked parallel_for caller waits on the loop's own
+  /// completion signal instead of running unrelated queued tasks, so a
+  /// latency-sensitive caller (a replica serving deadline traffic) never
+  /// absorbs a foreign task. The global pool keeps foreign help.
+  bool help_foreign = true;
+  /// Optional stealing group; must outlive the pool.
+  WorkStealGroup* steal_group = nullptr;
+};
+
 /// Fixed-size worker pool with a blocking parallel_for.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means hardware_concurrency().
   explicit ThreadPool(unsigned num_threads = 0);
+  explicit ThreadPool(const ThreadPoolOptions& opts);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Worker threads spawned (logical width minus the participating caller).
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
   /// Runs fn(i) for i in [begin, end), partitioned into chunks of `grain`
@@ -35,22 +108,47 @@ class ThreadPool {
                     const std::function<void(std::int64_t)>& fn,
                     std::int64_t grain = 1);
 
+  /// Tasks currently sitting in this pool's queue (introspection for tests).
+  std::size_t queued_tasks() const;
+
+  /// Identity of the pool whose work the calling thread is currently
+  /// executing (nullptr outside any pool task). Used purely as an opaque key
+  /// — e.g. ScratchArena::tls() keys arenas per (thread x pool) so a slice's
+  /// slabs are touched only by the cores that consume them. Never
+  /// dereference: the pool may be gone by the time the key is compared.
+  static const void* current_key();
+
+  /// Best-effort affinity pin for the calling thread (Linux; returns false
+  /// elsewhere or on failure). Exposed so a server can pin its dispatcher
+  /// threads onto their replica's CPU slot.
+  static bool pin_current_thread(int cpu);
+
   /// Process-wide pool (lazily constructed).
   static ThreadPool& global();
 
  private:
+  friend class WorkStealGroup;
+
   struct Task {
     std::function<void()> fn;
+    /// Identity of the parallel_for that queued this task; lets the loop
+    /// erase its own stale helpers on return. Opaque, never dereferenced.
+    const void* tag = nullptr;
   };
 
-  void worker_loop();
+  void start(unsigned num_threads);
+  void worker_loop(unsigned index);
   bool run_one();  // returns false if queue empty
 
   std::vector<std::thread> workers_;
   std::deque<Task> queue_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  bool help_foreign_ = true;
+  bool pin_threads_ = false;
+  std::vector<int> cpus_;
+  WorkStealGroup* group_ = nullptr;
 };
 
 /// Convenience wrapper over ThreadPool::global().

@@ -17,6 +17,7 @@
 #include "src/nn/apnn_network.hpp"
 #include "src/nn/model.hpp"
 #include "src/nn/session.hpp"
+#include "src/parallel/thread_pool.hpp"
 #include "src/tcsim/device_spec.hpp"
 
 namespace apnn {
@@ -123,13 +124,37 @@ TEST(TuningCache, StaleFingerprintInvalidates) {
   EXPECT_EQ(inspect.fingerprint(), "v1:neon:t64");
 }
 
+TEST(TuningCache, SliceWidthKeysFingerprint) {
+  // A cache keyed to a per-replica slice width carries t<slice> and refuses
+  // measurements recorded at a different width: slice-tuned winners must
+  // not replay on the global pool or vice versa.
+  const unsigned slice = ThreadPool::global().size() + 3;  // != global width
+  const std::string global_fp = TuningCache::hardware_fingerprint();
+  const std::string slice_fp = TuningCache::hardware_fingerprint(slice);
+  EXPECT_NE(slice_fp, global_fp);
+  EXPECT_NE(slice_fp.find(":t" + std::to_string(slice)), std::string::npos);
+
+  TuningCache at_slice(slice);
+  EXPECT_EQ(at_slice.fingerprint(), slice_fp);
+  at_slice.insert(sample_key(8), sample_kernel());
+
+  TuningCache at_global;
+  EXPECT_FALSE(at_global.deserialize(at_slice.serialize()));
+  EXPECT_EQ(at_global.size(), 0u);
+
+  TuningCache at_same_slice(slice);
+  EXPECT_TRUE(at_same_slice.deserialize(at_slice.serialize()));
+  EXPECT_EQ(at_same_slice.size(), 1u);
+}
+
 TEST(TuningCache, MalformedInputRejected) {
   TuningCache cache;
   EXPECT_FALSE(cache.deserialize("not-a-cache 1\nfingerprint x\n"));
   EXPECT_FALSE(cache.deserialize(""));
-  // Wrong schema version.
+  // Wrong schema version (the current schema is 2: the fingerprint grew a
+  // thread-pool-width field).
   std::string text = TuningCache().serialize();
-  const auto pos = text.find(" 1\n");
+  const auto pos = text.find(" 2\n");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 3, " 999\n");
   EXPECT_FALSE(cache.deserialize(text));

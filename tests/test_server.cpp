@@ -12,7 +12,11 @@
 //     "shutting down" error, destruction never hangs — including with
 //     clients still in flight (the done_cv_ thundering-herd path);
 //   * a shared TuningCache warms across replicas: only the first replica
-//     pays measurement runs, a second server with the same cache pays none.
+//     pays measurement runs, a second server with the same cache pays none;
+//   * execution topology: derive_topology never oversubscribes the
+//     hardware, and serving across per-replica pool slices — work stealing
+//     on or off, pinned or not, autotuned at the slice width — stays
+//     bit-exact (the TSan CI leg runs these against the race detector).
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -559,6 +563,157 @@ TEST(Server, SharedCacheOnlyFirstReplicaPaysMeasurementRuns) {
   InferenceServer owned(net, dev(), own);
   EXPECT_GT(owned.replica_tuning_measurements(0), 0);
   EXPECT_EQ(owned.replica_tuning_measurements(1), 0);
+}
+
+// --- execution topology (per-replica pool slices) ---------------------------
+
+TEST(ServerTopology, DeriveTopologyNeverOversubscribes) {
+  ServerOptions o;  // both fields 0: full joint derivation
+  {
+    const auto t = InferenceServer::derive_topology(o, 8);
+    EXPECT_EQ(t.replicas, 4);
+    EXPECT_EQ(t.slice_threads, 2);
+  }
+  {
+    const auto t = InferenceServer::derive_topology(o, 1);
+    EXPECT_EQ(t.replicas, 1);
+    EXPECT_EQ(t.slice_threads, 1);
+  }
+  {
+    // 32 hardware threads: replica count clamps at 8, the width spreads.
+    const auto t = InferenceServer::derive_topology(o, 32);
+    EXPECT_EQ(t.replicas, 8);
+    EXPECT_EQ(t.slice_threads, 4);
+  }
+  {
+    ServerOptions r;
+    r.replicas = 2;
+    const auto t = InferenceServer::derive_topology(r, 8);
+    EXPECT_EQ(t.replicas, 2);
+    EXPECT_EQ(t.slice_threads, 4);
+  }
+  {
+    ServerOptions s;
+    s.slice_threads = 2;
+    const auto t = InferenceServer::derive_topology(s, 8);
+    EXPECT_EQ(t.replicas, 4);
+    EXPECT_EQ(t.slice_threads, 2);
+  }
+  {
+    // A slice wider than the machine still yields a sane topology.
+    ServerOptions s;
+    s.slice_threads = 16;
+    const auto t = InferenceServer::derive_topology(s, 8);
+    EXPECT_EQ(t.replicas, 1);
+    EXPECT_EQ(t.slice_threads, 16);
+  }
+  {
+    // Both explicit: taken as given, even oversubscribed (opt-in).
+    ServerOptions b;
+    b.replicas = 3;
+    b.slice_threads = 5;
+    const auto t = InferenceServer::derive_topology(b, 4);
+    EXPECT_EQ(t.replicas, 3);
+    EXPECT_EQ(t.slice_threads, 5);
+  }
+  // The derived default always fits: replicas * slice <= hw.
+  for (unsigned hw = 1; hw <= 64; ++hw) {
+    const auto t = InferenceServer::derive_topology(o, hw);
+    EXPECT_GE(t.replicas, 1);
+    EXPECT_GE(t.slice_threads, 1);
+    EXPECT_LE(static_cast<unsigned>(t.replicas * t.slice_threads), hw)
+        << "hw=" << hw;
+  }
+}
+
+// Serving across explicit per-replica pool slices — with work stealing on
+// and with slices pinned — stays bit-exact vs sequential batch-1 runs. Runs
+// under TSan in CI, so this also drives the slice/steal/pin machinery
+// through the race detector with real sessions on top.
+TEST(ServerTopology, SlicedStolenAndPinnedServingStaysBitExact) {
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 640);
+  net.calibrate(random_input(2, m, 641));
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 2;
+  constexpr int kTotal = kClients * kRequestsPerClient;
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> expected;
+  {
+    InferenceSession session(net, dev());
+    for (int i = 0; i < kTotal; ++i) {
+      samples.push_back(random_input(1, m, 642 + static_cast<unsigned>(i)));
+      expected.push_back(session.run(samples.back()));
+    }
+  }
+
+  ServerOptions base;
+  base.replicas = 2;
+  base.slice_threads = 2;
+  base.max_batch = 4;
+  base.batch_window = std::chrono::microseconds(200);
+
+  ServerOptions no_steal = base;
+  no_steal.work_stealing = false;
+  ServerOptions pinned = base;
+  pinned.pin_threads = true;  // best-effort; must never change results
+
+  for (const ServerOptions& opts : {base, no_steal, pinned}) {
+    InferenceServer server(net, dev(), opts);
+    ASSERT_EQ(server.replicas(), 2);
+    ASSERT_EQ(server.slice_threads(), 2);
+    std::vector<Tensor<std::int32_t>> got(kTotal);
+    {
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+          for (int r = 0; r < kRequestsPerClient; ++r) {
+            const int i = c * kRequestsPerClient + r;
+            got[static_cast<std::size_t>(i)] =
+                server.infer(samples[static_cast<std::size_t>(i)]);
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+    }
+    for (int i = 0; i < kTotal; ++i) {
+      expect_same_logits(got[static_cast<std::size_t>(i)],
+                         expected[static_cast<std::size_t>(i)], i);
+    }
+    EXPECT_EQ(server.stats().requests, kTotal);
+  }
+}
+
+// An autotuned server keys its owned cache to the slice width, and the
+// slice-tuned plans still serve bit-exactly.
+TEST(ServerTopology, AutotunedSliceServerStaysBitExact) {
+  const ModelSpec m = mini_resnet(3, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 650);
+  net.calibrate(random_input(2, m, 651));
+
+  std::vector<Tensor<std::int32_t>> samples;
+  std::vector<Tensor<std::int32_t>> expected;
+  {
+    InferenceSession session(net, dev());
+    for (int i = 0; i < 4; ++i) {
+      samples.push_back(random_input(1, m, 652 + static_cast<unsigned>(i)));
+      expected.push_back(session.run(samples.back()));
+    }
+  }
+
+  ServerOptions opts;
+  opts.replicas = 2;
+  opts.slice_threads = 2;
+  opts.max_batch = 2;
+  opts.session.autotune = true;
+  InferenceServer server(net, dev(), opts);
+  EXPECT_GT(server.tuning_measurements(), 0);  // cold: replica 0 measured
+  for (int i = 0; i < 4; ++i) {
+    expect_same_logits(server.infer(samples[static_cast<std::size_t>(i)]),
+                       expected[static_cast<std::size_t>(i)], i);
+  }
 }
 
 }  // namespace

@@ -8,7 +8,8 @@
 //   apnn_cli tune  mini_resnet|vgg_lite [--scheme wXaY] [--batch N]
 //                                   [--cache path] [--device ...]
 //   apnn_cli serve mini_resnet|vgg_lite [--scheme wXaY] [--replicas N]
-//                                   [--clients N] [--requests N] [--autotune]
+//                                   [--slice-threads T] [--pin] [--clients N]
+//                                   [--requests N] [--autotune]
 //                                   [--cache path] [--max-batch B]
 //                                   [--deadline-ms D] [--fault site:n[:mod]]
 //   apnn_cli inspect --cache path
@@ -51,7 +52,9 @@ struct Args {
   int reps = 2;
   bool fuse = true;
   // serve
-  int replicas = 0;  // 0 = derive from hardware width
+  int replicas = 0;       // 0 = derive jointly with slice_threads
+  int slice_threads = 0;  // per-replica pool width; 0 = derive
+  bool pin = false;       // pin replica slices to CPUs
   int clients = 8;
   int requests = 64;
   bool autotune = false;
@@ -86,6 +89,10 @@ Args parse(int argc, char** argv) {
       a.batch = std::atoll(next("--max-batch").c_str());
     } else if (s == "--replicas") {
       a.replicas = std::atoi(next("--replicas").c_str());
+    } else if (s == "--slice-threads") {
+      a.slice_threads = std::atoi(next("--slice-threads").c_str());
+    } else if (s == "--pin") {
+      a.pin = true;
     } else if (s == "--clients") {
       a.clients = std::atoi(next("--clients").c_str());
     } else if (s == "--requests") {
@@ -372,8 +379,9 @@ int cmd_serve(const Args& a) {
   if (a.positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: apnn_cli serve mini_resnet|vgg_lite [--scheme wXaY] "
-                 "[--replicas N] [--clients N] [--requests N] [--autotune] "
-                 "[--cache path] [--max-batch B] [--deadline-ms D] "
+                 "[--replicas N] [--slice-threads T] [--pin] [--clients N] "
+                 "[--requests N] [--autotune] [--cache path] [--max-batch B] "
+                 "[--deadline-ms D] "
                  "[--fault site:n[:xR|:delay=Dms]] [--device ...]\n");
     return 2;
   }
@@ -395,10 +403,12 @@ int cmd_serve(const Args& a) {
                  a.scheme.c_str());
     return 2;
   }
-  if (a.clients < 1 || a.requests < 1 || a.batch < 1 || a.replicas < 0) {
+  if (a.clients < 1 || a.requests < 1 || a.batch < 1 || a.replicas < 0 ||
+      a.slice_threads < 0) {
     std::fprintf(stderr,
                  "--clients/--requests/--max-batch must be >= 1, "
-                 "--replicas >= 0 (0 derives from hardware width)\n");
+                 "--replicas/--slice-threads >= 0 (0 derives from hardware "
+                 "width)\n");
     return 2;
   }
   if (a.deadline_ms < 0) {
@@ -415,7 +425,20 @@ int cmd_serve(const Args& a) {
     autotune = true;
   }
 
-  core::TuningCache cache;
+  // The server options shape the execution topology, and the topology
+  // shapes the cache: replica sessions measure on slice-wide pools, so the
+  // cache fingerprint must carry the resolved slice width — a cache
+  // recorded under a different topology would silently replay mismatched
+  // winners. Resolve the topology first, then build the cache around it.
+  nn::ServerOptions opts;
+  opts.max_batch = a.batch;
+  opts.replicas = a.replicas;
+  opts.slice_threads = a.slice_threads;
+  opts.pin_threads = a.pin;
+  const nn::InferenceServer::Topology topo =
+      nn::InferenceServer::derive_topology(
+          opts, std::thread::hardware_concurrency());
+  core::TuningCache cache(static_cast<unsigned>(topo.slice_threads));
   if (autotune && !a.cache_path.empty()) {
     load_cache_or_warn(cache, a.cache_path);
   }
@@ -455,17 +478,16 @@ int cmd_serve(const Args& a) {
     std::printf("fault armed: %s\n", spec.c_str());
   }
 
-  nn::ServerOptions opts;
-  opts.max_batch = a.batch;
-  opts.replicas = a.replicas;
   opts.session.autotune = autotune;
   if (autotune) opts.session.cache = &cache;
 
   WallTimer start_timer;
   nn::InferenceServer server(net, dev, opts);
   const double start_ms = start_timer.millis();
-  std::printf("%s w%da%d on %s: %d replicas up in %.1f ms", spec.name.c_str(),
-              p, q, dev.name.c_str(), server.replicas(), start_ms);
+  std::printf("%s w%da%d on %s: %d replicas x %d-wide slices%s up in "
+              "%.1f ms",
+              spec.name.c_str(), p, q, dev.name.c_str(), server.replicas(),
+              server.slice_threads(), a.pin ? " (pinned)" : "", start_ms);
   if (autotune) {
     std::printf(" (%lld tuning runs, cache %zu entries)",
                 static_cast<long long>(server.tuning_measurements()),
@@ -607,9 +629,10 @@ int main(int argc, char** argv) {
                  "[--cache path] [--reps R]\n"
                  "  serve mini_resnet|vgg_lite [--scheme wXaY] [--replicas N]"
                  " [--clients N]\n"
-                 "        [--requests N] [--autotune] [--cache path] "
-                 "[--max-batch B]\n"
-                 "        [--deadline-ms D] [--fault site:n[:xR|:delay=Dms]]\n"
+                 "        [--slice-threads T] [--pin] [--requests N] "
+                 "[--autotune] [--cache path]\n"
+                 "        [--max-batch B] [--deadline-ms D] "
+                 "[--fault site:n[:xR|:delay=Dms]]\n"
                  "  inspect --cache path\n"
                  "  common: [--device 3090|a100] [--trace out.json]\n");
     return 2;

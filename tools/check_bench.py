@@ -42,6 +42,12 @@ import sys
 # baseline-relative one: the serving deadline machinery may cost at most 2%.
 OVERHEAD_SPEEDUP_FLOOR = 0.98
 
+# ``--require-scaling``: the replicated serving pool must reach this many
+# times the single-replica throughput, and the bench itself must have judged
+# the host wide enough to enforce it (``scaling_enforced``). Used by the CI
+# multicore leg; meaningless on narrow hosts, hence opt-in.
+REPLICA_SCALING_FLOOR = 2.0
+
 
 def load(path: pathlib.Path):
     try:
@@ -53,10 +59,23 @@ def load(path: pathlib.Path):
 
 
 def check_file(name: str, base: dict, fresh: dict, ms_tol: float,
-               ratio_tol: float) -> list[str]:
+               ratio_tol: float, require_scaling: bool = False) -> list[str]:
     errors = []
     if base.get("bit_exact") is True and fresh.get("bit_exact") is not True:
         errors.append("bit_exact is not true in the fresh run")
+
+    if require_scaling and "replica_scaling_x" in fresh:
+        if fresh.get("scaling_enforced") is not True:
+            errors.append(
+                "--require-scaling: scaling_enforced is not true (host too "
+                "narrow, or the bench ran with < 4 replicas)")
+        scaling = fresh.get("replica_scaling_x")
+        if not isinstance(scaling, (int, float)) or isinstance(scaling, bool):
+            errors.append("--require-scaling: replica_scaling_x not numeric")
+        elif scaling < REPLICA_SCALING_FLOOR:
+            errors.append(
+                f"--require-scaling: replica_scaling_x {scaling:.3f} < "
+                f"{REPLICA_SCALING_FLOOR:.1f}")
 
     for key, bval in base.items():
         if not isinstance(bval, (int, float)) or isinstance(bval, bool):
@@ -96,6 +115,11 @@ def main() -> int:
     ap.add_argument("--ratio-tol", type=float, default=0.10,
                     help="allowed relative drop of *speedup* keys "
                          "(default 0.10: wall-clock noise)")
+    ap.add_argument("--require-scaling", action="store_true",
+                    help="additionally require replica_scaling_x >= "
+                         f"{REPLICA_SCALING_FLOOR} with scaling_enforced "
+                         "true in the fresh serving bench (multicore CI "
+                         "hosts only)")
     ap.add_argument("names", nargs="*",
                     help="benchmark file names (default: BENCH_*.json in "
                          "the baseline dir)")
@@ -114,7 +138,8 @@ def main() -> int:
         if base is None or fresh is None:
             failed = True
             continue
-        errors = check_file(name, base, fresh, args.ms_tol, args.ratio_tol)
+        errors = check_file(name, base, fresh, args.ms_tol, args.ratio_tol,
+                            args.require_scaling)
         if errors:
             failed = True
             print(f"FAIL {name}:")
