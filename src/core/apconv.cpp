@@ -29,6 +29,7 @@ ApmmOptions as_apmm_options(const ApconvOptions& o) {
   a.semantic_aware = o.semantic_aware;
   a.mode = o.mode;
   a.pool = o.pool;
+  a.sparsity_stats = o.sparsity_stats;
   return a;
 }
 
@@ -301,6 +302,7 @@ ApconvResult apconv(const ApOperand& w, const layout::PackedActivations& x,
     fgeom.micro = opts.micro;
     fgeom.combine_fast = opts.combine_fast;
     fgeom.pool = opts.pool;
+    fgeom.sparsity = opts.sparsity_stats;
 
     std::vector<std::int32_t> corr;
     if (sel.kind == EmulationCase::kCaseII && g.pad > 0) {

@@ -68,6 +68,9 @@ struct ApconvOptions {
   /// Pool the block loops run on; nullptr = ThreadPool::global(). Non-owning
   /// — must outlive the call. See ApmmOptions::pool.
   ThreadPool* pool = nullptr;
+
+  /// Occupancy/elision counters; see ApmmOptions::sparsity_stats.
+  microkernel::SparsityStats* sparsity_stats = nullptr;
 };
 
 struct ApconvResult {

@@ -43,6 +43,7 @@ ApmmResult apmm(const ApOperand& w, const ApOperand& x,
   g.micro = opts.micro;
   g.combine_fast = opts.combine_fast;
   g.pool = opts.pool;
+  g.sparsity = opts.sparsity_stats;
 
   // --- Launch records -------------------------------------------------
   if (opts.collect_profile) {

@@ -91,6 +91,10 @@ struct ApmmOptions {
   /// — must outlive the call. InferenceServer replicas pass their private
   /// slice so N replicas don't oversubscribe the global pool N×.
   ThreadPool* pool = nullptr;
+
+  /// Occupancy/elision counters filled during the run (observability only;
+  /// thread-safe, non-owning). nullptr = don't collect.
+  microkernel::SparsityStats* sparsity_stats = nullptr;
 };
 
 struct ApmmResult {

@@ -157,11 +157,15 @@ inline std::int64_t combine_element(const BatchedGeometry& g,
                                     const std::int32_t* raw_row,
                                     const std::int64_t* wmult,
                                     const std::int64_t* xmult,
-                                    const std::int64_t* xpopc_col) {
+                                    const std::int64_t* xpopc_col,
+                                    std::uint32_t elide_w,
+                                    std::uint32_t elide_x) {
   std::int64_t acc = 0;
   for (int s = 0; s < g.p; ++s) {
+    if ((elide_w >> s) & 1) continue;  // term exactly zero (see elision rules)
     const std::int32_t* prow = raw_row + s * g.vtn8;
     for (int t = 0; t < g.q; ++t) {
+      if ((elide_x >> t) & 1) continue;
       const std::int64_t xp = xpopc_col != nullptr ? xpopc_col[t] : 0;
       acc += wmult[s] * xmult[t] *
              finalize_partial(sel.kind, prow[t], g.k, xp);
@@ -187,6 +191,50 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
                          const OpSelection& sel, const BatchedGeometry& g,
                          const Epilogue& epi, const ConvTail& tail,
                          Tensor<std::int32_t>* y, bitops::BitPlanes* packed) {
+  // Whole-plane elision (the plane-level sparse fast path): a bit-plane
+  // whose payload is entirely zero contributes an exactly-zero term and is
+  // dropped from the combine and the Case-III popcount pass. Rules:
+  //   - weight plane s, Case I only: term = wmult*xmult*raw with
+  //     raw = popc(AND) = 0 (exact for kTwosComplement too — the sign
+  //     multiplier scales an exact zero).
+  //   - activation plane t, Case I (raw = 0) and Case III (raw = 0 and
+  //     x_popc = 0, so 2*raw - x_popc = 0).
+  //   - Case II never elides: in ±1 encoding a zero plane encodes all -1
+  //     values and its term k - 2*raw = k is nonzero. That also keeps the
+  //     window-gather check sound — pad_one is only ever set for Case II,
+  //     so in the elidable cases padding stages 0 bits and a zero
+  //     feature-map plane implies all-zero patch rows.
+  //   - Case III weight planes never elide (term = -wmult*xmult*x_popc).
+  std::uint32_t elide_w = 0, elide_x = 0;
+  if (g.micro.sparse_staging != microkernel::MicroConfig::Sparse::kOff &&
+      sel.kind != EmulationCase::kCaseII) {
+    const auto plane_zero = [](const bitops::BitMatrix& pm) {
+      for (std::int64_t r = 0; r < pm.rows(); ++r) {
+        if (pm.row_popcount(r) != 0) return false;
+      }
+      return true;
+    };
+    if (sel.kind == EmulationCase::kCaseI) {
+      for (int s = 0; s < g.p; ++s) {
+        if (plane_zero(w.planes.plane(s))) elide_w |= 1u << s;
+      }
+    }
+    for (int t = 0; t < g.q; ++t) {
+      const bitops::BitMatrix& pm =
+          x.window_gather() ? x.fmap->planes[static_cast<std::size_t>(t)]
+                            : x.planes->plane(t);
+      if (plane_zero(pm)) elide_x |= 1u << t;
+    }
+  }
+  if (g.sparsity != nullptr) {
+    g.sparsity->planes.fetch_add(g.p + g.q, std::memory_order_relaxed);
+    g.sparsity->planes_elided.fetch_add(
+        __builtin_popcount(elide_w) + __builtin_popcount(elide_x),
+        std::memory_order_relaxed);
+  }
+  const bool all_x_elided =
+      elide_x != 0 && elide_x == (1u << static_cast<unsigned>(g.q)) - 1;
+
   // Case III needs popc(X row) per feature plane; flattened q x n, column
   // xpopc[n * q + t] so one output column's planes sit contiguously. For the
   // window-gathered operand the patch row never exists, but its popcount is
@@ -204,6 +252,7 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
           static_cast<std::size_t>(spatial * g.q));
       geometry_pool(g).parallel_for(0, spatial, [&](std::int64_t r) {
         for (int t = 0; t < g.q; ++t) {
+          if ((elide_x >> t) & 1) continue;  // plane is zero: popc stays 0
           slab_popc[static_cast<std::size_t>(r * g.q + t)] =
               static_cast<std::int32_t>(
                   x.fmap->planes[static_cast<std::size_t>(t)]
@@ -231,6 +280,7 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
     } else {
       geometry_pool(g).parallel_for(0, g.n, [&](std::int64_t j) {
         for (int t = 0; t < g.q; ++t) {
+          if ((elide_x >> t) & 1) continue;  // resize() zero-filled the slot
           xpopc[static_cast<std::size_t>(j * g.q + t)] =
               x.planes->plane(t).row_popcount(j);
         }
@@ -304,7 +354,7 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
     std::int32_t* raw = arena.get<std::int32_t>(g.vtm8 * g.vtn8);
     std::fill_n(raw, g.vtm8 * g.vtn8, 0);
     microkernel::block_bitgemm(sel.bit_op, wrows, g.vtm8, bsrc, g.row_words,
-                               raw, arena, g.micro);
+                               raw, arena, g.micro, g.sparsity);
 
     // Fused conv tail: correction -> BN/ReLU -> pool -> quantize/store, all
     // inside the block (no full-output pass exists downstream). The walk is
@@ -366,7 +416,8 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
       for (std::int64_t mo = 0; mo < m_end - m0; ++mo) {
         const std::int64_t m = m0 + mo;
         std::fill_n(yrow, cols, 0);
-        for (int s = 0; s < g.p; ++s) {
+        for (int s = 0; s < g.p && !all_x_elided; ++s) {
+          if ((elide_w >> s) & 1) continue;  // whole-plane term is zero
           const std::int32_t* pr = raw + (mo * g.p + s) * g.vtn8;
           const std::int64_t ws = wmult[static_cast<std::size_t>(s)];
           // 16 is the plane-count ceiling enforced by bitops::decompose /
@@ -395,7 +446,10 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
                 for (std::int64_t no = 0; no < cols; ++no) {
                   const std::int32_t* pp = pr + no * g.q;
                   std::int32_t acc = 0;
-                  for (int t = 0; t < g.q; ++t) acc += mult[t] * pp[t];
+                  for (int t = 0; t < g.q; ++t) {
+                    if ((elide_x >> t) & 1) continue;
+                    acc += mult[t] * pp[t];
+                  }
                   yrow[no] += acc;
                 }
               }
@@ -437,6 +491,7 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
                   const std::int64_t* xpp = xp + no * g.q;
                   std::int32_t acc = 0;
                   for (int t = 0; t < g.q; ++t) {
+                    if ((elide_x >> t) & 1) continue;
                     acc += mult[t] *
                            (2 * pp[t] - static_cast<std::int32_t>(xpp[t]));
                   }
@@ -544,6 +599,12 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
         const std::int32_t* raw_row = raw + (mo * g.p) * g.vtn8;
         std::int32_t* yrow = y->data() + m * g.n + n0;
         if (fast) {
+          if ((elide_w | elide_x) != 0) {
+            // p = q = 1 and the single plane pair has an elided side: every
+            // term is exactly zero (elision never applies under Case II).
+            std::fill_n(yrow, cols, 0);
+            continue;
+          }
           // Single-plane identity combine: a branch-free elementwise map the
           // compiler vectorizes (the p*q loop nest and the float epilogue
           // round trip cost more than the bit kernel for 1-bit operands).
@@ -574,8 +635,9 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
           const std::int64_t n = n0 + no;
           const std::int64_t* xp_col =
               xpopc.empty() ? nullptr : xpopc.data() + n * g.q;
-          const std::int64_t acc = combine_element(
-              g, sel, raw_row + no * g.q, wmult.data(), xmult.data(), xp_col);
+          const std::int64_t acc =
+              combine_element(g, sel, raw_row + no * g.q, wmult.data(),
+                              xmult.data(), xp_col, elide_w, elide_x);
           yrow[no] = epi.apply(static_cast<std::int32_t>(acc), m);
         }
       }
@@ -602,7 +664,8 @@ void run_batched_compute(const ApOperand& w, const FeatureSource& x,
         const std::int64_t m = m0 + mo;
         const std::int64_t acc =
             combine_element(g, sel, raw + (mo * g.p) * g.vtn8 + no * g.q,
-                            wmult.data(), xmult.data(), xp_col);
+                            wmult.data(), xmult.data(), xp_col, elide_w,
+                            elide_x);
         const std::int32_t out = epi.apply(static_cast<std::int32_t>(acc), m);
         const std::int64_t wi = (m >> 6) - w_lo;
         const std::uint64_t bit = std::uint64_t{1} << (m & 63);

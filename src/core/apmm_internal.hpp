@@ -46,6 +46,11 @@ struct BatchedGeometry {
   /// Pool the block loops run on; nullptr = ThreadPool::global(). Execution
   /// knob only — results and launch records are identical for every pool.
   ThreadPool* pool = nullptr;
+
+  /// Optional occupancy/elision counters filled during the run (thread-safe;
+  /// observability only, never consulted for dispatch). nullptr = don't
+  /// collect.
+  microkernel::SparsityStats* sparsity = nullptr;
 };
 
 BatchedGeometry make_geometry(const ApOperand& w, const ApOperand& x,

@@ -21,9 +21,26 @@ namespace {
 // v2: t<threads> became the logical pool width (workers + caller) of the
 // pool measurements run on — per-replica slices tune at their own width —
 // where v1 recorded the global pool's worker count.
-constexpr int kSchemaVersion = 2;
+// v3: entries gained MicroConfig::sparse_staging (the data-sparsity fast
+// path), and the kAuto default means v2 winners were measured on a kernel
+// that no longer exists — they must invalidate, not misread.
+constexpr int kSchemaVersion = 3;
 
 constexpr const char* kMagic = "apnn-tuning-cache";
+
+/// Zeroes ~`frac` of each row's 64-bit payload words of a synthetic operand
+/// plane. Word-granular (not bit-granular) on purpose: this is the shape
+/// ReLU + quantize actually produces in packed activations, and it is the
+/// granularity the occupancy maps can exploit.
+void sparsify_plane(bitops::BitMatrix& pm, double frac, Rng& rng) {
+  if (frac <= 0.0) return;
+  for (std::int64_t r = 0; r < pm.rows(); ++r) {
+    std::uint64_t* row = pm.row(r);
+    for (std::int64_t w = 0; w < pm.row_words(); ++w) {
+      if (rng.uniform() < frac) row[w] = 0;
+    }
+  }
+}
 
 }  // namespace
 
@@ -115,8 +132,10 @@ std::string TuningCache::serialize() const {
     os << "entry " << key << " " << c.tile.bm << " " << c.tile.bn << " "
        << c.tile.bk << " " << c.tile.warp_rows << " " << c.tile.warp_cols
        << " " << c.micro.strip_words << " "
-       << static_cast<int>(c.micro.staging) << " " << (c.combine_fast ? 1 : 0)
-       << " " << (c.measured ? 1 : 0) << " " << c.measured_ms << "\n";
+       << static_cast<int>(c.micro.staging) << " "
+       << static_cast<int>(c.micro.sparse_staging) << " "
+       << (c.combine_fast ? 1 : 0) << " " << (c.measured ? 1 : 0) << " "
+       << c.measured_ms << "\n";
   }
   return os.str();
 }
@@ -148,10 +167,10 @@ bool TuningCache::deserialize(const std::string& text, bool any_fingerprint) {
     }
     std::string key;
     TunedKernel c;
-    int staging = 0, fast = 0, measured = 0;
+    int staging = 0, sparse = 0, fast = 0, measured = 0;
     if (!(is >> key >> c.tile.bm >> c.tile.bn >> c.tile.bk >>
           c.tile.warp_rows >> c.tile.warp_cols >> c.micro.strip_words >>
-          staging >> fast >> measured >> c.measured_ms)) {
+          staging >> sparse >> fast >> measured >> c.measured_ms)) {
       entries_.clear();
       return false;
     }
@@ -166,13 +185,17 @@ bool TuningCache::deserialize(const std::string& text, bool any_fingerprint) {
         c.micro.strip_words >= 0 && c.micro.strip_words <= (1 << 20) &&
         staging >= 0 &&
         staging <=
-            static_cast<int>(microkernel::MicroConfig::Staging::kRowMajor);
+            static_cast<int>(microkernel::MicroConfig::Staging::kRowMajor) &&
+        sparse >= 0 &&
+        sparse <= static_cast<int>(microkernel::MicroConfig::Sparse::kOff);
     if (!sane) {
       entries_.clear();
       return false;
     }
     c.micro.staging =
         static_cast<microkernel::MicroConfig::Staging>(staging);
+    c.micro.sparse_staging =
+        static_cast<microkernel::MicroConfig::Sparse>(sparse);
     c.combine_fast = fast != 0;
     c.measured = measured != 0;
     loaded[key] = c;
@@ -233,7 +256,7 @@ std::vector<TunedKernel> Autotuner::candidates(std::int64_t m, std::int64_t n,
   const std::vector<TileConfig> tiles =
       ranked_tiles(m, n, k, p, q, dev_, opts_.max_tile_candidates);
   std::vector<TunedKernel> out;
-  out.reserve(tiles.size() + 4);
+  out.reserve(tiles.size() + 6);
   for (const TileConfig& t : tiles) {
     TunedKernel c;
     c.tile = t;
@@ -267,6 +290,22 @@ std::vector<TunedKernel> Autotuner::candidates(std::int64_t m, std::int64_t n,
       TunedKernel c;
       c.tile = head;
       c.combine_fast = false;
+      out.push_back(c);
+    }
+    // Sparse-staging variants of the heuristic tile: kOff strips the
+    // occupancy build entirely, kOn forces the skip kernels past the
+    // density gate. The head candidate's kAuto default sits between them,
+    // so the measurement decides per stage whether occupancy pays.
+    {
+      TunedKernel c;
+      c.tile = head;
+      c.micro.sparse_staging = microkernel::MicroConfig::Sparse::kOff;
+      out.push_back(c);
+    }
+    {
+      TunedKernel c;
+      c.tile = head;
+      c.micro.sparse_staging = microkernel::MicroConfig::Sparse::kOn;
       out.push_back(c);
     }
   }
@@ -325,6 +364,8 @@ TunedKernel Autotuner::tune_apmm(const ApOperand& w, std::int64_t n,
   Rng rng(0x9e3779b97f4a7c15ull);
   for (int t = 0; t < q_bits; ++t) {
     x.planes.planes[static_cast<std::size_t>(t)].randomize(rng);
+    sparsify_plane(x.planes.planes[static_cast<std::size_t>(t)],
+                   opts_.synth_zero_frac, rng);
   }
 
   const bool fast_eligible = w.bits() == 1 && q_bits == 1 && epi.identity();
@@ -366,6 +407,8 @@ TunedKernel Autotuner::tune_apconv(const ApOperand& w,
   Rng rng(0xbf58476d1ce4e5b9ull);
   for (int t = 0; t < q_bits; ++t) {
     x.planes[static_cast<std::size_t>(t)].randomize(rng);
+    sparsify_plane(x.planes[static_cast<std::size_t>(t)],
+                   opts_.synth_zero_frac, rng);
   }
 
   // The conv path always runs the fused tail, so the p=q=1 identity combine

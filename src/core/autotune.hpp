@@ -151,8 +151,13 @@ struct AutotuneOptions {
   /// Timing repetitions per candidate (best-of, after one warm-up run).
   int reps = 2;
   /// Also measure microkernel-knob variants (k-strip depth, staging,
-  /// combine fast path) of the heuristic tile.
+  /// combine fast path, sparse staging) of the heuristic tile.
   bool explore_micro = true;
+  /// Share of 64-bit words zeroed (in word-aligned runs) in the synthetic
+  /// feature operand before measurement, so sparse-vs-dense candidates are
+  /// compared on occupancy representative of ReLU-fed packed activations
+  /// rather than the dense-only worst case. 0 disables.
+  double synth_zero_frac = 0.25;
 };
 
 /// Stateless apart from counters and reusable measurement scratch; one

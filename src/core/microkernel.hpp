@@ -26,6 +26,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 
 #if defined(__AVX2__) || defined(__AVX512BW__)
@@ -377,12 +378,58 @@ struct MicroConfig {
   };
   Staging staging = Staging::kAuto;
 
+  /// Data-sparsity fast path: zero-word occupancy maps built while panels
+  /// stage, consulted by skip-zero popcount kernels. Bit-exact for every
+  /// setting — a skipped word contributes exactly zero to the accumulator
+  /// (AND: either operand word zero; XOR: both zero).
+  enum class Sparse {
+    kAuto,  ///< build occupancy maps; per strip, engage the skip kernels
+            ///< only when the staged zero-word share clears the density
+            ///< gate, so dense operands keep the dense sweep
+    kOn,    ///< always run the occupancy-consulting kernels
+    kOff,   ///< dense sweep, no occupancy build (pre-sparsity behavior)
+  };
+  Sparse sparse_staging = Sparse::kAuto;
+
   std::int64_t effective_strip() const {
     return strip_words > 0 ? strip_words : kStripWords;
   }
 
   bool operator==(const MicroConfig& o) const {
-    return strip_words == o.strip_words && staging == o.staging;
+    return strip_words == o.strip_words && staging == o.staging &&
+           sparse_staging == o.sparse_staging;
+  }
+};
+
+/// Cumulative data-sparsity observations of the staged k-sweeps — how often
+/// the occupancy machinery actually pays off in production. One instance may
+/// aggregate any number of concurrent block_bitgemm calls (counters are
+/// atomic; each block adds its locally summed counts once). Plane counters
+/// are filled by the combine layer (plane elision), not the microkernel.
+struct SparsityStats {
+  std::atomic<std::int64_t> staged_words{0};   ///< words staged (A + B)
+  std::atomic<std::int64_t> zero_words{0};     ///< of which all-zero
+  std::atomic<std::int64_t> sparse_strips{0};  ///< strips via skip kernels
+  std::atomic<std::int64_t> dense_strips{0};   ///< strips via dense sweep
+  std::atomic<std::int64_t> planes{0};         ///< operand planes examined
+  std::atomic<std::int64_t> planes_elided{0};  ///< all-zero planes dropped
+
+  void reset() {
+    staged_words.store(0, std::memory_order_relaxed);
+    zero_words.store(0, std::memory_order_relaxed);
+    sparse_strips.store(0, std::memory_order_relaxed);
+    dense_strips.store(0, std::memory_order_relaxed);
+    planes.store(0, std::memory_order_relaxed);
+    planes_elided.store(0, std::memory_order_relaxed);
+  }
+
+  /// Fraction of staged 64-bit words that were all-zero (0 when nothing
+  /// staged yet).
+  double zero_word_fraction() const {
+    const std::int64_t total = staged_words.load(std::memory_order_relaxed);
+    if (total <= 0) return 0.0;
+    return static_cast<double>(zero_words.load(std::memory_order_relaxed)) /
+           static_cast<double>(total);
   }
 };
 
@@ -400,6 +447,70 @@ void stage_panel(const std::uint64_t* const* rows, std::int64_t nrows,
 void stage_panel_transposed(const std::uint64_t* const* rows,
                             std::int64_t nrows, std::int64_t w0,
                             std::int64_t words, std::uint64_t* panel);
+
+/// Words of occupancy bitmap per staged row: one bit per staged 64-bit
+/// word, packed into uint64 mask words.
+constexpr std::int64_t occ_words(std::int64_t words) {
+  return (words + 63) / 64;
+}
+
+/// Occupancy mask of up to 64 consecutive words: bit w set iff src[w] != 0.
+/// A word-at-a-time compare-shift-or chain is slow enough to cost dense
+/// workloads several percent at staging time; the SIMD forms test 8 (or 4)
+/// words per issue, keeping the occupancy build within memcpy noise.
+inline std::uint64_t occ_scan(const std::uint64_t* src, std::int64_t words) {
+  std::uint64_t m = 0;
+  std::int64_t w = 0;
+#if defined(__AVX512BW__)
+  for (; w + 8 <= words; w += 8) {
+    const __m512i v = _mm512_loadu_si512(src + w);
+    m |= static_cast<std::uint64_t>(_mm512_test_epi64_mask(v, v)) << w;
+  }
+#elif defined(__AVX2__)
+  const __m256i zero = _mm256_setzero_si256();
+  for (; w + 4 <= words; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + w));
+    const unsigned z = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, zero))));
+    m |= static_cast<std::uint64_t>(~z & 0xfu) << w;
+  }
+#endif
+  for (; w < words; ++w) {
+    m |= static_cast<std::uint64_t>(src[w] != 0) << w;
+  }
+  return m;
+}
+
+/// Fills the occupancy words of one row from its contiguous staged (or
+/// source) form; returns how many of `words` are zero.
+inline std::int64_t occ_scan_row(const std::uint64_t* src, std::int64_t words,
+                                 std::uint64_t* oc) {
+  std::int64_t zeros = 0;
+  for (std::int64_t c = 0; c * 64 < words; ++c) {
+    const std::int64_t n = std::min<std::int64_t>(64, words - c * 64);
+    oc[c] = occ_scan(src + c * 64, n);
+    zeros += n - __builtin_popcountll(oc[c]);
+  }
+  return zeros;
+}
+
+/// stage_panel + zero-word occupancy map: bit (w % 64) of
+/// occ[i * occ_words(words) + w / 64] is set iff row i's staged word w is
+/// NONZERO; mask bits past `words` stay clear. Returns the number of
+/// all-zero staged words (the density-gate input).
+std::int64_t stage_panel_occ(const std::uint64_t* const* rows,
+                             std::int64_t nrows, std::int64_t w0,
+                             std::int64_t words, std::uint64_t* panel,
+                             std::uint64_t* occ);
+
+/// stage_panel_transposed + the same occupancy map (occ stays row-indexed
+/// even though the panel is word-interleaved).
+std::int64_t stage_panel_transposed_occ(const std::uint64_t* const* rows,
+                                        std::int64_t nrows, std::int64_t w0,
+                                        std::int64_t words,
+                                        std::uint64_t* panel,
+                                        std::uint64_t* occ);
 
 /// Where block_bitgemm's B-panel k-strips come from. The staging pass is
 /// the only place the microkernel touches operand storage, so abstracting
@@ -429,6 +540,21 @@ class PanelSource {
                                 std::uint64_t* panel,
                                 std::uint64_t* scratch) const;
 
+  /// Occupancy-building variants (see stage_panel_occ): same panels as
+  /// stage()/stage_transposed() plus the per-row zero-word bitmap, returning
+  /// the all-zero staged word count. The defaults stage densely and then
+  /// scan the panel; sources that copy word-by-word override and fold the
+  /// occupancy test into the copy (one compare per word already in
+  /// registers).
+  virtual std::int64_t stage_occ(std::int64_t w0, std::int64_t words,
+                                 std::uint64_t* panel,
+                                 std::uint64_t* occ) const;
+  virtual std::int64_t stage_transposed_occ(std::int64_t w0,
+                                            std::int64_t words,
+                                            std::uint64_t* panel,
+                                            std::uint64_t* scratch,
+                                            std::uint64_t* occ) const;
+
   /// True when stage_transposed never touches `scratch` (the caller then
   /// skips allocating it).
   virtual bool direct_transpose() const { return false; }
@@ -451,6 +577,17 @@ class RowPointerSource final : public PanelSource {
                         std::uint64_t* /*scratch*/) const override {
     stage_panel_transposed(rows_, nrows_, w0, words, panel);
   }
+  std::int64_t stage_occ(std::int64_t w0, std::int64_t words,
+                         std::uint64_t* panel,
+                         std::uint64_t* occ) const override {
+    return stage_panel_occ(rows_, nrows_, w0, words, panel, occ);
+  }
+  std::int64_t stage_transposed_occ(std::int64_t w0, std::int64_t words,
+                                    std::uint64_t* panel,
+                                    std::uint64_t* /*scratch*/,
+                                    std::uint64_t* occ) const override {
+    return stage_panel_transposed_occ(rows_, nrows_, w0, words, panel, occ);
+  }
   bool direct_transpose() const override { return true; }
 
  private:
@@ -466,18 +603,21 @@ class RowPointerSource final : public PanelSource {
 /// and invoking the inner kernel micro selects per output tile. All
 /// temporaries come from `arena` (valid until the caller's next reset()).
 /// The result is bit-identical for every MicroConfig — the knobs only move
-/// bytes.
+/// bytes. `stats`, when given, receives this call's locally summed sparsity
+/// counters (one atomic add per counter per call).
 void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
                    std::int64_t rows8, const PanelSource& b,
                    std::int64_t row_words, std::int32_t* acc,
                    parallel::ScratchArena& arena,
-                   const MicroConfig& micro = {});
+                   const MicroConfig& micro = {},
+                   SparsityStats* stats = nullptr);
 
 /// Row-pointer-table convenience overload (wraps RowPointerSource).
 void block_bitgemm(tcsim::BitOp op, const std::uint64_t* const* a_rows,
                    std::int64_t rows8, const std::uint64_t* const* b_rows,
                    std::int64_t cols8, std::int64_t row_words,
                    std::int32_t* acc, parallel::ScratchArena& arena,
-                   const MicroConfig& micro = {});
+                   const MicroConfig& micro = {},
+                   SparsityStats* stats = nullptr);
 
 }  // namespace apnn::core::microkernel

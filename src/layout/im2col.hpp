@@ -89,6 +89,13 @@ class WindowGatherSource final : public core::microkernel::PanelSource {
   void stage_transposed(std::int64_t w0, std::int64_t words,
                         std::uint64_t* panel,
                         std::uint64_t* scratch) const override;
+  /// Occupancy-building variant: the zero-word test is folded into the
+  /// scatter from the per-row gather buffer (no second pass over the
+  /// interleaved panel, which the base-class default would need).
+  std::int64_t stage_transposed_occ(std::int64_t w0, std::int64_t words,
+                                    std::uint64_t* panel,
+                                    std::uint64_t* scratch,
+                                    std::uint64_t* occ) const override;
   bool direct_transpose() const override { return true; }
 
  private:

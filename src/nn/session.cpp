@@ -806,6 +806,31 @@ void InferenceSession::validate_sample(const ActShape& shape,
   }
 }
 
+namespace {
+
+/// Stamps the occupancy counters a step collected onto the launch records
+/// that step just appended ([first, end) of the sequence). A step that
+/// never staged a panel (kOff, or profile-only) leaves the -1 "not
+/// measured" default in place.
+void annotate_sparsity(tcsim::SequenceProfile* prof, std::size_t first,
+                       const core::microkernel::SparsityStats& st) {
+  const std::int64_t staged =
+      st.staged_words.load(std::memory_order_relaxed);
+  for (std::size_t i = first; i < prof->kernels.size(); ++i) {
+    tcsim::KernelProfile& k = prof->kernels[i];
+    if (staged > 0) k.sparsity_zero_word_fraction = st.zero_word_fraction();
+    k.sparsity_sparse_strips =
+        st.sparse_strips.load(std::memory_order_relaxed);
+    k.sparsity_dense_strips =
+        st.dense_strips.load(std::memory_order_relaxed);
+    k.sparsity_planes = st.planes.load(std::memory_order_relaxed);
+    k.sparsity_planes_elided =
+        st.planes_elided.load(std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
 void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
                            Tensor<std::int32_t>* logits,
                            tcsim::SequenceProfile* prof) {
@@ -863,16 +888,22 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         o.combine_fast = rb.kern[si].combine_fast;
         o.collect_profile = prof != nullptr;
         o.pool = opts_.pool;
+        core::microkernel::SparsityStats sstats;
+        o.sparsity_stats = prof != nullptr ? &sstats : nullptr;
         parallel::SlabSlot& dst = slot_of(step.out);
         if (st.epilogue.has_quant) {
           o.packed_out = &dst.packed;
         } else {
           o.y_out = &dst.dense;
         }
+        const std::size_t first = prof != nullptr ? prof->kernels.size() : 0;
         core::ApconvResult r =
             core::apconv(st.weights, slot_of(step.in).packed, st.in_enc,
                          rb.geom[si], dev_, o, st.epilogue, st.pool);
-        if (prof != nullptr) prof->add(r.profile);
+        if (prof != nullptr) {
+          prof->add(r.profile);
+          annotate_sparsity(prof, first, sstats);
+        }
         break;
       }
       case StepKind::kLinear: {
@@ -915,6 +946,8 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         o.combine_fast = rb.kern[si].combine_fast;
         o.collect_profile = prof != nullptr;
         o.pool = opts_.pool;
+        core::microkernel::SparsityStats sstats;
+        o.sparsity_stats = prof != nullptr ? &sstats : nullptr;
         parallel::SlabSlot& dst = slot_of(step.out);
         Tensor<std::int32_t>* raw = nullptr;
         if (st.epilogue.has_quant) {
@@ -924,9 +957,13 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
                      .dense;
           o.y_out = raw;
         }
+        const std::size_t first = prof != nullptr ? prof->kernels.size() : 0;
         core::ApmmResult r = core::apmm(st.weights, xop, dev_, o,
                                         st.epilogue);
-        if (prof != nullptr) prof->add(r.profile);
+        if (prof != nullptr) {
+          prof->add(r.profile);
+          annotate_sparsity(prof, first, sstats);
+        }
         *lender = std::move(xop.planes);
 
         if (!st.epilogue.has_quant) {

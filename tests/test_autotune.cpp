@@ -50,6 +50,7 @@ TunedKernel sample_kernel() {
   c.tile.bn = 128;
   c.micro.strip_words = 16;
   c.micro.staging = core::microkernel::MicroConfig::Staging::kRowMajor;
+  c.micro.sparse_staging = core::microkernel::MicroConfig::Sparse::kOn;
   c.combine_fast = false;
   c.measured_ms = 1.25;
   c.measured = true;
@@ -151,13 +152,69 @@ TEST(TuningCache, MalformedInputRejected) {
   TuningCache cache;
   EXPECT_FALSE(cache.deserialize("not-a-cache 1\nfingerprint x\n"));
   EXPECT_FALSE(cache.deserialize(""));
-  // Wrong schema version (the current schema is 2: the fingerprint grew a
-  // thread-pool-width field).
+  // Wrong schema version (the current schema is 3: entries grew the
+  // sparse_staging column).
   std::string text = TuningCache().serialize();
-  const auto pos = text.find(" 2\n");
+  const auto pos = text.find(" 3\n");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 3, " 999\n");
   EXPECT_FALSE(cache.deserialize(text));
+}
+
+TEST(TuningCache, SparseStagingRoundTrips) {
+  // A sparse_staging winner survives serialize/load bit-for-bit, and the
+  // knob participates in config identity (same_config).
+  TuningCache cache;
+  TunedKernel on = sample_kernel();  // kOn
+  TunedKernel off = sample_kernel();
+  off.micro.sparse_staging = core::microkernel::MicroConfig::Sparse::kOff;
+  ASSERT_FALSE(on.same_config(off));
+  cache.insert(sample_key(8), on);
+  cache.insert(sample_key(16), off);
+
+  TuningCache loaded;
+  ASSERT_TRUE(loaded.deserialize(cache.serialize()));
+  TunedKernel got;
+  ASSERT_TRUE(loaded.lookup(sample_key(8), &got));
+  EXPECT_EQ(got.micro.sparse_staging,
+            core::microkernel::MicroConfig::Sparse::kOn);
+  EXPECT_TRUE(got.same_config(on));
+  ASSERT_TRUE(loaded.lookup(sample_key(16), &got));
+  EXPECT_EQ(got.micro.sparse_staging,
+            core::microkernel::MicroConfig::Sparse::kOff);
+  EXPECT_TRUE(got.same_config(off));
+
+  // An out-of-range sparse_staging value is rejected as corruption, not
+  // clamped: entry fields are "… strip staging sparse fast measured ms" and
+  // both sample entries end "<sparse> 0 1 1.25".
+  std::string text = cache.serialize();
+  const auto tail = text.find(" 0 1 1.25");
+  ASSERT_NE(tail, std::string::npos);
+  text.replace(tail - 1, 1, "9");
+  TuningCache corrupt;
+  EXPECT_FALSE(corrupt.deserialize(text));
+  EXPECT_EQ(corrupt.size(), 0u);
+}
+
+TEST(TuningCache, V2SchemaWholesaleInvalidated) {
+  // A pre-sparsity v2 cache (no sparse_staging column, v2 fingerprint) must
+  // be dropped wholesale by the v3 schema bump: its winners were measured
+  // on a kernel dispatch that no longer exists, and v3's kAuto default
+  // changes what the default config runs.
+  const unsigned width = ThreadPool::global().size() + 1;
+  const std::string v2 =
+      "apnn-tuning-cache 2\n"
+      "fingerprint v2:" +
+      std::string(core::microkernel::kSimdFlavor) + ":t" +
+      std::to_string(width) +
+      "\n"
+      "entry mm|m128|n8|k512|p1|q2|caseIII|bn0|relu1|qb2|pw1 "
+      "32 128 128 8 4 16 1 0 1 1.25\n";
+  TuningCache stale;
+  EXPECT_FALSE(stale.deserialize(v2));
+  EXPECT_EQ(stale.size(), 0u);
+  // Even inspection mode (any fingerprint) refuses a foreign schema.
+  EXPECT_FALSE(stale.deserialize(v2, /*any_fingerprint=*/true));
 }
 
 // --- candidate pruner -------------------------------------------------------

@@ -358,5 +358,215 @@ TEST_P(ConvFuzzSeed, FusedConvMatchesIm2colAndDensePipelines) {
 INSTANTIATE_TEST_SUITE_P(Shapes, ConvFuzzSeed,
                          ::testing::Range<std::uint64_t>(1, 201));
 
+// --- sparsity-stratified differential fuzzer -------------------------------
+//
+// The microkernel's data-sparsity fast paths (occupancy-map staging,
+// skip-zero kernels, bit-plane elision) are gated by
+// MicroConfig::sparse_staging and must be bit-exact at every setting. Each
+// case below shapes activations into a specific sparsity stratum — fully
+// zero inputs, all-zero bit planes, word-aligned zero runs straddling
+// k-strip boundaries, realistic ReLU-fed packed sparsity — and asserts that
+// kOff (dense baseline), kAuto, and kOn all reproduce the naive integer
+// reference exactly.
+
+using Sparse = core::microkernel::MicroConfig::Sparse;
+
+constexpr Sparse kSparseModes[] = {Sparse::kOff, Sparse::kAuto, Sparse::kOn};
+
+const char* sparse_name(Sparse s) {
+  switch (s) {
+    case Sparse::kAuto: return "kAuto";
+    case Sparse::kOn: return "kOn";
+    default: return "kOff";
+  }
+}
+
+class SparsityFuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SparsityFuzzSeed, StratifiedSparseApmmMatchesNaiveInEveryMode) {
+  Rng rng(GetParam() * 0x2545f4914f6cdd1dULL + 0x5eed);
+  int p = 1, q = 1;
+  const core::EncodingConfig enc = random_encodings(rng, &p, &q);
+  const std::int64_t m = rng.uniform_int(1, 80);
+  const std::int64_t n = rng.uniform_int(1, 80);
+  // K large enough that a zero run can span several 64-bit plane words and
+  // straddle at least one k-strip boundary (kStripWords * 64 logical cols).
+  const std::int64_t k = rng.uniform_int(1536, 4608);
+  const auto wl = random_logical(rng, m, k, enc.w, p);
+  auto xl = random_logical(rng, n, k, enc.x, q);
+
+  // Carve the stratum into the activation rows. ±1 features have no zero
+  // code (their planes never produce zero words from zero *values*), so
+  // those seeds exercise the sparse kernels' dense fallback instead.
+  const int stratum = static_cast<int>(rng.uniform_int(0, 2));
+  if (enc.x != Encoding::kSignedPM1) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      switch (stratum) {
+        case 0:  // a random subset of rows fully zero
+          if (rng.bernoulli(0.5)) {
+            for (std::int64_t kk = 0; kk < k; ++kk) xl(j, kk) = 0;
+          }
+          break;
+        case 1: {  // alternating zero / dense word-aligned runs whose length
+                   // is not a strip divisor, so runs straddle strips
+          const std::int64_t run = 64 * rng.uniform_int(3, 40);
+          const std::int64_t phase = 64 * rng.uniform_int(0, 40);
+          for (std::int64_t kk = 0; kk < k; ++kk) {
+            if (((kk + phase) / run) % 2 == 0) xl(j, kk) = 0;
+          }
+          break;
+        }
+        default:  // high bit planes all zero (plane-elision stratum)
+          for (std::int64_t kk = 0; kk < k; ++kk) xl(j, kk) &= 1;
+          break;
+      }
+    }
+  }
+
+  const ApOperand w = core::make_operand(wl, enc.w, p);
+  const ApOperand x = core::make_operand(xl, enc.x, q);
+  const Tensor<std::int32_t> ref = naive_gemm(wl, xl);
+  for (const Sparse mode : kSparseModes) {
+    ApmmOptions o;
+    o.micro.sparse_staging = mode;
+    o.collect_profile = false;
+    const core::ApmmResult r = core::apmm(w, x, dev(), o);
+    ASSERT_EQ(r.y, ref)
+        << "seed " << GetParam() << " mode " << sparse_name(mode)
+        << " stratum " << stratum << " m=" << m << " n=" << n << " k=" << k
+        << " p=" << p << " q=" << q;
+  }
+}
+
+TEST(SparsityEdge, FullyZeroOperandsMatchInEveryMode) {
+  // Fully-zero activations — and, for Case I, fully-zero weights too —
+  // drive every strip through the skip path and elide every eligible
+  // plane. The reference is trivially the zero matrix; the point is that
+  // the sparse kernels and plane elision agree with it bit-exactly.
+  struct Cfg {
+    Encoding we, xe;
+    int p, q;
+    bool zero_w;
+  };
+  const Cfg cfgs[] = {
+      {Encoding::kUnsigned01, Encoding::kUnsigned01, 2, 2, false},
+      {Encoding::kUnsigned01, Encoding::kUnsigned01, 3, 2, true},
+      {Encoding::kSignedPM1, Encoding::kUnsigned01, 1, 2, false},
+      {Encoding::kTwosComplement, Encoding::kUnsigned01, 2, 3, false},
+  };
+  Rng rng(0xdead5eed);
+  for (const Cfg& c : cfgs) {
+    const std::int64_t m = 33, n = 29, k = 2500;
+    auto wl = random_logical(rng, m, k, c.we, c.p);
+    if (c.zero_w) {
+      for (std::int64_t i = 0; i < wl.numel(); ++i) wl[i] = 0;
+    }
+    Tensor<std::int32_t> xl({n, k});
+    for (std::int64_t i = 0; i < xl.numel(); ++i) xl[i] = 0;
+    const ApOperand w = core::make_operand(wl, c.we, c.p);
+    const ApOperand x = core::make_operand(xl, c.xe, c.q);
+    const Tensor<std::int32_t> ref = naive_gemm(wl, xl);
+    for (const Sparse mode : kSparseModes) {
+      ApmmOptions o;
+      o.micro.sparse_staging = mode;
+      o.collect_profile = false;
+      const core::ApmmResult r = core::apmm(w, x, dev(), o);
+      ASSERT_EQ(r.y, ref) << "p=" << c.p << " q=" << c.q << " zero_w="
+                          << c.zero_w << " mode " << sparse_name(mode);
+    }
+  }
+}
+
+TEST_P(SparsityFuzzSeed, ReluFedSecondConvLayerMatchesAcrossModes) {
+  // First conv layer with a fused ReLU + quantize tail emits packed
+  // channel-major activations whose sparsity is the realistic one (zero
+  // runs where ReLU clipped whole regions); the second layer consumes them
+  // under each sparse mode and must match the dense integer pipeline.
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 0x0d1f);
+  layout::ConvGeometry g;
+  g.batch = rng.uniform_int(1, 2);
+  g.in_c = rng.uniform_int(4, 16);
+  g.in_h = rng.uniform_int(6, 12);
+  g.in_w = rng.uniform_int(6, 12);
+  g.out_c = rng.uniform_int(8, 24);
+  g.kernel = 3;
+  g.stride = 1;
+  g.pad = 1;
+
+  const int q = 2;
+  Tensor<std::int32_t> x_logical({g.batch, g.in_h, g.in_w, g.in_c});
+  Tensor<std::int32_t> codes(x_logical.shape());
+  for (std::int64_t i = 0; i < x_logical.numel(); ++i) {
+    x_logical[i] = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+    codes[i] = core::encode_value(Encoding::kUnsigned01, q, x_logical[i]);
+  }
+  Tensor<std::int32_t> w1({g.out_c, g.kernel, g.kernel, g.in_c});
+  for (std::int64_t i = 0; i < w1.numel(); ++i) {
+    w1[i] = rng.bernoulli(0.5) ? 1 : -1;
+  }
+  const ApOperand w1op = core::make_conv_weights(w1, Encoding::kSignedPM1, 1);
+  const auto x = layout::pack_activations(codes, layout::DenseLayout::kNHWC, q);
+
+  // BN with a strongly negative bias so ReLU zeroes a large share of the
+  // map, then quantize back to q bits: realistic second-layer sparsity.
+  core::Epilogue epi;
+  epi.has_bn = true;
+  epi.bn.scale.assign(static_cast<std::size_t>(g.out_c), 1.0f);
+  epi.bn.bias.assign(static_cast<std::size_t>(g.out_c), 0.0f);
+  for (std::int64_t c = 0; c < g.out_c; ++c) {
+    epi.bn.bias[static_cast<std::size_t>(c)] =
+        static_cast<float>(rng.uniform(-24.0, 4.0));
+  }
+  epi.has_relu = true;
+  epi.has_quant = true;
+  epi.quant.bits = q;
+  epi.quant.scale = std::max<double>(
+      1.0, static_cast<double>(g.gemm_k()) * 3.0 / ((1 << q) - 1) / 4.0);
+
+  const core::ApconvResult r1 =
+      core::apconv(w1op, x, Encoding::kUnsigned01, g, dev(), {}, epi);
+
+  // Dense reference for layer 1's quantized codes.
+  Tensor<std::int32_t> ref = core::conv2d_reference(x_logical, w1, g);
+  core::Epilogue pre = epi;
+  pre.has_quant = false;
+  Tensor<std::int32_t> ref_codes = ref;
+  for (std::int64_t i = 0; i < ref.numel(); ++i) {
+    ref_codes[i] = quant::quantize_value(
+        static_cast<float>(pre.apply(ref[i], i % g.out_c)), epi.quant);
+  }
+  ASSERT_EQ(layout::unpack_activations(r1.packed), ref_codes)
+      << "layer-1 seed " << GetParam();
+
+  layout::ConvGeometry g2;
+  g2.batch = g.batch;
+  g2.in_c = g.out_c;
+  g2.in_h = g.out_h();
+  g2.in_w = g.out_w();
+  g2.out_c = rng.uniform_int(4, 12);
+  g2.kernel = 3;
+  g2.stride = 1;
+  g2.pad = 1;
+  Tensor<std::int32_t> w2({g2.out_c, g2.kernel, g2.kernel, g2.in_c});
+  for (std::int64_t i = 0; i < w2.numel(); ++i) {
+    w2[i] = rng.bernoulli(0.5) ? 1 : -1;
+  }
+  const ApOperand w2op = core::make_conv_weights(w2, Encoding::kSignedPM1, 1);
+  const Tensor<std::int32_t> ref2 =
+      core::conv2d_reference(ref_codes, w2, g2);
+  for (const Sparse mode : kSparseModes) {
+    ApconvOptions o2;
+    o2.micro.sparse_staging = mode;
+    o2.collect_profile = false;
+    const core::ApconvResult r2 = core::apconv(
+        w2op, r1.packed, Encoding::kUnsigned01, g2, dev(), o2);
+    ASSERT_EQ(r2.y, ref2)
+        << "seed " << GetParam() << " mode " << sparse_name(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strata, SparsityFuzzSeed,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
 }  // namespace
 }  // namespace apnn

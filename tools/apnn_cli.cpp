@@ -292,9 +292,10 @@ int cmd_model(const Args& a) {
 
 std::string kernel_desc(const core::TunedKernel& k) {
   std::string s = strf(
-      "bm=%-3d bn=%-3d strip=%-2lld staging=%d fast=%d", k.tile.bm, k.tile.bn,
-      static_cast<long long>(k.micro.effective_strip()),
-      static_cast<int>(k.micro.staging), k.combine_fast ? 1 : 0);
+      "bm=%-3d bn=%-3d strip=%-2lld staging=%d sparse=%d fast=%d", k.tile.bm,
+      k.tile.bn, static_cast<long long>(k.micro.effective_strip()),
+      static_cast<int>(k.micro.staging),
+      static_cast<int>(k.micro.sparse_staging), k.combine_fast ? 1 : 0);
   if (k.measured) s += strf("  %8.3f ms", k.measured_ms);
   return s;
 }
@@ -576,9 +577,81 @@ int cmd_serve(const Args& a) {
   return 0;
 }
 
+/// `inspect <model>`: run one profiled forward pass and print the per-stage
+/// occupancy the sparse fast path actually saw — zero-word share at staging
+/// time, sparse-vs-dense strip decisions, and elided bit-planes — so an
+/// operator can tell whether the sparse path engages on production data.
+int cmd_inspect_model(const Args& a) {
+  const std::string& name = a.positional[1];
+  nn::ModelSpec spec;
+  if (name == "mini_resnet") {
+    spec = nn::mini_resnet(8, 32, 10);
+  } else if (name == "vgg_lite") {
+    spec = nn::vgg_lite();
+  } else {
+    std::fprintf(stderr,
+                 "inspect runs real kernels and supports the executable zoo "
+                 "specs: mini_resnet, vgg_lite\n");
+    return 2;
+  }
+  int p = 1, q = 2;
+  if (std::sscanf(a.scheme.c_str(), "w%da%d", &p, &q) != 2) {
+    std::fprintf(stderr, "inspect needs a wXaY scheme, got '%s'\n",
+                 a.scheme.c_str());
+    return 2;
+  }
+  const auto& dev = device_for(a.device);
+  nn::ApnnNetwork net = nn::ApnnNetwork::random(spec, p, q, 42);
+  Rng rng(43);
+  Tensor<std::int32_t> input(
+      {a.batch, spec.input.h, spec.input.w, spec.input.c});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+
+  nn::SessionOptions opts;
+  core::TuningCache cache;
+  if (!a.cache_path.empty()) {
+    load_cache_or_warn(cache, a.cache_path);
+    opts.autotune = true;
+    opts.cache = &cache;
+    opts.tune_batch = a.batch;
+  }
+  nn::InferenceSession session(net, dev, opts);
+  Tensor<std::int32_t> logits;
+  tcsim::SequenceProfile prof;
+  session.run(input, &logits, &prof);
+
+  std::printf("%s w%da%d, batch %lld, device %s — per-stage occupancy\n",
+              spec.name.c_str(), p, q, static_cast<long long>(a.batch),
+              dev.name.c_str());
+  std::printf("  %-24s %10s %8s %8s %s\n", "kernel", "zero-words",
+              "sparse", "dense", "planes elided");
+  for (const auto& k : prof.kernels) {
+    if (k.sparsity_sparse_strips == 0 && k.sparsity_dense_strips == 0 &&
+        k.sparsity_planes == 0) {
+      continue;  // glue kernels never stage panels
+    }
+    const std::string zw =
+        k.sparsity_zero_word_fraction < 0.0
+            ? std::string("   n/a")
+            : strf("%5.1f%%", 100.0 * k.sparsity_zero_word_fraction);
+    std::printf("  %-24s %10s %8lld %8lld %lld/%lld\n", k.name.c_str(),
+                zw.c_str(),
+                static_cast<long long>(k.sparsity_sparse_strips),
+                static_cast<long long>(k.sparsity_dense_strips),
+                static_cast<long long>(k.sparsity_planes_elided),
+                static_cast<long long>(k.sparsity_planes));
+  }
+  return 0;
+}
+
 int cmd_inspect(const Args& a) {
+  if (a.positional.size() >= 2) return cmd_inspect_model(a);
   if (a.cache_path.empty()) {
-    std::fprintf(stderr, "usage: apnn_cli inspect --cache path\n");
+    std::fprintf(stderr,
+                 "usage: apnn_cli inspect --cache path\n"
+                 "       apnn_cli inspect mini_resnet|vgg_lite [--scheme "
+                 "wXaY] [--batch N] [--cache path]\n");
     return 2;
   }
   core::TuningCache cache;
@@ -633,7 +706,8 @@ int main(int argc, char** argv) {
                  "[--autotune] [--cache path]\n"
                  "        [--max-batch B] [--deadline-ms D] "
                  "[--fault site:n[:xR|:delay=Dms]]\n"
-                 "  inspect --cache path\n"
+                 "  inspect --cache path | inspect mini_resnet|vgg_lite"
+                 " [--scheme wXaY] [--batch N]\n"
                  "  common: [--device 3090|a100] [--trace out.json]\n");
     return 2;
   }

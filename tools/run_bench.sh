@@ -2,6 +2,8 @@
 # Builds (if needed) and runs the wall-clock benchmarks:
 #   * bench/micro_host_kernels     (google-benchmark host primitives)
 #   * bench/apmm_hotpath           (seed loop vs microkernel pipeline)
+#   * bench/apmm_sparsity_sweep    (occupancy-map skip kernels vs the dense
+#                                   sweep, 0-95% activation sparsity)
 #   * bench/apconv_hotpath         (materialized-im2col vs fused APConv)
 #   * bench/apnn_forward_hotpath   (interpreter vs InferenceSession vs the
 #                                   autotuned session plan)
@@ -21,8 +23,8 @@ BUILD_DIR=${1:-build}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target apmm_hotpath apconv_hotpath apnn_forward_hotpath \
-  serving_throughput
+  --target apmm_hotpath apmm_sparsity_sweep apconv_hotpath \
+  apnn_forward_hotpath serving_throughput
 if cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_host_kernels \
     2>/dev/null; then
   "$BUILD_DIR/micro_host_kernels" --benchmark_min_time=0.05s || \
@@ -34,6 +36,10 @@ fi
 "$BUILD_DIR/apmm_hotpath" BENCH_apmm_hotpath.json
 echo "BENCH_apmm_hotpath.json:"
 cat BENCH_apmm_hotpath.json
+
+"$BUILD_DIR/apmm_sparsity_sweep" BENCH_apmm_sparsity.json
+echo "BENCH_apmm_sparsity.json:"
+cat BENCH_apmm_sparsity.json
 
 "$BUILD_DIR/apconv_hotpath" BENCH_apconv_hotpath.json
 echo "BENCH_apconv_hotpath.json:"
