@@ -1,19 +1,33 @@
-// Shared closed-loop serving load driver for the serving bench and
-// `apnn_cli serve`: N client threads hammer an InferenceServer round-robin
-// over a sample set, each firing its next request as soon as the previous
-// response lands, and every response is bit-compared against golden batch-1
-// session logits — so anything that reports a throughput number has also
-// proven exactness under whatever batch mix the traffic produced.
+// Shared closed-loop serving load driver for the serving bench,
+// `apnn_cli serve`, the serving example, and the TCP gateway bench: N
+// client threads hammer a serving endpoint round-robin over a sample set,
+// each firing its next request as soon as the previous response lands, and
+// every response is bit-compared against golden batch-1 session logits —
+// so anything that reports a throughput number has also proven exactness
+// under whatever batch mix the traffic produced.
+//
+// The transport is pluggable: drive_load() takes a per-client issue-
+// function factory, so the same driver covers an in-process
+// InferenceServer (serve_load(), the factory closes over server.infer) and
+// a wire::Client speaking the binary protocol over TCP (the gateway bench
+// opens one connection per client in its factory). Typed failures —
+// ServerError in process, RemoteError over the wire — are tallied, not
+// propagated; the wire codes that mirror ErrorKind land in the same
+// error_counts slots, so a robustness drill reads identically on either
+// transport.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/faultinject.hpp"
 #include "src/common/timer.hpp"
+#include "src/nn/protocol.hpp"
 #include "src/nn/server.hpp"
 
 namespace apnn::bench {
@@ -21,29 +35,45 @@ namespace apnn::bench {
 struct LoadOptions {
   /// Per-request deadline budget; 0 = no deadline.
   std::chrono::milliseconds deadline{0};
+  /// Record every successful request's wall latency into
+  /// LoadResult::latency_ms (for exact client-side percentiles).
+  bool collect_latencies = false;
 };
 
 struct LoadResult {
   double wall_ms = 0.0;
   std::int64_t mismatches = 0;
   std::int64_t ok = 0;        ///< responses that came back (and were compared)
-  std::int64_t failed = 0;    ///< requests that ended in a ServerError
+  std::int64_t failed = 0;    ///< requests that ended in a typed error
   std::int64_t injected = 0;  ///< requests that died on a raw injected fault
                               ///< (an armed admission site throws in-caller)
-  /// Client-side failure tally by ErrorKind. Only ServerError is absorbed;
-  /// anything else escapes the client thread — a non-typed failure is a
-  /// driver bug and should be loud.
+  /// Client-side failure tally by ErrorKind. ServerError (in process) and
+  /// the RemoteError codes that mirror ErrorKind (over the wire) land
+  /// here; gateway-level wire errors count under `other_failures`.
   std::array<std::int64_t, nn::kErrorKindCount> error_counts{};
-  nn::InferenceServer::Stats stats;
+  std::int64_t other_failures = 0;
+  /// Per-request wall latency of successful requests, unordered
+  /// (LoadOptions::collect_latencies).
+  std::vector<double> latency_ms;
+  nn::InferenceServer::Stats stats;  ///< filled by serve_load() only
 };
 
+/// Issues one request; returns the logits. Typed failures throw
+/// (ServerError / wire::RemoteError).
+using IssueFn =
+    std::function<Tensor<std::int32_t>(const Tensor<std::int32_t>& sample)>;
+/// Builds client `c`'s issue function — the place to open a per-client
+/// connection or otherwise pin per-thread transport state.
+using IssueFactory = std::function<IssueFn(int client)>;
+
 /// Issues `total` single-sample requests from `clients` threads (request i
-/// goes to client i % clients and uses sample i % samples.size()). Returns
-/// the wall time, the number of responses that differed from `golden`, the
-/// per-kind failure tally, and the server's stats snapshot after the load.
-/// Failed requests (deadline exceeded, load shed, replica died...) are
-/// counted, not propagated — a robustness drill must keep the load alive.
-inline LoadResult serve_load(nn::InferenceServer& server,
+/// goes to client i % clients and uses sample i % samples.size()) through
+/// the per-client issue functions `make_issue` builds. Returns the wall
+/// time, the number of responses that differed from `golden`, and the
+/// per-kind failure tally. Failed requests (deadline exceeded, load shed,
+/// replica died...) are counted, not propagated — a robustness drill must
+/// keep the load alive.
+inline LoadResult drive_load(const IssueFactory& make_issue,
                              const std::vector<Tensor<std::int32_t>>& samples,
                              const std::vector<Tensor<std::int32_t>>& golden,
                              int clients, int total,
@@ -52,19 +82,23 @@ inline LoadResult serve_load(nn::InferenceServer& server,
   std::atomic<std::int64_t> ok{0};
   std::atomic<std::int64_t> failed{0};
   std::atomic<std::int64_t> injected{0};
+  std::atomic<std::int64_t> other{0};
   std::array<std::atomic<std::int64_t>, nn::kErrorKindCount> kind_counts{};
+  std::mutex latency_mu;
+  std::vector<double> latency_ms;
   WallTimer timer;
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(clients));
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
+      const IssueFn issue = make_issue(c);
+      std::vector<double> local_latency;
       for (int i = c; i < total; i += clients) {
         const std::size_t s = static_cast<std::size_t>(i) % samples.size();
         Tensor<std::int32_t> logits;
+        WallTimer req_timer;
         try {
-          logits = opts.deadline.count() > 0
-                       ? server.infer(samples[s], opts.deadline)
-                       : server.infer(samples[s]);
+          logits = issue(samples[s]);
         } catch (const faultinject::FaultInjected&) {
           injected.fetch_add(1);
           continue;
@@ -72,7 +106,17 @@ inline LoadResult serve_load(nn::InferenceServer& server,
           failed.fetch_add(1);
           kind_counts[static_cast<std::size_t>(e.kind())].fetch_add(1);
           continue;
+        } catch (const nn::wire::RemoteError& e) {
+          failed.fetch_add(1);
+          const std::uint16_t code = static_cast<std::uint16_t>(e.code());
+          if (code >= 1 && code <= nn::kErrorKindCount) {
+            kind_counts[code - 1].fetch_add(1);  // mirrors ErrorKind
+          } else {
+            other.fetch_add(1);
+          }
+          continue;
         }
+        if (opts.collect_latencies) local_latency.push_back(req_timer.millis());
         ok.fetch_add(1);
         const Tensor<std::int32_t>& want = golden[s];
         if (logits.numel() != want.numel()) {
@@ -86,6 +130,11 @@ inline LoadResult serve_load(nn::InferenceServer& server,
           }
         }
       }
+      if (!local_latency.empty()) {
+        std::lock_guard<std::mutex> lock(latency_mu);
+        latency_ms.insert(latency_ms.end(), local_latency.begin(),
+                          local_latency.end());
+      }
     });
   }
   for (auto& t : threads) t.join();
@@ -95,9 +144,30 @@ inline LoadResult serve_load(nn::InferenceServer& server,
   r.ok = ok.load();
   r.failed = failed.load();
   r.injected = injected.load();
+  r.other_failures = other.load();
   for (std::size_t k = 0; k < nn::kErrorKindCount; ++k) {
     r.error_counts[k] = kind_counts[k].load();
   }
+  r.latency_ms = std::move(latency_ms);
+  return r;
+}
+
+/// In-process convenience: drives `server` directly (the factory closes
+/// over server.infer with the configured deadline) and attaches the
+/// server's stats snapshot to the result.
+inline LoadResult serve_load(nn::InferenceServer& server,
+                             const std::vector<Tensor<std::int32_t>>& samples,
+                             const std::vector<Tensor<std::int32_t>>& golden,
+                             int clients, int total,
+                             const LoadOptions& opts = {}) {
+  LoadResult r = drive_load(
+      [&server, &opts](int) -> IssueFn {
+        return [&server, &opts](const Tensor<std::int32_t>& sample) {
+          return opts.deadline.count() > 0 ? server.infer(sample, opts.deadline)
+                                           : server.infer(sample);
+        };
+      },
+      samples, golden, clients, total, opts);
   r.stats = server.stats();
   return r;
 }

@@ -1,27 +1,29 @@
 // Serving demo: a replicated session pool with dynamic micro-batching.
 //
 // Spins up an nn::InferenceServer on a small VGG-Lite APNN and fires
-// concurrent single-sample requests at it from client threads. Requests
-// pass a bounded admission queue and are drained by two dispatcher
-// replicas, each owning a compiled InferenceSession (its own activation
-// slab and gather/scatter buffers — the replicas share only the const
-// weights and the admission queue). Each replica forms micro-batches inside
-// a short batch window, runs its session once per batch, and scatters the
-// logits back; the demo prints the batching, per-replica, and latency
-// statistics and verifies every response against a sequential batch-1
+// concurrent single-sample requests at it through the shared closed-loop
+// load driver (bench/serve_load.hpp — the same driver `apnn_cli serve`,
+// the serving bench, and the TCP gateway bench use). Requests pass a
+// bounded admission queue and are drained by two dispatcher replicas, each
+// owning a compiled InferenceSession (its own activation slab and
+// gather/scatter buffers — the replicas share only the const weights and
+// the admission queue). Each replica forms micro-batches inside a short
+// batch window, runs its session once per batch, and scatters the logits
+// back; the demo prints the batching, per-replica, and latency statistics,
+// and the driver verifies every response against a sequential batch-1
 // session run — serving is bit-exact no matter which replica served which
 // batch mix.
 //
 // Autotuned serving (SessionOptions{autotune, cache} inside ServerOptions,
 // shared TuningCache across replicas, warm cold-starts from a cache file)
 // is exercised by `apnn_cli serve --autotune --cache plan.cache` and gated
-// in bench/serving_throughput.
+// in bench/serving_throughput. Multi-model serving over TCP lives in
+// tools/apnn_serve (docs/OPERATIONS.md).
 #include <cstdio>
-#include <thread>
 #include <vector>
 
+#include "bench/serve_load.hpp"
 #include "src/common/rng.hpp"
-#include "src/common/timer.hpp"
 #include "src/nn/server.hpp"
 #include "src/nn/session.hpp"
 #include "src/tcsim/device_spec.hpp"
@@ -37,9 +39,9 @@ int main() {
   const auto& dev = tcsim::rtx3090();
 
   constexpr int kClients = 8;
-  constexpr int kRequestsPerClient = 4;
+  constexpr int kRequests = 32;
   std::vector<Tensor<std::int32_t>> samples;
-  for (int i = 0; i < kClients * kRequestsPerClient; ++i) {
+  for (int i = 0; i < kRequests; ++i) {
     Tensor<std::int32_t> s({1, 16, 16, 3});
     s.randomize(rng, 0, 255);
     samples.push_back(std::move(s));
@@ -56,31 +58,13 @@ int main() {
   opts.batch_window = std::chrono::microseconds(2000);
   nn::InferenceServer server(net, dev, opts);
 
-  WallTimer timer;
-  std::vector<std::thread> clients;
-  std::vector<int> mismatches(kClients, 0);
-  for (int c = 0; c < kClients; ++c) {
-    clients.emplace_back([&, c] {
-      for (int r = 0; r < kRequestsPerClient; ++r) {
-        const int i = c * kRequestsPerClient + r;
-        const Tensor<std::int32_t> logits =
-            server.infer(samples[static_cast<std::size_t>(i)]);
-        const auto& e = expected[static_cast<std::size_t>(i)];
-        for (std::int64_t j = 0; j < logits.numel(); ++j) {
-          if (logits[j] != e[j]) ++mismatches[static_cast<std::size_t>(c)];
-        }
-      }
-    });
-  }
-  for (auto& t : clients) t.join();
-  const double ms = timer.millis();
+  const bench::LoadResult load =
+      bench::serve_load(server, samples, expected, kClients, kRequests);
 
-  int bad = 0;
-  for (int v : mismatches) bad += v;
-  const auto stats = server.stats();
+  const auto& stats = load.stats;
   std::printf("served %lld requests in %.1f ms (%.1f req/s) on %d replicas\n",
-              static_cast<long long>(stats.requests), ms,
-              1000.0 * static_cast<double>(stats.requests) / ms,
+              static_cast<long long>(stats.requests), load.wall_ms,
+              1000.0 * static_cast<double>(stats.requests) / load.wall_ms,
               server.replicas());
   std::printf("  batches: %lld (largest micro-batch %lld, peak queue %lld)\n",
               static_cast<long long>(stats.batches),
@@ -99,6 +83,7 @@ int main() {
                                  : 0.0,
               stats.max_latency_ms);
   std::printf("  responses vs sequential session runs: %s\n",
-              bad == 0 ? "bit-exact" : "MISMATCH");
-  return bad == 0 ? 0 : 1;
+              load.mismatches == 0 && load.failed == 0 ? "bit-exact"
+                                                       : "MISMATCH");
+  return load.mismatches == 0 && load.failed == 0 ? 0 : 1;
 }

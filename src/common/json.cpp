@@ -1,0 +1,238 @@
+#include "src/common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/check.hpp"
+#include "src/common/strings.hpp"
+
+namespace apnn::json {
+
+namespace {
+
+constexpr int kMaxDepth = 32;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value(0);
+    skip_ws();
+    APNN_CHECK(pos_ == text_.size())
+        << "trailing bytes after JSON value at offset " << pos_;
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw Error(strf("malformed JSON at offset %zu: %s", pos_, why.c_str()));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(strf("expected '%c'", c));
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    Value v;
+    if (c == '{') {
+      v.kind = Value::Kind::kObject;
+      take();
+      skip_ws();
+      if (peek() == '}') {
+        take();
+        return v;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string_body();
+        skip_ws();
+        expect(':');
+        v.object.emplace_back(std::move(key), parse_value(depth + 1));
+        skip_ws();
+        const char sep = take();
+        if (sep == '}') break;
+        if (sep != ',') {
+          --pos_;
+          fail("expected ',' or '}'");
+        }
+      }
+    } else if (c == '[') {
+      v.kind = Value::Kind::kArray;
+      take();
+      skip_ws();
+      if (peek() == ']') {
+        take();
+        return v;
+      }
+      while (true) {
+        v.array.push_back(parse_value(depth + 1));
+        skip_ws();
+        const char sep = take();
+        if (sep == ']') break;
+        if (sep != ',') {
+          --pos_;
+          fail("expected ',' or ']'");
+        }
+      }
+    } else if (c == '"') {
+      v.kind = Value::Kind::kString;
+      v.str = parse_string_body();
+    } else if (c == 't') {
+      if (!consume_literal("true")) fail("bad literal");
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+    } else if (c == 'f') {
+      if (!consume_literal("false")) fail("bad literal");
+      v.kind = Value::Kind::kBool;
+      v.boolean = false;
+    } else if (c == 'n') {
+      if (!consume_literal("null")) fail("bad literal");
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      v.kind = Value::Kind::kNumber;
+      v.number = parse_number();
+    } else {
+      fail(strf("unexpected character '%c'", c));
+    }
+    return v;
+  }
+
+  std::string parse_string_body() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char e = take();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          if (code > 0x7f) fail("\\u escape beyond ASCII unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') take();
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string num(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (end != num.c_str() + num.size() || num.empty() || !std::isfinite(v)) {
+      fail("bad number");
+    }
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const Value* Value::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::int64_t Value::as_int64() const {
+  APNN_CHECK(kind == Kind::kNumber) << "JSON value is not a number";
+  APNN_CHECK(number == std::floor(number) && std::abs(number) < 9.0e15)
+      << "JSON number " << number << " is not an exact integer";
+  return static_cast<std::int64_t>(number);
+}
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace apnn::json

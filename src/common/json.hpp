@@ -1,0 +1,51 @@
+// Minimal JSON parsing/emission for the gateway's debug line protocol.
+//
+// Scope is deliberately small: objects, arrays, strings (with the standard
+// escapes; \uXXXX is accepted for ASCII code points only), numbers, bools,
+// null. Numbers are held as double — every integer the wire protocol cares
+// about (dims, sample codes, logits) is far below 2^53, and the parser
+// rejects nothing a strict reader would accept. Parse errors throw
+// apnn::Error with a byte offset; input depth is capped so hostile nesting
+// cannot exhaust the stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace apnn::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;  ///< insertion order
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+  /// The number as an integer; throws apnn::Error if this is not a number
+  /// or not integral.
+  std::int64_t as_int64() const;
+};
+
+/// Parses one JSON document (leading/trailing whitespace allowed; anything
+/// else after the value is an error). Throws apnn::Error on malformed input.
+Value parse(std::string_view text);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string escape(std::string_view s);
+
+}  // namespace apnn::json

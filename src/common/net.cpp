@@ -1,0 +1,165 @@
+#include "src/common/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/check.hpp"
+
+namespace apnn::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const char* what) {
+  throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Socket::read_exact(void* buf, std::size_t n) {
+  APNN_CHECK(valid()) << "read on a closed socket";
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF on a frame boundary
+      throw Error("connection closed mid-frame (" + std::to_string(got) +
+                  " of " + std::to_string(n) + " bytes)");
+    }
+    if (errno == EINTR) continue;
+    fail_errno("recv");
+  }
+  return true;
+}
+
+std::size_t Socket::read_some(void* buf, std::size_t n) {
+  APNN_CHECK(valid()) << "read on a closed socket";
+  while (true) {
+    const ssize_t r = ::recv(fd_, buf, n, 0);
+    if (r >= 0) return static_cast<std::size_t>(r);
+    if (errno == EINTR) continue;
+    fail_errno("recv");
+  }
+}
+
+void Socket::write_all(const void* buf, std::size_t n) {
+  APNN_CHECK(valid()) << "write on a closed socket";
+  const char* p = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r >= 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    fail_errno("send");
+  }
+}
+
+int Socket::peek_byte() {
+  APNN_CHECK(valid()) << "peek on a closed socket";
+  char c;
+  while (true) {
+    const ssize_t r = ::recv(fd_, &c, 1, MSG_PEEK);
+    if (r > 0) return static_cast<unsigned char>(c);
+    if (r == 0) return -1;
+    if (errno == EINTR) continue;
+    fail_errno("recv(MSG_PEEK)");
+  }
+}
+
+void Socket::shutdown_both() {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (valid()) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_loopback(int port, int backlog, int* bound_port) {
+  APNN_CHECK(port >= 0 && port <= 65535) << "port " << port;
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) fail_errno("socket");
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    fail_errno("bind");
+  }
+  if (::listen(s.fd(), backlog) < 0) fail_errno("listen");
+  if (bound_port != nullptr) {
+    socklen_t len = sizeof(addr);
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+      fail_errno("getsockname");
+    }
+    *bound_port = ntohs(addr.sin_port);
+  }
+  return s;
+}
+
+Socket accept_conn(Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket s(fd);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return s;
+    }
+    if (errno == EINTR) continue;
+    // The shutdown path closes the listener out from under accept();
+    // report that as "no more connections", not an error.
+    if (errno == EBADF || errno == EINVAL || errno == ECONNABORTED) {
+      return Socket();
+    }
+    fail_errno("accept");
+  }
+}
+
+Socket connect_loopback(int port) {
+  APNN_CHECK(port > 0 && port <= 65535) << "port " << port;
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) fail_errno("socket");
+  sockaddr_in addr = loopback_addr(port);
+  while (::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) < 0) {
+    if (errno == EINTR) continue;
+    fail_errno("connect");
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+}  // namespace apnn::net

@@ -1,0 +1,75 @@
+// Thin POSIX TCP helpers for the serving gateway: an RAII socket with
+// exact-length framed I/O, loopback/any-interface listeners, and blocking
+// connects. Deliberately minimal — no readiness multiplexing, no TLS, no
+// non-blocking modes. The gateway runs one handler thread per connection and
+// every protocol above this layer is length-delimited, so blocking
+// read_exact/write_all is the whole I/O story.
+//
+// Error contract: every helper throws apnn::Error on an OS-level failure
+// (errno text included). read_exact distinguishes the one non-error case a
+// framed protocol needs: a clean EOF on a frame boundary returns false
+// instead of throwing, while an EOF mid-frame (the peer died between
+// header and payload) throws — a truncated frame is never silently
+// mistaken for a closed connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace apnn::net {
+
+/// Move-only owner of one socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Reads exactly `n` bytes. Returns false on a clean EOF before the first
+  /// byte; throws apnn::Error on EOF mid-read or any OS error. n == 0
+  /// returns true without touching the descriptor.
+  bool read_exact(void* buf, std::size_t n);
+
+  /// Reads up to `n` bytes (at least 1 unless EOF). Returns the count read;
+  /// 0 means EOF. Throws apnn::Error on OS errors.
+  std::size_t read_some(void* buf, std::size_t n);
+
+  /// Writes all `n` bytes (SIGPIPE suppressed; a closed peer throws).
+  void write_all(const void* buf, std::size_t n);
+  void write_all(const std::string& s) { write_all(s.data(), s.size()); }
+
+  /// Peeks at the next byte without consuming it; -1 on EOF.
+  int peek_byte();
+
+  /// Disables further sends and receives (unblocks a reader in another
+  /// thread). Safe on an already-closed socket.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:`port` (port 0 picks an ephemeral port).
+/// The resolved port is written to `*bound_port` when non-null.
+Socket listen_loopback(int port, int backlog = 64, int* bound_port = nullptr);
+
+/// Accepts one connection. Returns an invalid Socket when the listener has
+/// been closed/shut down (the server's shutdown path), throws on other
+/// errors.
+Socket accept_conn(Socket& listener);
+
+/// Connects to 127.0.0.1:`port`. Throws on refusal/timeouts.
+Socket connect_loopback(int port);
+
+}  // namespace apnn::net

@@ -1,0 +1,260 @@
+// The APNN gateway wire protocol ("APGW"), v1 — length-prefixed binary
+// frames over TCP. docs/PROTOCOL.md is the normative byte-level spec; this
+// header is its executable counterpart: the frame codec, the typed error
+// codes (the serving-side nn::ErrorKind taxonomy mirrored onto stable wire
+// values plus gateway-level codes), the request/response payload
+// marshallers, and the reference client. tests/test_gateway.cpp round-trips
+// every encoder through every decoder, and the checked-in error-code table
+// in PROTOCOL.md is lint-gated against error_table_markdown() in CI, so the
+// three representations (docs, codec, server) cannot drift silently.
+//
+// Frame layout (all integers little-endian on the wire, regardless of host):
+//
+//   offset  size  field
+//   0       4     magic "APGW" (0x41 0x50 0x47 0x57)
+//   4       1     protocol version (kProtocolVersion)
+//   5       1     message type (MsgType)
+//   6       2     reserved, must be 0
+//   8       4     payload length in bytes (u32; bounded by the receiver)
+//   12      ...   payload
+//
+// A receiver that sees a bad magic, an unknown version, a nonzero reserved
+// word, or a payload length over its bound fails loudly (WireFormatError
+// with the matching WireError) — framing errors are never resynchronized,
+// the connection is closed after an ERROR frame is sent where possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/check.hpp"
+#include "src/common/net.hpp"
+#include "src/layout/tensor.hpp"
+#include "src/nn/server.hpp"
+
+namespace apnn::nn::wire {
+
+inline constexpr unsigned char kMagic[4] = {'A', 'P', 'G', 'W'};
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 12;
+/// Default receiver-side payload bound; GatewayOptions can lower/raise it.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+/// Samples one INFER frame may carry (server-side micro-batching still
+/// applies; the frame batch only amortizes round trips).
+inline constexpr std::uint16_t kMaxFrameSamples = 64;
+
+enum class MsgType : std::uint8_t {
+  kInfer = 0x01,     ///< client -> gateway: batch of packed u8 samples
+  kInferOk = 0x02,   ///< gateway -> client: int32 logits per sample
+  kError = 0x03,     ///< gateway -> client: WireError + message
+  kStats = 0x04,     ///< client -> gateway: scrape request (empty payload)
+  kStatsOk = 0x05,   ///< gateway -> client: Prometheus text payload
+  kList = 0x06,      ///< client -> gateway: model inventory (empty payload)
+  kListOk = 0x07,    ///< gateway -> client: model descriptors
+  kLoad = 0x08,      ///< admin: load a model (id + serialized-network path)
+  kUnload = 0x09,    ///< admin: unload a model (id)
+  kReload = 0x0a,    ///< admin: reload a model from its file (id)
+  kAdminOk = 0x0b,   ///< gateway -> client: admin op succeeded
+  kPing = 0x0c,      ///< liveness probe (empty payload)
+  kPong = 0x0d,      ///< liveness reply (empty payload)
+};
+
+/// Typed wire error codes. Values 1..kErrorKindCount mirror nn::ErrorKind
+/// (wire value = ErrorKind value + 1; 0 is reserved so an accidental
+/// zeroed field never reads as a real error). Values >= 100 are
+/// gateway-level failures that no in-process ErrorKind describes. Stable:
+/// codes are append-only, never renumbered.
+enum class WireError : std::uint16_t {
+  kNone = 0,  ///< reserved (never sent)
+
+  kDeadlineExceeded = 1,  ///< mirrors ErrorKind::kDeadlineExceeded
+  kQueueFull = 2,         ///< mirrors ErrorKind::kQueueFull
+  kShuttingDown = 3,      ///< mirrors ErrorKind::kShuttingDown
+  kInvalidSample = 4,     ///< mirrors ErrorKind::kInvalidSample
+  kReplicaFailed = 5,     ///< mirrors ErrorKind::kReplicaFailed
+
+  kUnknownModel = 100,       ///< no model under the requested id
+  kMalformedFrame = 101,     ///< header/payload failed to parse
+  kUnsupportedVersion = 102, ///< frame version != kProtocolVersion
+  kFrameTooLarge = 103,      ///< payload length over the receiver's bound
+  kUnsupportedType = 104,    ///< unknown MsgType, or a reply type sent as a
+                             ///< request
+  kModelLoadFailed = 105,    ///< load/reload could not build the model
+  kInternal = 106,           ///< unexpected server-side failure
+};
+
+/// Stable UPPER_SNAKE name for a wire error (also the JSON "code" field).
+const char* wire_error_name(WireError e);
+
+/// The wire code that mirrors a serving-side ErrorKind.
+WireError wire_error_for(ErrorKind kind);
+
+/// The checked-in PROTOCOL.md error-code table, regenerated from the same
+/// static mapping wire_error_for() uses. tools/check_protocol_docs.py
+/// compares this output against the doc's generated block in CI.
+std::string error_table_markdown();
+
+/// Framing/marshalling failure. `code()` is what the peer should be told.
+class WireFormatError : public Error {
+ public:
+  WireFormatError(WireError code, const std::string& what)
+      : Error(what), code_(code) {}
+  WireError code() const { return code_; }
+
+ private:
+  WireError code_;
+};
+
+/// Gateway-side failure relayed to a client (an ERROR frame decoded by the
+/// reference client, or raised directly by gateway internals).
+class RemoteError : public Error {
+ public:
+  RemoteError(WireError code, const std::string& what)
+      : Error(what), code_(code) {}
+  WireError code() const { return code_; }
+
+ private:
+  WireError code_;
+};
+
+// --- little-endian byte readers/writers (payload building blocks) -----------
+
+void put_u8(std::vector<std::uint8_t>& b, std::uint8_t v);
+void put_u16(std::vector<std::uint8_t>& b, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v);
+void put_i32(std::vector<std::uint8_t>& b, std::int32_t v);
+void put_str(std::vector<std::uint8_t>& b, const std::string& s);  ///< u16 len
+
+/// Bounds-checked little-endian reader over a payload; any overrun throws
+/// WireFormatError(kMalformedFrame).
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit Reader(const std::vector<std::uint8_t>& v)
+      : Reader(v.data(), v.size()) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::int32_t i32();
+  std::string str();  ///< u16 length prefix
+  /// Raw byte run (no copy; pointer valid while the payload lives).
+  const std::uint8_t* bytes(std::size_t n);
+  std::size_t remaining() const { return size_ - pos_; }
+  /// Trailing bytes after the last field are a malformed frame.
+  void expect_end() const;
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+// --- frames -----------------------------------------------------------------
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes a complete frame (header + payload).
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       std::vector<std::uint8_t> payload);
+
+/// Parses a frame header (exactly kHeaderBytes bytes). Returns the payload
+/// length; throws WireFormatError on bad magic/version/reserved/length.
+std::size_t decode_header(const std::uint8_t header[kHeaderBytes],
+                          MsgType* type, std::size_t max_payload_bytes);
+
+/// Reads one frame off a socket. Returns false on clean EOF between frames.
+/// Throws WireFormatError on protocol garbage and apnn::Error on transport
+/// failures (including EOF mid-frame).
+bool read_frame(net::Socket& sock, Frame* out, std::size_t max_payload_bytes);
+
+/// Writes one frame to a socket.
+void write_frame(net::Socket& sock, MsgType type,
+                 std::vector<std::uint8_t> payload);
+
+// --- payloads ---------------------------------------------------------------
+
+/// kInfer: a batch of `count` packed u8 samples of identical dims.
+struct InferRequest {
+  std::string model;
+  std::uint32_t deadline_ms = 0;  ///< 0 = no per-request deadline
+  std::uint16_t count = 0;
+  std::uint16_t h = 0, w = 0, c = 0;
+  std::vector<std::uint8_t> samples;  ///< count * h * w * c bytes, row-major
+};
+std::vector<std::uint8_t> encode_infer_request(const InferRequest& req);
+InferRequest decode_infer_request(const std::vector<std::uint8_t>& payload);
+
+/// kInferOk: logits per sample, in request order.
+struct InferResponse {
+  std::uint16_t count = 0;
+  std::uint32_t classes = 0;
+  std::vector<std::int32_t> logits;  ///< count * classes values
+};
+std::vector<std::uint8_t> encode_infer_response(const InferResponse& resp);
+InferResponse decode_infer_response(const std::vector<std::uint8_t>& payload);
+
+/// kError.
+struct ErrorResponse {
+  WireError code = WireError::kInternal;
+  std::string message;
+};
+std::vector<std::uint8_t> encode_error_response(const ErrorResponse& resp);
+ErrorResponse decode_error_response(const std::vector<std::uint8_t>& payload);
+
+/// kListOk entry.
+struct ModelDescriptor {
+  std::string id;
+  std::uint16_t h = 0, w = 0, c = 0;  ///< expected sample dims
+  std::uint32_t classes = 0;
+  std::uint32_t generation = 0;  ///< bumps on every (re)load
+};
+std::vector<std::uint8_t> encode_list_response(
+    const std::vector<ModelDescriptor>& models);
+std::vector<ModelDescriptor> decode_list_response(
+    const std::vector<std::uint8_t>& payload);
+
+// --- reference client -------------------------------------------------------
+
+/// Blocking single-connection client for the binary protocol; the loadgen,
+/// the admin CLI, the gateway bench, and the tests all speak through this.
+/// Not thread-safe — one Client per client thread.
+class Client {
+ public:
+  /// Connects to a gateway on 127.0.0.1:`port`.
+  explicit Client(int port);
+
+  /// Round-trips one single-sample INFER. `sample_u8` is {H, W, C} or
+  /// {1, H, W, C} int32 codes in [0, 255]; returns the logits {classes}.
+  /// Throws RemoteError when the gateway answers with an ERROR frame.
+  Tensor<std::int32_t> infer(const std::string& model,
+                             const Tensor<std::int32_t>& sample_u8,
+                             std::uint32_t deadline_ms = 0);
+
+  /// Batched INFER: all samples share one frame (and one deadline).
+  InferResponse infer_batch(const InferRequest& req);
+
+  std::vector<ModelDescriptor> list();
+  std::string stats();  ///< Prometheus text, as served on /stats
+  void load(const std::string& id, const std::string& path);
+  void unload(const std::string& id);
+  void reload(const std::string& id);
+  void ping();
+
+ private:
+  Frame round_trip(MsgType type, std::vector<std::uint8_t> payload,
+                   MsgType expect);
+
+  net::Socket sock_;
+};
+
+/// Flattens a {H,W,C} / {1,H,W,C} int32 code tensor into wire u8 bytes.
+/// Throws apnn::Error on values outside [0, 255].
+std::vector<std::uint8_t> pack_sample_u8(const Tensor<std::int32_t>& sample);
+
+}  // namespace apnn::nn::wire

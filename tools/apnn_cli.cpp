@@ -32,6 +32,7 @@
 #include "src/core/autotune.hpp"
 #include "src/nn/apnn_network.hpp"
 #include "src/nn/engine.hpp"
+#include "src/nn/serialize.hpp"
 #include "src/nn/server.hpp"
 #include "src/nn/session.hpp"
 #include "src/tcsim/cost_model.hpp"
@@ -60,6 +61,8 @@ struct Args {
   bool autotune = false;
   std::int64_t deadline_ms = 0;           // 0 = no per-request deadline
   std::vector<std::string> fault_specs;   // faultinject site:n[:xR|:delay=Dms]
+  std::int64_t hw = 0;                    // export: input H=W override
+  std::uint64_t seed = 42;                // export: weight/calibration seed
 };
 
 Args parse(int argc, char** argv) {
@@ -103,6 +106,10 @@ Args parse(int argc, char** argv) {
       a.deadline_ms = std::atoll(next("--deadline-ms").c_str());
     } else if (s == "--fault") {
       a.fault_specs.push_back(next("--fault"));
+    } else if (s == "--hw") {
+      a.hw = std::atoll(next("--hw").c_str());
+    } else if (s == "--seed") {
+      a.seed = static_cast<std::uint64_t>(std::atoll(next("--seed").c_str()));
     } else if (s == "--wbits") {
       a.wbits = std::atoi(next("--wbits").c_str());
     } else if (s == "--abits") {
@@ -686,14 +693,65 @@ int cmd_devices() {
   return 0;
 }
 
+// Writes a calibrated zoo network to a v2-serialized file — the format
+// the gateway's ModelRegistry loads. The CI gateway smoke and operators
+// standing up a test gateway use this instead of shipping binary fixtures.
+int cmd_export(const Args& a) {
+  if (a.positional.size() != 3) {
+    std::fprintf(stderr,
+                 "usage: apnn_cli export mini_resnet|vgg_lite <out.apnn> "
+                 "[--scheme wXaY] [--hw N] [--seed S]\n");
+    return 2;
+  }
+  const std::string& name = a.positional[1];
+  const std::string& out = a.positional[2];
+  nn::ModelSpec spec;
+  if (name == "mini_resnet") {
+    spec = nn::mini_resnet(8, a.hw > 0 ? a.hw : 32, 10);
+  } else if (name == "vgg_lite") {
+    spec = nn::vgg_lite(a.hw > 0 ? a.hw : 32, 10);
+  } else {
+    std::fprintf(stderr,
+                 "export supports the executable zoo specs: mini_resnet, "
+                 "vgg_lite\n");
+    return 2;
+  }
+  int p = 1, q = 2;
+  if (std::sscanf(a.scheme.c_str(), "w%da%d", &p, &q) != 2) {
+    std::fprintf(stderr, "export needs a wXaY scheme, got '%s'\n",
+                 a.scheme.c_str());
+    return 2;
+  }
+  nn::ApnnNetwork net =
+      nn::ApnnNetwork::random(spec, p, q, static_cast<unsigned>(a.seed));
+  Rng rng(a.seed + 1);
+  Tensor<std::int32_t> calib({4, spec.input.h, spec.input.w, spec.input.c});
+  calib.randomize(rng, 0, 255);
+  net.calibrate(calib);
+  if (!nn::save_network(net, out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 3;
+  }
+  std::printf("exported %s w%da%d (input %lldx%lldx%lld, %lld classes) to "
+              "%s\n",
+              spec.name.c_str(), p, q, static_cast<long long>(spec.input.h),
+              static_cast<long long>(spec.input.w),
+              static_cast<long long>(spec.input.c),
+              static_cast<long long>(spec.layers.empty()
+                                         ? 0
+                                         : net.shapes().back().numel()),
+              out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args a = parse(argc, argv);
   if (a.positional.empty()) {
     std::fprintf(stderr,
-                 "usage: apnn_cli gemm|conv|model|tune|serve|inspect|devices"
-                 " ...\n"
+                 "usage: apnn_cli gemm|conv|model|tune|serve|export|inspect|"
+                 "devices ...\n"
                  "  gemm M N K p q\n"
                  "  conv Cin HW Cout k s [--wbits p --abits q --batch N]\n"
                  "  model alexnet|vgg|resnet18|vgg_lite [--scheme wXaY|fp32|"
@@ -706,6 +764,8 @@ int main(int argc, char** argv) {
                  "[--autotune] [--cache path]\n"
                  "        [--max-batch B] [--deadline-ms D] "
                  "[--fault site:n[:xR|:delay=Dms]]\n"
+                 "  export mini_resnet|vgg_lite <out.apnn> [--scheme wXaY] "
+                 "[--hw N] [--seed S]\n"
                  "  inspect --cache path | inspect mini_resnet|vgg_lite"
                  " [--scheme wXaY] [--batch N]\n"
                  "  common: [--device 3090|a100] [--trace out.json]\n");
@@ -717,6 +777,7 @@ int main(int argc, char** argv) {
   if (cmd == "model") return cmd_model(a);
   if (cmd == "tune") return cmd_tune(a);
   if (cmd == "serve") return cmd_serve(a);
+  if (cmd == "export") return cmd_export(a);
   if (cmd == "inspect") return cmd_inspect(a);
   if (cmd == "devices") return cmd_devices();
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());

@@ -1,0 +1,308 @@
+// The multi-model serving gateway binary (docs/OPERATIONS.md is the
+// operator's manual; docs/PROTOCOL.md the wire spec):
+//
+//   apnn_serve serve  --config gw.ini | --model id=path ...
+//                     [--port P] [--port-file F] [--device 3090|a100]
+//                     [--max-frame-bytes N] [--no-admin]
+//   apnn_serve client <model> --port P [--requests N] [--deadline-ms D]
+//                     [--seed S]
+//   apnn_serve admin  ping|list|stats|load|unload|reload [id] [path]
+//                     --port P
+//   apnn_serve --error-table
+//
+// `serve` runs until SIGINT/SIGTERM, then drains and exits 0 — a nonzero
+// exit from a signaled gateway is a shutdown bug, and the CI smoke asserts
+// on it. `client` drives random-sample INFER round trips over the binary
+// protocol. `admin` speaks the admin ops via the reference client.
+// `--error-table` prints the generated PROTOCOL.md error-code table
+// (tools/check_protocol_docs.py compares it against the checked-in doc).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/strings.hpp"
+#include "src/nn/gateway.hpp"
+#include "src/nn/protocol.hpp"
+#include "src/nn/registry.hpp"
+#include "src/tcsim/cost_model.hpp"
+
+using namespace apnn;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_signal(int) { g_stop.store(true); }
+
+const tcsim::DeviceSpec& device_for(const std::string& name) {
+  if (name == "a100" || name == "A100") return tcsim::a100();
+  return tcsim::rtx3090();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: apnn_serve serve --config gw.ini | --model id=path ...\n"
+      "                        [--port P] [--port-file F] [--device 3090|"
+      "a100]\n"
+      "                        [--max-frame-bytes N] [--no-admin]\n"
+      "       apnn_serve client <model> --port P [--requests N]\n"
+      "                        [--deadline-ms D] [--seed S]\n"
+      "       apnn_serve admin ping|list|stats|load|unload|reload [id] "
+      "[path] --port P\n"
+      "       apnn_serve --error-table\n");
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string config_path;
+  std::vector<std::string> model_flags;  // id=path
+  std::string port_file;
+  std::string device;  // empty = config's (or 3090)
+  int port = -1;       // -1 = config's (or ephemeral)
+  std::int64_t max_frame_bytes = -1;
+  bool no_admin = false;
+  int requests = 4;
+  std::int64_t deadline_ms = 0;
+  std::uint64_t seed = 1234;
+  bool error_table = false;
+};
+
+bool parse_args(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string s = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (s == "--config") {
+      a->config_path = next("--config");
+    } else if (s == "--model") {
+      a->model_flags.push_back(next("--model"));
+    } else if (s == "--port") {
+      a->port = std::atoi(next("--port"));
+    } else if (s == "--port-file") {
+      a->port_file = next("--port-file");
+    } else if (s == "--device") {
+      a->device = next("--device");
+    } else if (s == "--max-frame-bytes") {
+      a->max_frame_bytes = std::atoll(next("--max-frame-bytes"));
+    } else if (s == "--no-admin") {
+      a->no_admin = true;
+    } else if (s == "--requests") {
+      a->requests = std::atoi(next("--requests"));
+    } else if (s == "--deadline-ms") {
+      a->deadline_ms = std::atoll(next("--deadline-ms"));
+    } else if (s == "--seed") {
+      a->seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (s == "--error-table") {
+      a->error_table = true;
+    } else if (!s.empty() && s[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", s.c_str());
+      return false;
+    } else {
+      a->positional.push_back(s);
+    }
+  }
+  return true;
+}
+
+int cmd_serve(const Args& a) {
+  nn::gw::GatewayConfig cfg;
+  if (!a.config_path.empty()) {
+    cfg = nn::gw::load_gateway_config(a.config_path);
+  }
+  for (const std::string& flag : a.model_flags) {
+    const std::size_t eq = flag.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == flag.size()) {
+      std::fprintf(stderr, "--model wants id=path, got '%s'\n", flag.c_str());
+      return 2;
+    }
+    nn::gw::ModelConfig m;
+    m.id = flag.substr(0, eq);
+    m.path = flag.substr(eq + 1);
+    cfg.models.push_back(std::move(m));
+  }
+  if (cfg.models.empty()) {
+    std::fprintf(stderr,
+                 "no models: give --config with [model ...] sections and/or "
+                 "--model id=path\n");
+    return 2;
+  }
+  if (a.port >= 0) cfg.port = a.port;
+  if (!a.device.empty()) cfg.device = a.device;
+  if (a.max_frame_bytes > 0) {
+    cfg.max_frame_bytes = static_cast<std::size_t>(a.max_frame_bytes);
+  }
+
+  nn::gw::ModelRegistry registry(device_for(cfg.device), cfg.models.size());
+  for (const nn::gw::ModelConfig& m : cfg.models) {
+    registry.load(m);
+    std::printf("loaded model '%s' from %s\n", m.id.c_str(), m.path.c_str());
+  }
+
+  nn::gw::GatewayOptions gopts;
+  gopts.port = cfg.port;
+  gopts.max_frame_bytes = cfg.max_frame_bytes;
+  gopts.allow_admin = !a.no_admin;
+  nn::gw::Gateway gateway(registry, gopts);
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::printf("APNN gateway listening on 127.0.0.1:%d (%zu models, %s)\n",
+              gateway.port(), registry.size(), cfg.device.c_str());
+  std::fflush(stdout);
+  if (!a.port_file.empty()) {
+    if (std::FILE* f = std::fopen(a.port_file.c_str(), "w")) {
+      std::fprintf(f, "%d\n", gateway.port());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write --port-file %s\n",
+                   a.port_file.c_str());
+      return 3;
+    }
+  }
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("signal received: draining\n");
+  gateway.shutdown();
+  // The registry drains each model's pool as it destructs here.
+  return 0;
+}
+
+int cmd_client(const Args& a) {
+  if (a.positional.size() != 2 || a.port <= 0) {
+    std::fprintf(stderr,
+                 "usage: apnn_serve client <model> --port P [--requests N] "
+                 "[--deadline-ms D] [--seed S]\n");
+    return 2;
+  }
+  const std::string& model = a.positional[1];
+  try {
+    nn::wire::Client client(a.port);
+    // Learn the model's input dims from the gateway itself.
+    nn::wire::ModelDescriptor desc;
+    bool found = false;
+    for (const nn::wire::ModelDescriptor& m : client.list()) {
+      if (m.id == model) {
+        desc = m;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "gateway routes no model '%s'\n", model.c_str());
+      return 1;
+    }
+    Rng rng(a.seed);
+    for (int i = 0; i < a.requests; ++i) {
+      Tensor<std::int32_t> sample({desc.h, desc.w, desc.c});
+      sample.randomize(rng, 0, 255);
+      const Tensor<std::int32_t> logits = client.infer(
+          model, sample, static_cast<std::uint32_t>(a.deadline_ms));
+      std::int64_t checksum = 0;
+      for (std::int64_t j = 0; j < logits.numel(); ++j) checksum += logits[j];
+      std::printf("infer %d: %lld logits, checksum %lld\n", i,
+                  static_cast<long long>(logits.numel()),
+                  static_cast<long long>(checksum));
+    }
+    std::printf("%d round trips ok\n", a.requests);
+    return 0;
+  } catch (const nn::wire::RemoteError& e) {
+    std::fprintf(stderr, "gateway error: %s\n", e.what());
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "client error: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_admin(const Args& a) {
+  if (a.positional.size() < 2 || a.port <= 0) {
+    std::fprintf(stderr,
+                 "usage: apnn_serve admin ping|list|stats|load|unload|reload "
+                 "[id] [path] --port P\n");
+    return 2;
+  }
+  const std::string& op = a.positional[1];
+  try {
+    nn::wire::Client client(a.port);
+    if (op == "ping") {
+      client.ping();
+      std::printf("pong\n");
+    } else if (op == "list") {
+      for (const nn::wire::ModelDescriptor& m : client.list()) {
+        std::printf("%s: input %ux%ux%u, %u classes, generation %u\n",
+                    m.id.c_str(), m.h, m.w, m.c, m.classes, m.generation);
+      }
+    } else if (op == "stats") {
+      std::fputs(client.stats().c_str(), stdout);
+    } else if (op == "load") {
+      if (a.positional.size() != 4) {
+        std::fprintf(stderr, "usage: apnn_serve admin load <id> <path>\n");
+        return 2;
+      }
+      client.load(a.positional[2], a.positional[3]);
+      std::printf("loaded %s\n", a.positional[2].c_str());
+    } else if (op == "unload" || op == "reload") {
+      if (a.positional.size() != 3) {
+        std::fprintf(stderr, "usage: apnn_serve admin %s <id>\n", op.c_str());
+        return 2;
+      }
+      if (op == "unload") {
+        client.unload(a.positional[2]);
+      } else {
+        client.reload(a.positional[2]);
+      }
+      std::printf("%sed %s\n", op.c_str(), a.positional[2].c_str());
+    } else {
+      std::fprintf(stderr, "unknown admin op '%s'\n", op.c_str());
+      return 2;
+    }
+    return 0;
+  } catch (const nn::wire::RemoteError& e) {
+    std::fprintf(stderr, "gateway error: %s\n", e.what());
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "client error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse_args(argc, argv, &a)) return 2;
+  if (a.error_table) {
+    std::fputs(nn::wire::error_table_markdown().c_str(), stdout);
+    return 0;
+  }
+  if (a.positional.empty()) return usage();
+  const std::string& cmd = a.positional[0];
+  try {
+    if (cmd == "serve") return cmd_serve(a);
+    if (cmd == "client") return cmd_client(a);
+    if (cmd == "admin") return cmd_admin(a);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "apnn_serve: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return usage();
+}

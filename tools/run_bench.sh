@@ -10,6 +10,9 @@
 #   * bench/serving_throughput     (replicated InferenceServer pool vs the
 #                                   single-replica server, shared-TuningCache
 #                                   cold/warm start)
+#   * bench/gateway_throughput     (two co-resident models over loopback TCP
+#                                   through the apnn_serve gateway stack,
+#                                   hot-reload zero-drop drill)
 # and writes the BENCH_*.json files at the repo root — these are the
 # checked-in baselines the CI perf gate (tools/check_bench.py) compares
 # fresh runs against, so refresh them deliberately and on an otherwise idle
@@ -24,7 +27,7 @@ BUILD_DIR=${1:-build}
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target apmm_hotpath apmm_sparsity_sweep apconv_hotpath \
-  apnn_forward_hotpath serving_throughput
+  apnn_forward_hotpath serving_throughput gateway_throughput
 if cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_host_kernels \
     2>/dev/null; then
   "$BUILD_DIR/micro_host_kernels" --benchmark_min_time=0.05s || \
@@ -52,3 +55,7 @@ cat BENCH_apnn_forward_hotpath.json
 "$BUILD_DIR/serving_throughput" BENCH_serving_throughput.json
 echo "BENCH_serving_throughput.json:"
 cat BENCH_serving_throughput.json
+
+"$BUILD_DIR/gateway_throughput" BENCH_gateway_throughput.json
+echo "BENCH_gateway_throughput.json:"
+cat BENCH_gateway_throughput.json
