@@ -90,7 +90,7 @@ int main(int argc, char** argv) {
   core::Autotuner tuner(dev, &cache, topts);
   std::vector<core::Autotuner::Candidate> trace;
   const core::TunedKernel winner =
-      tuner.tune_apmm(w, n, q, enc.x, core::Epilogue{}, &trace);
+      tuner.tune_apmm(w, n, q, enc.x, core::Epilogue{}, /*seq=*/0, &trace);
 
   std::printf("%-10s %8s %9s %6s %12s\n", "tile", "strip", "staging", "fast",
               "wall");

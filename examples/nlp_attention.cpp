@@ -2,12 +2,20 @@
 // APNN-TC generalizes beyond vision because attention and feed-forward
 // layers are GEMMs and dot products).
 //
-// Builds one quantized self-attention head: the four projection GEMMs
-// (Q, K, V, output) run as APMM-w1a2, the score GEMM Q·Kᵀ as an integer
-// APMM over quantized activations, and the value aggregation after an
-// integer softmax approximation. Verifies every emulated GEMM against the
-// dense integer reference and prices the whole head against fp16 and int8
-// baselines.
+// Two views of the same arithmetic:
+//
+//   1. A hand-built quantized self-attention head wired directly out of
+//      apmm() calls — the Q/K/V projections as APMM-w1a2 with quantizing
+//      epilogues, the score GEMM Q·Kᵀ over packed codes, an integer softmax
+//      approximation, and the value aggregation over a word-granular packed
+//      transpose (layout::transpose_planes). Every GEMM is verified against
+//      the dense integer reference; this is the differential golden the
+//      compiled path below must match step for step.
+//   2. The compiled path: nn::tiny_transformer lowered by an
+//      InferenceSession into a dynamic-shape plan family (one plan per
+//      sequence bucket), serving token batches of any length in
+//      [1, max bucket] with zero steady-state allocations — checked
+//      bit-exact against ApnnNetwork::forward_reference per bucket.
 //
 //   build/examples/nlp_attention
 #include <algorithm>
@@ -16,6 +24,9 @@
 #include "src/baselines/gemm.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/apmm.hpp"
+#include "src/layout/bit_transpose.hpp"
+#include "src/nn/apnn_network.hpp"
+#include "src/nn/session.hpp"
 #include "src/tcsim/cost_model.hpp"
 
 using namespace apnn;
@@ -35,11 +46,9 @@ Tensor<std::int32_t> naive_gemm(const Tensor<std::int32_t>& a,
   return y;
 }
 
-}  // namespace
+// --- 1. hand-built head (per-call apmm, the differential golden) ------------
 
-int main() {
-  const auto& dev = tcsim::rtx3090();
-  const tcsim::CostModel cm(dev);
+int hand_built_head(const tcsim::DeviceSpec& dev, const tcsim::CostModel& cm) {
   const std::int64_t seq = 128, d_model = 256, d_head = 64;
   const int abits = 2;
   Rng rng(42);
@@ -128,23 +137,19 @@ int main() {
   core::ApOperand v_op;
   v_op.planes = std::move(v.packed);
   v_op.encoding = core::Encoding::kUnsigned01;
-  // Context = Attn · V  (seq x seq times seq x d_head).
-  // APMM computes W Xᵀ with both operands row-major K-dim; V already has
-  // rows = seq? No: v_op rows = seq (tokens), cols = d_head; we need
-  // context[i][h] = sum_j attn[i][j] * V[j][h] — so treat attn rows as W
-  // (K = seq) and Vᵀ as X. Transpose V's packed codes.
-  const Tensor<std::int32_t> v_codes = core::operand_to_logical(v_op);
-  Tensor<std::int32_t> v_t({d_head, seq});
-  for (std::int64_t j = 0; j < seq; ++j) {
-    for (std::int64_t h = 0; h < d_head; ++h) v_t(h, j) = v_codes(j, h);
-  }
-  const core::ApOperand vt_op =
-      core::make_operand(v_t, core::Encoding::kUnsigned01, abits);
+  // Context = Attn · V: apmm contracts both operands along their column
+  // (K) dimension, so V's seq x d_head packed planes become the d_head x
+  // seq operand via the word-granular packed transpose — no decode to
+  // dense codes, no bit-by-bit get/set loop.
+  core::ApOperand vt_op;
+  vt_op.encoding = core::Encoding::kUnsigned01;
+  layout::transpose_planes(v_op.planes, vt_op.planes);
+  const Tensor<std::int32_t> v_t = core::operand_to_logical(vt_op);
   core::ApmmResult context = core::apmm(attn_op, vt_op, dev);
   head_profile.add(context.profile);
   if (context.y != naive_gemm(attn, v_t)) ++mismatches;
 
-  std::printf("quantized attention head (seq=%ld, d_model=%ld, d_head=%ld, "
+  std::printf("hand-built attention head (seq=%ld, d_model=%ld, d_head=%ld, "
               "w1a%d): %d mismatches vs integer reference\n",
               seq, d_model, d_head, abits, mismatches);
 
@@ -171,5 +176,63 @@ int main() {
               t_fp16 / t_ap);
   std::printf("  int8       %7.2f us  (%.2fx slower)\n", t_int8,
               t_int8 / t_ap);
+  return mismatches;
+}
+
+// --- 2. compiled plan family (tiny_transformer through a session) -----------
+
+int compiled_transformer(const tcsim::DeviceSpec& dev) {
+  const nn::ModelSpec spec = nn::tiny_transformer();
+  nn::ApnnNetwork net = nn::ApnnNetwork::random(spec, 1, 2, /*seed=*/7);
+  Rng rng(11);
+  Tensor<std::int32_t> calib(
+      {2, spec.input.h, spec.input.w, spec.input.c});
+  calib.randomize(rng, 0, 255);
+  net.calibrate(calib);
+
+  nn::InferenceSession session(net, dev);
+  std::printf("\ncompiled %s: %zu plans (one per bucket), %zu slab slots, "
+              "%zu steps in the default plan\n",
+              spec.name.c_str(), session.plan_count(), session.slot_count(),
+              session.step_count());
+
+  // Serve one request per bucket plus two off-bucket lengths (padded up by
+  // the session) and check each against the dense integer reference on the
+  // same padded input.
+  int mismatches = 0;
+  std::vector<std::int64_t> lengths = spec.seq_buckets;
+  lengths.push_back(20);   // pads up to 32
+  lengths.push_back(100);  // pads up to 128
+  for (const std::int64_t seq : lengths) {
+    Tensor<std::int32_t> tokens({1, seq, 1, spec.input.c});
+    tokens.randomize(rng, 0, 255);
+    const Tensor<std::int32_t> got = session.run(tokens);
+
+    std::int64_t bucket = spec.seq_buckets.back();
+    for (const std::int64_t b : spec.seq_buckets) {
+      if (b >= seq) {
+        bucket = b;
+        break;
+      }
+    }
+    Tensor<std::int32_t> padded({1, bucket, 1, spec.input.c});
+    padded.fill(0);
+    for (std::int64_t i = 0; i < tokens.numel(); ++i) padded[i] = tokens[i];
+    const Tensor<std::int32_t> want = net.forward_reference(padded);
+    const bool ok = got == want;
+    if (!ok) ++mismatches;
+    std::printf("  seq %4ld -> bucket %4ld: %s\n", seq, bucket,
+                ok ? "bit-exact vs reference" : "MISMATCH");
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main() {
+  const auto& dev = tcsim::rtx3090();
+  const tcsim::CostModel cm(dev);
+  int mismatches = hand_built_head(dev, cm);
+  mismatches += compiled_transformer(dev);
   return mismatches == 0 ? 0 : 1;
 }

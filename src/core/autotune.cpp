@@ -24,7 +24,9 @@ namespace {
 // v3: entries gained MicroConfig::sparse_staging (the data-sparsity fast
 // path), and the kAuto default means v2 winners were measured on a kernel
 // that no longer exists — they must invalidate, not misread.
-constexpr int kSchemaVersion = 3;
+// v4: StageKey gained the sequence-bucket dimension (|sq) for attention
+// GEMMs of dynamic-shape plan families.
+constexpr int kSchemaVersion = 4;
 
 constexpr const char* kMagic = "apnn-tuning-cache";
 
@@ -48,7 +50,8 @@ std::string StageKey::canonical() const {
   std::ostringstream os;
   os << kind << "|m" << m << "|n" << n << "|k" << k << "|p" << p << "|q" << q
      << "|case" << emulation_case_name(ecase) << "|bn" << (has_bn ? 1 : 0)
-     << "|relu" << (has_relu ? 1 : 0) << "|qb" << qbits << "|pw" << pool_win;
+     << "|relu" << (has_relu ? 1 : 0) << "|qb" << qbits << "|pw" << pool_win
+     << "|sq" << seq;
   if (kind == "conv") {
     os << "|c" << in_c << "|kk" << kernel << "|s" << stride << "|pd" << pad
        << "|pk" << pool_kind;
@@ -57,7 +60,7 @@ std::string StageKey::canonical() const {
 }
 
 StageKey make_mm_key(const ApOperand& w, std::int64_t n, int q_bits,
-                     Encoding x_enc, const Epilogue& epi) {
+                     Encoding x_enc, const Epilogue& epi, std::int64_t seq) {
   StageKey key;
   key.kind = "mm";
   key.m = w.rows();
@@ -69,6 +72,7 @@ StageKey make_mm_key(const ApOperand& w, std::int64_t n, int q_bits,
   key.has_bn = epi.has_bn;
   key.has_relu = epi.has_relu;
   key.qbits = epi.has_quant ? epi.quant.bits : 0;
+  key.seq = seq;
   return key;
 }
 
@@ -344,9 +348,9 @@ TunedKernel Autotuner::measure(const StageKey& key,
 
 TunedKernel Autotuner::tune_apmm(const ApOperand& w, std::int64_t n,
                                  int q_bits, Encoding x_enc,
-                                 const Epilogue& epi,
+                                 const Epilogue& epi, std::int64_t seq,
                                  std::vector<Candidate>* trace) {
-  const StageKey key = make_mm_key(w, n, q_bits, x_enc, epi);
+  const StageKey key = make_mm_key(w, n, q_bits, x_enc, epi, seq);
   TunedKernel cached;
   if (cache_ != nullptr && cache_->lookup(key, &cached)) {
     ++cache_hits_;

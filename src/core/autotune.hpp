@@ -64,6 +64,11 @@ struct StageKey {
   int qbits = 0;     ///< quantizing-epilogue output bits (0 = dense)
   int pool_win = 1;  ///< fused pool window (1 = none)
   int pool_kind = 0; ///< PoolSpec::Kind as int (max/avg reduce differently)
+  /// Sequence bucket of a dynamic-shape plan family's attention GEMM
+  /// (0 = shape-static stage). N already encodes batch * bucket; carrying
+  /// the bucket separately keeps each family member's winner distinct even
+  /// when batch * bucket collides across buckets.
+  std::int64_t seq = 0;
   /// Conv-only window-gather shape (zero for "mm").
   std::int64_t in_c = 0;
   int kernel = 0, stride = 0, pad = 0;
@@ -74,7 +79,8 @@ struct StageKey {
 };
 
 StageKey make_mm_key(const ApOperand& w, std::int64_t n, int q_bits,
-                     Encoding x_enc, const Epilogue& epi);
+                     Encoding x_enc, const Epilogue& epi,
+                     std::int64_t seq = 0);
 StageKey make_conv_key(const ApOperand& w, const layout::ConvGeometry& g,
                        int q_bits, Encoding x_enc, const Epilogue& epi,
                        const PoolSpec& pool);
@@ -177,9 +183,12 @@ class Autotuner {
 
   /// Tunes a linear stage: `w` is the stage's real packed weight operand;
   /// the N x K feature operand is synthesized at the exact geometry
-  /// (q_bits planes, encoding x_enc, random payload bits).
+  /// (q_bits planes, encoding x_enc, random payload bits). `seq` is the
+  /// sequence bucket for attention GEMMs of a dynamic-shape plan family
+  /// (0 for shape-static stages); it only widens the cache key.
   TunedKernel tune_apmm(const ApOperand& w, std::int64_t n, int q_bits,
                         Encoding x_enc, const Epilogue& epi,
+                        std::int64_t seq = 0,
                         std::vector<Candidate>* trace = nullptr);
 
   /// Tunes a conv stage end to end (window-gather staging, fused tail

@@ -1,0 +1,55 @@
+#include "src/layout/bit_transpose.hpp"
+
+#include <algorithm>
+
+namespace apnn::layout {
+
+void transpose64(std::uint64_t a[64]) {
+  // Masked swap network (Hacker's Delight 7-3, flipped for LSB-first column
+  // indexing): at stride j, exchange bit (r, c|j) with bit (r|j, c) for all
+  // r, c with bit j clear.
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = ((k | j) + 1) & ~j) {
+      const std::uint64_t t = ((a[k] >> j) ^ a[k | j]) & m;
+      a[k] ^= t << j;
+      a[k | j] ^= t;
+    }
+  }
+}
+
+void transpose_bit_matrix(const bitops::BitMatrix& src,
+                          bitops::BitMatrix& dst) {
+  const std::int64_t rows = src.rows();
+  const std::int64_t cols = src.cols();
+  // Zero-fill so the untouched tail words of each dst row (and any padding
+  // rows) satisfy the padding invariant without per-word masking below.
+  dst.reset_shape(cols, rows, /*zero_fill=*/true);
+  if (rows == 0 || cols == 0) return;
+
+  const std::int64_t src_words = src.row_words();
+  std::uint64_t tile[64];
+  for (std::int64_t r0 = 0; r0 < rows; r0 += 64) {
+    const std::int64_t rlim = std::min<std::int64_t>(64, rows - r0);
+    for (std::int64_t wc = 0; wc < src_words; ++wc) {
+      const std::int64_t c0 = wc * 64;
+      if (c0 >= cols) break;  // trailing padding words are all zero
+      for (std::int64_t i = 0; i < rlim; ++i) tile[i] = src.row(r0 + i)[wc];
+      for (std::int64_t i = rlim; i < 64; ++i) tile[i] = 0;
+      transpose64(tile);
+      const std::int64_t clim = std::min<std::int64_t>(64, cols - c0);
+      const std::int64_t wr = r0 / 64;
+      for (std::int64_t i = 0; i < clim; ++i) dst.row(c0 + i)[wr] = tile[i];
+    }
+  }
+}
+
+void transpose_planes(const bitops::BitPlanes& src, bitops::BitPlanes& dst) {
+  dst.reset_shape(src.cols, src.rows, src.bits, /*zero_fill=*/false);
+  for (int t = 0; t < src.bits; ++t) {
+    transpose_bit_matrix(src.planes[static_cast<std::size_t>(t)],
+                         dst.planes[static_cast<std::size_t>(t)]);
+  }
+}
+
+}  // namespace apnn::layout

@@ -1,0 +1,29 @@
+// Word-granular bit-matrix transpose.
+//
+// The attention AV stage needs V^T as a bit-GEMM operand: apmm contracts
+// both operands along their column (K) dimension, so the seq x d_head value
+// planes must become d_head x seq operand planes. Doing that bit-by-bit is
+// O(seq * d_head) BitMatrix::get/set round trips (the nlp_attention example
+// used to do exactly that); this kernel moves 64x64 bit tiles with the
+// classic masked swap network instead, touching each 64-bit word O(log 64)
+// times.
+#pragma once
+
+#include "src/bitops/bit_matrix.hpp"
+#include "src/bitops/decompose.hpp"
+
+namespace apnn::layout {
+
+/// In-place transpose of a 64x64 bit tile. a[r] bit c (LSB-first column
+/// indexing) moves to a[c] bit r.
+void transpose64(std::uint64_t a[64]);
+
+/// dst = src^T. dst is reshaped to (src.cols x src.rows); the BitMatrix
+/// padding invariant (all bits past `cols` zero) is preserved.
+void transpose_bit_matrix(const bitops::BitMatrix& src, bitops::BitMatrix& dst);
+
+/// Transposes every plane of a packed multi-bit operand: dst becomes
+/// (src.cols x src.rows) with the same bit count.
+void transpose_planes(const bitops::BitPlanes& src, bitops::BitPlanes& dst);
+
+}  // namespace apnn::layout

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/common/check.hpp"
+#include "src/nn/attention_math.hpp"
 #include "src/nn/session.hpp"
 #include "src/quant/quantizer.hpp"
 
@@ -15,11 +16,14 @@ using core::Encoding;
 using core::Epilogue;
 using core::PoolSpec;
 
-/// Integer max/avg pooling on a dense NHWC tensor.
+/// Integer max/avg pooling on a dense NHWC tensor. size == 0 pools the
+/// whole spatial extent down to 1x1 (global pooling).
 Tensor<std::int32_t> pool_dense(const Tensor<std::int32_t>& x,
                                 const PoolSpec& pool) {
   const std::int64_t b = x.dim(0), h = x.dim(1), w = x.dim(2), c = x.dim(3);
-  const std::int64_t ph = h / pool.size, pw = w / pool.size;
+  const std::int64_t win_h = pool.size == 0 ? h : pool.size;
+  const std::int64_t win_w = pool.size == 0 ? w : pool.size;
+  const std::int64_t ph = h / win_h, pw = w / win_w;
   Tensor<std::int32_t> y({b, ph, pw, c});
   for (std::int64_t n = 0; n < b; ++n) {
     for (std::int64_t py = 0; py < ph; ++py) {
@@ -27,10 +31,10 @@ Tensor<std::int32_t> pool_dense(const Tensor<std::int32_t>& x,
         for (std::int64_t ch = 0; ch < c; ++ch) {
           std::int64_t agg =
               pool.kind == PoolSpec::Kind::kMax ? INT64_MIN : 0;
-          for (int dy = 0; dy < pool.size; ++dy) {
-            for (int dx = 0; dx < pool.size; ++dx) {
+          for (std::int64_t dy = 0; dy < win_h; ++dy) {
+            for (std::int64_t dx = 0; dx < win_w; ++dx) {
               const std::int32_t v =
-                  x(n, py * pool.size + dy, px * pool.size + dx, ch);
+                  x(n, py * win_h + dy, px * win_w + dx, ch);
               if (pool.kind == PoolSpec::Kind::kMax) {
                 agg = std::max<std::int64_t>(agg, v);
               } else {
@@ -39,7 +43,7 @@ Tensor<std::int32_t> pool_dense(const Tensor<std::int32_t>& x,
             }
           }
           if (pool.kind == PoolSpec::Kind::kAvg) {
-            agg /= static_cast<std::int64_t>(pool.size) * pool.size;
+            agg /= win_h * win_w;
           }
           y(n, py, px, ch) = static_cast<std::int32_t>(agg);
         }
@@ -53,6 +57,10 @@ Tensor<std::int32_t> pool_dense(const Tensor<std::int32_t>& x,
 
 ApnnNetwork ApnnNetwork::random_binary(const ModelSpec& spec,
                                        std::uint64_t seed) {
+  for (const auto& l : spec.layers) {
+    APNN_CHECK(l.kind != LayerKind::kAttention)
+        << "binary (±1 activation) networks do not support attention";
+  }
   ApnnNetwork net = random(spec, 1, 1, seed);
   net.binary_ = true;
   for (std::size_t si = 1; si < net.stages_.size(); ++si) {
@@ -85,8 +93,45 @@ ApnnNetwork ApnnNetwork::random(const ModelSpec& spec, int wbits, int abits,
 
   const Encoding w_enc =
       wbits == 1 ? Encoding::kSignedPM1 : Encoding::kUnsigned01;
+  auto random_weights = [&](Tensor<std::int32_t>& t, std::int64_t rows,
+                            std::int64_t cols) {
+    t = Tensor<std::int32_t>({rows, cols});
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      t[i] = wbits == 1 ? (rng.bernoulli(0.5) ? 1 : -1)
+                        : static_cast<std::int32_t>(
+                              rng.uniform_int(0, (1 << wbits) - 1));
+    }
+  };
+
   for (std::size_t li = 0; li < spec.layers.size(); ++li) {
     const LayerSpec& l = spec.layers[li];
+    if (l.kind == LayerKind::kAttention) {
+      const ActShape in = li == 0 ? spec.input : net.shapes_[li - 1];
+      const std::int64_t d_model = in.c;
+      const std::int64_t proj = l.attn.heads * l.attn.d_head;
+      ApnnStage st;
+      st.layer_index = li;
+      random_weights(st.weights_logical, proj, d_model);  // Q
+      random_weights(st.attn_wk_logical, proj, d_model);
+      random_weights(st.attn_wv_logical, proj, d_model);
+      random_weights(st.attn_wo_logical, d_model, proj);
+      st.weights = core::make_operand(st.weights_logical, w_enc, wbits);
+      st.attn_wk = core::make_operand(st.attn_wk_logical, w_enc, wbits);
+      st.attn_wv = core::make_operand(st.attn_wv_logical, w_enc, wbits);
+      st.attn_wo = core::make_operand(st.attn_wo_logical, w_enc, wbits);
+      // Attention stages always emit abits codes (the internal stages need
+      // packed operands); calibrate() fills in the five quantizer scales.
+      st.epilogue.has_relu = true;
+      st.epilogue.has_quant = true;
+      st.epilogue.quant.bits = abits;
+      st.attn_q_quant.bits = abits;
+      st.attn_k_quant.bits = abits;
+      st.attn_v_quant.bits = abits;
+      st.attn_ctx_quant.bits = abits;
+      st.in_bits = net.stages_.empty() ? 8 : abits;
+      net.stages_.push_back(std::move(st));
+      continue;
+    }
     if (l.kind != LayerKind::kConv && l.kind != LayerKind::kLinear) continue;
     ApnnStage st;
     st.layer_index = li;
@@ -310,6 +355,106 @@ struct ReferenceWalker {
         case LayerKind::kSoftmax:
           vals[li] = in;  // logits are returned raw (softmax is monotonic)
           break;
+        case LayerKind::kAttention: {
+          ApnnStage& st = stages[stage_idx_at.at(li)];
+          const std::int64_t batch = in.dim(0);
+          const std::int64_t seq = in.dim(1);  // {B, seq, 1, d_model}
+          const std::int64_t d_model = in.dim(3);
+          const int heads = l.attn.heads;
+          const std::int64_t dh = l.attn.d_head;
+          const std::int64_t proj = heads * dh;
+          const std::int64_t tokens = batch * seq;
+          const int shift = attn_scale_shift(l.attn);
+          const Tensor<std::int32_t> xf = in.reshaped({tokens, d_model});
+
+          // ReLU + quantize to abits codes, identical to the apmm epilogue.
+          auto project = [&](const Tensor<std::int32_t>& w,
+                             quant::QuantParams& qp) {
+            Tensor<std::int32_t> y({tokens, proj});
+            for (std::int64_t t = 0; t < tokens; ++t) {
+              for (std::int64_t o = 0; o < proj; ++o) {
+                std::int64_t acc = 0;
+                for (std::int64_t f = 0; f < d_model; ++f) {
+                  acc += static_cast<std::int64_t>(xf(t, f)) * w(o, f);
+                }
+                y(t, o) = std::max<std::int32_t>(
+                    0, static_cast<std::int32_t>(acc));
+              }
+            }
+            if (calibrating) qp = derive_params(y);
+            for (std::int64_t i = 0; i < y.numel(); ++i) {
+              y[i] = quant::quantize_value(static_cast<float>(y[i]), qp);
+            }
+            return y;
+          };
+          const Tensor<std::int32_t> q =
+              project(st.weights_logical, st.attn_q_quant);
+          const Tensor<std::int32_t> k =
+              project(st.attn_wk_logical, st.attn_k_quant);
+          const Tensor<std::int32_t> v =
+              project(st.attn_wv_logical, st.attn_v_quant);
+
+          // Per (sample, head): scores, the shared integer-softmax tail,
+          // and the attn-weighted value sum.
+          Tensor<std::int32_t> ctx({tokens, proj});
+          std::vector<std::int32_t> scores(static_cast<std::size_t>(seq));
+          std::vector<std::int32_t> attn(static_cast<std::size_t>(seq));
+          for (std::int64_t b = 0; b < batch; ++b) {
+            for (int h = 0; h < heads; ++h) {
+              const std::int64_t col0 = h * dh;
+              for (std::int64_t i = 0; i < seq; ++i) {
+                const std::int64_t ti = b * seq + i;
+                for (std::int64_t j = 0; j < seq; ++j) {
+                  std::int64_t acc = 0;
+                  for (std::int64_t x = 0; x < dh; ++x) {
+                    acc += static_cast<std::int64_t>(q(ti, col0 + x)) *
+                           k(b * seq + j, col0 + x);
+                  }
+                  scores[static_cast<std::size_t>(j)] =
+                      static_cast<std::int32_t>(acc);
+                }
+                attn_softmax_row(scores.data(), seq, shift, abits,
+                                 attn.data());
+                for (std::int64_t x = 0; x < dh; ++x) {
+                  std::int64_t acc = 0;
+                  for (std::int64_t j = 0; j < seq; ++j) {
+                    acc += static_cast<std::int64_t>(
+                               attn[static_cast<std::size_t>(j)]) *
+                           v(b * seq + j, col0 + x);
+                  }
+                  ctx(ti, col0 + x) = std::max<std::int32_t>(
+                      0, static_cast<std::int32_t>(acc));
+                }
+              }
+            }
+          }
+          if (calibrating) st.attn_ctx_quant = derive_params(ctx);
+          for (std::int64_t i = 0; i < ctx.numel(); ++i) {
+            ctx[i] = quant::quantize_value(static_cast<float>(ctx[i]),
+                                           st.attn_ctx_quant);
+          }
+
+          // Output projection back to d_model, with the stage epilogue.
+          Tensor<std::int32_t> out({tokens, d_model});
+          for (std::int64_t t = 0; t < tokens; ++t) {
+            for (std::int64_t o = 0; o < d_model; ++o) {
+              std::int64_t acc = 0;
+              for (std::int64_t p = 0; p < proj; ++p) {
+                acc += static_cast<std::int64_t>(ctx(t, p)) *
+                       st.attn_wo_logical(o, p);
+              }
+              out(t, o) =
+                  std::max<std::int32_t>(0, static_cast<std::int32_t>(acc));
+            }
+          }
+          if (calibrating) st.epilogue.quant = derive_params(out);
+          for (std::int64_t i = 0; i < out.numel(); ++i) {
+            out[i] = quant::quantize_value(static_cast<float>(out[i]),
+                                           st.epilogue.quant);
+          }
+          vals[li] = out.reshaped({batch, seq, std::int64_t{1}, d_model});
+          break;
+        }
       }
       if (l.kind == LayerKind::kLinear) logits = vals[li];
     }

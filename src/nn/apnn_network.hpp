@@ -36,6 +36,14 @@ struct ApnnStage {
   /// What the incoming activation bits encode: kUnsigned01 for APNN codes,
   /// kSignedPM1 for binary (±1) networks past the first stage.
   core::Encoding in_enc = core::Encoding::kUnsigned01;
+
+  // kAttention extras (defaulted/ignored for conv and linear stages).
+  // `weights`/`weights_logical` above hold the Q projection; K/V/output
+  // projections and the per-stage requantizers ride alongside. `epilogue`
+  // is the output-projection tail (ReLU + quantize, set by calibrate()).
+  core::ApOperand attn_wk, attn_wv, attn_wo;
+  Tensor<std::int32_t> attn_wk_logical, attn_wv_logical, attn_wo_logical;
+  quant::QuantParams attn_q_quant, attn_k_quant, attn_v_quant, attn_ctx_quant;
 };
 
 class ApnnNetwork {

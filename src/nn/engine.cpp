@@ -225,6 +225,54 @@ ModelProfile profile_model(const ModelSpec& m, std::int64_t batch,
         first_gemm_seen = true;
         break;
       }
+      case LayerKind::kAttention: {
+        // Attention lowers to GEMMs — Q/K/V projections, per-(sample, head)
+        // QK^T and attn x V, and the output projection — plus an
+        // elementwise integer-softmax tail over the score matrices.
+        const std::int64_t seq_len = in_shape.h;
+        const std::int64_t d_model = in_shape.c;
+        const std::int64_t dh = l.attn.d_head;
+        const std::int64_t heads = l.attn.heads;
+        const std::int64_t proj = heads * dh;
+        const std::int64_t tokens = batch * seq_len;
+        tcsim::SequenceProfile seq;
+        auto add_gemm = [&](std::int64_t gm, std::int64_t gn,
+                            std::int64_t gk, int q_act,
+                            std::int64_t count) {
+          tcsim::SequenceProfile one;
+          if (cfg.scheme == Scheme::kApnn) {
+            core::ApmmOptions opts;
+            Epilogue epi;
+            epi.has_relu = true;
+            epi.has_quant = true;
+            epi.quant.bits = q;
+            epi.quant.scale = 1.0;
+            one = core::apmm_profile(gm, gn, gk, p, q_act, enc, dev, opts,
+                                     epi);
+          } else if (cfg.scheme == Scheme::kBnn) {
+            one.add(baselines::bnn_gemm_profile(gm, gn, gk));
+          } else if (cfg.scheme == Scheme::kInt8) {
+            one.add(baselines::cublas_gemm_int8_profile(gm, gn, gk));
+          } else {
+            one.add(baselines::cutlass_gemm_profile(
+                scheme_precision(cfg.scheme), gm, gn, gk));
+          }
+          for (std::int64_t i = 0; i < count; ++i) {
+            for (const auto& kp : one.kernels) seq.add(kp);
+          }
+        };
+        const int q_in = first_gemm_seen ? q : 8;
+        add_gemm(proj, tokens, d_model, q_in, 3);           // Q/K/V
+        add_gemm(seq_len, seq_len, dh, q, batch * heads);   // QK^T
+        add_gemm(seq_len, dh, seq_len, q, batch * heads);   // attn x V
+        add_gemm(d_model, tokens, proj, q, 1);              // output proj
+        seq.add(elementwise_profile(l.name + ".softmax",
+                                    batch * heads * seq_len * seq_len, 4.0,
+                                    act_bytes(cfg), 4));
+        add_layer(l.name, l.kind, seq);
+        first_gemm_seen = true;
+        break;
+      }
       case LayerKind::kBatchNorm:
       case LayerKind::kReLU: {
         tcsim::SequenceProfile seq;
@@ -240,8 +288,11 @@ ModelProfile profile_model(const ModelSpec& m, std::int64_t batch,
         tcsim::SequenceProfile seq;
         const double w = cfg.scheme == Scheme::kFloat16 ? 2.0 : 4.0;
         const std::int64_t in_elems = batch * in_shape.numel();
-        seq.add(elementwise_profile(l.name, in_elems, w,
-                                    w / (l.pool.size * l.pool.size), 1));
+        const double win =
+            l.pool.size == 0
+                ? static_cast<double>(in_shape.h * in_shape.w)  // global
+                : static_cast<double>(l.pool.size * l.pool.size);
+        seq.add(elementwise_profile(l.name, in_elems, w, w / win, 1));
         add_layer(l.name, l.kind, seq);
         break;
       }

@@ -164,7 +164,7 @@ wire::InferResponse Gateway::run_infer(const wire::InferRequest& req) {
     // A failed sample fails the whole frame: the client sees one ERROR for
     // the batch, never a partial response (PROTOCOL.md §4.1).
     const Tensor<std::int32_t> logits =
-        registry_.infer(req.model, sample, deadline);
+        registry_.infer(req.model, sample, deadline, req.seq_len);
     const double ms = timer.millis();
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -385,6 +385,13 @@ void Gateway::serve_json(net::Socket& sock) {
         ireq.h = static_cast<std::uint16_t>(opt_int(req, "h", 0));
         ireq.w = static_cast<std::uint16_t>(opt_int(req, "w", 0));
         ireq.c = static_cast<std::uint16_t>(opt_int(req, "c", 0));
+        ireq.seq_len =
+            static_cast<std::uint16_t>(opt_int(req, "seq_len", 0));
+        if (ireq.seq_len != 0 && ireq.seq_len != ireq.h) {
+          throw wire::RemoteError(
+              wire::WireError::kMalformedFrame,
+              strf("seq_len %u does not match h %u", ireq.seq_len, ireq.h));
+        }
         const json::Value* sample = req.find("sample");
         if (sample == nullptr || !sample->is_array()) {
           throw wire::RemoteError(wire::WireError::kMalformedFrame,

@@ -39,6 +39,15 @@ LayerSpec pool(std::string name, core::PoolSpec::Kind kind, int size) {
   return l;
 }
 
+LayerSpec attention(std::string name, int heads, std::int64_t d_head) {
+  LayerSpec l;
+  l.kind = LayerKind::kAttention;
+  l.name = std::move(name);
+  l.attn.heads = heads;
+  l.attn.d_head = d_head;
+  return l;
+}
+
 /// conv + BN + ReLU [+ pool] + quantize, the standard APNN stage; pooling
 /// precedes quantization so the whole tail fuses into the conv epilogue
 /// (the order Fig. 10 fuses).
@@ -89,10 +98,23 @@ std::vector<ActShape> propagate_shapes(const ModelSpec& m) {
         out = {l.out_features, 1, 1};
         break;
       case LayerKind::kPool:
+        if (l.pool.size == 0) {
+          // Global pool: one value per channel regardless of the spatial
+          // extent (the seq-independent head of bucketed token models).
+          out = {in.c, 1, 1};
+          break;
+        }
         APNN_CHECK(in.h % l.pool.size == 0 && in.w % l.pool.size == 0)
             << "pool " << l.pool.size << " does not tile " << in.h << "x"
             << in.w << " at layer " << l.name;
         out = {in.c, in.h / l.pool.size, in.w / l.pool.size};
+        break;
+      case LayerKind::kAttention:
+        APNN_CHECK(in.w == 1) << "attention tokens run along h (w must be 1) "
+                              << "at layer " << l.name;
+        APNN_CHECK(l.attn.heads > 0 && l.attn.d_head > 0)
+            << "attention heads/d_head unset at layer " << l.name;
+        out = in;  // output projection maps heads*d_head back to d_model
         break;
       case LayerKind::kResidualAdd: {
         APNN_CHECK(l.residual >= 0 &&
@@ -143,6 +165,14 @@ std::int64_t model_macs(const ModelSpec& m) {
     } else if (l.kind == LayerKind::kLinear) {
       const ActShape in = li == 0 ? m.input : shapes[li - 1];
       macs += in.numel() * l.out_features;
+    } else if (l.kind == LayerKind::kAttention) {
+      const ActShape in = li == 0 ? m.input : shapes[li - 1];
+      const std::int64_t seq = in.h;
+      const std::int64_t d_model = in.c;
+      const std::int64_t proj = l.attn.heads * l.attn.d_head;
+      macs += 3 * seq * d_model * proj;              // Q/K/V projections
+      macs += 2 * l.attn.heads * seq * seq * l.attn.d_head;  // QK^T + AV
+      macs += seq * proj * d_model;                  // output projection
     }
   }
   return macs;
@@ -158,7 +188,8 @@ TailScan scan_tail(const ModelSpec& m, std::size_t li) {
     } else if (l.kind == LayerKind::kReLU && !t.has_relu) {
       t.has_relu = true;
     } else if (l.kind == LayerKind::kPool && !t.pool.active() &&
-               l.pool.kind != core::PoolSpec::Kind::kNone) {
+               l.pool.kind != core::PoolSpec::Kind::kNone &&
+               l.pool.size > 0) {  // global pools never fuse into a tail
       t.pool = l.pool;
     } else if (l.kind == LayerKind::kQuantize && !t.has_quant) {
       t.has_quant = true;
@@ -319,6 +350,20 @@ ModelSpec mini_cnn(std::int64_t in_c, std::int64_t in_hw,
   conv_block(m, "conv2", 32, 3, 1, 1, 2);
   m.layers.push_back(linear("fc", classes));
   m.layers.push_back(simple(LayerKind::kSoftmax, "softmax"));
+  return m;
+}
+
+ModelSpec tiny_transformer(std::int64_t d_model, std::int64_t seq, int heads,
+                           std::int64_t d_head, std::int64_t classes) {
+  ModelSpec m;
+  m.name = "TinyTransformer";
+  m.input = {d_model, seq, 1};
+  m.layers.push_back(attention("attn1", heads, d_head));
+  m.layers.push_back(attention("attn2", heads, d_head));
+  m.layers.push_back(pool("pool", core::PoolSpec::Kind::kAvg, 0));
+  m.layers.push_back(linear("fc", classes));
+  m.layers.push_back(simple(LayerKind::kSoftmax, "softmax"));
+  m.seq_buckets = {32, 64, 128, 256, 512};
   return m;
 }
 

@@ -25,6 +25,7 @@ enum class LayerKind {
   kQuantize,      ///< re-quantize activations to the scheme's a-bits
   kResidualAdd,   ///< elementwise add with the output of another layer
   kSoftmax,
+  kAttention,     ///< quantized multi-head self-attention over tokens
 };
 
 struct ConvParams {
@@ -34,13 +35,27 @@ struct ConvParams {
   int pad = 1;
 };
 
+/// Multi-head self-attention. Tokens run along the activation h axis
+/// (w must be 1); d_model is the input channel count. The output
+/// projection maps heads*d_head back to d_model, so the layer is
+/// shape-preserving and stackable.
+struct AttentionParams {
+  int heads = 0;
+  std::int64_t d_head = 0;
+  /// Raw QK^T scores are arithmetic-shifted right by this much before the
+  /// integer softmax (the 1/sqrt(d_head) analogue). -1 derives
+  /// floor(log2(d_head))/2 at execution time.
+  int scale_shift = -1;
+};
+
 struct LayerSpec {
   LayerKind kind = LayerKind::kConv;
   std::string name;
 
   ConvParams conv;                 ///< kConv
   std::int64_t out_features = 0;   ///< kLinear
-  core::PoolSpec pool;             ///< kPool
+  core::PoolSpec pool;             ///< kPool (size 0 = global average/max)
+  AttentionParams attn;            ///< kAttention
 
   /// Index of the producing layer (-1 = previous layer / network input).
   int input = -1;
@@ -58,6 +73,11 @@ struct ModelSpec {
   std::string name;
   ActShape input;
   std::vector<LayerSpec> layers;
+  /// Sequence-length buckets (ascending) for dynamic-shape models. Empty =
+  /// static shapes. When set, the session compiles one plan per bucket
+  /// (input.h is the calibration/default length and must fit the largest
+  /// bucket) and requests are padded up to the smallest covering bucket.
+  std::vector<std::int64_t> seq_buckets;
 };
 
 /// Output shape of every layer (index i -> output of layers[i]).
@@ -109,5 +129,13 @@ ModelSpec vgg_lite(std::int64_t in_hw = 32, std::int64_t classes = 10);
 /// shortcut) for functional tests of the residual dataflow.
 ModelSpec mini_resnet(std::int64_t in_c = 3, std::int64_t in_hw = 8,
                       std::int64_t classes = 5);
+
+/// Two-layer transformer encoder (multi-head self-attention stacks) with a
+/// global-average-pool + linear classifier head. Input is {d_model, seq, 1}
+/// token codes; seq_buckets defaults to {32, 64, 128, 256, 512} so one
+/// compiled plan family serves variable-length requests.
+ModelSpec tiny_transformer(std::int64_t d_model = 32, std::int64_t seq = 64,
+                           int heads = 2, std::int64_t d_head = 16,
+                           std::int64_t classes = 10);
 
 }  // namespace apnn::nn

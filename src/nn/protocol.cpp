@@ -241,12 +241,15 @@ std::vector<std::uint8_t> encode_infer_request(const InferRequest& req) {
       << expect;
   std::vector<std::uint8_t> b;
   b.reserve(16 + req.model.size() + req.samples.size());
+  APNN_CHECK(req.seq_len == 0 || req.seq_len == req.h)
+      << "seq_len " << req.seq_len << " != sample token count " << req.h;
   put_str(b, req.model);
   put_u32(b, req.deadline_ms);
   put_u16(b, req.count);
   put_u16(b, req.h);
   put_u16(b, req.w);
   put_u16(b, req.c);
+  put_u16(b, req.seq_len);
   b.insert(b.end(), req.samples.begin(), req.samples.end());
   return b;
 }
@@ -260,6 +263,13 @@ InferRequest decode_infer_request(const std::vector<std::uint8_t>& payload) {
   req.h = r.u16();
   req.w = r.u16();
   req.c = r.u16();
+  req.seq_len = r.u16();
+  if (req.seq_len != 0 && req.seq_len != req.h) {
+    throw WireFormatError(
+        WireError::kMalformedFrame,
+        strf("seq_len %u does not match the sample token count %u",
+             req.seq_len, req.h));
+  }
   if (req.count < 1 || req.count > kMaxFrameSamples) {
     throw WireFormatError(
         WireError::kMalformedFrame,
@@ -397,7 +407,8 @@ Frame Client::round_trip(MsgType type, std::vector<std::uint8_t> payload,
 
 Tensor<std::int32_t> Client::infer(const std::string& model,
                                    const Tensor<std::int32_t>& sample_u8,
-                                   std::uint32_t deadline_ms) {
+                                   std::uint32_t deadline_ms,
+                                   bool variable_seq) {
   const int rank = sample_u8.rank();
   APNN_CHECK(rank == 3 || (rank == 4 && sample_u8.dim(0) == 1))
       << "sample must be {H, W, C} or {1, H, W, C}";
@@ -409,6 +420,7 @@ Tensor<std::int32_t> Client::infer(const std::string& model,
   req.h = static_cast<std::uint16_t>(sample_u8.dim(base + 0));
   req.w = static_cast<std::uint16_t>(sample_u8.dim(base + 1));
   req.c = static_cast<std::uint16_t>(sample_u8.dim(base + 2));
+  if (variable_seq) req.seq_len = req.h;
   req.samples = pack_sample_u8(sample_u8);
   const InferResponse resp = infer_batch(req);
   Tensor<std::int32_t> logits({static_cast<std::int64_t>(resp.classes)});

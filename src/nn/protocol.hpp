@@ -1,4 +1,4 @@
-// The APNN gateway wire protocol ("APGW"), v1 — length-prefixed binary
+// The APNN gateway wire protocol ("APGW"), v2 — length-prefixed binary
 // frames over TCP. docs/PROTOCOL.md is the normative byte-level spec; this
 // header is its executable counterpart: the frame codec, the typed error
 // codes (the serving-side nn::ErrorKind taxonomy mirrored onto stable wire
@@ -36,7 +36,11 @@
 namespace apnn::nn::wire {
 
 inline constexpr unsigned char kMagic[4] = {'A', 'P', 'G', 'W'};
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2: INFER carries a per-request seq_len field (0 = shape-static sample)
+/// so dynamic-shape models can serve variable-length token batches. The
+/// version is a frame-level handshake: a v1 peer rejects v2 frames with
+/// UNSUPPORTED_VERSION rather than misparsing the widened payload.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 12;
 /// Default receiver-side payload bound; GatewayOptions can lower/raise it.
 inline constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
@@ -185,6 +189,12 @@ struct InferRequest {
   std::uint32_t deadline_ms = 0;  ///< 0 = no per-request deadline
   std::uint16_t count = 0;
   std::uint16_t h = 0, w = 0, c = 0;
+  /// Token count for dynamic-shape (sequence-bucketed) models; 0 means the
+  /// sample is shape-static and must match the model's input dims exactly.
+  /// When nonzero it must equal `h` (the samples really carry seq_len
+  /// tokens) and the model decides whether the length is admissible — the
+  /// gateway forwards it and the server buckets on it.
+  std::uint16_t seq_len = 0;
   std::vector<std::uint8_t> samples;  ///< count * h * w * c bytes, row-major
 };
 std::vector<std::uint8_t> encode_infer_request(const InferRequest& req);
@@ -231,10 +241,13 @@ class Client {
 
   /// Round-trips one single-sample INFER. `sample_u8` is {H, W, C} or
   /// {1, H, W, C} int32 codes in [0, 255]; returns the logits {classes}.
+  /// `variable_seq` marks the sample as a variable-length token batch for
+  /// a dynamic-shape model (the frame's seq_len is set to the sample's H).
   /// Throws RemoteError when the gateway answers with an ERROR frame.
   Tensor<std::int32_t> infer(const std::string& model,
                              const Tensor<std::int32_t>& sample_u8,
-                             std::uint32_t deadline_ms = 0);
+                             std::uint32_t deadline_ms = 0,
+                             bool variable_seq = false);
 
   /// Batched INFER: all samples share one frame (and one deadline).
   InferResponse infer_batch(const InferRequest& req);

@@ -203,6 +203,9 @@ std::shared_ptr<ModelRegistry::Entry> ModelRegistry::make_entry(
     entry->input = entry->net->spec().input;
     entry->classes =
         static_cast<std::uint32_t>(entry->net->shapes().back().numel());
+    for (const std::int64_t b : entry->net->spec().seq_buckets) {
+      entry->max_seq_bucket = std::max(entry->max_seq_bucket, b);
+    }
 
     ServerOptions opts;
     opts.max_batch = c.max_batch;
@@ -337,13 +340,38 @@ void ModelRegistry::reload(const std::string& id) {
 
 Tensor<std::int32_t> ModelRegistry::infer(
     const std::string& id, const Tensor<std::int32_t>& sample_u8,
-    InferenceServer::Deadline deadline) {
+    InferenceServer::Deadline deadline, std::int64_t seq_len) {
   // Snapshot the entry: a concurrent unload/reload cannot destroy the pool
   // under this request, and the route costs one lock'd list walk.
   std::shared_ptr<Entry> entry = find(id);
   if (entry == nullptr) {
     throw wire::RemoteError(wire::WireError::kUnknownModel,
                             strf("unknown model '%s'", id.c_str()));
+  }
+  const std::int64_t sample_h =
+      sample_u8.rank() == 4 ? sample_u8.dim(1) : sample_u8.dim(0);
+  if (seq_len > 0) {
+    if (entry->max_seq_bucket == 0) {
+      throw wire::RemoteError(
+          wire::WireError::kMalformedFrame,
+          strf("model '%s' is shape-static; seq_len is not supported",
+               id.c_str()));
+    }
+    if (seq_len != sample_h) {
+      throw wire::RemoteError(
+          wire::WireError::kMalformedFrame,
+          strf("seq_len %lld does not match the sample's %lld tokens",
+               static_cast<long long>(seq_len),
+               static_cast<long long>(sample_h)));
+    }
+  } else if (entry->max_seq_bucket > 0 && sample_h != entry->input.h) {
+    // No seq_len declaration: even a dynamic-shape model demands the exact
+    // calibration shape, so a v1-style client can never pad wrong silently.
+    throw wire::RemoteError(
+        wire::WireError::kMalformedFrame,
+        strf("model '%s' expects %lld tokens without seq_len; got %lld",
+             id.c_str(), static_cast<long long>(entry->input.h),
+             static_cast<long long>(sample_h)));
   }
   return entry->server->infer(sample_u8, deadline);
 }

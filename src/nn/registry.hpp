@@ -1,6 +1,6 @@
-// Multi-model registry behind the gateway: loads v2-serialized networks
-// (nn/serialize.hpp) into per-model InferenceServer pools and routes
-// requests by model id.
+// Multi-model registry behind the gateway: loads serialized networks
+// (nn/serialize.hpp, v2 conv-only or v3 attention/bucketed) into per-model
+// InferenceServer pools and routes requests by model id.
 //
 // Co-residency without oversubscription: a machine serving M models cannot
 // give each model's server the full hardware width — M servers each sized
@@ -108,13 +108,18 @@ class ModelRegistry {
   /// after the swap land on the new pool. Other models are untouched.
   void reload(const std::string& id);
 
-  /// Routes one sample to `id`'s pool. Throws
+  /// Routes one sample to `id`'s pool. `seq_len` is the wire-level
+  /// variable-length declaration: 0 means the sample must match the model's
+  /// input dims exactly (even for a dynamic-shape model); nonzero means
+  /// "this is a seq_len-token batch" and is only legal for a model with
+  /// sequence buckets (kMalformedFrame otherwise). Throws
   /// wire::RemoteError(kUnknownModel) when no such model is routed, and
   /// ServerError (the gateway maps its kind onto the wire) on serving
   /// failures.
   Tensor<std::int32_t> infer(const std::string& id,
                              const Tensor<std::int32_t>& sample_u8,
-                             InferenceServer::Deadline deadline);
+                             InferenceServer::Deadline deadline,
+                             std::int64_t seq_len = 0);
 
   /// Expected input dims + classes per routed model, in load order.
   std::vector<wire::ModelDescriptor> list() const;
@@ -141,6 +146,8 @@ class ModelRegistry {
     std::uint32_t generation = 0;
     ActShape input;
     std::uint32_t classes = 0;
+    /// Largest sequence bucket (0 = shape-static model).
+    std::int64_t max_seq_bucket = 0;
     std::unique_ptr<core::TuningCache> cache;
     std::unique_ptr<ApnnNetwork> net;
     std::unique_ptr<InferenceServer> server;

@@ -13,7 +13,11 @@ constexpr char kMagic[4] = {'A', 'P', 'N', 'N'};
 // v2: explicit byte-order marker after the version word; tensor dims are
 // bounds-checked on load (a corrupt file must fail, not allocate wild).
 // v1 files (identical layout, no marker word) still load.
-constexpr std::uint32_t kVersion = 2;
+// v3: sequence-length buckets after the input dims, per-layer attention
+// params, and per-stage attention projection weights + quantizers. A model
+// with no attention layers and no buckets is still written as v2, so
+// conv-only exports stay readable by v2-era binaries.
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kOldestReadableVersion = 1;
 
 // Written in host byte order; a reader whose endianness differs sees the
@@ -117,11 +121,15 @@ quant::QuantParams read_quant(std::istream& is) {
   return p;
 }
 
-void write_spec(std::ostream& os, const ModelSpec& m) {
+void write_spec(std::ostream& os, const ModelSpec& m, std::uint32_t version) {
   write_string(os, m.name);
   write_pod<std::int64_t>(os, m.input.c);
   write_pod<std::int64_t>(os, m.input.h);
   write_pod<std::int64_t>(os, m.input.w);
+  if (version >= 3) {
+    write_pod<std::uint64_t>(os, m.seq_buckets.size());
+    for (std::int64_t b : m.seq_buckets) write_pod<std::int64_t>(os, b);
+  }
   write_pod<std::uint64_t>(os, m.layers.size());
   for (const LayerSpec& l : m.layers) {
     write_pod<std::int32_t>(os, static_cast<std::int32_t>(l.kind));
@@ -135,20 +143,41 @@ void write_spec(std::ostream& os, const ModelSpec& m) {
     write_pod<std::int32_t>(os, l.pool.size);
     write_pod<std::int32_t>(os, l.input);
     write_pod<std::int32_t>(os, l.residual);
+    if (version >= 3) {
+      write_pod<std::int32_t>(os, l.attn.heads);
+      write_pod<std::int64_t>(os, l.attn.d_head);
+      write_pod<std::int32_t>(os, l.attn.scale_shift);
+    }
   }
 }
 
-ModelSpec read_spec(std::istream& is) {
+ModelSpec read_spec(std::istream& is, std::uint32_t version) {
   ModelSpec m;
   m.name = read_string(is);
   m.input.c = read_pod<std::int64_t>(is);
   m.input.h = read_pod<std::int64_t>(is);
   m.input.w = read_pod<std::int64_t>(is);
+  if (version >= 3) {
+    const auto nb = read_pod<std::uint64_t>(is);
+    APNN_CHECK(nb < (1u << 10)) << "implausible bucket count";
+    m.seq_buckets.resize(nb);
+    std::int64_t prev = 0;
+    for (auto& b : m.seq_buckets) {
+      b = read_pod<std::int64_t>(is);
+      APNN_CHECK(b > prev && b <= kMaxTensorDim)
+          << "sequence buckets must be ascending positive, got " << b;
+      prev = b;
+    }
+  }
   const auto n = read_pod<std::uint64_t>(is);
   APNN_CHECK(n < (1u << 16)) << "implausible layer count";
   m.layers.resize(n);
   for (LayerSpec& l : m.layers) {
-    l.kind = static_cast<LayerKind>(read_pod<std::int32_t>(is));
+    const auto kind = read_pod<std::int32_t>(is);
+    APNN_CHECK(kind >= 0 && kind <= static_cast<std::int32_t>(
+                                        LayerKind::kAttention))
+        << "unknown layer kind " << kind;
+    l.kind = static_cast<LayerKind>(kind);
     l.name = read_string(is);
     l.conv.out_c = read_pod<std::int64_t>(is);
     l.conv.kernel = read_pod<std::int32_t>(is);
@@ -159,8 +188,29 @@ ModelSpec read_spec(std::istream& is) {
     l.pool.size = read_pod<std::int32_t>(is);
     l.input = read_pod<std::int32_t>(is);
     l.residual = read_pod<std::int32_t>(is);
+    if (version >= 3) {
+      l.attn.heads = read_pod<std::int32_t>(is);
+      l.attn.d_head = read_pod<std::int64_t>(is);
+      l.attn.scale_shift = read_pod<std::int32_t>(is);
+      if (l.kind == LayerKind::kAttention) {
+        APNN_CHECK(l.attn.heads > 0 && l.attn.heads < (1 << 12))
+            << "implausible attention head count " << l.attn.heads;
+        APNN_CHECK(l.attn.d_head > 0 && l.attn.d_head <= kMaxTensorDim)
+            << "implausible attention head width " << l.attn.d_head;
+      }
+    } else {
+      APNN_CHECK(l.kind != LayerKind::kAttention)
+          << "attention layers require a v3 network file";
+    }
   }
   return m;
+}
+
+/// v3 payloads exist only for attention stages; the flag is derived from
+/// the spec, never stored.
+bool stage_has_attention(const ModelSpec& spec, const ApnnStage& st) {
+  return st.layer_index < spec.layers.size() &&
+         spec.layers[st.layer_index].kind == LayerKind::kAttention;
 }
 
 }  // namespace
@@ -168,10 +218,17 @@ ModelSpec read_spec(std::istream& is) {
 bool save_network(const ApnnNetwork& net, const std::string& path) {
   std::ofstream os(path, std::ios::binary);
   if (!os) return false;
+  // Conv-only, bucketless models carry no v3 payload; write them as v2 so
+  // older readers keep loading them.
+  bool needs_v3 = !net.spec_.seq_buckets.empty();
+  for (const LayerSpec& l : net.spec_.layers) {
+    needs_v3 = needs_v3 || l.kind == LayerKind::kAttention;
+  }
+  const std::uint32_t version = needs_v3 ? kVersion : 2;
   os.write(kMagic, 4);
-  write_pod<std::uint32_t>(os, kVersion);
+  write_pod<std::uint32_t>(os, version);
   write_pod<std::uint32_t>(os, kEndianMark);
-  write_spec(os, net.spec_);
+  write_spec(os, net.spec_, version);
   write_pod<std::int32_t>(os, net.wbits_);
   write_pod<std::int32_t>(os, net.abits_);
   write_pod<std::uint8_t>(os, net.calibrated_ ? 1 : 0);
@@ -190,6 +247,15 @@ bool save_network(const ApnnNetwork& net, const std::string& path) {
     write_pod<std::uint8_t>(os, st.epilogue.has_relu ? 1 : 0);
     write_pod<std::uint8_t>(os, st.epilogue.has_quant ? 1 : 0);
     write_quant(os, st.epilogue.quant);
+    if (version >= 3 && stage_has_attention(net.spec_, st)) {
+      write_tensor(os, st.attn_wk_logical);
+      write_tensor(os, st.attn_wv_logical);
+      write_tensor(os, st.attn_wo_logical);
+      write_quant(os, st.attn_q_quant);
+      write_quant(os, st.attn_k_quant);
+      write_quant(os, st.attn_v_quant);
+      write_quant(os, st.attn_ctx_quant);
+    }
   }
 
   write_pod<std::uint64_t>(os, net.standalone_quant_.size());
@@ -210,11 +276,9 @@ ApnnNetwork load_network(const std::string& path) {
   const auto version = read_pod<std::uint32_t>(is);
   // A genuinely foreign-endian file byte-swaps every word, the version
   // included — diagnose it here, before the version check would report a
-  // nonsense version number.
-  constexpr std::uint32_t kVersionSwapped =
-      ((kVersion & 0xffu) << 24) | ((kVersion & 0xff00u) << 8) |
-      ((kVersion >> 8) & 0xff00u) | (kVersion >> 24);
-  APNN_CHECK(version != kVersionSwapped)
+  // nonsense version number. Any real version is a small integer, so a
+  // swapped one has its payload in the top byte and zeros below.
+  APNN_CHECK(version == 0 || (version & 0x00ffffffu) != 0)
       << path << " was written on a host of opposite byte order — refusing "
       << "to decode byte-reversed weights";
   APNN_CHECK(version >= kOldestReadableVersion && version <= kVersion)
@@ -228,7 +292,7 @@ ApnnNetwork load_network(const std::string& path) {
   }
 
   ApnnNetwork net;
-  net.spec_ = read_spec(is);
+  net.spec_ = read_spec(is, version);
   net.shapes_ = propagate_shapes(net.spec_);
   net.wbits_ = read_pod<std::int32_t>(is);
   net.abits_ = read_pod<std::int32_t>(is);
@@ -259,6 +323,18 @@ ApnnNetwork load_network(const std::string& path) {
     st.epilogue.has_relu = read_pod<std::uint8_t>(is) != 0;
     st.epilogue.has_quant = read_pod<std::uint8_t>(is) != 0;
     st.epilogue.quant = read_quant(is);
+    if (version >= 3 && stage_has_attention(net.spec_, st)) {
+      st.attn_wk_logical = read_tensor<std::int32_t>(is);
+      st.attn_wv_logical = read_tensor<std::int32_t>(is);
+      st.attn_wo_logical = read_tensor<std::int32_t>(is);
+      st.attn_wk = core::make_operand(st.attn_wk_logical, w_enc, net.wbits_);
+      st.attn_wv = core::make_operand(st.attn_wv_logical, w_enc, net.wbits_);
+      st.attn_wo = core::make_operand(st.attn_wo_logical, w_enc, net.wbits_);
+      st.attn_q_quant = read_quant(is);
+      st.attn_k_quant = read_quant(is);
+      st.attn_v_quant = read_quant(is);
+      st.attn_ctx_quant = read_quant(is);
+    }
     // Derived fields come from the spec, not the file.
     const TailScan tail = scan_tail(net.spec_, st.layer_index);
     st.absorbed = tail.absorbed;

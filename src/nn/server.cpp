@@ -62,6 +62,11 @@ InferenceServer::InferenceServer(const ApnnNetwork& net,
                                  const tcsim::DeviceSpec& dev,
                                  ServerOptions opts)
     : net_(net), dev_(dev), input_shape_(net.spec().input), opts_(opts) {
+  seq_buckets_ = net.spec().seq_buckets;
+  std::sort(seq_buckets_.begin(), seq_buckets_.end());
+  seq_buckets_.erase(
+      std::unique(seq_buckets_.begin(), seq_buckets_.end()),
+      seq_buckets_.end());
   APNN_CHECK(opts_.max_batch >= 1);
   APNN_CHECK(opts_.max_replica_restarts >= 0);
   APNN_CHECK(opts_.stuck_threshold.count() > 0);
@@ -252,7 +257,12 @@ Tensor<std::int32_t> InferenceServer::infer(
   // Admission validation: a malformed sample (wrong shape, out-of-range
   // code) throws here, in its own caller, and never joins a micro-batch.
   try {
-    InferenceSession::validate_sample(input_shape_, sample_u8);
+    if (seq_buckets_.empty()) {
+      InferenceSession::validate_sample(input_shape_, sample_u8);
+    } else {
+      InferenceSession::validate_sample(input_shape_, seq_buckets_,
+                                        sample_u8);
+    }
   } catch (const Error& e) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -272,6 +282,16 @@ Tensor<std::int32_t> InferenceServer::infer(
   auto req = std::make_shared<Request>();
   req->sample = &sample_u8;
   req->deadline = deadline;
+  if (!seq_buckets_.empty()) {
+    // Resolve the bucket once, at admission — dispatchers group by it.
+    req->seq = sample_u8.dim(sample_u8.rank() == 4 ? 1 : 0);
+    for (std::int64_t b : seq_buckets_) {
+      if (b >= req->seq) {
+        req->bucket = b;
+        break;
+      }
+    }
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     ++active_clients_;
@@ -460,23 +480,44 @@ bool InferenceServer::dispatch_cycle(std::size_t replica_index,
       }
       expire_queued_locked(std::chrono::steady_clock::now());
     }
-    const std::int64_t take = std::min<std::int64_t>(
-        opts_.max_batch, static_cast<std::int64_t>(queue_.size()));
-    if (take == 0) return true;
+    if (queue_.empty()) return true;
     // Dequeue and gather in one critical section: a queued request's
     // client is parked in infer() (queued implies not done), so its
     // caller-owned sample tensor is alive exactly here and only here.
-    const std::int64_t sample_elems = input_shape_.numel();
+    //
+    // Dynamic-shape models batch by bucket: the head request picks the
+    // bucket and the scan takes only same-bucket requests (FIFO within the
+    // bucket, head-of-line for the rest) — one micro-batch never mixes
+    // sequence buckets, so one session run serves it from one family plan.
+    const std::int64_t bucket = queue_.front()->bucket;
+    const std::int64_t rows =
+        seq_buckets_.empty() ? input_shape_.h : bucket;
+    const std::int64_t row_elems = input_shape_.w * input_shape_.c;
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         static_cast<std::int64_t>(batch.size()) < opts_.max_batch;) {
+      if ((*it)->bucket == bucket) {
+        batch.push_back(*it);
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const std::int64_t take = static_cast<std::int64_t>(batch.size());
     rep.batch_input.reset_shape(
-        {take, input_shape_.h, input_shape_.w, input_shape_.c});
+        {take, rows, input_shape_.w, input_shape_.c});
     for (std::int64_t i = 0; i < take; ++i) {
-      RequestPtr r = queue_.front();
-      queue_.pop_front();
-      std::memcpy(rep.batch_input.data() + i * sample_elems,
-                  r->sample->data(),
-                  sizeof(std::int32_t) *
-                      static_cast<std::size_t>(sample_elems));
-      batch.push_back(std::move(r));
+      const RequestPtr& r = batch[static_cast<std::size_t>(i)];
+      const std::int64_t in_elems =
+          (seq_buckets_.empty() ? rows : r->seq) * row_elems;
+      std::int32_t* dst = rep.batch_input.data() + i * rows * row_elems;
+      std::memcpy(dst, r->sample->data(),
+                  sizeof(std::int32_t) * static_cast<std::size_t>(in_elems));
+      if (in_elems < rows * row_elems) {
+        std::memset(dst + in_elems, 0,
+                    sizeof(std::int32_t) *
+                        static_cast<std::size_t>(rows * row_elems - in_elems));
+      }
     }
     rep.in_flight = batch;
     rep.in_cycle = true;

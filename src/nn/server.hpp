@@ -58,6 +58,15 @@
 // drills in tests/test_chaos.cpp pin that injected crashes never corrupt a
 // non-injected response).
 //
+// Dynamic-shape models (ModelSpec::seq_buckets nonempty) add bucketed batch
+// formation: each request's token count is resolved at admission to the
+// smallest covering sequence bucket, and a micro-batch only ever contains
+// requests of one bucket — the dispatcher takes the head request's bucket
+// and gathers matching requests from anywhere in the queue (FIFO within the
+// bucket), zero-padding each sample up to the bucket length. The session's
+// compiled plan family serves every bucket without recompiling, so mixed
+// sequence lengths cost one plan lookup per batch, never a compile.
+//
 // Shutdown drains: ~InferenceServer stops admission (late infer() callers
 // get kShuttingDown), lets the replicas finish every queued request, joins
 // the monitor and the dispatchers, fails any request left queued when no
@@ -216,7 +225,10 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Serves one sample — HWC uint8 codes {H, W, C} (or {1, H, W, C}) —
-  /// blocking until its micro-batch has run. Returns the logits {classes}.
+  /// blocking until its micro-batch has run. For dynamic-shape models the
+  /// sample's H (token count) may be any length in [1, largest bucket];
+  /// it batches with same-bucket requests only. Returns the logits
+  /// {classes}.
   /// Thread-safe; any number of callers may be in flight. Throws ServerError
   /// on every failure path (see ErrorKind); the optional deadline bounds
   /// admission, backpressure waiting, and queue residency — a request that
@@ -313,6 +325,12 @@ class InferenceServer {
     bool done = false;
     Deadline deadline = kNoDeadline;
     std::chrono::steady_clock::time_point enqueued;
+    /// Dynamic-shape models only: the sample's token count and the sequence
+    /// bucket it was resolved to at admission (samples of one bucket batch
+    /// together; the gather zero-pads seq up to bucket). Both 0 when the
+    /// model is shape-static.
+    std::int64_t seq = 0;
+    std::int64_t bucket = 0;
   };
   using RequestPtr = std::shared_ptr<Request>;
 
@@ -363,6 +381,10 @@ class InferenceServer {
   const ApnnNetwork& net_;  ///< for replica recompiles on restart
   const tcsim::DeviceSpec dev_;
   const ActShape input_shape_;
+  /// Ascending sequence buckets (empty = shape-static model). Mirrors the
+  /// session's plan family so admission can resolve a request's bucket
+  /// without touching a replica.
+  std::vector<std::int64_t> seq_buckets_;
   ServerOptions opts_;  ///< resolved: replicas/max_queue/tune_batch filled in
   std::unique_ptr<core::TuningCache> owned_cache_;  ///< see ServerOptions
   /// Stealing membership for the replica pools. Declared before replicas_

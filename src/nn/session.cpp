@@ -9,6 +9,8 @@
 #include "src/common/check.hpp"
 #include "src/common/faultinject.hpp"
 #include "src/core/perf_model.hpp"
+#include "src/layout/bit_transpose.hpp"
+#include "src/nn/attention_math.hpp"
 #include "src/parallel/thread_pool.hpp"
 #include "src/quant/quantizer.hpp"
 
@@ -26,6 +28,7 @@ enum class ValueFormat {
   kDense,         ///< SlabSlot::dense — NHWC {B,H,W,C} or features {B,F}
   kPackedConv,    ///< SlabSlot::packed — channel-major packed activations
   kPackedLinear,  ///< SlabSlot::planes — N x M planes from a quantizing apmm
+  kPackedTokens,  ///< SlabSlot::planes — (B*seq) x C token-major planes
 };
 
 enum class StepKind {
@@ -39,6 +42,11 @@ enum class StepKind {
   kPack,          ///< dense codes -> packed conv planes
   kUnpack,        ///< packed conv planes -> dense codes
   kUnpackLinear,  ///< N x M feature planes -> dense {B, F} codes
+  kAttnProj,      ///< Q/K/V projection apmm (aux = 0/1/2), quantizing tail
+  kAttnScores,    ///< per-head QK^T + integer softmax -> attn codes (aux=head)
+  kAttnContext,   ///< per-head attn x V via packed transpose (aux = head)
+  kAttnOut,       ///< concat heads (extra_in) + output projection apmm
+  kUnpackTokens,  ///< token-major planes -> dense NHWC {B, seq, 1, C} codes
 };
 
 // --- glue kernels -----------------------------------------------------------
@@ -51,15 +59,15 @@ constexpr int kMaxBits = 16;  // plane-count ceiling of pack_activations
 constexpr std::int64_t kRowGrain = 64;
 
 /// Shared word-granular bit-plane transpose: for each of `rows` rows of `c`
-/// elements, `code_of(v)` yields the code whose bits land in the planes.
-/// Every word of every padded row is written (zeros beyond column c), so
-/// destinations may skip the reset_shape zero fill — the bit-packed output
-/// needs no second pass.
+/// elements, `code_of(v)` yields the code whose bits land in the planes
+/// starting at plane row `row_off`. Every word of every written padded row
+/// is overwritten (zeros beyond column c), so destinations may skip the
+/// reset_shape zero fill — the bit-packed output needs no second pass.
 template <typename CodeFn>
 void pack_rows(ThreadPool& tp, const std::int32_t* src, std::int64_t rows,
                std::int64_t c, int bits,
                std::vector<bitops::BitMatrix>& planes, std::int64_t grain,
-               CodeFn&& code_of) {
+               std::int64_t row_off, CodeFn&& code_of) {
   APNN_CHECK(bits >= 1 && bits <= kMaxBits);
   const std::int64_t row_words = planes[0].row_words();
   tp.parallel_for(0, rows, [&](std::int64_t r) {
@@ -76,7 +84,7 @@ void pack_rows(ThreadPool& tp, const std::int32_t* src, std::int64_t rows,
         }
       }
       for (int t = 0; t < bits; ++t) {
-        planes[static_cast<std::size_t>(t)].row(r)[w] = acc[t];
+        planes[static_cast<std::size_t>(t)].row(row_off + r)[w] = acc[t];
       }
     }
   }, grain);
@@ -87,9 +95,10 @@ void pack_rows(ThreadPool& tp, const std::int32_t* src, std::int64_t rows,
 void pack_codes(ThreadPool& tp, const std::int32_t* src, std::int64_t rows,
                 std::int64_t c, int bits,
                 std::vector<bitops::BitMatrix>& planes,
-                std::int64_t grain = kRowGrain) {
+                std::int64_t grain = kRowGrain, std::int64_t row_off = 0) {
   const std::int32_t hi = static_cast<std::int32_t>(1u << bits);
-  pack_rows(tp, src, rows, c, bits, planes, grain, [&](std::int32_t v) {
+  pack_rows(tp, src, rows, c, bits, planes, grain, row_off,
+            [&](std::int32_t v) {
     APNN_CHECK(v >= 0 && v < hi)
         << "activation " << v << " out of range for " << bits << " bits";
     return v;
@@ -160,27 +169,46 @@ void quantize_dense(ThreadPool& tp, const std::int32_t* src,
 void quantize_pack(ThreadPool& tp, const std::int32_t* src,
                    std::int64_t rows, std::int64_t c,
                    const quant::QuantParams& p,
-                   std::vector<bitops::BitMatrix>& planes) {
-  pack_rows(tp, src, rows, c, p.bits, planes, kRowGrain, [&](std::int32_t v) {
+                   std::vector<bitops::BitMatrix>& planes,
+                   std::int64_t row_off = 0) {
+  pack_rows(tp, src, rows, c, p.bits, planes, kRowGrain, row_off,
+            [&](std::int32_t v) {
     return quant::quantize_value(static_cast<float>(v), p);
   });
 }
 
+/// ReLU + quantize + repack in one pass — the attention context tail. The
+/// ReLU must run before quantization (a negative zero-point would otherwise
+/// map negative accumulators to nonzero codes).
+void relu_quantize_pack(ThreadPool& tp, const std::int32_t* src,
+                        std::int64_t rows, std::int64_t c,
+                        const quant::QuantParams& p,
+                        std::vector<bitops::BitMatrix>& planes,
+                        std::int64_t row_off) {
+  pack_rows(tp, src, rows, c, p.bits, planes, kRowGrain, row_off,
+            [&](std::int32_t v) {
+    return quant::quantize_value(static_cast<float>(std::max(v, 0)), p);
+  });
+}
+
 /// Integer max/avg pooling, NHWC, identical arithmetic to the reference
-/// walker's pool_dense (int64 aggregate, truncating average).
+/// walker's pool_dense (int64 aggregate, truncating average). size == 0 is
+/// the global-pool convention: one window covering the whole spatial map.
 void pool_nhwc(ThreadPool& tp, const std::int32_t* src, std::int64_t b,
                std::int64_t h, std::int64_t w, std::int64_t c,
                const PoolSpec& pool, std::int32_t* dst) {
-  const std::int64_t ph = h / pool.size, pw = w / pool.size;
+  const std::int64_t win_h = pool.size == 0 ? h : pool.size;
+  const std::int64_t win_w = pool.size == 0 ? w : pool.size;
+  const std::int64_t ph = h / win_h, pw = w / win_w;
   tp.parallel_for(0, b * ph, [&](std::int64_t row) {
     const std::int64_t n = row / ph, py = row % ph;
     for (std::int64_t px = 0; px < pw; ++px) {
       for (std::int64_t ch = 0; ch < c; ++ch) {
         std::int64_t agg = pool.kind == PoolSpec::Kind::kMax ? INT64_MIN : 0;
-        for (int dy = 0; dy < pool.size; ++dy) {
-          for (int dx = 0; dx < pool.size; ++dx) {
+        for (std::int64_t dy = 0; dy < win_h; ++dy) {
+          for (std::int64_t dx = 0; dx < win_w; ++dx) {
             const std::int32_t v =
-                src[(((n * h) + py * pool.size + dy) * w + px * pool.size +
+                src[(((n * h) + py * win_h + dy) * w + px * win_w +
                      dx) * c + ch];
             if (pool.kind == PoolSpec::Kind::kMax) {
               agg = std::max<std::int64_t>(agg, v);
@@ -190,7 +218,7 @@ void pool_nhwc(ThreadPool& tp, const std::int32_t* src, std::int64_t b,
           }
         }
         if (pool.kind == PoolSpec::Kind::kAvg) {
-          agg /= static_cast<std::int64_t>(pool.size) * pool.size;
+          agg /= win_h * win_w;
         }
         dst[((n * ph + py) * pw + px) * c + ch] =
             static_cast<std::int32_t>(agg);
@@ -236,6 +264,67 @@ void transpose_mn(ThreadPool& tp, const std::int32_t* src, std::int64_t m,
   }, kRowGrain);
 }
 
+// --- attention staging ------------------------------------------------------
+//
+// Per-(sample, head) operand slices for the score/context GEMMs. Both
+// helpers reshape scratch planes in place, so steady-state reuse allocates
+// nothing once each scratch slot reached its high-water capacity.
+
+/// Copies the column window [col0, col0 + ncols) of token rows
+/// [row0, row0 + nrows) from token-major planes into a compact
+/// nrows x ncols operand (one head's Q/K/V slice).
+void stage_col_slice(ThreadPool& tp, const bitops::BitPlanes& src,
+                     std::int64_t row0, std::int64_t nrows, std::int64_t col0,
+                     std::int64_t ncols, bitops::BitPlanes& dst) {
+  // copy_bits only touches [0, ncols); the zero fill keeps the word padding
+  // beyond it honest.
+  dst.reset_shape(nrows, ncols, src.bits, /*zero_fill=*/true);
+  tp.parallel_for(0, nrows * src.bits, [&](std::int64_t task) {
+    const std::int64_t r = task / src.bits;
+    const int t = static_cast<int>(task % src.bits);
+    bitops::copy_bits(dst.planes[static_cast<std::size_t>(t)].row(r), 0,
+                      src.planes[static_cast<std::size_t>(t)].row(row0 + r),
+                      col0, ncols);
+  }, kRowGrain);
+}
+
+/// Copies whole token rows [row0, row0 + nrows) (all columns) — word-aligned
+/// memcpy per plane, used to slice one sample's attention-code block.
+void stage_row_block(const bitops::BitPlanes& src, std::int64_t row0,
+                     std::int64_t nrows, bitops::BitPlanes& dst) {
+  dst.reset_shape(nrows, src.cols, src.bits, /*zero_fill=*/false);
+  const std::int64_t row_words = src.planes[0].row_words();
+  for (int t = 0; t < src.bits; ++t) {
+    std::memcpy(dst.planes[static_cast<std::size_t>(t)].row(0),
+                src.planes[static_cast<std::size_t>(t)].row(row0),
+                sizeof(std::uint64_t) *
+                    static_cast<std::size_t>(nrows * row_words));
+  }
+}
+
+/// The projection operand/quantizer a kAttnProj step's aux index selects.
+const core::ApOperand& attn_proj_weights(const ApnnStage& st, int aux) {
+  return aux == 0 ? st.weights : aux == 1 ? st.attn_wk : st.attn_wv;
+}
+const quant::QuantParams& attn_proj_quant(const ApnnStage& st, int aux) {
+  return aux == 0 ? st.attn_q_quant
+                  : aux == 1 ? st.attn_k_quant : st.attn_v_quant;
+}
+
+/// Scratch slots an attention step needs beyond its output slot.
+int attn_scratch_count(StepKind k) {
+  switch (k) {
+    case StepKind::kAttnScores:
+      return 2;  // Q-head + K-head slices (scores reuse the Q slot's dense)
+    case StepKind::kAttnContext:
+      return 3;  // attn block, V-head slice, transposed V-head
+    case StepKind::kAttnOut:
+      return 1;  // concatenated head operand
+    default:
+      return 0;
+  }
+}
+
 }  // namespace
 
 // --- the compiled plan ------------------------------------------------------
@@ -260,6 +349,11 @@ struct InferenceSession::Plan {
     quant::QuantParams quant;  ///< kQuantize
     PoolSpec pool;             ///< kPool
     int operand_slot = -1, scratch_slot = -1;  ///< kLinear temporaries
+    /// kAttnProj: projection index (0/1/2 = Q/K/V);
+    /// kAttnScores/kAttnContext: head index.
+    int aux = 0;
+    std::vector<int> extra_in;       ///< kAttnOut: per-head context values
+    std::vector<int> scratch_slots;  ///< attention staging slots
   };
 
   /// Batch-dependent step state, resolved once per distinct batch size and
@@ -270,6 +364,15 @@ struct InferenceSession::Plan {
     std::vector<core::TunedKernel> kern;     ///< per step (kConv/kLinear)
   };
 
+  /// This plan's bucketed view of the network: the spec with input.h set to
+  /// the plan's sequence bucket, plus the shapes propagated from it. Conv
+  /// geometry, attention lowering, and batch resolution all read these —
+  /// never the network's calibration-length spec — so one network compiles
+  /// into a family of shape-specialized plans over shared weights.
+  ModelSpec spec;
+  std::vector<ActShape> shapes;
+  std::int64_t bucket = 0;  ///< tokens per sample this plan serves
+
   std::vector<Value> values;
   std::vector<Step> steps;
   int input_value = -1;
@@ -277,9 +380,9 @@ struct InferenceSession::Plan {
   std::size_t num_slots = 0;
   std::map<std::int64_t, ResolvedBatch> resolved;  ///< keyed by batch
 
-  parallel::ActivationSlab slab;
   // Reads of compile-time network state (stages are referenced by index so
-  // the plan stays valid if the stage vector reallocates).
+  // the plan stays valid if the stage vector reallocates). The activation
+  // slab lives on the session, shared by every plan of the family.
 };
 
 namespace {
@@ -288,8 +391,10 @@ namespace {
 /// time, producing the step list, value formats, and slot assignment.
 class Compiler {
  public:
+  /// `plan.spec` and `plan.shapes` must already carry the plan's bucketed
+  /// view (InferenceSession's constructor sets them before compiling).
   Compiler(const ApnnNetwork& net, InferenceSession::Plan& plan)
-      : net_(net), spec_(net.spec()), plan_(plan) {}
+      : net_(net), spec_(plan.spec), plan_(plan) {}
 
   void compile() {
     index_stages();
@@ -417,12 +522,15 @@ class Compiler {
     Value& v = plan_.values[static_cast<std::size_t>(vid)];
     if (v.format == ValueFormat::kDense) return vid;
     if (dense_shadow_.count(vid) != 0) return dense_shadow_[vid];
-    const bool spatial = v.format == ValueFormat::kPackedConv;
+    const bool spatial = v.format == ValueFormat::kPackedConv ||
+                         v.format == ValueFormat::kPackedTokens;
     const int dv = new_value(ValueFormat::kDense, v.c, v.h, v.w, spatial, 0);
-    Step& s = add_step(v.format == ValueFormat::kPackedConv
-                           ? StepKind::kUnpack
-                           : StepKind::kUnpackLinear,
-                       kNoLayer);
+    const StepKind kind = v.format == ValueFormat::kPackedConv
+                              ? StepKind::kUnpack
+                              : v.format == ValueFormat::kPackedTokens
+                                    ? StepKind::kUnpackTokens
+                                    : StepKind::kUnpackLinear;
+    Step& s = add_step(kind, kNoLayer);
     s.in = vid;
     s.out = dv;
     dense_shadow_[vid] = dv;
@@ -439,7 +547,10 @@ class Compiler {
           << bits;
       return vid;
     }
-    if (v.format == ValueFormat::kPackedLinear) vid = ensure_dense(vid);
+    if (v.format == ValueFormat::kPackedLinear ||
+        v.format == ValueFormat::kPackedTokens) {
+      vid = ensure_dense(vid);
+    }
     if (packed_shadow_.count(vid) != 0) return packed_shadow_[vid];
     Value& dv = plan_.values[static_cast<std::size_t>(vid)];
     APNN_CHECK(dv.spatial) << "cannot pack feature vectors";
@@ -465,7 +576,7 @@ class Compiler {
     Step& pack_in = add_step(StepKind::kPackInput, kNoLayer);
     pack_in.out = plan_.input_value;
 
-    const auto& shapes = net_.shapes();
+    const auto& shapes = plan_.shapes;
     for (std::size_t li = 0; li < n; ++li) {
       if (consumed_[li]) continue;
       const LayerSpec& l = spec_.layers[li];
@@ -494,6 +605,12 @@ class Compiler {
           const std::size_t si = stage_of_[li];
           const ApnnStage& st = net_.stages()[si];
           int in_v = value_of(input_layer_of(li));
+          // Token-major planes have no per-sample row layout a linear
+          // operand can borrow; take the dense shadow and decompose.
+          if (plan_.values[static_cast<std::size_t>(in_v)].format ==
+              ValueFormat::kPackedTokens) {
+            in_v = ensure_dense(in_v);
+          }
           {
             const Value& v = plan_.values[static_cast<std::size_t>(in_v)];
             if (v.format == ValueFormat::kPackedConv ||
@@ -522,16 +639,19 @@ class Compiler {
         case LayerKind::kResidualAdd: {
           int a = value_of(input_layer_of(li));
           int b = value_of(static_cast<std::size_t>(l.residual));
-          // Feature planes can't be decoded row-wise in NHWC space; take the
-          // dense shadow. Channel-major packed inputs decode inline.
-          if (plan_.values[static_cast<std::size_t>(a)].format ==
-              ValueFormat::kPackedLinear) {
-            a = ensure_dense(a);
-          }
-          if (plan_.values[static_cast<std::size_t>(b)].format ==
-              ValueFormat::kPackedLinear) {
-            b = ensure_dense(b);
-          }
+          // Feature/token planes can't be decoded by the packed-conv side
+          // helper; take the dense shadow. Channel-major packed inputs
+          // decode inline.
+          auto densify_planes = [&](int vid) {
+            const ValueFormat f =
+                plan_.values[static_cast<std::size_t>(vid)].format;
+            return f == ValueFormat::kPackedLinear ||
+                           f == ValueFormat::kPackedTokens
+                       ? ensure_dense(vid)
+                       : vid;
+          };
+          a = densify_planes(a);
+          b = densify_planes(b);
           const Value& av = plan_.values[static_cast<std::size_t>(a)];
           const int out_v = new_value(ValueFormat::kDense, av.c, av.h, av.w,
                                       av.spatial, 0);
@@ -557,9 +677,10 @@ class Compiler {
           const int in_v = ensure_dense(value_of(input_layer_of(li)));
           const Value& iv = plan_.values[static_cast<std::size_t>(in_v)];
           APNN_CHECK(iv.spatial) << "pool needs a spatial input";
-          const int out_v =
-              new_value(ValueFormat::kDense, iv.c, iv.h / l.pool.size,
-                        iv.w / l.pool.size, true, 0);
+          const std::int64_t oh = l.pool.size == 0 ? 1 : iv.h / l.pool.size;
+          const std::int64_t ow = l.pool.size == 0 ? 1 : iv.w / l.pool.size;
+          const int out_v = new_value(ValueFormat::kDense, iv.c, oh, ow,
+                                      true, 0);
           Step& s = add_step(StepKind::kPool, li);
           s.in = in_v;
           s.out = out_v;
@@ -585,6 +706,81 @@ class Compiler {
           s.in = in_v;
           s.out = out_v;
           s.quant = it->second;
+          val_of_layer_[li] = out_v;
+          break;
+        }
+        case LayerKind::kAttention: {
+          // Lowering (§5 extended to attention): three quantizing bit-GEMM
+          // projections over the token operand, per-head QK^T with the
+          // fused integer-softmax tail, per-head attn x V through a packed
+          // word-granular transpose of the V slice, then the quantizing
+          // output projection over the concatenated heads.
+          const std::size_t si = stage_of_[li];
+          const ApnnStage& st = net_.stages()[si];
+          int in_v = value_of(input_layer_of(li));
+          if (plan_.values[static_cast<std::size_t>(in_v)].format ==
+              ValueFormat::kDense) {
+            in_v = ensure_packed(in_v, st.in_bits);
+          }
+          const Value& iv = plan_.values[static_cast<std::size_t>(in_v)];
+          APNN_CHECK(iv.format == ValueFormat::kPackedConv ||
+                     iv.format == ValueFormat::kPackedTokens)
+              << "attention layer '" << l.name << "' needs packed tokens";
+          APNN_CHECK(iv.w == 1)
+              << "attention tokens run along H; W must be 1";
+          APNN_CHECK(iv.bits == st.in_bits)
+              << "attention stage wants " << st.in_bits
+              << "-bit tokens, producer emits " << iv.bits;
+          const std::int64_t seq = iv.h;
+          const std::int64_t d_model = iv.c;
+          const int heads = l.attn.heads;
+          const std::int64_t dh = l.attn.d_head;
+          const std::int64_t proj = heads * dh;
+          const int abits = st.epilogue.quant.bits;
+          APNN_CHECK(st.epilogue.has_quant)
+              << "attention output projection must quantize";
+
+          // Q/K/V projections (aux picks the weight/requantizer triple).
+          int qkv[3];
+          for (int p = 0; p < 3; ++p) {
+            qkv[p] = new_value(ValueFormat::kPackedTokens, proj, seq, 1,
+                               true, abits);
+            Step& s = add_step(StepKind::kAttnProj, li);
+            s.stage = si;
+            s.aux = p;
+            s.in = in_v;
+            s.out = qkv[p];
+          }
+
+          // Per-head score/context chains.
+          std::vector<int> ctx;
+          for (int h = 0; h < heads; ++h) {
+            const int sv = new_value(ValueFormat::kPackedTokens, seq, seq, 1,
+                                     true, abits);
+            Step& ss = add_step(StepKind::kAttnScores, li);
+            ss.stage = si;
+            ss.aux = h;
+            ss.in = qkv[0];
+            ss.in2 = qkv[1];
+            ss.out = sv;
+            const int cv = new_value(ValueFormat::kPackedTokens, dh, seq, 1,
+                                     true, abits);
+            Step& cs = add_step(StepKind::kAttnContext, li);
+            cs.stage = si;
+            cs.aux = h;
+            cs.in = sv;
+            cs.in2 = qkv[2];
+            cs.out = cv;
+            ctx.push_back(cv);
+          }
+
+          // Output projection over the head concatenation.
+          const int out_v = new_value(ValueFormat::kPackedTokens, d_model,
+                                      seq, 1, true, abits);
+          Step& os = add_step(StepKind::kAttnOut, li);
+          os.stage = si;
+          os.extra_in = ctx;
+          os.out = out_v;
           val_of_layer_[li] = out_v;
           break;
         }
@@ -616,6 +812,9 @@ class Compiler {
       for (int vid : {st.in, st.in2}) {
         if (vid >= 0) plan_.values[static_cast<std::size_t>(vid)].last_use = s;
       }
+      for (int vid : st.extra_in) {
+        plan_.values[static_cast<std::size_t>(vid)].last_use = s;
+      }
     }
     plan_.values[static_cast<std::size_t>(plan_.logits_value)].last_use =
         nsteps;  // survives
@@ -632,13 +831,19 @@ class Compiler {
     };
     auto release_inputs = [&](const Step& st, std::size_t s) {
       // A step reading the same value twice (x + x) must free it once.
-      for (int vid : {st.in, st.in2 == st.in ? -1 : st.in2}) {
-        if (vid < 0) continue;
+      std::vector<int> seen;
+      auto release = [&](int vid) {
+        if (vid < 0) return;
+        if (std::find(seen.begin(), seen.end(), vid) != seen.end()) return;
+        seen.push_back(vid);
         Value& v = plan_.values[static_cast<std::size_t>(vid)];
         // v.slot stays recorded — the step executing at v.last_use still
         // reads through it; only *later* outputs may take the slot over.
         if (v.last_use == s && v.slot >= 0) free.push_back(v.slot);
-      }
+      };
+      release(st.in);
+      release(st.in2);
+      for (int vid : st.extra_in) release(vid);
     };
 
     for (std::size_t s = 0; s < nsteps; ++s) {
@@ -662,9 +867,13 @@ class Compiler {
           const ApnnStage& stage = net_.stages()[st.stage];
           if (!stage.epilogue.has_quant) st.scratch_slot = acquire();
         }
+        for (int i = 0; i < attn_scratch_count(st.kind); ++i) {
+          st.scratch_slots.push_back(acquire());
+        }
         release_inputs(st, s);
         if (st.operand_slot >= 0) free.push_back(st.operand_slot);
         if (st.scratch_slot >= 0) free.push_back(st.scratch_slot);
+        for (int slot : st.scratch_slots) free.push_back(slot);
       }
     }
     plan_.num_slots = static_cast<std::size_t>(next);
@@ -690,12 +899,30 @@ class Compiler {
 InferenceSession::~InferenceSession() = default;
 
 const parallel::ActivationSlab& InferenceSession::slab() const {
-  return plan_->slab;
+  return slab_;
 }
 std::size_t InferenceSession::step_count() const {
-  return plan_->steps.size();
+  return default_plan().steps.size();
 }
-std::size_t InferenceSession::slot_count() const { return plan_->num_slots; }
+std::size_t InferenceSession::slot_count() const {
+  return default_plan().num_slots;
+}
+std::size_t InferenceSession::plan_count() const { return plans_.size(); }
+
+InferenceSession::Plan& InferenceSession::plan_for(
+    std::int64_t seq_len) const {
+  for (const auto& p : plans_) {
+    if (p->bucket >= seq_len) return *p;
+  }
+  APNN_CHECK(false) << "sequence length " << seq_len
+                    << " exceeds the largest compiled bucket "
+                    << plans_.back()->bucket;
+  return *plans_.back();  // unreachable
+}
+
+InferenceSession::Plan& InferenceSession::default_plan() const {
+  return plan_for(net_.spec().input.h);
+}
 
 namespace {
 
@@ -720,11 +947,18 @@ const InferenceSession::Plan::ResolvedBatch& resolve_batch(
   InferenceSession::Plan::ResolvedBatch rb;
   rb.geom.resize(plan.steps.size());
   rb.kern.resize(plan.steps.size());
+  const auto heuristic = [&](std::int64_t m, std::int64_t n, std::int64_t k,
+                             int p, int q) {
+    core::TunedKernel kern;
+    kern.tile = core::clamp_tile_rows(
+        core::autotune_tile(m, n, k, p, q, dev).tile, m, p);
+    return kern;
+  };
   for (std::size_t si = 0; si < plan.steps.size(); ++si) {
     const auto& s = plan.steps[si];
     if (s.kind == StepKind::kConv) {
       const ApnnStage& st = net.stages()[s.stage];
-      rb.geom[si] = conv_geometry(net.spec(), net.shapes(), s.layer, batch);
+      rb.geom[si] = conv_geometry(plan.spec, plan.shapes, s.layer, batch);
       if (tuner != nullptr) {
         rb.kern[si] =
             tuner->tune_apconv(st.weights, rb.geom[si], st.in_bits,
@@ -743,11 +977,49 @@ const InferenceSession::Plan::ResolvedBatch& resolve_batch(
         rb.kern[si] = tuner->tune_apmm(st.weights, batch, st.in_bits,
                                        st.in_enc, st.epilogue);
       } else {
-        rb.kern[si].tile = core::clamp_tile_rows(
-            core::autotune_tile(st.weights.rows(), batch, st.weights.cols(),
-                                st.weights.bits(), st.in_bits, dev)
-                .tile,
-            st.weights.rows(), st.weights.bits());
+        rb.kern[si] = heuristic(st.weights.rows(), batch, st.weights.cols(),
+                                st.weights.bits(), st.in_bits);
+      }
+    } else if (s.kind == StepKind::kAttnProj ||
+               s.kind == StepKind::kAttnOut) {
+      // Token-count GEMMs: N is batch * bucket, so the tuning key carries
+      // the plan's bucket — each bucket of the family tunes (and caches)
+      // independently.
+      const ApnnStage& st = net.stages()[s.stage];
+      const bool is_out = s.kind == StepKind::kAttnOut;
+      const core::ApOperand& w =
+          is_out ? st.attn_wo : attn_proj_weights(st, s.aux);
+      core::Epilogue epi;
+      if (is_out) {
+        epi = st.epilogue;
+      } else {
+        epi.has_relu = true;
+        epi.has_quant = true;
+        epi.quant = attn_proj_quant(st, s.aux);
+      }
+      const int in_bits = is_out ? st.epilogue.quant.bits : st.in_bits;
+      const std::int64_t n =
+          batch * plan.values[static_cast<std::size_t>(s.out)].h;
+      if (tuner != nullptr) {
+        rb.kern[si] = tuner->tune_apmm(w, n, in_bits, Encoding::kUnsigned01,
+                                       epi, /*seq=*/plan.bucket);
+      } else {
+        rb.kern[si] = heuristic(w.rows(), n, w.cols(), w.bits(), in_bits);
+      }
+    } else if (s.kind == StepKind::kAttnScores ||
+               s.kind == StepKind::kAttnContext) {
+      // Per-(sample, head) GEMMs on freshly staged operands: heuristic
+      // tiles only — empirical measurement would key on staging scratch,
+      // not a stage weight operand.
+      const auto& out = plan.values[static_cast<std::size_t>(s.out)];
+      const std::int64_t seq = out.h;
+      const std::int64_t dh =
+          plan.spec.layers[s.layer].attn.d_head;
+      const int abits = out.bits;
+      if (s.kind == StepKind::kAttnScores) {
+        rb.kern[si] = heuristic(seq, seq, dh, abits, abits);
+      } else {
+        rb.kern[si] = heuristic(seq, dh, seq, abits, abits);
       }
     }
   }
@@ -759,10 +1031,36 @@ const InferenceSession::Plan::ResolvedBatch& resolve_batch(
 InferenceSession::InferenceSession(const ApnnNetwork& net,
                                    const tcsim::DeviceSpec& dev,
                                    const SessionOptions& opts)
-    : net_(net), dev_(dev), opts_(opts), plan_(std::make_unique<Plan>()) {
+    : net_(net), dev_(dev), opts_(opts) {
   APNN_CHECK(net.calibrated()) << "call calibrate() before compiling";
-  Compiler(net, *plan_).compile();
-  plan_->slab.require(plan_->num_slots);
+
+  // One plan per sequence bucket (a single plan at the spec's input length
+  // for fixed-shape models), all sharing the network's weights and the
+  // session's slab.
+  std::vector<std::int64_t> buckets = net.spec().seq_buckets;
+  if (buckets.empty()) {
+    buckets.push_back(net.spec().input.h);
+  } else {
+    std::sort(buckets.begin(), buckets.end());
+    buckets.erase(std::unique(buckets.begin(), buckets.end()), buckets.end());
+    APNN_CHECK(buckets.front() >= 1) << "sequence buckets must be positive";
+    APNN_CHECK(net.spec().input.h <= buckets.back())
+        << "calibration length " << net.spec().input.h
+        << " exceeds the largest bucket " << buckets.back();
+  }
+  std::size_t max_slots = 0;
+  for (std::int64_t b : buckets) {
+    auto plan = std::make_unique<Plan>();
+    plan->bucket = b;
+    plan->spec = net.spec();
+    plan->spec.input.h = b;
+    plan->shapes = propagate_shapes(plan->spec);
+    Compiler(net, *plan).compile();
+    max_slots = std::max(max_slots, plan->num_slots);
+    plans_.push_back(std::move(plan));
+  }
+  slab_.require(max_slots);
+
   if (opts_.autotune) {
     core::TuningCache* cache = opts_.cache;
     if (cache == nullptr) {
@@ -772,7 +1070,11 @@ InferenceSession::InferenceSession(const ApnnNetwork& net,
     tuner_ = std::make_unique<core::Autotuner>(dev_, cache, opts_.tuner,
                                                opts_.pool);
     if (opts_.tune_batch > 0) {
-      resolve_batch(net_, dev_, *plan_, opts_.tune_batch, tuner_.get());
+      // Warm every plan of the family: serving mixed-length traffic must
+      // never pay a tuning burst per request.
+      for (const auto& plan : plans_) {
+        resolve_batch(net_, dev_, *plan, opts_.tune_batch, tuner_.get());
+      }
     }
   }
 }
@@ -783,7 +1085,7 @@ std::int64_t InferenceSession::tuning_measurements() const {
 
 std::vector<core::TunedKernel> InferenceSession::stage_kernels(
     std::int64_t batch) {
-  return resolve_batch(net_, dev_, *plan_, batch, tuner_.get()).kern;
+  return resolve_batch(net_, dev_, default_plan(), batch, tuner_.get()).kern;
 }
 
 void InferenceSession::validate_sample(const ActShape& shape,
@@ -798,6 +1100,36 @@ void InferenceSession::validate_sample(const ActShape& shape,
       << "sample must be {" << shape.h << ", " << shape.w << ", " << shape.c
       << "}, got {" << sample.dim(off) << ", " << sample.dim(off + 1) << ", "
       << sample.dim(off + 2) << "}";
+  const std::int32_t* s = sample.data();
+  for (std::int64_t i = 0; i < sample.numel(); ++i) {
+    APNN_CHECK(s[i] >= 0 && s[i] <= 255)
+        << "sample value " << s[i] << " at index " << i
+        << " is not an 8-bit input code";
+  }
+}
+
+void InferenceSession::validate_sample(
+    const ActShape& shape, const std::vector<std::int64_t>& seq_buckets,
+    const Tensor<std::int32_t>& sample) {
+  if (seq_buckets.empty()) {
+    validate_sample(shape, sample);
+    return;
+  }
+  const bool batched_rank = sample.rank() == 4;
+  APNN_CHECK((sample.rank() == 3 || batched_rank) &&
+             (!batched_rank || sample.dim(0) == 1))
+      << "sample must be one sequence: {S, W, C} or {1, S, W, C}";
+  const int off = batched_rank ? 1 : 0;
+  const std::int64_t s_len = sample.dim(off);
+  const std::int64_t max_bucket = seq_buckets.back();
+  APNN_CHECK(s_len >= 1 && s_len <= max_bucket)
+      << "sequence length " << s_len << " outside the bucket range [1, "
+      << max_bucket << "]";
+  APNN_CHECK(sample.dim(off + 1) == shape.w &&
+             sample.dim(off + 2) == shape.c)
+      << "sample must be {seq, " << shape.w << ", " << shape.c << "}, got {"
+      << s_len << ", " << sample.dim(off + 1) << ", " << sample.dim(off + 2)
+      << "}";
   const std::int32_t* s = sample.data();
   for (std::int64_t i = 0; i < sample.numel(); ++i) {
     APNN_CHECK(s[i] >= 0 && s[i] <= 255)
@@ -839,14 +1171,52 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
   // replica failure).
   faultinject::point(faultinject::kSessionRun);
   const ModelSpec& spec = net_.spec();
-  APNN_CHECK(input_u8.rank() == 4 && input_u8.dim(1) == spec.input.h &&
-             input_u8.dim(2) == spec.input.w &&
-             input_u8.dim(3) == spec.input.c)
-      << "input must be NHWC {B, " << spec.input.h << ", " << spec.input.w
-      << ", " << spec.input.c << "}";
+  APNN_CHECK(input_u8.rank() == 4) << "input must be NHWC {B, S, W, C}";
   const std::int64_t batch = input_u8.dim(0);
   APNN_CHECK(batch >= 1);
-  Plan& plan = *plan_;
+  if (spec.seq_buckets.empty()) {
+    APNN_CHECK(input_u8.dim(1) == spec.input.h &&
+               input_u8.dim(2) == spec.input.w &&
+               input_u8.dim(3) == spec.input.c)
+        << "input must be NHWC {B, " << spec.input.h << ", " << spec.input.w
+        << ", " << spec.input.c << "}";
+    run_plan(*plans_.front(), input_u8, logits, prof);
+    return;
+  }
+
+  // Bucketed sequences: pick the smallest plan that fits and zero-pad the
+  // token tail up to its bucket (padded tokens are all-zero codes; their
+  // rows never feed back into real tokens' logits through the pooled head).
+  APNN_CHECK(input_u8.dim(2) == spec.input.w &&
+             input_u8.dim(3) == spec.input.c)
+      << "input must be NHWC {B, seq, " << spec.input.w << ", "
+      << spec.input.c << "}";
+  const std::int64_t seq = input_u8.dim(1);
+  APNN_CHECK(seq >= 1) << "input has no tokens";
+  Plan& plan = plan_for(seq);
+  if (seq == plan.bucket) {
+    run_plan(plan, input_u8, logits, prof);
+    return;
+  }
+  const std::int64_t per_tok = spec.input.w * spec.input.c;
+  const std::int64_t in_per = seq * per_tok;
+  const std::int64_t out_per = plan.bucket * per_tok;
+  padded_.reset_shape({batch, plan.bucket, spec.input.w, spec.input.c});
+  for (std::int64_t b = 0; b < batch; ++b) {
+    std::memcpy(padded_.data() + b * out_per, input_u8.data() + b * in_per,
+                sizeof(std::int32_t) * static_cast<std::size_t>(in_per));
+    std::memset(padded_.data() + b * out_per + in_per, 0,
+                sizeof(std::int32_t) *
+                    static_cast<std::size_t>(out_per - in_per));
+  }
+  run_plan(plan, padded_, logits, prof);
+}
+
+void InferenceSession::run_plan(Plan& plan,
+                                const Tensor<std::int32_t>& input_u8,
+                                Tensor<std::int32_t>* logits,
+                                tcsim::SequenceProfile* prof) {
+  const std::int64_t batch = input_u8.dim(0);
   // Every kernel and glue loop of this pass runs on the session's pool (a
   // replica's private slice under the server; the global pool otherwise).
   ThreadPool& tp = opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
@@ -856,7 +1226,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
   auto slot_of = [&](int vid) -> parallel::SlabSlot& {
     const auto& v = plan.values[static_cast<std::size_t>(vid)];
     APNN_DCHECK(v.slot >= 0);
-    return plan.slab.slot(static_cast<std::size_t>(v.slot));
+    return slab_.slot(static_cast<std::size_t>(v.slot));
   };
   auto value = [&](int vid) -> const Plan::Value& {
     return plan.values[static_cast<std::size_t>(vid)];
@@ -921,7 +1291,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
           APNN_CHECK(in.per_sample() == feat) << "feature count mismatch";
           lender = &slot_of(step.in).planes;
         } else {
-          lender = &plan.slab.slot(static_cast<std::size_t>(step.operand_slot))
+          lender = &slab_.slot(static_cast<std::size_t>(step.operand_slot))
                         .planes;
           // The gather writes C-bit slabs into otherwise-untouched rows and
           // needs the zeroed padding; the decompose overwrites every word.
@@ -953,7 +1323,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
         if (st.epilogue.has_quant) {
           o.packed_out = &dst.planes;
         } else {
-          raw = &plan.slab.slot(static_cast<std::size_t>(step.scratch_slot))
+          raw = &slab_.slot(static_cast<std::size_t>(step.scratch_slot))
                      .dense;
           o.y_out = raw;
         }
@@ -1092,6 +1462,190 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
                       ds.dense.data(), false);
         break;
       }
+      case StepKind::kAttnProj: {
+        const ApnnStage& st = net_.stages()[step.stage];
+        const Plan::Value& in = value(step.in);
+        const std::int64_t tokens = batch * in.h * in.w;
+        // Lend the producer's plane storage (the input pack, or a previous
+        // attention layer's token planes) to the kernel as the N x K token
+        // operand — no copy, restored after the call.
+        std::vector<bitops::BitMatrix>* lender =
+            in.format == ValueFormat::kPackedConv
+                ? &slot_of(step.in).packed.planes
+                : &slot_of(step.in).planes.planes;
+        core::ApOperand xop;
+        xop.encoding = st.in_enc;
+        xop.planes.rows = tokens;
+        xop.planes.cols = in.c;
+        xop.planes.bits = in.bits;
+        xop.planes.planes = std::move(*lender);
+
+        core::Epilogue epi;
+        epi.has_relu = true;
+        epi.has_quant = true;
+        epi.quant = attn_proj_quant(st, step.aux);
+
+        core::ApmmOptions o;
+        o.autotune = false;
+        o.tile = rb.kern[si].tile;
+        o.micro = rb.kern[si].micro;
+        o.combine_fast = rb.kern[si].combine_fast;
+        o.collect_profile = prof != nullptr;
+        o.pool = opts_.pool;
+        o.packed_out = &slot_of(step.out).planes;
+        core::ApmmResult r =
+            core::apmm(attn_proj_weights(st, step.aux), xop, dev_, o, epi);
+        if (prof != nullptr) prof->add(r.profile);
+        *lender = std::move(xop.planes.planes);
+        break;
+      }
+      case StepKind::kAttnScores: {
+        const AttentionParams& ap = plan.spec.layers[step.layer].attn;
+        const Plan::Value& out = value(step.out);
+        const std::int64_t seq = out.h;
+        const std::int64_t dh = ap.d_head;
+        const std::int64_t col0 = static_cast<std::int64_t>(step.aux) * dh;
+        const int shift = attn_scale_shift(ap);
+        const int abits = out.bits;
+        parallel::SlabSlot& s0 =
+            slab_.slot(static_cast<std::size_t>(step.scratch_slots[0]));
+        parallel::SlabSlot& s1 =
+            slab_.slot(static_cast<std::size_t>(step.scratch_slots[1]));
+        parallel::SlabSlot& dst = slot_of(step.out);
+        // pack_codes overwrites every padded word of the rows it writes.
+        dst.planes.reset_shape(batch * seq, seq, abits, /*zero_fill=*/false);
+        const bitops::BitPlanes& q = slot_of(step.in).planes;
+        const bitops::BitPlanes& k = slot_of(step.in2).planes;
+        for (std::int64_t b = 0; b < batch; ++b) {
+          stage_col_slice(tp, q, b * seq, seq, col0, dh, s0.planes);
+          stage_col_slice(tp, k, b * seq, seq, col0, dh, s1.planes);
+          core::ApOperand qop, kop;
+          qop.encoding = Encoding::kUnsigned01;
+          kop.encoding = Encoding::kUnsigned01;
+          qop.planes = std::move(s0.planes);
+          kop.planes = std::move(s1.planes);
+          core::ApmmOptions o;
+          o.autotune = false;
+          o.tile = rb.kern[si].tile;
+          o.collect_profile = prof != nullptr;
+          o.pool = opts_.pool;
+          o.y_out = &s0.dense;  // raw seq x seq scores
+          core::ApmmResult r =
+              core::apmm(qop, kop, dev_, o, core::Epilogue{});
+          if (prof != nullptr) prof->add(r.profile);
+          s0.planes = std::move(qop.planes);
+          s1.planes = std::move(kop.planes);
+          // Scale -> integer softmax -> requantize, in place on the raw
+          // scores (row max is read out before any write), then pack the
+          // sample's row block of the output planes.
+          std::int32_t* scores = s0.dense.data();
+          tp.parallel_for(0, seq, [&](std::int64_t i) {
+            attn_softmax_row(scores + i * seq, seq, shift, abits,
+                             scores + i * seq);
+          }, kRowGrain);
+          pack_codes(tp, scores, seq, seq, abits, dst.planes.planes,
+                     kRowGrain, b * seq);
+        }
+        break;
+      }
+      case StepKind::kAttnContext: {
+        const ApnnStage& st = net_.stages()[step.stage];
+        const AttentionParams& ap = plan.spec.layers[step.layer].attn;
+        const Plan::Value& out = value(step.out);
+        const std::int64_t seq = out.h;
+        const std::int64_t dh = ap.d_head;
+        const std::int64_t col0 = static_cast<std::int64_t>(step.aux) * dh;
+        const int abits = out.bits;
+        parallel::SlabSlot& s0 =
+            slab_.slot(static_cast<std::size_t>(step.scratch_slots[0]));
+        parallel::SlabSlot& s1 =
+            slab_.slot(static_cast<std::size_t>(step.scratch_slots[1]));
+        parallel::SlabSlot& s2 =
+            slab_.slot(static_cast<std::size_t>(step.scratch_slots[2]));
+        parallel::SlabSlot& dst = slot_of(step.out);
+        dst.planes.reset_shape(batch * seq, dh, abits, /*zero_fill=*/false);
+        const bitops::BitPlanes& attn = slot_of(step.in).planes;
+        const bitops::BitPlanes& v = slot_of(step.in2).planes;
+        for (std::int64_t b = 0; b < batch; ++b) {
+          stage_row_block(attn, b * seq, seq, s0.planes);
+          stage_col_slice(tp, v, b * seq, seq, col0, dh, s1.planes);
+          // Word-granular packed transpose: V_h -> V_h^T is the K-major
+          // feature operand of attn x V (replaces the example's old
+          // element-wise transpose loop).
+          layout::transpose_planes(s1.planes, s2.planes);
+          core::ApOperand wop, xop;
+          wop.encoding = Encoding::kUnsigned01;
+          xop.encoding = Encoding::kUnsigned01;
+          wop.planes = std::move(s0.planes);
+          xop.planes = std::move(s2.planes);
+          core::ApmmOptions o;
+          o.autotune = false;
+          o.tile = rb.kern[si].tile;
+          o.collect_profile = prof != nullptr;
+          o.pool = opts_.pool;
+          o.y_out = &s1.dense;  // raw seq x d_head context
+          core::ApmmResult r =
+              core::apmm(wop, xop, dev_, o, core::Epilogue{});
+          if (prof != nullptr) prof->add(r.profile);
+          s0.planes = std::move(wop.planes);
+          s2.planes = std::move(xop.planes);
+          relu_quantize_pack(tp, s1.dense.data(), seq, dh,
+                             st.attn_ctx_quant, dst.planes.planes, b * seq);
+        }
+        break;
+      }
+      case StepKind::kAttnOut: {
+        const ApnnStage& st = net_.stages()[step.stage];
+        const Plan::Value& out = value(step.out);
+        const std::int64_t tokens = batch * out.h;
+        const std::int64_t dh =
+            plan.spec.layers[step.layer].attn.d_head;
+        const int heads = static_cast<int>(step.extra_in.size());
+        const int abits = value(step.extra_in[0]).bits;
+        parallel::SlabSlot& s0 =
+            slab_.slot(static_cast<std::size_t>(step.scratch_slots[0]));
+        // Concatenate the heads' context planes into one token-major
+        // operand (zero fill keeps the word padding honest; copy_bits
+        // writes only each head's column window).
+        s0.planes.reset_shape(tokens, static_cast<std::int64_t>(heads) * dh,
+                              abits, /*zero_fill=*/true);
+        tp.parallel_for(0, tokens, [&](std::int64_t r) {
+          for (int h = 0; h < heads; ++h) {
+            const bitops::BitPlanes& c = slot_of(step.extra_in[h]).planes;
+            for (int t = 0; t < abits; ++t) {
+              bitops::copy_bits(
+                  s0.planes.planes[static_cast<std::size_t>(t)].row(r),
+                  h * dh, c.planes[static_cast<std::size_t>(t)].row(r), 0,
+                  dh);
+            }
+          }
+        }, kRowGrain);
+        core::ApOperand xop;
+        xop.encoding = Encoding::kUnsigned01;
+        xop.planes = std::move(s0.planes);
+        core::ApmmOptions o;
+        o.autotune = false;
+        o.tile = rb.kern[si].tile;
+        o.micro = rb.kern[si].micro;
+        o.combine_fast = rb.kern[si].combine_fast;
+        o.collect_profile = prof != nullptr;
+        o.pool = opts_.pool;
+        o.packed_out = &slot_of(step.out).planes;
+        core::ApmmResult r =
+            core::apmm(st.attn_wo, xop, dev_, o, st.epilogue);
+        if (prof != nullptr) prof->add(r.profile);
+        s0.planes = std::move(xop.planes);
+        break;
+      }
+      case StepKind::kUnpackTokens: {
+        const Plan::Value& out = value(step.out);
+        const bitops::BitPlanes& src = slot_of(step.in).planes;
+        parallel::SlabSlot& ds = slot_of(step.out);
+        ds.dense.reset_shape({batch, out.h, out.w, out.c});
+        decode_planes(tp, src.planes, src.bits, batch * out.h * out.w,
+                      out.c, ds.dense.data(), false);
+        break;
+      }
     }
   }
 
@@ -1101,7 +1655,7 @@ void InferenceSession::run(const Tensor<std::int32_t>& input_u8,
   logits->reset_shape({batch, lv.c});
   std::memcpy(logits->data(), ld.data(),
               sizeof(std::int32_t) * static_cast<std::size_t>(batch * lv.c));
-  plan.slab.note_high_water();
+  slab_.note_high_water();
 }
 
 Tensor<std::int32_t> InferenceSession::run(const Tensor<std::int32_t>& input_u8,

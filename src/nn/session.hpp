@@ -23,6 +23,12 @@
 // resolved lazily and cached, so one session serves any request size (the
 // dynamic-batching nn::InferenceServer relies on this). Results are
 // bit-exact with ApnnNetwork::forward_reference().
+//
+// Dynamic sequence lengths (ModelSpec::seq_buckets) compile a plan *family*:
+// one plan per bucket, sharing the network's weights and a single
+// session-owned slab sized to the largest plan's slot count. run() picks the
+// smallest bucket that fits the request's token count and zero-pads up to
+// it, so serving mixed-length attention traffic never recompiles.
 #pragma once
 
 #include <cstdint>
@@ -107,16 +113,31 @@ class InferenceSession {
   static void validate_sample(const ActShape& shape,
                               const Tensor<std::int32_t>& sample);
 
+  /// Bucketed-sequence variant: with `seq_buckets` non-empty (sorted
+  /// ascending, as ModelSpec carries them) the sample's leading dimension is
+  /// a token count and may be any value in [1, seq_buckets.back()]; the
+  /// trailing dims must still match {shape.w, shape.c}. With empty buckets
+  /// this forwards to the fixed-shape overload.
+  static void validate_sample(const ActShape& shape,
+                              const std::vector<std::int64_t>& seq_buckets,
+                              const Tensor<std::int32_t>& sample);
+
   /// Opaque compiled plan (defined in session.cpp).
   struct Plan;
 
   /// The session-owned activation slab (footprint inspection).
   const parallel::ActivationSlab& slab() const;
 
-  /// Compiled plan shape: executable steps and distinct slab slots. The
-  /// slot count is below the value count whenever liveness found reuse.
+  /// Compiled plan shape of the *default* plan (the bucket serving the
+  /// spec's calibration length; the only plan for fixed-shape models):
+  /// executable steps and distinct slab slots. The slot count is below the
+  /// value count whenever liveness found reuse.
   std::size_t step_count() const;
   std::size_t slot_count() const;
+
+  /// Number of compiled plans (1 for fixed-shape models, one per sequence
+  /// bucket otherwise).
+  std::size_t plan_count() const;
 
   /// Candidate measurement executions this session's autotuner has
   /// performed (0 with autotuning off, or when every stage resolution hit
@@ -129,12 +150,26 @@ class InferenceSession {
   std::vector<core::TunedKernel> stage_kernels(std::int64_t batch);
 
  private:
+  /// The plan serving `seq_len` tokens: smallest bucket >= seq_len. Throws
+  /// when seq_len exceeds the largest bucket.
+  Plan& plan_for(std::int64_t seq_len) const;
+  Plan& default_plan() const;
+
+  /// Executes one compiled plan; `input` rows must match the plan's bucket.
+  void run_plan(Plan& plan, const Tensor<std::int32_t>& input,
+                Tensor<std::int32_t>* logits, tcsim::SequenceProfile* prof);
+
   const ApnnNetwork& net_;
   tcsim::DeviceSpec dev_;
   SessionOptions opts_;
   std::unique_ptr<core::TuningCache> owned_cache_;
   std::unique_ptr<core::Autotuner> tuner_;
-  std::unique_ptr<Plan> plan_;
+  /// Plan family, ascending by bucket (a single entry for fixed shapes).
+  std::vector<std::unique_ptr<Plan>> plans_;
+  /// One slab shared by every plan (slots sized to the largest plan).
+  parallel::ActivationSlab slab_;
+  /// Reusable zero-padded staging input for sub-bucket requests.
+  Tensor<std::int32_t> padded_;
 };
 
 }  // namespace apnn::nn

@@ -57,6 +57,38 @@ TunedKernel sample_kernel() {
   return c;
 }
 
+TEST(StageKey, SeqBucketKeysDistinctCanonicals) {
+  // Two plan-family members can lower to identical GEMM dims (batch *
+  // bucket collisions); the bucket itself must still split the cache key.
+  StageKey a = sample_key(256);
+  StageKey b = a;
+  b.seq = 128;
+  EXPECT_NE(a.canonical(), b.canonical());
+  StageKey c = b;
+  c.seq = 256;
+  EXPECT_NE(b.canonical(), c.canonical());
+
+  TuningCache cache;
+  TunedKernel winner_b = sample_kernel();
+  TunedKernel winner_c = sample_kernel();
+  winner_c.tile.bm = 64;
+  cache.insert(b, winner_b);
+  cache.insert(c, winner_c);
+  ASSERT_EQ(cache.size(), 2u);
+  TunedKernel got;
+  ASSERT_TRUE(cache.lookup(b, &got));
+  EXPECT_TRUE(got.same_config(winner_b));
+  ASSERT_TRUE(cache.lookup(c, &got));
+  EXPECT_TRUE(got.same_config(winner_c));
+  EXPECT_FALSE(cache.lookup(a, &got));  // seq 0 was never inserted
+
+  // And the serialized form round-trips the bucket.
+  TuningCache loaded;
+  ASSERT_TRUE(loaded.deserialize(cache.serialize()));
+  ASSERT_TRUE(loaded.lookup(c, &got));
+  EXPECT_TRUE(got.same_config(winner_c));
+}
+
 // --- TuningCache ------------------------------------------------------------
 
 TEST(TuningCache, SerializeRoundTrip) {
@@ -152,10 +184,10 @@ TEST(TuningCache, MalformedInputRejected) {
   TuningCache cache;
   EXPECT_FALSE(cache.deserialize("not-a-cache 1\nfingerprint x\n"));
   EXPECT_FALSE(cache.deserialize(""));
-  // Wrong schema version (the current schema is 3: entries grew the
-  // sparse_staging column).
+  // Wrong schema version (the current schema is 4: keys grew the
+  // sequence-bucket dimension).
   std::string text = TuningCache().serialize();
-  const auto pos = text.find(" 3\n");
+  const auto pos = text.find(" 4\n");
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, 3, " 999\n");
   EXPECT_FALSE(cache.deserialize(text));

@@ -175,9 +175,11 @@ TEST(WireCodec, InferPayloadRoundTrip) {
 TEST(WireCodec, InferPayloadValidation) {
   // The encoder APNN_CHECKs its own invariants, so malformed payloads are
   // hand-built here the way a hostile peer would send them:
-  // str(model) u32(deadline) u16(count) u16(h) u16(w) u16(c) bytes.
+  // str(model) u32(deadline) u16(count) u16(h) u16(w) u16(c) u16(seq_len)
+  // bytes.
   auto raw = [](std::uint16_t count, std::uint16_t h, std::uint16_t w,
-                std::uint16_t c, std::size_t nbytes) {
+                std::uint16_t c, std::size_t nbytes,
+                std::uint16_t seq_len = 0) {
     std::vector<std::uint8_t> b;
     wire::put_str(b, "m");
     wire::put_u32(b, 0);
@@ -185,6 +187,7 @@ TEST(WireCodec, InferPayloadValidation) {
     wire::put_u16(b, h);
     wire::put_u16(b, w);
     wire::put_u16(b, c);
+    wire::put_u16(b, seq_len);
     b.insert(b.end(), nbytes, 0);
     return b;
   };
@@ -202,6 +205,13 @@ TEST(WireCodec, InferPayloadValidation) {
           wire::kMaxFrameSamples + 1, 2, 2, 1,
           static_cast<std::size_t>(wire::kMaxFrameSamples + 1) * 4)),
       wire::WireFormatError);
+  // A nonzero seq_len that does not match the sample token count.
+  EXPECT_THROW(wire::decode_infer_request(raw(1, 2, 2, 1, 4, /*seq_len=*/3)),
+               wire::WireFormatError);
+  // seq_len == h is well-formed at the codec layer (model-shape checks
+  // happen at admission, not here).
+  EXPECT_NO_THROW(wire::decode_infer_request(raw(1, 2, 2, 1, 4,
+                                                 /*seq_len=*/2)));
   // Trailing garbage after a well-formed request.
   std::vector<std::uint8_t> bytes = raw(1, 2, 2, 1, 4);
   EXPECT_NO_THROW(wire::decode_infer_request(bytes));
@@ -629,5 +639,116 @@ TEST_F(GatewayEndToEnd, ShutdownWithConnectionsOpen) {
   EXPECT_THROW(net::connect_loopback(gateway_->port()), Error);
 }
 
+
+// --- protocol v2: variable-length sequences over the wire --------------------
+
+class BucketedGatewayEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One bucketed transformer next to one shape-static conv model, so the
+    // tests can probe both sides of the seq_len admission rules.
+    attn_spec_ = tiny_transformer();
+    attn_net_ = std::make_unique<ApnnNetwork>(
+        ApnnNetwork::random(attn_spec_, 1, 2, 33));
+    Rng rng(34);
+    Tensor<std::int32_t> calib(
+        {2, attn_spec_.input.h, attn_spec_.input.w, attn_spec_.input.c});
+    calib.randomize(rng, 0, 255);
+    attn_net_->calibrate(calib);
+    attn_path_ = "test_gateway_attn.apnn";
+    ASSERT_TRUE(save_network(*attn_net_, attn_path_));
+    // The session borrows the network, so the fixture must outlive it.
+    golden_ = std::make_unique<InferenceSession>(*attn_net_, dev());
+
+    mini_ = make_served("mini", mini_resnet(4, 8, 10), 44);
+    registry_ = std::make_unique<gw::ModelRegistry>(dev(), 2);
+    gw::ModelConfig attn_cfg;
+    attn_cfg.id = "attn";
+    attn_cfg.path = attn_path_;
+    attn_cfg.max_batch = 4;
+    attn_cfg.batch_window_us = 100;
+    registry_->load(attn_cfg);
+    registry_->load(config_for(mini_));
+    gateway_ = std::make_unique<gw::Gateway>(*registry_);
+  }
+  void TearDown() override {
+    gateway_.reset();
+    registry_.reset();
+    golden_.reset();
+    attn_net_.reset();
+    std::remove(attn_path_.c_str());
+    std::remove(mini_.path.c_str());
+  }
+
+  ModelSpec attn_spec_;
+  std::unique_ptr<ApnnNetwork> attn_net_;
+  std::string attn_path_;
+  std::unique_ptr<InferenceSession> golden_;
+  ServedModel mini_;
+  std::unique_ptr<gw::ModelRegistry> registry_;
+  std::unique_ptr<gw::Gateway> gateway_;
+};
+
+TEST_F(BucketedGatewayEndToEnd, VariableSeqInferBitExact) {
+  // seq_len-declared samples of assorted lengths — on-bucket, off-bucket,
+  // and the exact calibration shape — all route through the bucketed pool
+  // and match a local session on the same tokens.
+  wire::Client client(gateway_->port());
+  Rng rng(55);
+  for (const std::int64_t seq :
+       {std::int64_t{20}, std::int64_t{32}, std::int64_t{64},
+        std::int64_t{100}, std::int64_t{512}}) {
+    Tensor<std::int32_t> tokens({seq, std::int64_t{1}, attn_spec_.input.c});
+    tokens.randomize(rng, 0, 255);
+    Tensor<std::int32_t> local({1, seq, std::int64_t{1},
+                                attn_spec_.input.c});
+    for (std::int64_t i = 0; i < tokens.numel(); ++i) local[i] = tokens[i];
+    expect_bit_exact(client.infer("attn", tokens, 0, /*variable_seq=*/true),
+                     golden_->run(local));
+  }
+}
+
+TEST_F(BucketedGatewayEndToEnd, SeqLenOnStaticModelRejected) {
+  // Declaring seq_len against a shape-static model is a protocol misuse,
+  // not a bad sample: the wire answer is MALFORMED_FRAME.
+  wire::Client client(gateway_->port());
+  try {
+    client.infer("mini", mini_.samples[0], 0, /*variable_seq=*/true);
+    FAIL() << "seq_len on a static model must fail";
+  } catch (const wire::RemoteError& e) {
+    EXPECT_EQ(e.code(), wire::WireError::kMalformedFrame);
+  }
+  // The connection survives and plain inference still works.
+  expect_bit_exact(client.infer("mini", mini_.samples[0]), mini_.golden[0]);
+}
+
+TEST_F(BucketedGatewayEndToEnd, UndeclaredShortSampleRejected) {
+  // Without a seq_len declaration even a bucketed model demands the exact
+  // calibration shape — a v1-style client cannot pad wrong silently.
+  wire::Client client(gateway_->port());
+  Rng rng(66);
+  Tensor<std::int32_t> short_sample(
+      {std::int64_t{20}, std::int64_t{1}, attn_spec_.input.c});
+  short_sample.randomize(rng, 0, 255);
+  try {
+    client.infer("attn", short_sample);
+    FAIL() << "undeclared short sample must fail";
+  } catch (const wire::RemoteError& e) {
+    EXPECT_EQ(e.code(), wire::WireError::kMalformedFrame);
+  }
+  // Over-long sequences are bad samples, not framing errors: they clear the
+  // wire checks and die in the server's bucket admission.
+  Tensor<std::int32_t> too_long(
+      {std::int64_t{513}, std::int64_t{1}, attn_spec_.input.c});
+  too_long.randomize(rng, 0, 255);
+  try {
+    client.infer("attn", too_long, 0, /*variable_seq=*/true);
+    FAIL() << "seq beyond the largest bucket must fail";
+  } catch (const wire::RemoteError& e) {
+    EXPECT_EQ(e.code(), wire::WireError::kInvalidSample);
+  }
+}
+
 }  // namespace
 }  // namespace apnn::nn
+

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.hpp"
+#include "src/layout/bit_transpose.hpp"
 #include "src/layout/im2col.hpp"
 #include "src/layout/packed_activations.hpp"
 #include "src/layout/tensor.hpp"
@@ -199,6 +200,51 @@ TEST(Im2col, InteriorIgnoresPadValue) {
   const std::int64_t row = 1 * g.out_w() + 2;  // (oy=1, ox=2) of batch 0
   for (std::int64_t c = 0; c < pad0.cols(); ++c) {
     EXPECT_EQ(pad0.get(row, c), pad1.get(row, c));
+  }
+}
+
+
+// --- bit-matrix transpose ----------------------------------------------------
+
+TEST(BitTranspose, PlanesMatchNaiveGetSet) {
+  // The word-granular tile kernel against the bit-by-bit loop it replaced,
+  // across shapes that hit partial tiles on both axes.
+  Rng rng(77);
+  for (const auto [rows, cols] :
+       {std::pair<std::int64_t, std::int64_t>{64, 64},
+        {1, 1},
+        {63, 65},
+        {128, 37},
+        {200, 130}}) {
+    for (const int bits : {1, 2, 3}) {
+      Tensor<std::int32_t> vals({rows, cols});
+      vals.randomize(rng, 0, (1 << bits) - 1);
+      const bitops::BitPlanes src =
+          bitops::decompose(vals.data(), rows, cols, bits);
+      bitops::BitPlanes fast;
+      transpose_planes(src, fast);
+      ASSERT_EQ(fast.rows, cols);
+      ASSERT_EQ(fast.cols, rows);
+      ASSERT_EQ(fast.bits, bits);
+      for (int t = 0; t < bits; ++t) {
+        const bitops::BitMatrix& s = src.planes[static_cast<std::size_t>(t)];
+        const bitops::BitMatrix& d = fast.planes[static_cast<std::size_t>(t)];
+        for (std::int64_t r = 0; r < rows; ++r) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            ASSERT_EQ(d.get(c, r), s.get(r, c))
+                << rows << "x" << cols << " bit " << t << " (" << r << ","
+                << c << ")";
+          }
+        }
+        // Padding invariant: every bit past the logical columns stays zero.
+        for (std::int64_t r = 0; r < cols; ++r) {
+          for (std::int64_t c = rows; c < ((rows + 63) / 64) * 64; ++c) {
+            ASSERT_FALSE(d.get(r, c)) << "padding bit set at (" << r << ","
+                                      << c << ")";
+          }
+        }
+      }
+    }
   }
 }
 

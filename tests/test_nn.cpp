@@ -584,5 +584,172 @@ TEST(ApnnNetwork, RequiresCalibration) {
   EXPECT_THROW(net.forward(input, dev()), apnn::Error);
 }
 
+
+// --- serialize v3: attention + sequence buckets ------------------------------
+
+TEST(Serialize, RoundTripAttentionNetworkWithBuckets) {
+  // v3 payload: seq buckets, per-layer attention params, per-stage Q/K/V/
+  // output-projection weights and all four requantizers. The loaded network
+  // must reproduce the original bit-for-bit on every bucket.
+  const ModelSpec m = tiny_transformer();
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 900);
+  Rng rng(901);
+  Tensor<std::int32_t> calib({2, m.input.h, m.input.w, m.input.c});
+  calib.randomize(rng, 0, 255);
+  net.calibrate(calib);
+
+  const std::string path = ::testing::TempDir() + "/apnn_attn.bin";
+  ASSERT_TRUE(save_network(net, path));
+  {
+    std::ifstream f(path, std::ios::binary);
+    char magic[4];
+    std::uint32_t version = 0;
+    f.read(magic, 4);
+    f.read(reinterpret_cast<char*>(&version), sizeof(version));
+    EXPECT_EQ(version, 3u);  // attention forces the v3 format
+  }
+  const ApnnNetwork loaded = load_network(path);
+  EXPECT_EQ(loaded.spec().seq_buckets, m.seq_buckets);
+  for (const std::int64_t seq : {std::int64_t{32}, std::int64_t{50},
+                                 std::int64_t{64}}) {
+    Tensor<std::int32_t> input({1, seq, std::int64_t{1}, m.input.c});
+    input.randomize(rng, 0, 255);
+    EXPECT_EQ(loaded.forward(input, dev()), net.forward(input, dev()))
+        << "seq " << seq;
+  }
+}
+
+TEST(Serialize, ConvOnlyModelsStayVersion2) {
+  // A model with no attention layers and no buckets must still be written
+  // as v2, so files produced by this build keep loading in older readers.
+  const ModelSpec m = mini_cnn(4, 8, 5);
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 902);
+  Rng rng(903);
+  Tensor<std::int32_t> input({1, 8, 8, 4});
+  input.randomize(rng, 0, 255);
+  net.calibrate(input);
+  const std::string path = ::testing::TempDir() + "/apnn_conv_v2.bin";
+  ASSERT_TRUE(save_network(net, path));
+  std::ifstream f(path, std::ios::binary);
+  char magic[4];
+  std::uint32_t version = 0;
+  f.read(magic, 4);
+  f.read(reinterpret_cast<char*>(&version), sizeof(version));
+  EXPECT_EQ(version, 2u);
+}
+
+TEST(Serialize, RejectsAttentionLayerInPreV3File) {
+  // A pre-v3 file has no attention payload to read; a file that claims the
+  // old version yet contains an attention layer is corrupt by definition.
+  const ModelSpec m = tiny_transformer();
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 904);
+  Rng rng(905);
+  Tensor<std::int32_t> calib({1, m.input.h, m.input.w, m.input.c});
+  calib.randomize(rng, 0, 255);
+  net.calibrate(calib);
+  const std::string path = ::testing::TempDir() + "/apnn_attn_v3.bin";
+  ASSERT_TRUE(save_network(net, path));
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string bytes = buf.str();
+  const std::uint32_t v2 = 2;
+  std::memcpy(bytes.data() + 4, &v2, sizeof(v2));  // lie about the version
+  const std::string lied = ::testing::TempDir() + "/apnn_attn_lied.bin";
+  {
+    std::ofstream f(lied, std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(load_network(lied), apnn::Error);
+}
+
+namespace corrupt_v3 {
+
+// Serialized v3 header: magic, version 3, byte-order marker.
+void put_header(std::ofstream& f) {
+  f.write("APNN", 4);
+  corrupt::put<std::uint32_t>(f, 3);
+  corrupt::put<std::uint32_t>(f, 0x01020304u);
+}
+
+void put_input_dims(std::ofstream& f) {
+  corrupt::put_string(f, "corrupt-v3");
+  corrupt::put<std::int64_t>(f, 32);  // input c
+  corrupt::put<std::int64_t>(f, 64);  // input h
+  corrupt::put<std::int64_t>(f, 1);   // input w
+}
+
+}  // namespace corrupt_v3
+
+TEST(Serialize, RejectsNonAscendingSeqBuckets) {
+  const std::string path = ::testing::TempDir() + "/apnn_bad_buckets.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    corrupt_v3::put_header(f);
+    corrupt_v3::put_input_dims(f);
+    corrupt::put<std::uint64_t>(f, 2);   // two buckets...
+    corrupt::put<std::int64_t>(f, 64);   // ...out of order
+    corrupt::put<std::int64_t>(f, 32);
+  }
+  EXPECT_THROW(load_network(path), apnn::Error);
+}
+
+TEST(Serialize, RejectsImplausibleBucketCount) {
+  const std::string path = ::testing::TempDir() + "/apnn_bucket_count.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    corrupt_v3::put_header(f);
+    corrupt_v3::put_input_dims(f);
+    corrupt::put<std::uint64_t>(f, std::uint64_t{1} << 32);
+  }
+  EXPECT_THROW(load_network(path), apnn::Error);
+}
+
+TEST(Serialize, RejectsImplausibleAttentionParams) {
+  // heads = 0 on an attention layer must fail the plausibility check, not
+  // build a zero-head layer (or divide by it later).
+  const std::string path = ::testing::TempDir() + "/apnn_bad_heads.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    corrupt_v3::put_header(f);
+    corrupt_v3::put_input_dims(f);
+    corrupt::put<std::uint64_t>(f, 0);  // no buckets
+    corrupt::put<std::uint64_t>(f, 1);  // one layer
+    corrupt::put<std::int32_t>(f,
+                               static_cast<std::int32_t>(
+                                   LayerKind::kAttention));
+    corrupt::put_string(f, "attn");
+    corrupt::put<std::int64_t>(f, 0);   // conv.out_c
+    corrupt::put<std::int32_t>(f, 3);   // conv.kernel
+    corrupt::put<std::int32_t>(f, 1);   // conv.stride
+    corrupt::put<std::int32_t>(f, 1);   // conv.pad
+    corrupt::put<std::int64_t>(f, 0);   // out_features
+    corrupt::put<std::int32_t>(
+        f, static_cast<std::int32_t>(core::PoolSpec::Kind::kMax));
+    corrupt::put<std::int32_t>(f, 2);   // pool.size
+    corrupt::put<std::int32_t>(f, -1);  // input
+    corrupt::put<std::int32_t>(f, -1);  // residual
+    corrupt::put<std::int32_t>(f, 0);   // attn.heads: implausible
+    corrupt::put<std::int64_t>(f, 16);  // attn.d_head
+    corrupt::put<std::int32_t>(f, -1);  // attn.scale_shift
+  }
+  EXPECT_THROW(load_network(path), apnn::Error);
+}
+
+TEST(Serialize, RejectsUnknownLayerKind) {
+  const std::string path = ::testing::TempDir() + "/apnn_bad_kind.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    corrupt_v3::put_header(f);
+    corrupt_v3::put_input_dims(f);
+    corrupt::put<std::uint64_t>(f, 0);   // no buckets
+    corrupt::put<std::uint64_t>(f, 1);   // one layer
+    corrupt::put<std::int32_t>(f, 99);   // kind beyond the enum
+  }
+  EXPECT_THROW(load_network(path), apnn::Error);
+}
+
 }  // namespace
 }  // namespace apnn::nn
+

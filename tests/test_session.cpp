@@ -274,5 +274,118 @@ TEST(Session, AlternatingSeenBatchesStayAllocationFlat) {
   EXPECT_EQ(session.slab().capacity_bytes(), cap);
 }
 
+
+// --- compiled attention: dynamic-shape plan families ------------------------
+
+Tensor<std::int32_t> random_tokens(std::int64_t b, std::int64_t seq,
+                                   std::int64_t d_model, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor<std::int32_t> in({b, seq, 1, d_model});
+  in.randomize(rng, 0, 255);
+  return in;
+}
+
+TEST(Session, AttentionMatchesReferenceEveryBucketAndScheme) {
+  // The compiled attention plan family must be bit-exact against the dense
+  // integer reference for every sequence bucket under every w/a scheme the
+  // bit-GEMM lowering distinguishes (±1 weights, multi-bit weights, wider
+  // activations).
+  const ModelSpec m = tiny_transformer();
+  const struct { int w, a; } schemes[] = {{1, 2}, {2, 2}, {1, 3}};
+  for (const auto& sc : schemes) {
+    ApnnNetwork net = ApnnNetwork::random(m, sc.w, sc.a, 401);
+    net.calibrate(random_tokens(2, m.input.h, m.input.c, 402));
+    InferenceSession session(net, dev());
+    EXPECT_EQ(session.plan_count(), m.seq_buckets.size());
+    for (const std::int64_t seq : m.seq_buckets) {
+      const auto input = random_tokens(1, seq, m.input.c,
+                                       403 + static_cast<unsigned>(seq));
+      EXPECT_EQ(session.run(input), net.forward_reference(input))
+          << "w" << sc.w << "a" << sc.a << " seq " << seq;
+    }
+    // Batched run through one bucket as well.
+    const auto batched = random_tokens(3, m.seq_buckets.front(), m.input.c,
+                                       404);
+    EXPECT_EQ(session.run(batched), net.forward_reference(batched))
+        << "w" << sc.w << "a" << sc.a << " batched";
+  }
+}
+
+TEST(Session, AttentionPadsOffBucketLengthsUp) {
+  // A request whose token count is not itself a bucket runs on the smallest
+  // covering bucket with a zero-padded tail — bit-exact vs the reference on
+  // the same padded input.
+  const ModelSpec m = tiny_transformer();
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 405);
+  net.calibrate(random_tokens(2, m.input.h, m.input.c, 406));
+  InferenceSession session(net, dev());
+  for (const std::int64_t seq : {std::int64_t{1}, std::int64_t{20},
+                                 std::int64_t{100}, std::int64_t{300}}) {
+    const auto input = random_tokens(1, seq, m.input.c,
+                                     407 + static_cast<unsigned>(seq));
+    std::int64_t bucket = m.seq_buckets.back();
+    for (const std::int64_t b : m.seq_buckets) {
+      if (b >= seq) {
+        bucket = b;
+        break;
+      }
+    }
+    Tensor<std::int32_t> padded({1, bucket, 1, m.input.c});
+    padded.fill(0);
+    for (std::int64_t i = 0; i < input.numel(); ++i) padded[i] = input[i];
+    EXPECT_EQ(session.run(input), net.forward_reference(padded))
+        << "seq " << seq << " bucket " << bucket;
+  }
+}
+
+TEST(Session, AttentionSteadyStateAcrossBucketsStaysFlat) {
+  // One plan family serving mixed sequence lengths: after a warm pass over
+  // every bucket, further traffic (any bucket order, padded lengths
+  // included) must not grow the slab and must hold the per-run allocation
+  // count flat — serving mixed lengths allocates nothing in steady state.
+  const ModelSpec m = tiny_transformer();
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 410);
+  net.calibrate(random_tokens(2, m.input.h, m.input.c, 411));
+  InferenceSession session(net, dev());
+  Tensor<std::int32_t> logits;
+  std::vector<Tensor<std::int32_t>> inputs;
+  for (const std::int64_t seq : m.seq_buckets) {
+    inputs.push_back(random_tokens(1, seq, m.input.c,
+                                   412 + static_cast<unsigned>(seq)));
+  }
+  inputs.push_back(random_tokens(1, 50, m.input.c, 413));  // pads to 64
+  for (int warm = 0; warm < 2; ++warm) {
+    for (const auto& in : inputs) session.run(in, &logits);
+  }
+  const std::size_t cap = session.slab().capacity_bytes();
+  EXPECT_EQ(cap, session.slab().high_water_bytes());
+  auto allocs_of = [&](const Tensor<std::int32_t>& in) {
+    const std::int64_t before = g_allocs.load(std::memory_order_relaxed);
+    session.run(in, &logits);
+    return g_allocs.load(std::memory_order_relaxed) - before;
+  };
+  for (const auto& in : inputs) {
+    const std::int64_t first = allocs_of(in);
+    EXPECT_EQ(first, allocs_of(in));
+  }
+  EXPECT_EQ(session.slab().capacity_bytes(), cap);
+  EXPECT_EQ(session.slab().high_water_bytes(), cap);
+}
+
+TEST(Session, BucketedValidateSampleRejectsBadShapes) {
+  const ModelSpec m = tiny_transformer();
+  ApnnNetwork net = ApnnNetwork::random(m, 1, 2, 420);
+  net.calibrate(random_tokens(1, m.input.h, m.input.c, 421));
+  InferenceSession session(net, dev());
+  // Longer than the largest bucket: no plan can serve it.
+  EXPECT_THROW(session.run(random_tokens(
+                   1, m.seq_buckets.back() + 1, m.input.c, 422)),
+               Error);
+  // Wrong feature width.
+  EXPECT_THROW(session.run(Tensor<std::int32_t>({1, 32, 1, m.input.c + 1})),
+               Error);
+}
+
 }  // namespace
 }  // namespace apnn::nn
+

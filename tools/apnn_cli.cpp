@@ -14,6 +14,7 @@
 //                                   [--deadline-ms D] [--fault site:n[:mod]]
 //   apnn_cli inspect --cache path
 //   apnn_cli devices
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +64,7 @@ struct Args {
   std::vector<std::string> fault_specs;   // faultinject site:n[:xR|:delay=Dms]
   std::int64_t hw = 0;                    // export: input H=W override
   std::uint64_t seed = 42;                // export: weight/calibration seed
+  std::string seq_buckets;                // export: CSV bucket override
 };
 
 Args parse(int argc, char** argv) {
@@ -108,6 +110,8 @@ Args parse(int argc, char** argv) {
       a.fault_specs.push_back(next("--fault"));
     } else if (s == "--hw") {
       a.hw = std::atoll(next("--hw").c_str());
+    } else if (s == "--seq-buckets") {
+      a.seq_buckets = next("--seq-buckets");
     } else if (s == "--seed") {
       a.seed = static_cast<std::uint64_t>(std::atoll(next("--seed").c_str()));
     } else if (s == "--wbits") {
@@ -693,14 +697,18 @@ int cmd_devices() {
   return 0;
 }
 
-// Writes a calibrated zoo network to a v2-serialized file — the format
-// the gateway's ModelRegistry loads. The CI gateway smoke and operators
-// standing up a test gateway use this instead of shipping binary fixtures.
+// Writes a calibrated zoo network to a serialized file — the format the
+// gateway's ModelRegistry loads (v2 for conv-only models, v3 when the
+// model carries attention layers or sequence buckets). The CI gateway
+// smoke and operators standing up a test gateway use this instead of
+// shipping binary fixtures.
 int cmd_export(const Args& a) {
   if (a.positional.size() != 3) {
     std::fprintf(stderr,
-                 "usage: apnn_cli export mini_resnet|vgg_lite <out.apnn> "
-                 "[--scheme wXaY] [--hw N] [--seed S]\n");
+                 "usage: apnn_cli export "
+                 "mini_resnet|vgg_lite|tiny_transformer <out.apnn> "
+                 "[--scheme wXaY] [--hw N] [--seq-buckets 32,64,...] "
+                 "[--seed S]\n");
     return 2;
   }
   const std::string& name = a.positional[1];
@@ -710,11 +718,45 @@ int cmd_export(const Args& a) {
     spec = nn::mini_resnet(8, a.hw > 0 ? a.hw : 32, 10);
   } else if (name == "vgg_lite") {
     spec = nn::vgg_lite(a.hw > 0 ? a.hw : 32, 10);
+  } else if (name == "tiny_transformer") {
+    spec = nn::tiny_transformer();
   } else {
     std::fprintf(stderr,
                  "export supports the executable zoo specs: mini_resnet, "
-                 "vgg_lite\n");
+                 "vgg_lite, tiny_transformer\n");
     return 2;
+  }
+  if (!a.seq_buckets.empty()) {
+    if (name != "tiny_transformer") {
+      std::fprintf(stderr,
+                   "--seq-buckets only applies to dynamic-shape models "
+                   "(tiny_transformer)\n");
+      return 2;
+    }
+    spec.seq_buckets.clear();
+    const char* s = a.seq_buckets.c_str();
+    char* end = nullptr;
+    for (;;) {
+      const long long b = std::strtoll(s, &end, 10);
+      if (end == s || b <= 0) {
+        std::fprintf(stderr, "--seq-buckets wants a CSV of positive "
+                             "lengths, got '%s'\n", a.seq_buckets.c_str());
+        return 2;
+      }
+      spec.seq_buckets.push_back(b);
+      if (*end == '\0') break;
+      if (*end != ',') {
+        std::fprintf(stderr, "--seq-buckets wants a CSV of positive "
+                             "lengths, got '%s'\n", a.seq_buckets.c_str());
+        return 2;
+      }
+      s = end + 1;
+    }
+    std::sort(spec.seq_buckets.begin(), spec.seq_buckets.end());
+    if (spec.input.h > spec.seq_buckets.back()) {
+      // The calibration/default length must fit the largest bucket.
+      spec.input.h = spec.seq_buckets.back();
+    }
   }
   int p = 1, q = 2;
   if (std::sscanf(a.scheme.c_str(), "w%da%d", &p, &q) != 2) {
@@ -764,8 +806,9 @@ int main(int argc, char** argv) {
                  "[--autotune] [--cache path]\n"
                  "        [--max-batch B] [--deadline-ms D] "
                  "[--fault site:n[:xR|:delay=Dms]]\n"
-                 "  export mini_resnet|vgg_lite <out.apnn> [--scheme wXaY] "
-                 "[--hw N] [--seed S]\n"
+                 "  export mini_resnet|vgg_lite|tiny_transformer <out.apnn> "
+                 "[--scheme wXaY]\n"
+                 "         [--hw N] [--seq-buckets 32,64,...] [--seed S]\n"
                  "  inspect --cache path | inspect mini_resnet|vgg_lite"
                  " [--scheme wXaY] [--batch N]\n"
                  "  common: [--device 3090|a100] [--trace out.json]\n");

@@ -74,6 +74,7 @@ struct Args {
   int requests = 4;
   std::int64_t deadline_ms = 0;
   std::uint64_t seed = 1234;
+  bool vary_seq = false;
   bool error_table = false;
 };
 
@@ -107,6 +108,8 @@ bool parse_args(int argc, char** argv, Args* a) {
       a->deadline_ms = std::atoll(next("--deadline-ms"));
     } else if (s == "--seed") {
       a->seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (s == "--vary-seq") {
+      a->vary_seq = true;
     } else if (s == "--error-table") {
       a->error_table = true;
     } else if (!s.empty() && s[0] == '-') {
@@ -189,7 +192,7 @@ int cmd_client(const Args& a) {
   if (a.positional.size() != 2 || a.port <= 0) {
     std::fprintf(stderr,
                  "usage: apnn_serve client <model> --port P [--requests N] "
-                 "[--deadline-ms D] [--seed S]\n");
+                 "[--deadline-ms D] [--seed S] [--vary-seq]\n");
     return 2;
   }
   const std::string& model = a.positional[1];
@@ -211,10 +214,15 @@ int cmd_client(const Args& a) {
     }
     Rng rng(a.seed);
     for (int i = 0; i < a.requests; ++i) {
-      Tensor<std::int32_t> sample({desc.h, desc.w, desc.c});
+      // --vary-seq: draw a token count in [1, H] and declare it on the wire
+      // (protocol v2 seq_len) so a bucketed model pads and batches it.
+      const std::int64_t h =
+          a.vary_seq ? rng.uniform_int(1, desc.h) : desc.h;
+      Tensor<std::int32_t> sample({h, desc.w, desc.c});
       sample.randomize(rng, 0, 255);
       const Tensor<std::int32_t> logits = client.infer(
-          model, sample, static_cast<std::uint32_t>(a.deadline_ms));
+          model, sample, static_cast<std::uint32_t>(a.deadline_ms),
+          a.vary_seq);
       std::int64_t checksum = 0;
       for (std::int64_t j = 0; j < logits.numel(); ++j) checksum += logits[j];
       std::printf("infer %d: %lld logits, checksum %lld\n", i,

@@ -7,6 +7,9 @@
 #   * bench/apconv_hotpath         (materialized-im2col vs fused APConv)
 #   * bench/apnn_forward_hotpath   (interpreter vs InferenceSession vs the
 #                                   autotuned session plan)
+#   * bench/attention_hotpath      (compiled attention plan family vs the
+#                                   hand-built per-call apmm baseline, every
+#                                   bucket bit-exact, mixed-length serving)
 #   * bench/serving_throughput     (replicated InferenceServer pool vs the
 #                                   single-replica server, shared-TuningCache
 #                                   cold/warm start)
@@ -27,7 +30,8 @@ BUILD_DIR=${1:-build}
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target apmm_hotpath apmm_sparsity_sweep apconv_hotpath \
-  apnn_forward_hotpath serving_throughput gateway_throughput
+  apnn_forward_hotpath attention_hotpath serving_throughput \
+  gateway_throughput
 if cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_host_kernels \
     2>/dev/null; then
   "$BUILD_DIR/micro_host_kernels" --benchmark_min_time=0.05s || \
@@ -51,6 +55,10 @@ cat BENCH_apconv_hotpath.json
 "$BUILD_DIR/apnn_forward_hotpath" BENCH_apnn_forward_hotpath.json
 echo "BENCH_apnn_forward_hotpath.json:"
 cat BENCH_apnn_forward_hotpath.json
+
+"$BUILD_DIR/attention_hotpath" BENCH_attention_hotpath.json
+echo "BENCH_attention_hotpath.json:"
+cat BENCH_attention_hotpath.json
 
 "$BUILD_DIR/serving_throughput" BENCH_serving_throughput.json
 echo "BENCH_serving_throughput.json:"
